@@ -1,0 +1,21 @@
+"""Shared fixtures for the evaluation benchmarks."""
+
+import pytest
+
+from repro.derivation import derive
+from repro.easl.library import cmp_spec
+
+
+@pytest.fixture(scope="session")
+def spec():
+    return cmp_spec()
+
+
+@pytest.fixture(scope="session")
+def abstraction(spec):
+    return derive(spec)
+
+
+@pytest.fixture(scope="session")
+def abstraction_id(spec):
+    return derive(spec, identity_families=True)

@@ -1,0 +1,92 @@
+"""E1 — the Section 7 precision table.
+
+Regenerates the paper's headline evaluation: every suite program ×
+every applicable certifier, with false alarms counted against the
+exhaustive-interpreter ground truth.  The shape that must reproduce:
+
+* every engine is **sound** (no missed errors);
+* every **staged** certifier (fds / relational / interproc / both TVLA
+  modes) reports **zero false alarms** on the whole suite ("very few
+  false alarms" in the paper; zero on this corpus);
+* the **generic** baselines are strictly noisier, with the storage-shape
+  analysis worst (Fig. 7's merging) and plain allocation-site analysis
+  failing the Section 3 loop idiom.
+"""
+
+import pytest
+
+from repro.bench.harness import (
+    HEAP_ENGINES,
+    SHALLOW_ENGINES,
+    format_table,
+    run_precision_table,
+)
+from repro.runtime import ExplorationBudget
+
+STAGED = ("fds", "relational", "interproc", "tvla-relational",
+          "tvla-independent")
+GENERIC = ("allocsite", "allocsite-recency", "shapegraph")
+
+_BUDGET = ExplorationBudget(max_paths=6000, max_steps_per_path=300)
+
+
+@pytest.fixture(scope="module")
+def results():
+    return run_precision_table(budget=_BUDGET)
+
+
+def test_print_precision_table(results, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1)
+    print()
+    print(format_table(results))
+
+
+def test_every_engine_sound(results, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1)
+    for result in results:
+        for engine, run in result.runs.items():
+            assert run.error is None, f"{result.program.name}/{engine}"
+            assert run.missed == 0, (
+                f"{result.program.name}/{engine} missed errors"
+            )
+
+
+def test_staged_certifiers_have_zero_false_alarms(results, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1)
+    for result in results:
+        for engine in STAGED:
+            run = result.runs.get(engine)
+            if run is None:
+                continue
+            assert run.false_alarms == 0, (
+                f"{result.program.name}/{engine}: "
+                f"{run.false_alarms} false alarm(s)"
+            )
+
+
+def test_generic_baselines_strictly_noisier(results, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1)
+    totals = {engine: 0 for engine in GENERIC}
+    for result in results:
+        for engine in GENERIC:
+            run = result.runs.get(engine)
+            if run is not None:
+                totals[engine] += run.false_alarms
+    assert totals["allocsite"] >= 5
+    assert totals["shapegraph"] > totals["allocsite"]
+    # recency strictly improves plain allocation sites
+    assert totals["allocsite-recency"] < totals["allocsite"]
+
+
+def test_relational_no_precision_advantage_over_fds(results, benchmark):
+    """Section 4.6: Rule 2 lets the independent-attribute engine match
+    the relational one exactly."""
+    benchmark.pedantic(lambda: None, rounds=1)
+    for result in results:
+        fds = result.runs.get("fds")
+        relational = result.runs.get("relational")
+        if fds is None or relational is None:
+            continue
+        assert fds.alarm_lines == relational.alarm_lines, (
+            result.program.name
+        )

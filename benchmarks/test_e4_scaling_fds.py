@@ -1,0 +1,60 @@
+"""E4 — the O(E·B²) complexity claim of Section 4.3.
+
+Synthetic SCMP clients sweep the program size E (statements) and the
+component-variable count B.  Two checks:
+
+* timing rows for inspection via pytest-benchmark;
+* a growth-rate sanity assertion: quadrupling E at fixed B scales time
+  roughly linearly (within generous slack), i.e. far below quadratic —
+  the worklist pass count does not blow up with program size.
+"""
+
+import time
+
+import pytest
+
+from repro.bench.synthetic import make_client
+from repro.certifier.fds import FdsSolver
+from repro.certifier.transform import ClientTransformer
+from repro.lang import parse_program
+
+
+def _boolprog(spec, abstraction, num_sets, num_iters, num_ops, seed=11):
+    source = make_client(num_sets, num_iters, num_ops, seed)
+    program = parse_program(source, spec)
+    return ClientTransformer(program, abstraction).transform_method(
+        "Main.main"
+    )
+
+
+@pytest.mark.parametrize("num_ops", [50, 100, 200])
+def test_scaling_in_program_size(benchmark, spec, abstraction, num_ops):
+    boolprog = _boolprog(spec, abstraction, 2, 4, num_ops)
+    result = benchmark(FdsSolver().solve, boolprog)
+    assert result.iterations >= 1
+
+
+@pytest.mark.parametrize("num_iters", [2, 4, 8, 12])
+def test_scaling_in_variable_count(benchmark, spec, abstraction, num_iters):
+    boolprog = _boolprog(spec, abstraction, 3, num_iters, 80)
+    # B² predicate instances
+    assert boolprog.num_vars >= num_iters * num_iters
+    result = benchmark(FdsSolver().solve, boolprog)
+    assert result.iterations >= 1
+
+
+def test_growth_rate_subquadratic_in_e(benchmark, spec, abstraction):
+    def measure(num_ops):
+        boolprog = _boolprog(spec, abstraction, 2, 4, num_ops)
+        solver = FdsSolver()
+        started = time.perf_counter()
+        for _ in range(3):
+            solver.solve(boolprog)
+        return (time.perf_counter() - started) / 3
+
+    small = measure(60)
+    large = measure(240)
+    benchmark.pedantic(lambda: None, rounds=1)
+    # 4x the statements should cost well under 16x (quadratic) — allow
+    # generous noise while still excluding super-linear blowup
+    assert large < small * 12, (small, large)

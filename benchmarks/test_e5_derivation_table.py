@@ -1,0 +1,74 @@
+"""E5 — the derivation table: convergence per specification.
+
+For each shipped specification: family count, fixpoint iterations, WP
+calls, equivalence checks, Section 6 classification, and the
+decision-procedure ablation (semantic EUF vs the paper's "simple
+conservative" syntactic check — the latter may only create *more*
+families, never fewer; Section 4.5)."""
+
+import pytest
+
+from repro.derivation import derive
+from repro.derivation.mutation import termination_certificate
+from repro.easl.library import ALL_SPECS
+
+
+@pytest.fixture(scope="module")
+def rows():
+    table = {}
+    for name, factory in ALL_SPECS.items():
+        spec = factory()
+        semantic = derive(spec)
+        syntactic = derive(spec, decision="syntactic", max_families=64)
+        certificate = termination_certificate(spec)
+        table[name] = (spec, semantic, syntactic, certificate)
+    return table
+
+
+def test_print_derivation_table(rows, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1)
+    print()
+    header = (
+        f"{'spec':6s} {'families':>8s} {'fam(syn)':>8s} {'wp':>6s} "
+        f"{'eqchk':>6s} {'secs':>7s} {'mut-restr':>9s} {'||TG||':>6s}"
+    )
+    print(header)
+    print("-" * len(header))
+    for name, (spec, semantic, syntactic, certificate) in rows.items():
+        stats = semantic.stats
+        print(
+            f"{name:6s} {stats.families:>8d} "
+            f"{syntactic.stats.families:>8d} {stats.wp_calls:>6d} "
+            f"{stats.equivalence_checks:>6d} "
+            f"{stats.elapsed_seconds:>7.2f} "
+            f"{str(certificate.mutation_restricted):>9s} "
+            f"{str(certificate.type_graph_paths):>6s}"
+        )
+
+
+def test_cmp_converges_to_fig4(rows, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1)
+    _, semantic, _, certificate = rows["CMP"]
+    assert semantic.stats.families == 4
+    assert not certificate.mutation_restricted  # yet it converged
+
+
+def test_mutation_restricted_specs_converge_within_bound(rows, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1)
+    for name in ("GRP", "IMP", "AOP"):
+        _, semantic, _, certificate = rows[name]
+        assert certificate.guarantees_termination
+        assert semantic.stats.families <= certificate.family_bound
+
+
+def test_syntactic_never_beats_semantic(rows, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1)
+    for name, (_, semantic, syntactic, _) in rows.items():
+        assert syntactic.stats.families >= semantic.stats.families
+
+
+@pytest.mark.parametrize("name", sorted(ALL_SPECS))
+def test_time_derivation(benchmark, name):
+    spec = ALL_SPECS[name]()
+    abstraction = benchmark(derive, spec)
+    assert abstraction.families

@@ -1,0 +1,61 @@
+"""E6 — the Section 8 interprocedural certifier.
+
+Validation (alarm-for-alarm equality with exhaustive inlining on call
+chains) plus scaling: the summary-based solver grows gently with call
+depth, while inlining re-analyses every spliced copy.
+"""
+
+import pytest
+
+from repro.bench.synthetic import make_call_chain
+from repro.certifier.fds import certify_fds
+from repro.certifier.interproc import InterproceduralCertifier
+from repro.certifier.transform import ClientTransformer
+from repro.lang import parse_program
+from repro.lang.inline import inline_program
+
+DEPTHS = [2, 4, 8, 16]
+
+
+@pytest.mark.parametrize("depth", DEPTHS)
+def test_time_interproc_chain(benchmark, spec, abstraction_id, depth):
+    program = parse_program(make_call_chain(depth), spec)
+    report = benchmark(
+        lambda: InterproceduralCertifier(program, abstraction_id).certify()
+    )
+    # the mutation at the chain's bottom invalidates main's iterator
+    assert len(report.alarms) == 1
+
+
+@pytest.mark.parametrize("depth", DEPTHS)
+def test_time_inlining_reference_chain(
+    benchmark, spec, abstraction_id, depth
+):
+    program = parse_program(make_call_chain(depth), spec)
+
+    def run():
+        inlined = inline_program(program, max_depth=depth + 2)
+        boolprog = ClientTransformer(
+            program, abstraction_id
+        ).transform_inlined(inlined)
+        return certify_fds(boolprog)
+
+    report = benchmark(run)
+    assert len(report.alarms) == 1
+
+
+@pytest.mark.parametrize("depth", DEPTHS)
+@pytest.mark.parametrize("mutate", [True, False])
+def test_matches_inlining_on_chains(
+    benchmark, spec, abstraction_id, depth, mutate
+):
+    benchmark.pedantic(lambda: None, rounds=1)
+    program = parse_program(make_call_chain(depth, mutate), spec)
+    inlined = inline_program(program, max_depth=depth + 2)
+    reference = certify_fds(
+        ClientTransformer(program, abstraction_id).transform_inlined(inlined)
+    )
+    summary_based = InterproceduralCertifier(
+        program, abstraction_id
+    ).certify()
+    assert summary_based.alarm_sites() == reference.alarm_sites()

@@ -1,0 +1,80 @@
+"""First-order predicate abstraction for heap clients (Section 5).
+
+When component references live in object fields, the nullary SCMP
+abstraction no longer applies: the derived families are instantiated
+over *fields* as unary/binary predicates on client-heap objects
+(``stale_it(o)``), and a TVLA-style 3-valued engine analyses the result.
+
+This example parks iterators inside holder objects allocated in a loop —
+so the engine must reason about summary nodes — and shows both TVLA
+modes agreeing (the Section 7 finding).
+
+Run:  python examples/heap_clients_tvla.py
+"""
+
+from repro import derive_abstraction
+from repro.easl.library import cmp_spec
+from repro.lang import parse_program
+from repro.lang.inline import inline_program
+from repro.runtime import explore
+from repro.tvla import TvlaEngine
+from repro.tvp import specialized_translation
+
+CLIENT = """
+class Holder { Iterator it; Holder() { } }
+class Main {
+  static void main() {
+    Set v = new Set();
+    Holder last = new Holder();
+    while (?) {
+      Holder h = new Holder();
+      h.it = v.iterator();
+      last = h;
+    }
+    Iterator j = last.it;
+    if (?) { j.next(); }     // fine: nothing has mutated v yet
+    v.add("x");
+    if (?) { j.next(); }     // CME: the parked iterator is stale
+  }
+}
+"""
+
+
+def main() -> None:
+    spec = cmp_spec()
+    abstraction = derive_abstraction(spec)
+    program = parse_program(CLIENT, spec)
+    inlined = inline_program(program)
+
+    print("== Specialized first-order translation ==")
+    tvp = specialized_translation(inlined, abstraction)
+    field_preds = [
+        name
+        for name, decl in tvp.predicates.items()
+        if ".Holder.it" in name
+    ]
+    print(f"{len(tvp.predicates)} predicates, including field-slot")
+    print(f"instrumentation predicates such as: {sorted(field_preds)[:4]}")
+
+    truth = explore(program)
+    print(f"\nground truth CME lines: {sorted(truth.failing_lines())}")
+
+    for mode in ("relational", "independent"):
+        result = TvlaEngine(tvp, mode=mode).run()
+        report = result.report
+        summary = truth.compare(report.alarm_sites())
+        print(
+            f"\n== TVLA {mode} mode ==\n{report.describe()}\n"
+            f"max structures per point: {result.max_structures}; "
+            f"false alarms: {summary.false_alarms}; "
+            f"sound: {summary.sound}"
+        )
+        assert summary.exact
+
+    print("\nBoth modes report exactly the one real error — the")
+    print("specialized abstraction, not engine power, carries precision")
+    print("(the paper's Section 7 observation).")
+
+
+if __name__ == "__main__":
+    main()

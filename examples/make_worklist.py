@@ -1,0 +1,89 @@
+"""The paper's Fig. 1 bug: a worklist build tool that mutates its
+worklist while iterating it through a chain of nested calls.
+
+Two variants are certified:
+
+* the SCMP form (worklist set in a static) with the Section 8
+  context-sensitive interprocedural certifier, and
+* the faithful Fig. 1 form (the worklist object owns its Set in an
+  instance field) with the Section 5 first-order TVLA pipeline.
+
+Run:  python examples/make_worklist.py
+"""
+
+from repro import certify_source
+from repro.easl.library import cmp_spec
+from repro.lang import parse_program
+from repro.runtime import explore
+
+SHALLOW = """
+class Make {
+  static Set work;
+  static void main() {
+    work = new Set();
+    work.add("seed");
+    processWorklist();
+  }
+  static void processWorklist() {
+    Iterator i = work.iterator();
+    while (i.hasNext()) {
+      i.next();                      // CME may occur here
+      if (?) { processItem(); }
+    }
+  }
+  static void processItem() { doSubproblem(); }
+  static void doSubproblem() { work.addItem2(); }
+}
+"""
+
+HEAP = """
+class Worklist {
+  Set s;
+  Worklist() { s = new Set(); }
+  void addItem(Object item) { s.add(item); }
+  Set unprocessedItems() { return s; }
+}
+class Make {
+  static Worklist worklist;
+  static void main() {
+    worklist = new Worklist();
+    processWorklist();
+  }
+  static void processWorklist() {
+    Set t = worklist.unprocessedItems();
+    Iterator i = t.iterator();
+    while (i.hasNext()) {
+      i.next();                      // CME may occur here
+      if (?) { doSubproblem(); }
+    }
+  }
+  static void doSubproblem() { worklist.addItem("item"); }
+}
+"""
+
+
+def main() -> None:
+    spec = cmp_spec()
+
+    shallow = SHALLOW.replace("work.addItem2()", 'work.add("item")')
+    print("== SCMP variant (interprocedural certifier, Section 8) ==")
+    report = certify_source(shallow, spec, engine="interproc")
+    print(report.describe())
+    truth = explore(parse_program(shallow, spec))
+    print(f"ground truth CME lines: {sorted(truth.failing_lines())}")
+    assert truth.compare(report.alarm_sites()).exact
+
+    print("\n== Fig. 1 heap variant (TVLA pipeline, Section 5) ==")
+    report = certify_source(HEAP, spec, engine="tvla-relational")
+    print(report.describe())
+    truth = explore(parse_program(HEAP, spec))
+    print(f"ground truth CME lines: {sorted(truth.failing_lines())}")
+    assert truth.compare(report.alarm_sites()).exact
+
+    print("\nBoth pipelines find exactly the paper's bug: the nested")
+    print("doSubproblem() call adds to the worklist mid-iteration, so the")
+    print("following i.next() throws ConcurrentModificationException.")
+
+
+if __name__ == "__main__":
+    main()

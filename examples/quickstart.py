@@ -1,0 +1,69 @@
+"""Quickstart: certify a client against the CMP specification.
+
+Walks the paper's pipeline end to end on Fig. 3's client:
+
+1. load the component specification (Fig. 2),
+2. derive the specialized abstraction (Figs. 4 + 5) — certifier
+   generation time,
+3. certify the client (Fig. 6 + the FDS solver) and compare against the
+   exhaustive-interpreter ground truth.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import certify_source, derive_abstraction
+from repro.easl.library import cmp_spec
+from repro.lang import parse_program
+from repro.runtime import explore
+
+CLIENT = """
+class Main {
+  static void main() {
+    Set v = new Set();
+    Iterator i1 = v.iterator();
+    Iterator i2 = v.iterator();
+    Iterator i3 = i1;
+    i1.next();
+    i1.remove();
+    if (?) { i2.next(); }
+    if (?) { i3.next(); }
+    v.add("x");
+    if (?) { i1.next(); }
+  }
+}
+"""
+
+
+def main() -> None:
+    spec = cmp_spec()
+
+    print("== Stage 1: derive the specialized abstraction ==")
+    abstraction = derive_abstraction(spec)
+    print(abstraction.describe())
+    stats = abstraction.stats
+    print(
+        f"\n[{stats.families} families in {stats.iterations} iterations, "
+        f"{stats.wp_calls} weakest preconditions, "
+        f"{stats.elapsed_seconds:.2f}s]\n"
+    )
+
+    print("== Stage 2+3: certify the Fig. 3 client ==")
+    report = certify_source(CLIENT, spec, engine="fds")
+    print(report.describe())
+
+    print("\n== Ground truth (exhaustive concrete execution) ==")
+    program = parse_program(CLIENT, spec)
+    truth = explore(program)
+    print(f"real CME lines: {sorted(truth.failing_lines())}")
+    summary = truth.compare(report.alarm_sites())
+    print(
+        f"alarms: {summary.alarms}, false alarms: {summary.false_alarms}, "
+        f"missed: {summary.missed_errors}"
+    )
+    assert summary.exact, "the staged certifier should be exact here"
+    print("\nThe i3.next() use (line 11) is correctly NOT flagged — the")
+    print("paper's precision demonstration against shape-graph analysis.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+"""Authoring a new component specification: the Grabbed Resource Problem.
+
+Demonstrates the component author's side of the workflow (Section 2.2):
+write an Easl specification for a graph library whose traversals are
+preempted by newer traversals, let the derivation stage discover the
+instrumentation predicates, and certify clients — no analysis code is
+written for the new component.
+
+Run:  python examples/spec_authoring_grp.py
+"""
+
+from repro import certify_source, derive_abstraction
+from repro.derivation.mutation import termination_certificate
+from repro.easl.parser import parse_spec
+
+GRP_SPEC = """
+class Token { /* identifies one traversal epoch of a Graph */ }
+
+class Graph {
+  Token cur;
+  Graph() { cur = new Token(); }
+  Traversal traverse() { cur = new Token(); return new Traversal(this); }
+}
+
+class Traversal {
+  Graph g;
+  Token tok;
+  Traversal(Graph gr) { g = gr; tok = gr.cur; }
+  Object next() { requires (tok == g.cur); }
+}
+"""
+
+PREEMPTED = """
+class Main {
+  static void main() {
+    Graph g = new Graph();
+    Traversal walk = g.traverse();
+    walk.next();
+    Traversal rescan = g.traverse();   // preempts `walk`
+    if (?) { walk.next(); }            // resuming it is an error
+    rescan.next();
+  }
+}
+"""
+
+INDEPENDENT = """
+class Main {
+  static void main() {
+    Graph g = new Graph();
+    Graph h = new Graph();
+    Traversal a = g.traverse();
+    Traversal b = h.traverse();        // a different graph: no preemption
+    a.next();
+    b.next();
+  }
+}
+"""
+
+
+def main() -> None:
+    print("== Parse the author's specification ==")
+    spec = parse_spec(GRP_SPEC, "GRP")
+    certificate = termination_certificate(spec)
+    print(
+        f"mutation-restricted: {certificate.mutation_restricted} "
+        f"(alias-based={certificate.alias_based}, "
+        f"acyclic ||TG||={certificate.type_graph_paths}, "
+        f"fresh-mutations={certificate.fresh_mutations})"
+    )
+    print("Section 6: derivation is guaranteed to terminate.\n")
+
+    print("== Derived abstraction ==")
+    abstraction = derive_abstraction(spec)
+    print(abstraction.describe())
+
+    print("\n== Certify a preempting client ==")
+    report = certify_source(PREEMPTED, spec, engine="fds")
+    print(report.describe())
+    assert not report.certified
+
+    print("\n== Certify an independent-graphs client ==")
+    report = certify_source(INDEPENDENT, spec, engine="fds")
+    print(report.describe())
+    assert report.certified
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""Staged vs. generic certification (Sections 3 and 4.4).
+
+Reproduces the two motivating imprecision stories on one page:
+
+* the Section 3 loop — a collection grown and freshly re-iterated inside
+  a loop is perfectly safe, but allocation-site analysis cannot tell the
+  loop's version objects apart and raises a false alarm;
+* Fig. 3 statement 7 — shape-graph analysis merges the two unpointed
+  version objects (Fig. 7(c)) and flags the valid ``i3.next()``.
+
+The staged certifier is exact on both.
+
+Run:  python examples/staged_vs_generic.py
+"""
+
+from repro import certify_source
+from repro.easl.library import cmp_spec
+from repro.lang import parse_program
+from repro.runtime import explore
+from repro.suite import by_name
+
+ENGINES = ["fds", "allocsite", "allocsite-recency", "shapegraph"]
+
+
+def show(title: str, source: str, spec) -> None:
+    print(f"== {title} ==")
+    truth = explore(parse_program(source, spec))
+    print(f"ground truth CME lines: {sorted(truth.failing_lines())}")
+    for engine in ENGINES:
+        report = certify_source(source, spec, engine=engine)
+        summary = truth.compare(report.alarm_sites())
+        verdict = "exact" if summary.exact else (
+            f"{summary.false_alarms} false alarm(s) at lines "
+            f"{sorted(set(report.alarm_lines()) - truth.failing_lines())}"
+        )
+        print(f"  {engine:18s} alarms={sorted(report.alarm_lines())}  {verdict}")
+    print()
+
+
+def main() -> None:
+    spec = cmp_spec()
+    show("Section 3 loop (safe)", by_name("sec3_loop").source, spec)
+    show("Fig. 3 (errors at 10 and 13 only)", by_name("fig3").source, spec)
+    print("The staged certifier needs no heap reasoning at all for these")
+    print("clients: the derived nullary predicates carry exactly the")
+    print("component facts the requires-clauses depend on.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,139 @@
+"""High-level facade over the staged-certification pipeline.
+
+The paper's workflow in three calls::
+
+    spec = cmp_spec()                       # the component author's Easl spec
+    abstraction = derive_abstraction(spec)  # certifier-generation time
+    report = certify_source(client, spec)   # certify a client
+
+:func:`certify_source` / :func:`certify_program` pick an engine:
+
+========================  =====================================================
+engine                    what runs
+========================  =====================================================
+``"auto"``                interproc for shallow clients, TVLA otherwise
+``"fds"``                 intraprocedural FDS on the inlined program (§4.3)
+``"relational"``          relational solver on the inlined program
+``"interproc"``           the §8 summary-based context-sensitive solver
+``"tvla-relational"``     specialized first-order abstraction + TVLA (§5)
+``"tvla-independent"``    same, independent-attribute mode
+``"allocsite"``           generic baseline: allocation-site points-to (§3)
+``"allocsite-recency"``   generic baseline with recency (ablation)
+``"shapegraph"``          generic baseline: storage shape graphs (§3, Fig. 7)
+========================  =====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.certifier.fds import certify_fds
+from repro.certifier.interproc import InterproceduralCertifier
+from repro.certifier.relational import certify_relational
+from repro.certifier.report import Alarm, CertificationReport
+from repro.certifier.transform import ClientTransformer
+from repro.derivation import DerivedAbstraction, derive
+from repro.easl.spec import ComponentSpec
+from repro.generic_analysis import (
+    AllocSiteDomain,
+    ShapeGraphDomain,
+    analyze_generic,
+)
+from repro.lang.inline import inline_program
+from repro.lang.types import Program, parse_program
+from repro.tvla.engine import TvlaEngine
+from repro.tvp.specialize import specialized_translation
+
+ENGINES = (
+    "auto",
+    "fds",
+    "relational",
+    "interproc",
+    "tvla-relational",
+    "tvla-independent",
+    "allocsite",
+    "allocsite-recency",
+    "shapegraph",
+)
+
+_ABSTRACTION_CACHE: Dict[tuple, DerivedAbstraction] = {}
+
+
+def derive_abstraction(
+    spec: ComponentSpec, *, identity_families: bool = False, **kwargs
+) -> DerivedAbstraction:
+    """Derive (and cache) the specialized abstraction of a specification."""
+    key = (
+        spec.name,
+        identity_families,
+        tuple(sorted(kwargs.items())),
+    )
+    if key not in _ABSTRACTION_CACHE:
+        _ABSTRACTION_CACHE[key] = derive(
+            spec, identity_families=identity_families, **kwargs
+        )
+    return _ABSTRACTION_CACHE[key]
+
+
+def certify_source(
+    source: str,
+    spec: ComponentSpec,
+    engine: str = "auto",
+    **kwargs,
+) -> CertificationReport:
+    """Parse a Jlite client and certify it against ``spec``."""
+    return certify_program(parse_program(source, spec), engine, **kwargs)
+
+
+def certify_program(
+    program: Program,
+    engine: str = "auto",
+    *,
+    entry: Optional[str] = None,
+    prune_requires: bool = True,
+    inline_depth: int = 12,
+) -> CertificationReport:
+    """Certify a parsed client with the chosen engine."""
+    spec = program.spec
+    if engine == "auto":
+        engine = "interproc" if program.is_shallow() else "tvla-relational"
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; pick one of {ENGINES}")
+
+    if engine == "interproc":
+        abstraction = derive_abstraction(spec, identity_families=True)
+        certifier = InterproceduralCertifier(
+            program, abstraction, prune_requires=prune_requires
+        )
+        return certifier.certify(entry)
+
+    inlined = inline_program(program, entry, max_depth=inline_depth)
+
+    if engine in ("fds", "relational"):
+        abstraction = derive_abstraction(spec)
+        boolprog = ClientTransformer(program, abstraction).transform_inlined(
+            inlined
+        )
+        if engine == "fds":
+            return certify_fds(boolprog, prune_requires=prune_requires)
+        return certify_relational(boolprog, prune_requires=prune_requires)
+
+    if engine.startswith("tvla-"):
+        abstraction = derive_abstraction(spec)
+        tvp = specialized_translation(inlined, abstraction)
+        mode = engine.split("-", 1)[1]
+        result = TvlaEngine(
+            tvp, mode=mode, prune_requires=prune_requires
+        ).run()
+        return result.report
+
+    if engine == "allocsite":
+        return analyze_generic(inlined, AllocSiteDomain(), engine).report
+    if engine == "allocsite-recency":
+        return analyze_generic(
+            inlined, AllocSiteDomain(recency=True), engine
+        ).report
+    if engine == "shapegraph":
+        return analyze_generic(inlined, ShapeGraphDomain(), engine).report
+    raise AssertionError("unreachable")

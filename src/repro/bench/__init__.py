@@ -1,0 +1,17 @@
+"""Experiment drivers shared by ``benchmarks/`` and ``examples/``."""
+
+from repro.bench.harness import (
+    EngineRun,
+    ProgramResult,
+    format_table,
+    run_engine,
+    run_precision_table,
+)
+
+__all__ = [
+    "EngineRun",
+    "ProgramResult",
+    "format_table",
+    "run_engine",
+    "run_precision_table",
+]

@@ -1,0 +1,91 @@
+"""Synthetic SCMP clients for the complexity experiments (E4, E6).
+
+The generator emits deterministic pseudo-random straight-line/looped
+clients with configurable numbers of collection variables, iterator
+variables, and statements — sweeping ``B`` (component variables, hence
+``B²`` boolean predicates) and ``E`` (CFG edges) to exhibit the
+O(E·B²) behaviour of the Section 4.3 certifier.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+
+def make_client(
+    num_sets: int = 2,
+    num_iters: int = 4,
+    num_ops: int = 30,
+    seed: int = 7,
+    loop_every: int = 10,
+) -> str:
+    """A single-method SCMP client with the requested size."""
+    rng = random.Random(seed)
+    lines: List[str] = ["class Main {", "  static void main() {"]
+    sets = [f"s{i}" for i in range(num_sets)]
+    iters = [f"i{i}" for i in range(num_iters)]
+    for name in sets:
+        lines.append(f"    Set {name} = new Set();")
+    for name in iters:
+        owner = rng.choice(sets)
+        lines.append(f"    Iterator {name} = {owner}.iterator();")
+    depth = 0
+    for index in range(num_ops):
+        if loop_every and index and index % loop_every == 0 and depth < 2:
+            lines.append("    while (?) {")
+            depth += 1
+        kind = rng.randrange(6)
+        if kind == 0:
+            lines.append(f"    {rng.choice(sets)}.add(\"x\");")
+        elif kind == 1:
+            it = rng.choice(iters)
+            lines.append(f"    if (?) {{ {it}.next(); }}")
+        elif kind == 2:
+            it, owner = rng.choice(iters), rng.choice(sets)
+            lines.append(f"    {it} = {owner}.iterator();")
+        elif kind == 3:
+            a, b = rng.choice(iters), rng.choice(iters)
+            if a != b:
+                lines.append(f"    {a} = {b};")
+        elif kind == 4:
+            a, b = rng.choice(sets), rng.choice(sets)
+            if a != b:
+                lines.append(f"    {a} = {b};")
+        else:
+            it = rng.choice(iters)
+            lines.append(f"    if (?) {{ {it}.remove(); }}")
+    while depth:
+        lines.append("    }")
+        depth -= 1
+    lines.append("  }")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def make_call_chain(depth: int, mutate_at_bottom: bool = True) -> str:
+    """A chain of ``depth`` procedures ending in a collection mutation —
+    sweeps procedure count for the interprocedural experiment (E6)."""
+    lines = [
+        "class Main {",
+        "  static Set g;",
+        "  static void main() {",
+        "    g = new Set();",
+        "    Iterator i = g.iterator();",
+        "    p0();",
+        "    i.next();",
+        "  }",
+    ]
+    for level in range(depth):
+        callee = f"p{level + 1}()" if level + 1 < depth else (
+            'g.add("x")' if mutate_at_bottom else "g.iterator()"
+        )
+        if level + 1 < depth:
+            body = f"if (?) {{ p{level + 1}(); }}"
+        elif mutate_at_bottom:
+            body = 'if (?) { g.add("x"); }'
+        else:
+            body = "Iterator t = g.iterator();"
+        lines.append(f"  static void p{level}() {{ {body} }}")
+    lines.append("}")
+    return "\n".join(lines)

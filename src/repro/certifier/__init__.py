@@ -1,0 +1,34 @@
+"""Stages 2+3 of the pipeline for SCMP clients (Sections 4.3, 8).
+
+The derived abstraction is instantiated over a client's component-typed
+variables, turning the client into a *boolean program* (Fig. 6) whose
+assignments all have the special form ``p0 := p1 ∨ … ∨ pk`` / ``p := 0`` /
+``p := 1``.  Three solvers then answer "may this ``requires ¬p`` fail?":
+
+* :mod:`repro.certifier.fds` — the paper's headline engine: a precise
+  polynomial-time (O(E·B²)) independent-attribute analysis whose result
+  equals the meet-over-all-paths solution for the alarm question.
+* :mod:`repro.certifier.relational` — an exponential relational
+  (powerset-of-valuations) solver used to validate the FDS precision
+  claim and for the Rule 2 ablation.
+* :mod:`repro.certifier.interproc` — the Section 8 context-sensitive
+  interprocedural solver (IFDS-style tabulation with callee summaries).
+"""
+
+from repro.certifier.boolprog import BoolProgram
+from repro.certifier.fds import FdsSolver
+from repro.certifier.interproc import InterproceduralCertifier
+from repro.certifier.relational import RelationalSolver
+from repro.certifier.report import Alarm, CertificationReport
+from repro.certifier.transform import ClientTransformer, TransformError
+
+__all__ = [
+    "Alarm",
+    "BoolProgram",
+    "CertificationReport",
+    "ClientTransformer",
+    "FdsSolver",
+    "InterproceduralCertifier",
+    "RelationalSolver",
+    "TransformError",
+]

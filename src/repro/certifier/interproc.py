@@ -1,0 +1,870 @@
+"""Context-sensitive interprocedural SCMP certification (Section 8).
+
+The intraprocedural certifier extends to arbitrary (shallow) call graphs
+with a *functional* tabulation: each procedure is transformed to a boolean
+program over its own instrumentation instances, and summaries
+``entry may-1 vector → exit may-1 vector`` are computed per reached entry
+vector (value contexts), giving meet-over-all-valid-paths context
+sensitivity for the union-distributive may-1 property.  Recursion is
+handled by iterating summaries to a fixpoint (they grow monotonically in a
+finite lattice), so the whole computation is polynomial in the program
+size for a fixed number of component variables per scope.
+
+Relating caller facts to callee facts needs three devices:
+
+* **Ghost variables** (``x##in``) snapshot each component-typed formal and
+  static at procedure entry.  Formals may be reassigned and statics
+  overwritten, but a ghost keeps naming the object the caller's actual
+  still points to, so post-call caller facts are read off exit facts over
+  ghosts.
+* **Identity families** (``x == y`` per component type, derived with
+  ``identity_families=True``) reconnect a reassigned static or a returned
+  reference to its entry-time origin: after the call, ``iterof(x, S)``
+  holds iff for some interface collection ``w``, ``iterof(x, β(w))`` held
+  at the call and the callee exits with ``S == ghost(w)``.
+* **Phantom iterators** (``w##ph``) stand for "an arbitrary
+  already-existing iterator over ``w``'s collection".  The callee updates
+  their ``stale`` instances through the ordinary derived abstraction, so
+  ``stale(phantom)`` at exit is precisely "the callee may have invalidated
+  iterators of that collection" — what a caller-local iterator that was
+  never passed in needs to know.
+
+The compositions at return conjoin a caller fact (state at the call) with
+a callee exit fact; a caller path to the call site concatenates with any
+callee path into an interprocedurally-valid path, so conjoining the two
+independent may-1 answers is sound.  The whole solver is validated against
+exhaustive inlining on the benchmark suite (``tests/test_interproc.py``).
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.certifier.boolprog import BoolProgram, Instance
+from repro.certifier.report import Alarm, CertificationReport
+from repro.certifier.transform import (
+    ClientTransformer,
+    TransformError,
+    family_mentions_mutable_field,
+    reflexively_true,
+)
+from repro.derivation.predicates import DerivedAbstraction, Family
+from repro.lang.cfg import CFG, SCallClient, SCopy, SReturn
+from repro.lang.types import MethodInfo, Program
+from repro.logic.formula import And, EqAtom, Not
+from repro.logic.terms import Base, Field
+
+GHOST_SUFFIX = "##in"
+PHANTOM_SUFFIX = "##ph"
+RET_VAR = "##ret"
+
+
+# -- family shape classification ---------------------------------------------------
+
+
+@dataclass
+class Shapes:
+    """Structural roles of the derived families (the CMP-class shapes)."""
+
+    identity: Dict[str, str]  # sort -> family name (x == y)
+    mutable_unary: Dict[str, str]  # sort -> family name (stale-like)
+    relation: Dict[Tuple[str, str], str]  # (iter, collection) -> iterof
+    mutex: Dict[str, str]  # iter sort -> mutx-like family
+    collection_of: Dict[str, str]  # iterator sort -> its collection sort
+    #: relation families whose argument order is (collection, iterator)
+    relation_swapped: set = None  # type: ignore[assignment]
+
+    def relation_args(
+        self, family: str, iter_name: str, set_name: str
+    ) -> Tuple[str, str]:
+        """Argument tuple for a relation instance, respecting the
+        family's derived positional order."""
+        if self.relation_swapped and family in self.relation_swapped:
+            return (set_name, iter_name)
+        return (iter_name, set_name)
+
+
+def classify_shapes(abstraction: DerivedAbstraction) -> Shapes:
+    shapes = Shapes({}, {}, {}, {}, {}, set())
+    for family in abstraction.families:
+        formula = family.formula
+        if family.arity == 2 and isinstance(formula, EqAtom):
+            lhs, rhs = formula.lhs, formula.rhs
+            if isinstance(lhs, Base) and isinstance(rhs, Base):
+                shapes.identity[family.sorts[0]] = family.name
+            elif (
+                isinstance(lhs, Field)
+                and isinstance(lhs.base, Base)
+                and isinstance(rhs, Base)
+            ):
+                shapes.relation[(family.sorts[0], family.sorts[1])] = (
+                    family.name
+                )
+                shapes.collection_of[family.sorts[0]] = family.sorts[1]
+            elif (
+                isinstance(rhs, Field)
+                and isinstance(rhs.base, Base)
+                and isinstance(lhs, Base)
+            ):
+                shapes.relation[(family.sorts[1], family.sorts[0])] = (
+                    family.name
+                )
+                shapes.collection_of[family.sorts[1]] = family.sorts[0]
+                shapes.relation_swapped.add(family.name)
+        elif family.arity == 1 and family_mentions_mutable_field(
+            family, abstraction.spec
+        ):
+            shapes.mutable_unary[family.sorts[0]] = family.name
+        elif (
+            family.arity == 2
+            and family.sorts[0] == family.sorts[1]
+            and isinstance(formula, And)
+            and any(
+                isinstance(a, Not) and isinstance(a.body, EqAtom)
+                for a in formula.args
+            )
+        ):
+            shapes.mutex[family.sorts[0]] = family.name
+    return shapes
+
+
+# -- per-procedure context ------------------------------------------------------------
+
+
+@dataclass
+class ProcSpace:
+    """The fact space and boolean program of one procedure."""
+
+    method: MethodInfo
+    boolprog: BoolProgram
+    variables: Dict[str, str]  # all component vars incl ghosts/phantoms
+    formals: Dict[str, str]  # component-typed formals (incl "this")
+    ghosts: Dict[str, str]  # ghost name -> anchored name (formal or static)
+    phantoms: Dict[str, str]  # phantom name -> anchor ghost name
+    call_edges: List[Tuple[int, int, SCallClient]]
+    default_mask: int  # instance values when everything is null
+
+
+class InterproceduralCertifier:
+    """The Section 8 certifier.
+
+    ``abstraction`` must be derived with ``identity_families=True`` so
+    the return compositions can reconnect reassigned references to their
+    entry-time origins.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        abstraction: DerivedAbstraction,
+        *,
+        prune_requires: bool = True,
+    ) -> None:
+        if not program.is_shallow():
+            raise TransformError(
+                "interprocedural SCMP certification requires a shallow "
+                "client (component references only in locals/statics); "
+                "use the TVLA pipeline for heap clients"
+            )
+        self.program = program
+        self.abstraction = abstraction
+        self.spec = abstraction.spec
+        self.prune_requires = prune_requires
+        self.shapes = classify_shapes(abstraction)
+        self.transformer = ClientTransformer(
+            program, abstraction, on_client_call="skip"
+        )
+        self.statics = {
+            name: type_
+            for name, type_ in program.statics.items()
+            if self.spec.is_component_type(type_)
+        }
+        self.spaces: Dict[str, ProcSpace] = {}
+        self._formal_visible: Dict[str, str] = {}
+        self.stats: Dict[str, int] = {
+            "contexts": 0,
+            "summary_updates": 0,
+            "edge_visits": 0,
+        }
+
+    # -- fact-space construction ------------------------------------------------------
+
+    def space(self, qualified: str) -> ProcSpace:
+        if qualified in self.spaces:
+            return self.spaces[qualified]
+        minfo = self.program.method(qualified)
+        variables: Dict[str, str] = {}
+        formals: Dict[str, str] = {}
+        param_names = {name for name, _t in minfo.params}
+        if not minfo.is_static:
+            param_names.add("this")
+        for name, type_ in minfo.variables.items():
+            if self.spec.is_component_type(type_):
+                variables[name] = type_
+                if name in param_names:
+                    formals[name] = type_
+        for name, type_ in self.statics.items():
+            variables[name] = type_
+        ghosts: Dict[str, str] = {}
+        for name in list(formals) + list(self.statics):
+            ghost = name + GHOST_SUFFIX
+            ghosts[ghost] = name
+            variables[ghost] = formals.get(name) or self.statics[name]
+        phantoms: Dict[str, str] = {}
+        for ghost in ghosts:
+            phantom_sort = self._phantom_sort(variables[ghost])
+            if phantom_sort is not None:
+                phantom = ghost + PHANTOM_SUFFIX
+                phantoms[phantom] = ghost
+                variables[phantom] = phantom_sort
+        if self.spec.is_component_type(minfo.return_type):
+            variables[RET_VAR] = minfo.return_type
+        cfg = self._prepared_cfg(minfo)
+        boolprog = self.transformer.transform_cfg(cfg, variables)
+        call_edges = [
+            (e.src, e.dst, e.stm)
+            for e in cfg.edges
+            if isinstance(e.stm, SCallClient)
+        ]
+        space = ProcSpace(
+            minfo,
+            boolprog,
+            variables,
+            formals,
+            ghosts,
+            phantoms,
+            call_edges,
+            boolprog.initial_mask(),
+        )
+        self.spaces[qualified] = space
+        return space
+
+    def _phantom_sort(self, anchor_sort: str) -> Optional[str]:
+        """The phantom-iterator sort for anchors of ``anchor_sort`` —
+        None when the spec has no invalidation (no stale-like family)."""
+        for iter_sort in self.shapes.mutable_unary:
+            collection = self.shapes.collection_of.get(iter_sort)
+            if anchor_sort in (iter_sort, collection):
+                return iter_sort
+        return None
+
+    def _prepared_cfg(self, minfo: MethodInfo) -> CFG:
+        """Clone the CFG, turning component-typed returns into copies to
+        the pseudo-variable ``##ret`` so exit facts can mention it."""
+        source = minfo.cfg
+        assert source is not None
+        cfg = CFG(source.method)
+        mapping = {source.entry: cfg.entry, source.exit: cfg.exit}
+
+        def node(n: int) -> int:
+            if n not in mapping:
+                mapping[n] = cfg.new_node()
+            return mapping[n]
+
+        returns_component = self.spec.is_component_type(minfo.return_type)
+        for edge in source.edges:
+            stm = edge.stm
+            if (
+                isinstance(stm, SReturn)
+                and stm.var is not None
+                and returns_component
+            ):
+                stm = SCopy(RET_VAR, stm.var, minfo.return_type, stm.line)
+            cfg.add_edge(node(edge.src), node(edge.dst), stm)
+        return cfg
+
+    # -- value lookups --------------------------------------------------------------------
+
+    def _caller_value(
+        self, caller: ProcSpace, mask: int, family: str, args: Tuple[str, ...]
+    ) -> bool:
+        index = caller.boolprog.lookup(Instance(family, args))
+        return index is not None and bool(mask >> index & 1)
+
+    def _exit_value(
+        self, callee: ProcSpace, mask: int, family: str, args: Tuple[str, ...]
+    ) -> bool:
+        index = callee.boolprog.lookup(Instance(family, args))
+        return index is not None and bool(mask >> index & 1)
+
+    def _caller_symmetric(
+        self, caller: ProcSpace, mask: int, family: str, a: str, b: str
+    ) -> bool:
+        """Query a symmetric (identity/mutex-shaped) family in either
+        argument order."""
+        return self._caller_value(
+            caller, mask, family, (a, b)
+        ) or self._caller_value(caller, mask, family, (b, a))
+
+    # -- entry-vector construction -----------------------------------------------------------
+
+    def _beta(self, stm: SCallClient, callee: ProcSpace) -> Dict[str, str]:
+        """Caller-visible name of each callee interface variable."""
+        minfo = callee.method
+        beta: Dict[str, str] = {}
+        if stm.receiver is not None and not minfo.is_static:
+            beta["this"] = stm.receiver
+        for (pname, _pt), actual in zip(minfo.params, stm.args):
+            beta[pname] = actual
+        for static in self.statics:
+            beta[static] = static
+        for ghost, anchored in callee.ghosts.items():
+            if anchored in beta:
+                beta[ghost] = beta[anchored]
+        return beta
+
+    def map_entry(
+        self,
+        caller: ProcSpace,
+        caller_mask: int,
+        stm: SCallClient,
+        callee: ProcSpace,
+    ) -> int:
+        beta = self._beta(stm, callee)
+        entry = 0
+        for index, instance in enumerate(callee.boolprog.instances()):
+            if self._entry_value(instance, beta, caller, caller_mask, callee):
+                entry |= 1 << index
+        return entry
+
+    def _entry_value(
+        self,
+        instance: Instance,
+        beta: Dict[str, str],
+        caller: ProcSpace,
+        caller_mask: int,
+        callee: ProcSpace,
+    ) -> bool:
+        family = self.abstraction.family(instance.family)
+        has_phantom = any(a in callee.phantoms for a in instance.args)
+        if has_phantom:
+            return self._phantom_entry_value(
+                instance, family, beta, caller, caller_mask, callee
+            )
+        mapped: List[str] = []
+        for arg in instance.args:
+            visible = beta.get(arg)
+            if visible is None:
+                # a callee local (incl. ##ret): null at entry
+                return (
+                    len(set(instance.args)) <= 1
+                    and reflexively_true(family)
+                )
+            mapped.append(visible)
+        return self._caller_value(
+            caller, caller_mask, family.name, tuple(mapped)
+        )
+
+    def _phantom_entry_value(
+        self,
+        instance: Instance,
+        family: Family,
+        beta: Dict[str, str],
+        caller: ProcSpace,
+        caller_mask: int,
+        callee: ProcSpace,
+    ) -> bool:
+        shapes = self.shapes
+        args = instance.args
+        if family.name in shapes.identity.values():
+            return args[0] == args[1]
+        if family.name in shapes.mutable_unary.values():
+            return False  # a pre-existing iterator is valid at entry
+        phantoms = [a for a in args if a in callee.phantoms]
+        if len(phantoms) == len(args):
+            return False
+        phantom = phantoms[0]
+        other = next(a for a in args if a not in callee.phantoms)
+        other_visible = beta.get(other)
+        if other_visible is None:
+            return False  # phantom vs. callee local: null at entry
+        anchor_ghost = callee.phantoms[phantom]
+        anchor_visible = beta.get(anchor_ghost)
+        if anchor_visible is None:
+            return False
+        anchor_sort = callee.variables[anchor_ghost]
+        iter_sort = callee.variables[phantom]
+        set_sort = shapes.collection_of.get(iter_sort)
+        relation = shapes.relation.get((iter_sort, set_sort or ""))
+        other_sort = callee.variables.get(other, "")
+        if anchor_sort == set_sort:
+            # phantom iterates the anchor collection itself
+            if family.name == relation and other_sort == set_sort:
+                identity_set = shapes.identity.get(set_sort or "")
+                return identity_set is not None and (
+                    self._caller_symmetric(
+                        caller, caller_mask, identity_set,
+                        anchor_visible, other_visible,
+                    )
+                    or anchor_visible == other_visible
+                )
+            if family.name == shapes.mutex.get(iter_sort):
+                return relation is not None and self._caller_value(
+                    caller, caller_mask, relation,
+                    shapes.relation_args(
+                        relation, other_visible, anchor_visible
+                    ),
+                )
+            return False
+        # phantom shares the anchor iterator's collection
+        if family.name == relation and other_sort == set_sort:
+            return relation is not None and self._caller_value(
+                caller, caller_mask, relation,
+                shapes.relation_args(
+                    relation, anchor_visible, other_visible
+                ),
+            )
+        if family.name == shapes.mutex.get(iter_sort):
+            if other_sort != iter_sort:
+                return False
+            mutex = shapes.mutex[iter_sort]
+            identity_iter = shapes.identity.get(iter_sort)
+            return self._caller_symmetric(
+                caller, caller_mask, mutex, anchor_visible, other_visible
+            ) or (
+                identity_iter is not None
+                and (
+                    self._caller_symmetric(
+                        caller, caller_mask, identity_iter,
+                        anchor_visible, other_visible,
+                    )
+                    or anchor_visible == other_visible
+                )
+            )
+        return False
+
+    # -- return-vector construction ------------------------------------------------------------
+
+    def map_return(
+        self,
+        caller: ProcSpace,
+        caller_mask: int,
+        stm: SCallClient,
+        callee: ProcSpace,
+        exit_mask: int,
+    ) -> int:
+        ghost_of: Dict[str, str] = {}
+        beta = self._beta(stm, callee)
+        for ghost, anchored in callee.ghosts.items():
+            visible = beta.get(anchored)
+            if visible is not None and visible not in ghost_of:
+                ghost_of[visible] = ghost
+        result_var = (
+            stm.result if RET_VAR in callee.variables else None
+        )
+        out = 0
+        for index, instance in enumerate(caller.boolprog.instances()):
+            if self._return_value(
+                instance, caller, caller_mask, callee, exit_mask, ghost_of,
+                result_var,
+            ):
+                out |= 1 << index
+        return out
+
+    def _return_value(
+        self,
+        instance: Instance,
+        caller: ProcSpace,
+        caller_mask: int,
+        callee: ProcSpace,
+        exit_mask: int,
+        ghost_of: Dict[str, str],
+        result_var: Optional[str],
+    ) -> bool:
+        family = self.abstraction.family(instance.family)
+        current = self._caller_value(
+            caller, caller_mask, family.name, instance.args
+        )
+        callee_names: List[Optional[str]] = []
+        changed: List[bool] = []
+        local_positions: List[int] = []
+        for pos, arg in enumerate(instance.args):
+            if result_var is not None and arg == result_var:
+                callee_names.append(RET_VAR)
+                changed.append(True)
+            elif arg in self.statics:
+                callee_names.append(arg)
+                changed.append(True)
+            elif arg in ghost_of:
+                callee_names.append(ghost_of[arg])
+                changed.append(False)
+            else:
+                callee_names.append(None)
+                changed.append(False)
+                local_positions.append(pos)
+        if not local_positions:
+            return self._exit_value(
+                callee, exit_mask, family.name,
+                tuple(callee_names),  # type: ignore[arg-type]
+            )
+        mutable = family_mentions_mutable_field(family, self.spec)
+        if mutable:
+            if family.arity != 1:
+                return True  # outside the CMP class: stay sound
+            return current or self._invalidated_via_interface(
+                instance.args[0], caller, caller_mask, callee, exit_mask
+            )
+        if not any(changed):
+            return current  # locals + actuals only: values frozen
+        return self._origin_composition(
+            instance, family, caller, caller_mask, callee, exit_mask,
+            callee_names, changed,
+        ) or self._fresh_object_composition(
+            instance, family, caller, caller_mask, callee, exit_mask,
+            callee_names, changed,
+        )
+
+    def _interface_ghosts(
+        self, callee: ProcSpace, sort: str
+    ) -> List[Tuple[str, str]]:
+        return [
+            (ghost, anchored)
+            for ghost, anchored in callee.ghosts.items()
+            if callee.variables[ghost] == sort
+        ]
+
+    def _origin_visible(self, anchored: str) -> Optional[str]:
+        if anchored in self.statics:
+            return anchored
+        return self._formal_visible.get(anchored)
+
+    def _invalidated_via_interface(
+        self,
+        local: str,
+        caller: ProcSpace,
+        caller_mask: int,
+        callee: ProcSpace,
+        exit_mask: int,
+    ) -> bool:
+        iter_sort = caller.variables.get(local)
+        if iter_sort is None:
+            return True
+        stale = self.shapes.mutable_unary.get(iter_sort)
+        set_sort = self.shapes.collection_of.get(iter_sort)
+        relation = self.shapes.relation.get((iter_sort, set_sort or ""))
+        mutex = self.shapes.mutex.get(iter_sort)
+        identity_iter = self.shapes.identity.get(iter_sort)
+        if stale is None:
+            return True
+        for phantom, anchor_ghost in callee.phantoms.items():
+            if callee.variables[phantom] != iter_sort:
+                continue
+            if not self._exit_value(callee, exit_mask, stale, (phantom,)):
+                continue
+            visible = self._origin_visible(callee.ghosts[anchor_ghost])
+            if visible is None:
+                continue
+            anchor_sort = callee.variables[anchor_ghost]
+            if anchor_sort == set_sort and relation is not None:
+                if self._caller_value(
+                    caller, caller_mask, relation,
+                    self.shapes.relation_args(relation, local, visible),
+                ):
+                    return True
+            elif anchor_sort == iter_sort:
+                if mutex is not None and self._caller_symmetric(
+                    caller, caller_mask, mutex, local, visible
+                ):
+                    return True
+                if identity_iter is not None and (
+                    self._caller_symmetric(
+                        caller, caller_mask, identity_iter, local, visible
+                    )
+                    or local == visible
+                ):
+                    return True
+        # the local may *be* one of the passed iterators
+        if identity_iter is not None:
+            for ghost, anchored in self._interface_ghosts(callee, iter_sort):
+                visible = self._origin_visible(anchored)
+                if visible is None:
+                    continue
+                if (
+                    self._caller_symmetric(
+                        caller, caller_mask, identity_iter, local, visible
+                    )
+                    or local == visible
+                ) and self._exit_value(callee, exit_mask, stale, (ghost,)):
+                    return True
+        return False
+
+    def _origin_composition(
+        self,
+        instance: Instance,
+        family: Family,
+        caller: ProcSpace,
+        caller_mask: int,
+        callee: ProcSpace,
+        exit_mask: int,
+        callee_names: List[Optional[str]],
+        changed: List[bool],
+    ) -> bool:
+        """Reconnect each changed (static / returned) position to an
+        entry-time origin via the identity families."""
+        identity = self.shapes.identity
+        positions = [p for p, c in enumerate(changed) if c]
+        pools = [
+            self._interface_ghosts(callee, family.sorts[p])
+            for p in positions
+        ]
+        for combo in itertools.product(*pools):
+            caller_args = list(instance.args)
+            visible_ok = True
+            for (ghost, anchored), pos in zip(combo, positions):
+                visible = self._origin_visible(anchored)
+                if visible is None:
+                    visible_ok = False
+                    break
+                caller_args[pos] = visible
+            if not visible_ok:
+                continue
+            if not self._caller_value(
+                caller, caller_mask, family.name, tuple(caller_args)
+            ):
+                continue
+            linked = True
+            for (ghost, _anchored), pos in zip(combo, positions):
+                id_family = identity.get(family.sorts[pos])
+                name = callee_names[pos]
+                if id_family is None or name is None:
+                    linked = False
+                    break
+                if not (
+                    self._exit_value(
+                        callee, exit_mask, id_family, (ghost, name)
+                    )
+                    or self._exit_value(
+                        callee, exit_mask, id_family, (name, ghost)
+                    )
+                ):
+                    linked = False
+                    break
+            if linked:
+                return True
+        return False
+
+    def _fresh_object_composition(
+        self,
+        instance: Instance,
+        family: Family,
+        caller: ProcSpace,
+        caller_mask: int,
+        callee: ProcSpace,
+        exit_mask: int,
+        callee_names: List[Optional[str]],
+        changed: List[bool],
+    ) -> bool:
+        """A changed position may hold a *callee-created* iterator over a
+        pre-existing collection; relation/mutex facts can then hold with
+        no identity link.  Handles the two CMP-class shapes."""
+        shapes = self.shapes
+        if sum(changed) != 1:
+            return False
+        pos = changed.index(True)
+        other = 1 - pos if family.arity == 2 else None
+        changed_name = callee_names[pos]
+        if changed_name is None or other is None:
+            return False
+        if family.name in shapes.relation.values():
+            iter_pos = 0 if family.sorts[0] in shapes.collection_of else 1
+            if pos != iter_pos:
+                return False  # collections are never callee-fresh *and*
+                # related to a pre-existing iterator
+            set_sort = family.sorts[1 - iter_pos]
+            identity_set = shapes.identity.get(set_sort)
+            if identity_set is None:
+                return False
+            local_set = instance.args[other]
+            for ghost, anchored in self._interface_ghosts(callee, set_sort):
+                visible = self._origin_visible(anchored)
+                if visible is None:
+                    continue
+                same_at_call = (
+                    visible == local_set
+                    or self._caller_value(
+                        caller, caller_mask, identity_set,
+                        (visible, local_set),
+                    )
+                    or self._caller_value(
+                        caller, caller_mask, identity_set,
+                        (local_set, visible),
+                    )
+                )
+                exit_args = (
+                    (changed_name, ghost)
+                    if iter_pos == 0
+                    else (ghost, changed_name)
+                )
+                if same_at_call and self._exit_value(
+                    callee, exit_mask, family.name, exit_args
+                ):
+                    return True
+            return False
+        if family.name in shapes.mutex.values():
+            iter_sort = family.sorts[0]
+            set_sort = shapes.collection_of.get(iter_sort)
+            relation = shapes.relation.get((iter_sort, set_sort or ""))
+            if relation is None:
+                return False
+            local = instance.args[other]
+            for ghost, anchored in self._interface_ghosts(
+                callee, set_sort or ""
+            ):
+                visible = self._origin_visible(anchored)
+                if visible is None:
+                    continue
+                if self._caller_value(
+                    caller, caller_mask, relation,
+                    shapes.relation_args(relation, local, visible),
+                ) and self._exit_value(
+                    callee, exit_mask, relation,
+                    shapes.relation_args(relation, changed_name, ghost),
+                ):
+                    return True
+        return False
+
+    # -- the tabulation ---------------------------------------------------------------------
+
+    def certify(self, entry: Optional[str] = None) -> CertificationReport:
+        entry_method = (
+            self.program.method(entry) if entry else self.program.entry
+        )
+        entry_space = self.space(entry_method.qualified)
+        memo: Dict[Tuple[str, int], Optional[int]] = {}
+        node_states: Dict[Tuple[str, int], Dict[int, int]] = {}
+        dependents: Dict[Tuple[str, int], Set[Tuple[str, int]]] = {}
+        worklist: deque = deque()
+        queued: Set[Tuple[str, int]] = set()
+        alarms: Dict[Tuple[int, str], Alarm] = {}
+
+        def schedule(key: Tuple[str, int]) -> None:
+            if key not in memo:
+                memo[key] = None
+                self.stats["contexts"] += 1
+            if key not in queued:
+                queued.add(key)
+                worklist.append(key)
+
+        root = (entry_method.qualified, entry_space.default_mask)
+        schedule(root)
+        while worklist:
+            key = worklist.popleft()
+            queued.discard(key)
+            if self._analyze_context(
+                key, memo, node_states, dependents, schedule, alarms
+            ):
+                for dependent in dependents.get(key, ()):
+                    schedule(dependent)
+        alarm_list = sorted(
+            alarms.values(), key=lambda a: (a.site_id, a.instance)
+        )
+        return CertificationReport(
+            subject=entry_method.qualified,
+            engine="interproc",
+            alarms=alarm_list,
+            stats=dict(self.stats),
+        )
+
+    def _analyze_context(
+        self, key, memo, node_states, dependents, schedule, alarms
+    ) -> bool:
+        qualified, entry_vector = key
+        space = self.space(qualified)
+        boolprog = space.boolprog
+        states = node_states.setdefault(key, {})
+        states[boolprog.entry] = states.get(boolprog.entry, 0) | entry_vector
+        calls = {
+            (src, dst): stm for src, dst, stm in space.call_edges
+        }
+        # seed every call-site source already reached: a re-analysis may be
+        # triggered by an improved *callee* summary with unchanged caller
+        # states, and the call edge must then be re-executed
+        seeds = [boolprog.entry] + [
+            src for src, _dst, _stm in space.call_edges if src in states
+        ]
+        local_work = deque(dict.fromkeys(seeds))
+        local_queued = set(local_work)
+        while local_work:
+            node = local_work.popleft()
+            local_queued.discard(node)
+            mask = states.get(node, 0)
+            for edge in boolprog.out_edges(node):
+                self.stats["edge_visits"] += 1
+                call_stm = calls.get((edge.src, edge.dst))
+                if call_stm is not None:
+                    out = self._call_transfer(
+                        key, space, mask, call_stm, memo, dependents,
+                        schedule,
+                    )
+                    if out is None:
+                        continue  # callee summary not yet available
+                else:
+                    out = mask
+                    for check in edge.checks:
+                        if out >> check.var & 1:
+                            alarm_key = (
+                                check.site_id,
+                                str(boolprog.instance(check.var)),
+                            )
+                            alarms[alarm_key] = Alarm(
+                                site_id=check.site_id,
+                                line=check.line,
+                                op_key=check.op_key,
+                                instance=str(boolprog.instance(check.var)),
+                                context=qualified,
+                            )
+                        if self.prune_requires:
+                            out &= ~(1 << check.var)
+                    updated = out
+                    for assign in edge.assigns:
+                        bit = 1 << assign.target
+                        value = assign.const_true or any(
+                            out >> s & 1 for s in assign.sources
+                        )
+                        updated = (
+                            updated | bit if value else updated & ~bit
+                        )
+                    out = updated
+                old = states.get(edge.dst, 0)
+                merged = old | out
+                if merged != old:
+                    states[edge.dst] = merged
+                    if edge.dst not in local_queued:
+                        local_queued.add(edge.dst)
+                        local_work.append(edge.dst)
+        exit_mask = states.get(boolprog.exit, 0)
+        previous = memo.get(key)
+        merged = exit_mask if previous is None else previous | exit_mask
+        if previous is None or merged != previous:
+            memo[key] = merged
+            self.stats["summary_updates"] += 1
+            return True
+        return False
+
+    def _call_transfer(
+        self, caller_key, caller_space, caller_mask, stm, memo, dependents,
+        schedule,
+    ) -> Optional[int]:
+        callee_space = self.space(stm.callee)
+        minfo = callee_space.method
+        self._formal_visible = {}
+        if stm.receiver is not None and not minfo.is_static:
+            self._formal_visible["this"] = stm.receiver
+        for (pname, _pt), actual in zip(minfo.params, stm.args):
+            self._formal_visible[pname] = actual
+        entry_vector = self.map_entry(
+            caller_space, caller_mask, stm, callee_space
+        )
+        callee_key = (stm.callee, entry_vector)
+        if callee_key not in memo:
+            schedule(callee_key)  # a brand-new context
+        dependents.setdefault(callee_key, set()).add(caller_key)
+        exit_mask = memo[callee_key]
+        if exit_mask is None:
+            return None
+        return self.map_return(
+            caller_space, caller_mask, stm, callee_space, exit_mask
+        )

@@ -1,0 +1,73 @@
+"""Certification verdicts and alarms."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+
+@dataclass(frozen=True)
+class Alarm:
+    """One potential conformance violation.
+
+    ``definite`` is True when the analysis additionally shows the checked
+    predicate cannot be 0 at the site — the violation occurs on *every*
+    execution reaching it (modulo the usual reachability caveat).
+    """
+
+    site_id: int
+    line: int
+    op_key: str
+    instance: str
+    definite: bool = False
+    context: Optional[str] = None
+    #: provenance chain showing how the witness predicate became true
+    trace: Optional[str] = None
+
+    def __str__(self) -> str:
+        kind = "definite" if self.definite else "possible"
+        where = f" in {self.context}" if self.context else ""
+        text = (
+            f"{kind} violation of {self.op_key} precondition at line "
+            f"{self.line} (site {self.site_id}, witness {self.instance})"
+            f"{where}"
+        )
+        if self.trace:
+            text += f"\n    because: {self.trace}"
+        return text
+
+
+@dataclass
+class CertificationReport:
+    """The outcome of certifying one client against one specification."""
+
+    subject: str
+    engine: str
+    alarms: List[Alarm] = field(default_factory=list)
+    stats: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def certified(self) -> bool:
+        """True when no potential violation was found: the client
+        conforms to the component's constraints on every execution."""
+        return not self.alarms
+
+    def alarm_sites(self) -> Set[int]:
+        return {alarm.site_id for alarm in self.alarms}
+
+    def alarm_lines(self) -> Set[int]:
+        return {alarm.line for alarm in self.alarms}
+
+    def describe(self) -> str:
+        lines = [
+            f"certification of {self.subject} ({self.engine}): "
+            + ("CERTIFIED" if self.certified else f"{len(self.alarms)} alarm(s)")
+        ]
+        lines.extend(f"  {alarm}" for alarm in self.alarms)
+        if self.stats:
+            rendered = ", ".join(f"{k}={v}" for k, v in sorted(self.stats.items()))
+            lines.append(f"  [{rendered}]")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.describe()

@@ -1,0 +1,410 @@
+"""Client transformation: Jlite CFG → boolean program (Section 4.3, Fig. 6).
+
+Component-reference declarations are replaced by the family instances over
+the method's component-typed variables (locals, temps, and statics), and
+every component interaction — calls, constructor calls, reference copies,
+null assignments — is replaced by the corresponding instantiation of the
+derived method abstraction, selected by the *coincidence pattern* of each
+instance's arguments against the operation's operands.
+
+This module implements the intraprocedural transformation for SCMP
+clients; :mod:`repro.certifier.interproc` builds per-procedure boolean
+programs with the same machinery and links them at call/return edges.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.certifier.boolprog import (
+    BoolEdge,
+    BoolProgram,
+    Check,
+    Instance,
+    ParallelAssign,
+)
+from repro.derivation.predicates import (
+    DerivedAbstraction,
+    Family,
+    GenArg,
+    InstanceRef,
+    OpArg,
+    instance_pattern,
+)
+from repro.lang.cfg import (
+    CFG,
+    SAssume,
+    SCallClient,
+    SCallComp,
+    SCopy,
+    SLoad,
+    SNewClient,
+    SNop,
+    SNull,
+    SReturn,
+    SStore,
+)
+from repro.lang.types import MethodInfo, Program
+from repro.logic.formula import TRUE
+from repro.logic.terms import Base
+
+
+class TransformError(Exception):
+    """Raised when a client violates the transformation's assumptions
+    (e.g. component references in instance fields for the SCMP pipeline)."""
+
+
+def _all_tuples(
+    variables: Dict[str, str], sorts: Sequence[str]
+) -> Iterable[Tuple[str, ...]]:
+    """All tuples of client variables matching a family's sorts."""
+    pools = []
+    for sort in sorts:
+        pool = [name for name, type_ in variables.items() if type_ == sort]
+        pools.append(pool)
+    if any(not pool for pool in pools):
+        return
+    import itertools
+
+    yield from itertools.product(*pools)
+
+
+def reflexively_true(family: Family) -> bool:
+    """True when the family's formula folds to TRUE once all of its
+    variables are unified — the ``same(v, v) = 1`` simplification of
+    Fig. 8, also the correct value for an all-null instance."""
+    if family.arity == 0:
+        return False
+    from repro.derivation.derive import rename_bases
+
+    unified = Base("$u", family.vars[0].sort)
+    mapping = {var: unified for var in family.vars}
+    return rename_bases(family.formula, mapping) is TRUE
+
+
+def family_mentions_mutable_field(family: Family, spec) -> bool:
+    """True when the family's defining formula reads a field classified
+    mutable by the specification (Section 6 mutability)."""
+    from repro.logic.formula import EqAtom, map_atoms
+    from repro.logic.terms import Field
+
+    mutable = spec.mutable_fields()
+    hit = []
+
+    def scan_term(term) -> None:
+        while isinstance(term, Field):
+            base = term.base
+            base_sort = None
+            if isinstance(base, Base):
+                base_sort = base.sort
+            elif isinstance(base, Field):
+                base_sort = _term_sort(base, spec)
+            if base_sort is not None and (base_sort, term.field) in mutable:
+                hit.append(True)
+            term = term.base
+
+    def scan(atom):
+        if isinstance(atom, EqAtom):
+            scan_term(atom.lhs)
+            scan_term(atom.rhs)
+        return atom
+
+    map_atoms(family.formula, scan)
+    return bool(hit)
+
+
+def _term_sort(term, spec) -> Optional[str]:
+    from repro.logic.terms import Field
+
+    if isinstance(term, Base):
+        return term.sort
+    if isinstance(term, Field):
+        base_sort = _term_sort(term.base, spec)
+        if base_sort is None or not spec.is_component_type(base_sort):
+            return None
+        try:
+            return spec.field_type(base_sort, term.field)
+        except Exception:
+            return None
+    return None
+
+
+class ClientTransformer:
+    """Builds boolean programs from client methods."""
+
+    def __init__(
+        self,
+        program: Program,
+        abstraction: DerivedAbstraction,
+        *,
+        on_client_call: str = "error",
+    ) -> None:
+        if on_client_call not in ("error", "havoc", "skip"):
+            raise ValueError(f"bad on_client_call={on_client_call!r}")
+        self.program = program
+        self.abstraction = abstraction
+        self.spec = abstraction.spec
+        self.on_client_call = on_client_call
+
+    # -- instance universe -----------------------------------------------------
+
+    def instances_for(self, variables: Dict[str, str]) -> List[Instance]:
+        found: List[Instance] = []
+        for family in self.abstraction.families:
+            for args in _all_tuples(variables, family.sorts):
+                found.append(Instance(family.name, args))
+        return found
+
+    # -- the transformation ------------------------------------------------------
+
+    def transform_method(self, method: str) -> BoolProgram:
+        minfo = self.program.method(method)
+        cfg = minfo.cfg
+        assert cfg is not None
+        variables = self.program.component_vars(method)
+        return self.transform_cfg(cfg, variables)
+
+    def transform_inlined(self, inlined) -> BoolProgram:
+        """Transform a whole-program inlined CFG (the Section 8
+        inlining reference for recursion-free clients)."""
+        return self.transform_cfg(inlined.cfg, inlined.component_vars())
+
+    def transform_cfg(
+        self, cfg: CFG, variables: Dict[str, str]
+    ) -> BoolProgram:
+        self._check_shallow(cfg)
+        boolprog = BoolProgram(cfg.method)
+        boolprog.entry = cfg.entry
+        boolprog.exit = cfg.exit
+        for instance in self.instances_for(variables):
+            index = boolprog.variable(instance)
+            if (
+                len(set(instance.args)) <= 1
+                and reflexively_true(self.abstraction.family(instance.family))
+            ):
+                boolprog.initially_true.append(index)
+        for edge in cfg.edges:
+            checks, assigns, filters = self.transform_statement(
+                edge.stm, boolprog, variables
+            )
+            boolprog.add_edge(
+                BoolEdge(
+                    edge.src,
+                    edge.dst,
+                    tuple(checks),
+                    tuple(assigns),
+                    tuple(filters),
+                    line=getattr(edge.stm, "line", 0),
+                )
+            )
+        return boolprog
+
+    def _check_shallow(self, cfg: CFG) -> None:
+        for edge in cfg.edges:
+            stm = edge.stm
+            if isinstance(stm, (SLoad, SStore)) and self.spec.is_component_type(
+                stm.type
+            ):
+                raise TransformError(
+                    f"{cfg.method}: component reference stored in the heap "
+                    f"at line {stm.line} — not an SCMP client; use the "
+                    f"first-order (TVLA) pipeline of Section 5"
+                )
+
+    # -- per-statement transformation -----------------------------------------------
+
+    def transform_statement(
+        self,
+        stm,
+        boolprog: BoolProgram,
+        variables: Dict[str, str],
+    ) -> Tuple[List[Check], List[ParallelAssign], List[Tuple[int, bool]]]:
+        checks: List[Check] = []
+        assigns: List[ParallelAssign] = []
+        filters: List[Tuple[int, bool]] = []
+        if isinstance(stm, SCallComp):
+            self._comp_op(
+                stm.op_key,
+                stm.binding_map,
+                stm.site_id,
+                stm.line,
+                boolprog,
+                variables,
+                checks,
+                assigns,
+            )
+        elif isinstance(stm, SCopy) and self.spec.is_component_type(stm.type):
+            if stm.dst != stm.src:
+                self._comp_op(
+                    f"copy {stm.type}",
+                    {"dst": stm.dst, "src": stm.src},
+                    site_id=-1,
+                    line=stm.line,
+                    boolprog=boolprog,
+                    variables=variables,
+                    checks=checks,
+                    assigns=assigns,
+                )
+        elif isinstance(stm, SNull) and self.spec.is_component_type(stm.type):
+            self._null_assign(stm.dst, boolprog, variables, assigns)
+        elif isinstance(stm, SAssume):
+            self._assume(stm, boolprog, variables, filters)
+        elif isinstance(stm, SCallClient):
+            if self.on_client_call == "error":
+                raise TransformError(
+                    f"client call {stm} at line {stm.line}: the "
+                    f"intraprocedural SCMP certifier analyses single "
+                    f"methods; use the interprocedural certifier "
+                    f"(Section 8)"
+                )
+            if self.on_client_call == "havoc":
+                self._havoc_statics(boolprog, variables, assigns)
+        # SNop / SReturn / SNewClient / opaque statements: no effect
+        return checks, assigns, filters
+
+    def _comp_op(
+        self,
+        op_key: str,
+        binding: Dict[str, str],
+        site_id: int,
+        line: int,
+        boolprog: BoolProgram,
+        variables: Dict[str, str],
+        checks: List[Check],
+        assigns: List[ParallelAssign],
+    ) -> None:
+        op = self.spec.operation(op_key)
+        op_abs = self.abstraction.operations[op_key]
+        for check_ref in op_abs.checks:
+            args = tuple(
+                binding[arg.name]  # type: ignore[union-attr]
+                for arg in check_ref.args
+            )
+            var = boolprog.variable(Instance(check_ref.family, args))
+            checks.append(Check(site_id, line, op_key, var))
+        for instance in self.instances_for(variables):
+            pattern, slot_vars = instance_pattern(
+                op, self.spec, binding, instance.args
+            )
+            case = op_abs.case_for(instance.family, pattern)
+            if case is None:
+                raise TransformError(
+                    f"no derived update case for {instance} against "
+                    f"{op_key} (pattern {pattern})"
+                )
+            if case.identity:
+                continue
+            sources = tuple(
+                boolprog.variable(
+                    self._instantiate(ref, binding, slot_vars)
+                )
+                for ref in case.rhs_instances
+            )
+            assigns.append(
+                ParallelAssign(
+                    boolprog.variable(instance), sources, case.rhs_true
+                )
+            )
+
+    def _instantiate(
+        self,
+        ref: InstanceRef,
+        binding: Dict[str, str],
+        slot_vars: Dict[int, str],
+    ) -> Instance:
+        args = []
+        for arg in ref.args:
+            if isinstance(arg, OpArg):
+                if arg.name not in binding:
+                    raise TransformError(
+                        f"update references operand {arg.name} with no "
+                        f"client binding"
+                    )
+                args.append(binding[arg.name])
+            else:
+                assert isinstance(arg, GenArg)
+                args.append(slot_vars[arg.slot])
+        return Instance(ref.family, tuple(args))
+
+    def _null_assign(
+        self,
+        dst: str,
+        boolprog: BoolProgram,
+        variables: Dict[str, str],
+        assigns: List[ParallelAssign],
+    ) -> None:
+        """``dst = null``: every instance mentioning ``dst`` becomes 0,
+        except reflexively-true instances whose arguments are all ``dst``
+        (``same(x, x)`` holds for null too)."""
+        for instance in self.instances_for(variables):
+            if dst not in instance.args:
+                continue
+            family = self.abstraction.family(instance.family)
+            value_true = (
+                set(instance.args) == {dst} and reflexively_true(family)
+            )
+            assigns.append(
+                ParallelAssign(
+                    boolprog.variable(instance), (), value_true
+                )
+            )
+
+    def _assume(
+        self,
+        stm: SAssume,
+        boolprog: BoolProgram,
+        variables: Dict[str, str],
+        filters: List[Tuple[int, bool]],
+    ) -> None:
+        """Relational-only refinement: ``assume v == w`` filters on a
+        tracked instance whose defining formula is exactly ``x0 == x1``
+        (the `same` family).  The FDS solver ignores filters — sound,
+        since ignoring an assume only adds paths."""
+        if stm.rhs == "null":
+            return
+        for family in self.abstraction.families:
+            if family.arity != 2:
+                continue
+            from repro.logic.formula import EqAtom
+
+            if not isinstance(family.formula, EqAtom):
+                continue
+            if not (
+                isinstance(family.formula.lhs, Base)
+                and isinstance(family.formula.rhs, Base)
+            ):
+                continue
+            sort = family.sorts[0]
+            if variables.get(stm.lhs) != sort or variables.get(stm.rhs) != sort:
+                continue
+            var = boolprog.variable(
+                Instance(family.name, (stm.lhs, stm.rhs))
+            )
+            filters.append((var, stm.equal))
+
+    def _havoc_statics(
+        self,
+        boolprog: BoolProgram,
+        variables: Dict[str, str],
+        assigns: List[ParallelAssign],
+    ) -> None:
+        """Conservative treatment of an unanalyzed client call.
+
+        Two effects are possible inside the callee: static component
+        variables may be reassigned (invalidating every instance that
+        mentions a static), and collections reachable from statics or the
+        heap may be mutated (flipping any instance whose defining formula
+        reads a *mutable* component field, e.g. ``stale``).  Both are
+        over-approximated by letting the affected instances become 1.
+        Sound only for may-1 alarms; used by the ``havoc`` policy."""
+        static_names = set(self.program.statics)
+        for instance in self.instances_for(variables):
+            family = self.abstraction.family(instance.family)
+            affected = any(
+                arg in static_names for arg in instance.args
+            ) or family_mentions_mutable_field(family, self.spec)
+            if affected:
+                index = boolprog.variable(instance)
+                assigns.append(
+                    ParallelAssign(index, (index,), const_true=True)
+                )

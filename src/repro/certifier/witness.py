@@ -1,0 +1,94 @@
+"""Witness traces for FDS alarms.
+
+The may-1 analysis is a reachability computation, so every alarm has a
+*provenance chain*: the sequence of updates that first made the checked
+predicate possibly-true — e.g. for Fig. 3's line-10 alarm::
+
+    stale[i2] may be 1 at the i2.next() check because
+      line 9: stale[i2] := stale[i2] | mutx[i1, i2]   (mutx[i1, i2] was 1)
+      line 6: mutx[i1, i2] := iterof[i1, v]           (iterof[i1, v] was 1)
+      line 5: iterof[i1, v] := same[v, v]             (same[v, v] was 1)
+      same[v, v] holds initially
+
+Chains are recovered from a provenance map recorded during the solver's
+worklist iteration (first cause wins, so chains are acyclic) and attached
+to alarms by :func:`explain`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.certifier.boolprog import BoolEdge, BoolProgram
+
+#: how a (node, var) pair first became possibly-1
+#: (source node, source var or None, via edge or None)
+Cause = Tuple[int, Optional[int], Optional[BoolEdge]]
+
+
+@dataclass
+class WitnessStep:
+    line: int
+    target: str
+    source: Optional[str]  # None for constants / initial facts
+
+    def __str__(self) -> str:
+        prefix = f"line {self.line}: " if self.line else ""
+        if self.source is None:
+            return f"{prefix}{self.target} := 1"
+        if self.source == self.target:
+            return f"{prefix}{self.target} carried over"
+        return f"{prefix}{self.target} := … | {self.source}"
+
+
+def trace(
+    program: BoolProgram,
+    provenance: Dict[Tuple[int, int], Cause],
+    node: int,
+    var: int,
+    max_steps: int = 24,
+) -> List[WitnessStep]:
+    """Walk the provenance map back to an origin fact."""
+    steps: List[WitnessStep] = []
+    current: Optional[Tuple[int, int]] = (node, var)
+    seen = set()
+    while current is not None and len(steps) < max_steps:
+        if current in seen:
+            break
+        seen.add(current)
+        cause = provenance.get(current)
+        if cause is None:
+            if current[1] in program.initially_true:
+                steps.append(
+                    WitnessStep(
+                        0, str(program.instance(current[1])), None
+                    )
+                )
+            break
+        src_node, src_var, edge = cause
+        target_name = str(program.instance(current[1]))
+        if src_var is None:
+            steps.append(
+                WitnessStep(edge.line if edge else 0, target_name, None)
+            )
+            current = None
+        elif src_var == current[1] and src_node != current[0]:
+            # plain propagation: skip to keep traces readable
+            current = (src_node, src_var)
+        else:
+            steps.append(
+                WitnessStep(
+                    edge.line if edge else 0,
+                    target_name,
+                    str(program.instance(src_var)),
+                )
+            )
+            current = (src_node, src_var)
+    return steps
+
+
+def format_trace(steps: List[WitnessStep]) -> str:
+    if not steps:
+        return ""
+    return " <= ".join(str(step) for step in steps)

@@ -1,0 +1,42 @@
+"""Stage 1 of the paper's pipeline: abstraction derivation (Sections 4, 6).
+
+Given an Easl :class:`~repro.easl.spec.ComponentSpec`, the
+:func:`~repro.derivation.derive.derive` fixpoint discovers the
+*instrumentation predicate families* needed to track the component's
+conformance constraints (Rule 1–3 of Section 4.1) and, for every component
+operation, the *update formulae* over those families (Section 4.2).
+
+The result, a :class:`~repro.derivation.predicates.DerivedAbstraction`,
+is consumed by:
+
+* :mod:`repro.certifier` — instantiated over the variables of an SCMP
+  client to yield a boolean program (Fig. 6), then solved precisely in
+  polynomial time;
+* :mod:`repro.tvp.specialize` — instantiated over the *fields* of an
+  unrestricted client to yield a first-order predicate abstraction
+  (Section 5.3) analysed by the TVLA engine.
+"""
+
+from repro.derivation.derive import DerivationDiverged, DerivationStats, derive
+from repro.derivation.predicates import (
+    DerivedAbstraction,
+    Family,
+    GenArg,
+    InstanceRef,
+    OpArg,
+    OperationAbstraction,
+    UpdateCase,
+)
+
+__all__ = [
+    "DerivationDiverged",
+    "DerivationStats",
+    "DerivedAbstraction",
+    "Family",
+    "GenArg",
+    "InstanceRef",
+    "OpArg",
+    "OperationAbstraction",
+    "UpdateCase",
+    "derive",
+]

@@ -1,0 +1,96 @@
+"""Human-readable names for derived predicate families.
+
+Derivation names families ``P0, P1, …`` in discovery order.  For display
+and for paper-fidelity tests, this module recognizes the structural shapes
+of the paper's Fig. 4 predicates and proposes the corresponding names:
+
+* ``stale(i)   ≡ i.f != i.g.h``      (a one-variable path disequality)
+* ``iterof(i,v) ≡ i.f == v``          (field of one var aliases another var)
+* ``mutx(i,j)  ≡ i.f == j.f && i != j``
+* ``same(v,w)  ≡ v == w``
+
+Families outside these shapes keep their generated names; the proposal
+never affects analysis results, only presentation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.derivation.predicates import Family
+from repro.logic.formula import And, EqAtom, Formula, Not
+from repro.logic.terms import Base, Field
+
+
+def _shape_name(family: Family) -> Optional[str]:
+    formula = family.formula
+    if family.arity == 1:
+        if isinstance(formula, Not) and isinstance(formula.body, EqAtom):
+            atom = formula.body
+            if _is_var_field(atom.lhs) and _is_var_field_field(atom.rhs):
+                return "stale"
+            if _is_var_field(atom.rhs) and _is_var_field_field(atom.lhs):
+                return "stale"
+        return None
+    if family.arity == 2:
+        if isinstance(formula, EqAtom):
+            if isinstance(formula.lhs, Base) and isinstance(
+                formula.rhs, Base
+            ):
+                return "same"
+            if (
+                _is_var_field(formula.lhs)
+                and isinstance(formula.rhs, Base)
+            ) or (
+                _is_var_field(formula.rhs)
+                and isinstance(formula.lhs, Base)
+            ):
+                return "iterof"
+            if _is_var_field(formula.lhs) and _is_var_field(formula.rhs):
+                return "samefield"
+        if isinstance(formula, And) and len(formula.args) == 2:
+            atoms = list(formula.args)
+            eq_atoms = [a for a in atoms if isinstance(a, EqAtom)]
+            neq_atoms = [
+                a
+                for a in atoms
+                if isinstance(a, Not) and isinstance(a.body, EqAtom)
+            ]
+            if len(eq_atoms) == 1 and len(neq_atoms) == 1:
+                eq_atom = eq_atoms[0]
+                neq_atom = neq_atoms[0].body  # type: ignore[union-attr]
+                if (
+                    _is_var_field(eq_atom.lhs)
+                    and _is_var_field(eq_atom.rhs)
+                    and isinstance(neq_atom.lhs, Base)
+                    and isinstance(neq_atom.rhs, Base)
+                ):
+                    return "mutx"
+    return None
+
+
+def _is_var_field(term) -> bool:
+    return isinstance(term, Field) and isinstance(term.base, Base)
+
+
+def _is_var_field_field(term) -> bool:
+    return (
+        isinstance(term, Field)
+        and isinstance(term.base, Field)
+        and isinstance(term.base.base, Base)
+    )
+
+
+def propose_names(families: List[Family]) -> Dict[str, str]:
+    """Map generated family names to proposed display names (unique)."""
+    proposed: Dict[str, str] = {}
+    used: Dict[str, int] = {}
+    for family in families:
+        name = _shape_name(family)
+        if name is None:
+            proposed[family.name] = family.name
+            continue
+        count = used.get(name, 0)
+        used[name] = count + 1
+        proposed[family.name] = name if count == 0 else f"{name}{count + 1}"
+    return proposed

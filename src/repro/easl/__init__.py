@@ -1,0 +1,23 @@
+"""Easl — the Executable Abstraction Specification Language (Section 2).
+
+Easl specifications are abstract Java-like programs that describe both the
+aspects of a component's behaviour relevant to its conformance constraints
+and the constraints themselves (``requires`` clauses).  A specification is
+*not* the component's implementation: it is a model precise enough for a
+certifier to be derived from it.
+
+* :mod:`repro.easl.ast` — the Easl abstract syntax.
+* :mod:`repro.easl.parser` — surface syntax → AST.
+* :mod:`repro.easl.spec` — the :class:`~repro.easl.spec.ComponentSpec`
+  model: classes, fields, methods, the component *operations* a client can
+  perform, and field mutability / type-graph queries used by Section 6.
+* :mod:`repro.easl.wp` — the backward weakest-precondition transformer
+  over Easl operation bodies (the engine of Section 4.1's Rule 3).
+* :mod:`repro.easl.library` — the paper's specifications: CMP (Fig. 2)
+  plus the Section 2.2 problems GRP, IMP and AOP.
+"""
+
+from repro.easl.parser import parse_spec
+from repro.easl.spec import ComponentSpec, Operation, Operand
+
+__all__ = ["ComponentSpec", "Operand", "Operation", "parse_spec"]

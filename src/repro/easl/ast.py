@@ -1,0 +1,188 @@
+"""Abstract syntax of Easl specifications.
+
+Easl (Section 2 of the paper) combines a restricted subset of Java
+statements — assignments, conditionals, heap allocation — with a
+``requires`` statement expressing a constraint that must hold at a program
+point.  The subset implemented here covers every construct used by the
+paper's specifications (CMP, GRP, IMP, AOP): reference-typed fields,
+constructors, methods whose bodies are straight-line sequences of
+assignments/allocations, and conditionals.  Loops inside specification
+bodies are intentionally not supported (none of the paper's examples use
+them; the weakest-precondition stage would need widening to handle them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+# -- expressions -------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PathExpr:
+    """An access path ``root.f1.f2...``; ``root`` may be ``"this"``."""
+
+    root: str
+    fields: Tuple[str, ...] = ()
+
+    def __str__(self) -> str:
+        return ".".join((self.root,) + self.fields)
+
+    def extend(self, field_name: str) -> "PathExpr":
+        return PathExpr(self.root, self.fields + (field_name,))
+
+
+@dataclass(frozen=True)
+class NewExpr:
+    """Heap allocation ``new C(args)``; arguments are access paths."""
+
+    class_name: str
+    args: Tuple[PathExpr, ...] = ()
+
+    def __str__(self) -> str:
+        return f"new {self.class_name}({', '.join(map(str, self.args))})"
+
+
+@dataclass(frozen=True)
+class NullExpr:
+    def __str__(self) -> str:
+        return "null"
+
+
+Expr = object  # PathExpr | NewExpr | NullExpr
+
+
+# -- conditions --------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CmpCond:
+    """``lhs == rhs`` (``equal=True``) or ``lhs != rhs``."""
+
+    lhs: PathExpr
+    rhs: PathExpr
+    equal: bool = True
+
+    def __str__(self) -> str:
+        op = "==" if self.equal else "!="
+        return f"{self.lhs} {op} {self.rhs}"
+
+
+@dataclass(frozen=True)
+class NotCond:
+    body: "Cond"
+
+    def __str__(self) -> str:
+        return f"!({self.body})"
+
+
+@dataclass(frozen=True)
+class AndCond:
+    args: Tuple["Cond", ...]
+
+    def __str__(self) -> str:
+        return "(" + " && ".join(map(str, self.args)) + ")"
+
+
+@dataclass(frozen=True)
+class OrCond:
+    args: Tuple["Cond", ...]
+
+    def __str__(self) -> str:
+        return "(" + " || ".join(map(str, self.args)) + ")"
+
+
+Cond = object  # CmpCond | NotCond | AndCond | OrCond
+
+
+# -- statements ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Requires:
+    """A conformance constraint that must hold at this point."""
+
+    cond: Cond
+    line: int = 0
+
+    def __str__(self) -> str:
+        return f"requires ({self.cond});"
+
+
+@dataclass(frozen=True)
+class Assign:
+    """``lhs = rhs;`` — ``lhs`` is a local name or a field path."""
+
+    lhs: PathExpr
+    rhs: Expr
+    line: int = 0
+
+    def __str__(self) -> str:
+        return f"{self.lhs} = {self.rhs};"
+
+
+@dataclass(frozen=True)
+class Return:
+    expr: Optional[Expr]
+    line: int = 0
+
+    def __str__(self) -> str:
+        return f"return {self.expr};" if self.expr else "return;"
+
+
+@dataclass(frozen=True)
+class If:
+    cond: Cond
+    then_body: Tuple["Stmt", ...]
+    else_body: Tuple["Stmt", ...] = ()
+    line: int = 0
+
+    def __str__(self) -> str:
+        text = f"if ({self.cond}) {{ ... }}"
+        if self.else_body:
+            text += " else { ... }"
+        return text
+
+
+Stmt = object  # Requires | Assign | Return | If
+
+
+# -- declarations --------------------------------------------------------------
+
+
+@dataclass
+class MethodDecl:
+    """A method or constructor of a specified component class."""
+
+    name: str
+    params: List[Tuple[str, str]]  # (name, type)
+    return_type: str  # "void" for none; class name otherwise
+    body: Tuple[Stmt, ...]
+    is_constructor: bool = False
+
+    def requires_clauses(self) -> List[Requires]:
+        """All ``requires`` statements, in order, at any depth."""
+        found: List[Requires] = []
+
+        def walk(stmts: Tuple[Stmt, ...]) -> None:
+            for stmt in stmts:
+                if isinstance(stmt, Requires):
+                    found.append(stmt)
+                elif isinstance(stmt, If):
+                    walk(stmt.then_body)
+                    walk(stmt.else_body)
+
+        walk(self.body)
+        return found
+
+
+@dataclass
+class ClassDecl:
+    """A component class: reference-typed fields, a constructor, methods."""
+
+    name: str
+    fields: Dict[str, str] = field(default_factory=dict)  # name -> type
+    constructor: Optional[MethodDecl] = None
+    methods: Dict[str, MethodDecl] = field(default_factory=dict)

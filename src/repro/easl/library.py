@@ -1,0 +1,131 @@
+"""The paper's component specifications.
+
+* :func:`cmp_spec` — the Concurrent Modification Problem (Fig. 2): every
+  modification of a collection creates a distinct ``Version`` object; an
+  iterator may be used only while its recorded version matches the
+  collection's current version.
+* :func:`grp_spec` — the Grabbed Resource Problem (Section 2.2): starting
+  a new traversal of a graph invalidates every prior traversal.
+* :func:`imp_spec` — the Implementation Mismatch Problem (Section 2.2):
+  objects passed together to a factory's method must come from the *same*
+  factory (the Factory design pattern's implicit constraint).
+* :func:`aop_spec` — the Alien Object Problem (Section 2.2): vertices
+  passed to a graph's ``addEdge`` must belong to that graph.
+
+GRP, IMP and AOP are mutation-restricted in the (reconstructed) Section 6
+sense; CMP is not, because ``Iterator.remove`` copies an existing value
+into the mutable field ``defVer`` — yet its derivation still converges
+(Section 4.1).
+"""
+
+from __future__ import annotations
+
+from repro.easl.parser import parse_spec
+from repro.easl.spec import ComponentSpec
+
+CMP_SOURCE = """
+class Version { /* represents distinct versions of a Set */ }
+
+class Set {
+  Version ver;
+  Set() { ver = new Version(); }
+  boolean add(Object o) { ver = new Version(); }
+  Iterator iterator() { return new Iterator(this); }
+}
+
+class Iterator {
+  Set set;
+  Version defVer;
+  Iterator(Set s) { defVer = s.ver; set = s; }
+  void remove() {
+    requires (defVer == set.ver);
+    set.ver = new Version();
+    defVer = set.ver;
+  }
+  Object next() { requires (defVer == set.ver); }
+  boolean hasNext() { }
+}
+"""
+
+GRP_SOURCE = """
+class Token { /* identifies one traversal epoch of a Graph */ }
+
+class Graph {
+  Token cur;
+  Graph() { cur = new Token(); }
+  Traversal traverse() { cur = new Token(); return new Traversal(this); }
+}
+
+class Traversal {
+  Graph g;
+  Token tok;
+  Traversal(Graph gr) { g = gr; tok = gr.cur; }
+  Object next() { requires (tok == g.cur); }
+}
+"""
+
+IMP_SOURCE = """
+class Factory {
+  Factory() { }
+  Widget makeWidget() { return new Widget(this); }
+  Gadget makeGadget() { return new Gadget(this); }
+  void combine(Widget w, Gadget g) {
+    requires (w.fac == g.fac);
+    requires (w.fac == this);
+  }
+}
+
+class Widget {
+  Factory fac;
+  Widget(Factory f) { fac = f; }
+}
+
+class Gadget {
+  Factory fac;
+  Gadget(Factory f) { fac = f; }
+}
+"""
+
+AOP_SOURCE = """
+class Graph {
+  Graph() { }
+  Vertex addVertex() { return new Vertex(this); }
+  void addEdge(Vertex a, Vertex b) {
+    requires (a.owner == this);
+    requires (b.owner == this);
+  }
+}
+
+class Vertex {
+  Graph owner;
+  Vertex(Graph g) { owner = g; }
+}
+"""
+
+
+def cmp_spec() -> ComponentSpec:
+    """The CMP specification of Fig. 2."""
+    return parse_spec(CMP_SOURCE, "CMP")
+
+
+def grp_spec() -> ComponentSpec:
+    """The Grabbed Resource Problem specification."""
+    return parse_spec(GRP_SOURCE, "GRP")
+
+
+def imp_spec() -> ComponentSpec:
+    """The Implementation Mismatch Problem specification."""
+    return parse_spec(IMP_SOURCE, "IMP")
+
+
+def aop_spec() -> ComponentSpec:
+    """The Alien Object Problem specification."""
+    return parse_spec(AOP_SOURCE, "AOP")
+
+
+ALL_SPECS = {
+    "CMP": cmp_spec,
+    "GRP": grp_spec,
+    "IMP": imp_spec,
+    "AOP": aop_spec,
+}

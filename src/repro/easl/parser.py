@@ -1,0 +1,223 @@
+"""Parser for the Easl surface syntax.
+
+The syntax mirrors the paper's Fig. 2::
+
+    class Set {
+      Version ver;
+      Set() { ver = new Version(); }
+      boolean add(Object o) { ver = new Version(); }
+      Iterator iterator() { return new Iterator(this); }
+    }
+
+Grammar (informal)::
+
+    spec    := class*
+    class   := 'class' NAME '{' member* '}'
+    member  := TYPE NAME ';'                          field
+             | NAME '(' params ')' block              constructor
+             | TYPE NAME '(' params ')' block         method
+    stmt    := 'requires' '(' cond ')' ';'
+             | 'return' [expr] ';'
+             | path '=' expr ';'
+             | 'if' '(' cond ')' block ['else' block]
+    expr    := 'new' NAME '(' paths ')' | path | 'null'
+    cond    := or-expr over '==' / '!=' comparisons, '!', '&&', '||'
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.easl.ast import (
+    AndCond,
+    Assign,
+    ClassDecl,
+    CmpCond,
+    Cond,
+    Expr,
+    If,
+    MethodDecl,
+    NewExpr,
+    NotCond,
+    NullExpr,
+    OrCond,
+    PathExpr,
+    Requires,
+    Return,
+    Stmt,
+)
+from repro.easl.spec import ComponentSpec
+from repro.util.lexer import Lexer, LexError
+
+
+class EaslParseError(Exception):
+    """Raised on malformed Easl input."""
+
+
+def parse_spec(source: str, name: str = "spec") -> ComponentSpec:
+    """Parse an Easl specification into a :class:`ComponentSpec`."""
+    try:
+        return _Parser(source).parse(name)
+    except LexError as error:
+        raise EaslParseError(str(error)) from error
+
+
+class _Parser:
+    def __init__(self, source: str) -> None:
+        self.lexer = Lexer(source)
+
+    def parse(self, name: str) -> ComponentSpec:
+        classes: List[ClassDecl] = []
+        while not self.lexer.at_kind("eof"):
+            classes.append(self._class_decl())
+        return ComponentSpec(name, classes)
+
+    # -- declarations -------------------------------------------------------
+
+    def _class_decl(self) -> ClassDecl:
+        self.lexer.expect("class")
+        class_name = self.lexer.expect_ident().text
+        self.lexer.expect("{")
+        decl = ClassDecl(class_name)
+        while not self.lexer.at("}"):
+            self._member(decl)
+        self.lexer.expect("}")
+        return decl
+
+    def _member(self, decl: ClassDecl) -> None:
+        first = self.lexer.expect_ident().text
+        if first == decl.name and self.lexer.at("("):
+            constructor = self._method_rest(first, "void", is_constructor=True)
+            if decl.constructor is not None:
+                raise EaslParseError(
+                    f"class {decl.name} has more than one constructor"
+                )
+            decl.constructor = constructor
+            return
+        member_name = self.lexer.expect_ident().text
+        if self.lexer.accept(";"):
+            if member_name in decl.fields:
+                raise EaslParseError(
+                    f"field {member_name} redeclared in class {decl.name}"
+                )
+            decl.fields[member_name] = first
+            return
+        method = self._method_rest(member_name, first, is_constructor=False)
+        if member_name in decl.methods:
+            raise EaslParseError(
+                f"method {member_name} redeclared in class {decl.name}"
+            )
+        decl.methods[member_name] = method
+
+    def _method_rest(
+        self, name: str, return_type: str, is_constructor: bool
+    ) -> MethodDecl:
+        self.lexer.expect("(")
+        params: List[Tuple[str, str]] = []
+        if not self.lexer.at(")"):
+            while True:
+                param_type = self.lexer.expect_ident().text
+                param_name = self.lexer.expect_ident().text
+                params.append((param_name, param_type))
+                if not self.lexer.accept(","):
+                    break
+        self.lexer.expect(")")
+        body = self._block()
+        return MethodDecl(name, params, return_type, body, is_constructor)
+
+    # -- statements ---------------------------------------------------------
+
+    def _block(self) -> Tuple[Stmt, ...]:
+        self.lexer.expect("{")
+        stmts: List[Stmt] = []
+        while not self.lexer.at("}"):
+            stmts.append(self._stmt())
+        self.lexer.expect("}")
+        return tuple(stmts)
+
+    def _stmt(self) -> Stmt:
+        line = self.lexer.current.line
+        if self.lexer.accept("requires"):
+            self.lexer.expect("(")
+            cond = self._cond()
+            self.lexer.expect(")")
+            self.lexer.expect(";")
+            return Requires(cond, line)
+        if self.lexer.accept("return"):
+            if self.lexer.accept(";"):
+                return Return(None, line)
+            expr = self._expr()
+            self.lexer.expect(";")
+            return Return(expr, line)
+        if self.lexer.accept("if"):
+            self.lexer.expect("(")
+            cond = self._cond()
+            self.lexer.expect(")")
+            then_body = self._block()
+            else_body: Tuple[Stmt, ...] = ()
+            if self.lexer.accept("else"):
+                else_body = self._block()
+            return If(cond, then_body, else_body, line)
+        lhs = self._path()
+        self.lexer.expect("=")
+        rhs = self._expr()
+        self.lexer.expect(";")
+        return Assign(lhs, rhs, line)
+
+    # -- expressions --------------------------------------------------------
+
+    def _expr(self) -> Expr:
+        if self.lexer.accept("new"):
+            class_name = self.lexer.expect_ident().text
+            self.lexer.expect("(")
+            args: List[PathExpr] = []
+            if not self.lexer.at(")"):
+                while True:
+                    args.append(self._path())
+                    if not self.lexer.accept(","):
+                        break
+            self.lexer.expect(")")
+            return NewExpr(class_name, tuple(args))
+        if self.lexer.accept("null"):
+            return NullExpr()
+        return self._path()
+
+    def _path(self) -> PathExpr:
+        root = self.lexer.expect_ident().text
+        fields: List[str] = []
+        while self.lexer.accept("."):
+            fields.append(self.lexer.expect_ident().text)
+        return PathExpr(root, tuple(fields))
+
+    # -- conditions ---------------------------------------------------------
+
+    def _cond(self) -> Cond:
+        return self._or_cond()
+
+    def _or_cond(self) -> Cond:
+        args = [self._and_cond()]
+        while self.lexer.accept("||"):
+            args.append(self._and_cond())
+        return args[0] if len(args) == 1 else OrCond(tuple(args))
+
+    def _and_cond(self) -> Cond:
+        args = [self._unary_cond()]
+        while self.lexer.accept("&&"):
+            args.append(self._unary_cond())
+        return args[0] if len(args) == 1 else AndCond(tuple(args))
+
+    def _unary_cond(self) -> Cond:
+        if self.lexer.accept("!"):
+            return NotCond(self._unary_cond())
+        if self.lexer.at("("):
+            # Either a parenthesized condition or a parenthesized comparison;
+            # parse a full condition and require the closing paren.
+            self.lexer.expect("(")
+            inner = self._cond()
+            self.lexer.expect(")")
+            return inner
+        lhs = self._path()
+        if self.lexer.accept("=="):
+            return CmpCond(lhs, self._path(), equal=True)
+        self.lexer.expect("!=")
+        return CmpCond(lhs, self._path(), equal=False)

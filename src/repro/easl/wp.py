@@ -1,0 +1,514 @@
+"""Backward weakest-precondition transformer over Easl operation bodies.
+
+This is the symbolic engine behind Rule 3 of Section 4.1: given a component
+operation (a constructor call, method call, or reference copy) and a
+post-state formula over access paths, compute the pre-state formula that
+holds before the operation iff the post-state formula holds after it.
+
+The computation proceeds in two steps:
+
+1. **Flattening** — the operation is expanded into a straight-line sequence
+   of *normalized statements*: assignments to operand/local variables and
+   to fields, with every ``new C(args)`` replaced by a fresh allocation
+   token followed by the inlined constructor body (``this`` bound to the
+   token).  ``requires`` clauses become ``assume`` markers.
+2. **Backward substitution** — assignments are pushed through the formula
+   from last to first.  Variable assignments are plain substitutions;
+   field assignments ``b.f = e`` rewrite every occurrence of ``t.f`` into
+   the case split ``(t == b ? e : t.f)``, which is where alias conditions
+   — the seeds of new instrumentation predicates — enter the formula.
+   Fresh allocation tokens surviving to the pre-state are resolved by the
+   decision procedure's fresh-token axioms (a fresh object differs from
+   every pre-state value).
+
+``requires`` clauses encountered in the body are returned separately as
+*assumptions*, rewritten into pre-state coordinates.  The derivation stage
+minimizes weakest preconditions under these assumptions, which is what
+collapses the exact WP of ``Iterator.remove`` to the paper's
+``stale ∨ mutx`` form (Section 4.1, Step 3).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.easl.ast import (
+    AndCond,
+    Assign,
+    CmpCond,
+    Cond,
+    If,
+    MethodDecl,
+    NewExpr,
+    NotCond,
+    NullExpr,
+    OrCond,
+    PathExpr,
+    Requires,
+    Return,
+    Stmt,
+)
+from repro.easl.spec import ComponentSpec, Operation, SpecError
+from repro.logic.formula import (
+    EqAtom,
+    Formula,
+    conj,
+    disj,
+    eq,
+    ite,
+    map_atoms,
+    neg,
+)
+from repro.logic.terms import Base, Field, Fresh, Term
+
+
+class WPError(Exception):
+    """Raised when a specification body uses unsupported constructs."""
+
+
+# -- normalized statements -----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class NAssignVar:
+    """``var := rhs`` where ``var`` is an operand/local base constant."""
+
+    var: Base
+    rhs: Term
+
+
+@dataclass(frozen=True)
+class NAssignField:
+    """``base.field := rhs``."""
+
+    base: Term
+    field: str
+    rhs: Term
+
+
+@dataclass(frozen=True)
+class NAssume:
+    """A ``requires`` clause: assumed to hold at its program point."""
+
+    cond: Formula
+
+
+@dataclass(frozen=True)
+class NBranch:
+    """``if (cond) then_body else else_body``."""
+
+    cond: Formula
+    then_body: Tuple["NormStmt", ...]
+    else_body: Tuple["NormStmt", ...]
+
+
+NormStmt = Union[NAssignVar, NAssignField, NAssume, NBranch]
+
+
+@dataclass
+class WPResult:
+    """The result of a weakest-precondition computation."""
+
+    wp: Formula
+    assumptions: List[Formula]
+
+    @property
+    def assumption(self) -> Formula:
+        return conj(*self.assumptions)
+
+
+# -- flattening -----------------------------------------------------------------
+
+
+class _Flattener:
+    """Expands an operation into normalized statements."""
+
+    def __init__(self, spec: ComponentSpec, label_prefix: str) -> None:
+        self.spec = spec
+        self.label_prefix = label_prefix
+        self._fresh_counter = itertools.count()
+
+    def fresh(self, sort: str) -> Fresh:
+        return Fresh(f"{self.label_prefix}#{next(self._fresh_counter)}", sort)
+
+    def flatten_operation(self, op: Operation) -> List[NormStmt]:
+        if op.kind == "copy":
+            dst = Base("dst", op.class_name)
+            src = Base("src", op.class_name)
+            return [NAssignVar(dst, src)]
+        if op.kind == "new":
+            result = op.operand("result")
+            assert result is not None
+            env: Dict[str, Term] = {
+                operand.name: Base(operand.name, operand.type)
+                for operand in op.operands
+                if operand.role == "arg"
+            }
+            token, stmts = self._flatten_new(
+                op.class_name,
+                tuple(
+                    PathExpr(operand.name)
+                    for operand in op.operands
+                    if operand.role == "arg"
+                ),
+                env,
+                enclosing_class=None,
+            )
+            stmts.append(NAssignVar(Base(result.name, result.type), token))
+            return stmts
+        # method call
+        method = self.spec.method(op.class_name, op.method or "")
+        env = {
+            operand.name: Base(operand.name, operand.type)
+            for operand in op.operands
+        }
+        env["this"] = Base("this", op.class_name)
+        stmts = self._flatten_body(
+            method, env, op.class_name, result_var=self._result_base(op)
+        )
+        return stmts
+
+    def _result_base(self, op: Operation) -> Optional[Base]:
+        result = op.operand("result")
+        if result is None:
+            return None
+        return Base(result.name, result.type)
+
+    def _flatten_new(
+        self,
+        class_name: str,
+        arg_paths: Tuple[PathExpr, ...],
+        env: Dict[str, Term],
+        enclosing_class: Optional[str],
+    ) -> Tuple[Fresh, List[NormStmt]]:
+        """Allocate + inline the constructor; returns (token, stmts)."""
+        if class_name not in self.spec.classes:
+            raise WPError(f"allocation of unknown class {class_name}")
+        token = self.fresh(class_name)
+        stmts: List[NormStmt] = []
+        ctor = self.spec.constructor(class_name)
+        if ctor is not None:
+            if len(arg_paths) != len(ctor.params):
+                raise WPError(
+                    f"constructor {class_name} expects {len(ctor.params)} "
+                    f"arguments, got {len(arg_paths)}"
+                )
+            ctor_env: Dict[str, Term] = {"this": token}
+            for (param_name, _param_type), arg in zip(ctor.params, arg_paths):
+                ctor_env[param_name] = self._path_term(
+                    arg, env, enclosing_class
+                )
+            stmts.extend(
+                self._flatten_stmts(
+                    ctor.body, ctor_env, class_name, result_var=None
+                )
+            )
+        elif arg_paths:
+            raise WPError(f"class {class_name} has no constructor")
+        return token, stmts
+
+    def _flatten_body(
+        self,
+        method: MethodDecl,
+        env: Dict[str, Term],
+        class_name: str,
+        result_var: Optional[Base],
+    ) -> List[NormStmt]:
+        return self._flatten_stmts(method.body, env, class_name, result_var)
+
+    def _flatten_stmts(
+        self,
+        body: Tuple[Stmt, ...],
+        env: Dict[str, Term],
+        class_name: str,
+        result_var: Optional[Base],
+    ) -> List[NormStmt]:
+        stmts: List[NormStmt] = []
+        for stmt in body:
+            if isinstance(stmt, Requires):
+                stmts.append(
+                    NAssume(self._cond_formula(stmt.cond, env, class_name))
+                )
+            elif isinstance(stmt, Assign):
+                stmts.extend(
+                    self._flatten_assign(stmt, env, class_name)
+                )
+            elif isinstance(stmt, Return):
+                if stmt.expr is not None and result_var is not None:
+                    rhs_term, pre = self._expr_term(
+                        stmt.expr, env, class_name
+                    )
+                    stmts.extend(pre)
+                    stmts.append(NAssignVar(result_var, rhs_term))
+            elif isinstance(stmt, If):
+                cond = self._cond_formula(stmt.cond, env, class_name)
+                then_body = tuple(
+                    self._flatten_stmts(
+                        stmt.then_body, dict(env), class_name, result_var
+                    )
+                )
+                else_body = tuple(
+                    self._flatten_stmts(
+                        stmt.else_body, dict(env), class_name, result_var
+                    )
+                )
+                stmts.append(NBranch(cond, then_body, else_body))
+            else:
+                raise WPError(f"unsupported specification statement: {stmt}")
+        return stmts
+
+    def _flatten_assign(
+        self, stmt: Assign, env: Dict[str, Term], class_name: str
+    ) -> List[NormStmt]:
+        rhs_term, pre = self._expr_term(stmt.rhs, env, class_name)
+        stmts = pre
+        lhs = stmt.lhs
+        if not lhs.fields:
+            # bare name: local/param unless it names a field of the class
+            if lhs.root not in env and lhs.root in self.spec.classes[
+                class_name
+            ].fields:
+                stmts.append(
+                    NAssignField(env["this"], lhs.root, rhs_term)
+                )
+                return stmts
+            if lhs.root in env:
+                target = env[lhs.root]
+                if not isinstance(target, Base):
+                    raise WPError(
+                        f"cannot assign through bound value {lhs.root}"
+                    )
+                stmts.append(NAssignVar(target, rhs_term))
+                return stmts
+            local = Base(f"${class_name}${lhs.root}", None)
+            env[lhs.root] = local
+            stmts.append(NAssignVar(local, rhs_term))
+            return stmts
+        base = self._path_term(
+            PathExpr(lhs.root, lhs.fields[:-1]), env, class_name
+        )
+        stmts.append(NAssignField(base, lhs.fields[-1], rhs_term))
+        return stmts
+
+    def _expr_term(
+        self, expr, env: Dict[str, Term], class_name: Optional[str]
+    ) -> Tuple[Term, List[NormStmt]]:
+        if isinstance(expr, NewExpr):
+            token, stmts = self._flatten_new(
+                expr.class_name, expr.args, env, class_name
+            )
+            return token, stmts
+        if isinstance(expr, NullExpr):
+            return Base("null"), []
+        if isinstance(expr, PathExpr):
+            return self._path_term(expr, env, class_name), []
+        raise WPError(f"unsupported expression {expr!r}")
+
+    def _path_term(
+        self, path: PathExpr, env: Dict[str, Term], class_name: Optional[str]
+    ) -> Term:
+        if path.root in env:
+            term: Term = env[path.root]
+        elif (
+            class_name is not None
+            and path.root in self.spec.classes[class_name].fields
+        ):
+            term = Field(env["this"], path.root)
+        else:
+            raise WPError(f"unbound name {path.root!r} in specification body")
+        for field_name in path.fields:
+            term = Field(term, field_name)
+        return term
+
+    def _cond_formula(
+        self, cond: Cond, env: Dict[str, Term], class_name: Optional[str]
+    ) -> Formula:
+        if isinstance(cond, CmpCond):
+            lhs = self._path_term(cond.lhs, env, class_name)
+            rhs = self._path_term(cond.rhs, env, class_name)
+            atom = eq(lhs, rhs)
+            return atom if cond.equal else neg(atom)
+        if isinstance(cond, NotCond):
+            return neg(self._cond_formula(cond.body, env, class_name))
+        if isinstance(cond, AndCond):
+            return conj(
+                *(self._cond_formula(a, env, class_name) for a in cond.args)
+            )
+        if isinstance(cond, OrCond):
+            return disj(
+                *(self._cond_formula(a, env, class_name) for a in cond.args)
+            )
+        raise WPError(f"unsupported condition {cond!r}")
+
+
+# -- backward substitution --------------------------------------------------------
+
+
+def _subst_var(formula: Formula, var: Base, value: Term) -> Formula:
+    """Substitute a base constant throughout the formula's terms."""
+
+    def sub(term: Term) -> Term:
+        if isinstance(term, Field):
+            return Field(sub(term.base), term.field)
+        if term == var:
+            return value
+        return term
+
+    def rewrite(atom: Formula) -> Formula:
+        if isinstance(atom, EqAtom):
+            return eq(sub(atom.lhs), sub(atom.rhs))
+        return atom
+
+    return map_atoms(formula, rewrite)
+
+
+def _rewrite_field_term(
+    term: Term, base: Term, field: str
+) -> List[Tuple[Formula, Term]]:
+    """All pre-state readings of ``term`` after ``base.field := rhs``.
+
+    Returns ``(condition, replacement)`` pairs; ``replacement`` uses the
+    placeholder ``None`` for "the assigned value", substituted by the
+    caller.  Conditions are alias conditions over pre-state terms.
+    """
+    if not isinstance(term, Field):
+        return [(None, term)]  # type: ignore[list-item]
+    cases: List[Tuple[Formula, Term]] = []
+    for base_cond, base_term in _rewrite_field_term(term.base, base, field):
+        if term.field == field:
+            alias = eq(base_term, base)
+            cases.append((_and_opt(base_cond, alias), _ASSIGNED))
+            cases.append(
+                (_and_opt(base_cond, neg(alias)), Field(base_term, field))
+            )
+        else:
+            cases.append((base_cond, Field(base_term, term.field)))
+    return cases
+
+
+class _AssignedMarker:
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<assigned>"
+
+
+_ASSIGNED = _AssignedMarker()
+
+
+def _and_opt(cond: Optional[Formula], extra: Formula) -> Formula:
+    return extra if cond is None else conj(cond, extra)
+
+
+def _subst_field(formula: Formula, base: Term, field: str, rhs: Term) -> Formula:
+    """Backward substitution for ``base.field := rhs``."""
+
+    def fill(term) -> Term:
+        """Replace the assigned-value marker (possibly nested under field
+        selections) by the statement's pre-state rhs term."""
+        if term is _ASSIGNED:
+            return rhs
+        if isinstance(term, Field):
+            return Field(fill(term.base), term.field)
+        return term
+
+    def resolve(term: Term) -> List[Tuple[Optional[Formula], Term]]:
+        return [
+            (cond, fill(result))
+            for cond, result in _rewrite_field_term(term, base, field)
+        ]
+
+    def rewrite(atom: Formula) -> Formula:
+        if not isinstance(atom, EqAtom):
+            return atom
+        branches = []
+        for lhs_cond, lhs_term in resolve(atom.lhs):
+            for rhs_cond, rhs_term in resolve(atom.rhs):
+                guard_parts = [
+                    c for c in (lhs_cond, rhs_cond) if c is not None
+                ]
+                branches.append(
+                    conj(*guard_parts, eq(lhs_term, rhs_term))
+                )
+        return disj(*branches)
+
+    return map_atoms(formula, rewrite)
+
+
+def wp_statements(
+    stmts: List[NormStmt], post: Formula
+) -> WPResult:
+    """Backward WP of ``post`` through a normalized statement sequence."""
+    pending: List[Formula] = [post]
+    assumptions: List[Formula] = []
+
+    for stmt in reversed(stmts):
+        if isinstance(stmt, NAssignVar):
+            pending = [_subst_var(f, stmt.var, stmt.rhs) for f in pending]
+            assumptions = [
+                _subst_var(f, stmt.var, stmt.rhs) for f in assumptions
+            ]
+        elif isinstance(stmt, NAssignField):
+            pending = [
+                _subst_field(f, stmt.base, stmt.field, stmt.rhs)
+                for f in pending
+            ]
+            assumptions = [
+                _subst_field(f, stmt.base, stmt.field, stmt.rhs)
+                for f in assumptions
+            ]
+        elif isinstance(stmt, NAssume):
+            assumptions.append(stmt.cond)
+        elif isinstance(stmt, NBranch):
+            # Every formula collected so far describes state at a point
+            # *after* the branch, so it must be pushed through both arms.
+            def through_branch(formula: Formula) -> Formula:
+                then_wp = wp_statements(list(stmt.then_body), formula).wp
+                else_wp = wp_statements(list(stmt.else_body), formula).wp
+                return ite(stmt.cond, then_wp, else_wp)
+
+            pending = [through_branch(f) for f in pending]
+            assumptions = [through_branch(f) for f in assumptions]
+            from repro.logic.formula import TRUE
+
+            then_only = wp_statements(list(stmt.then_body), TRUE)
+            else_only = wp_statements(list(stmt.else_body), TRUE)
+            assumptions.extend(
+                disj(neg(stmt.cond), a) for a in then_only.assumptions
+            )
+            assumptions.extend(
+                disj(stmt.cond, a) for a in else_only.assumptions
+            )
+        else:  # pragma: no cover - exhaustive
+            raise WPError(f"unknown normalized statement {stmt!r}")
+
+    return WPResult(pending[0], assumptions)
+
+
+def wp_operation(
+    spec: ComponentSpec, op: Operation, post: Formula
+) -> WPResult:
+    """Weakest precondition of ``post`` with respect to one operation.
+
+    Operand placeholders appear in formulas as :class:`Base` constants
+    named after :attr:`Operand.name` (e.g. ``this``, ``ret``, parameter
+    names, ``dst``/``src`` for copies).
+    """
+    flattener = _Flattener(spec, op.key)
+    stmts = flattener.flatten_operation(op)
+    return wp_statements(stmts, post)
+
+
+def operation_preconditions(
+    spec: ComponentSpec, op: Operation
+) -> List[Formula]:
+    """The operation's ``requires`` conditions in pre-state coordinates.
+
+    Computed as the assumptions of a WP pass with a trivial postcondition;
+    for specifications with entry-only ``requires`` clauses these are the
+    clauses themselves over operand placeholders.
+    """
+    from repro.logic.formula import TRUE
+
+    result = wp_operation(spec, op, TRUE)
+    return result.assumptions

@@ -1,0 +1,33 @@
+"""Generic certification baselines (Section 3).
+
+Instead of deriving a component-specific abstraction, these analyses form
+a *composite program* — the client with the Easl specification inlined at
+every component call site — and run a generic heap analysis over it,
+checking at each ``requires`` clause whether its alias condition must
+hold:
+
+* :mod:`repro.generic_analysis.allocsite` — flow-sensitive points-to
+  analysis with allocation-site abstraction plus recency (a most-recent
+  singleton per site).  Precise on straight-line clients, but unable to
+  distinguish the versions of a collection mutated inside a loop —
+  Section 3's motivating imprecision.
+* :mod:`repro.generic_analysis.shapegraph` — storage-shape-graph analysis
+  in the style the paper cites for Fig. 7: heap nodes are merged iff
+  pointed to by the same set of variables, so version objects (never
+  directly pointed to by client variables after creation) collapse into a
+  summary node and the analysis produces the Fig. 7 false alarm.
+
+Both plug into :mod:`repro.generic_analysis.framework`, which fixpoints
+over the inlined CFG and executes specification bodies abstractly.
+"""
+
+from repro.generic_analysis.allocsite import AllocSiteDomain
+from repro.generic_analysis.framework import GenericResult, analyze_generic
+from repro.generic_analysis.shapegraph import ShapeGraphDomain
+
+__all__ = [
+    "AllocSiteDomain",
+    "GenericResult",
+    "ShapeGraphDomain",
+    "analyze_generic",
+]

@@ -1,0 +1,238 @@
+"""Allocation-site points-to analysis (Section 3 baseline).
+
+Objects are abstracted by their allocation site.  Two variants:
+
+* ``recency=False`` (default) — the paper's "allocation-site based
+  analysis [6]": one abstract object per site.  A site that has allocated
+  more than once along a path is a summary, so the Section 3 loop example
+  (a collection modified and re-iterated inside a loop) cannot be
+  certified: the version site allocates repeatedly and the must-alias
+  check ``defVer == set.ver`` fails — the motivating false alarm.
+* ``recency=True`` — recency abstraction: each site keeps a distinguished
+  most-recent object ``(site, new)`` (a singleton within any store,
+  enabling strong updates and must answers) plus a summary
+  ``(site, old)``.  An ablation showing how far a smarter *generic*
+  analysis gets — it certifies the Section 3 loop but still pays the
+  composite-program price and still lacks component knowledge.
+
+Flow-sensitive multiplicity is tracked per path (join = max), so a site
+allocated once in each arm of a branch still denotes one object.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Optional, Tuple
+
+from repro.generic_analysis.framework import HeapDomain
+
+Obj = Tuple[str, str]  # (site, "new" | "old" | ""); NULL is ("null", "")
+NULL: Obj = ("null", "")
+MANY = 2
+
+
+class PtState:
+    """An immutable points-to state.
+
+    ``mult`` tracks, per allocation site, how many objects the site has
+    allocated along the current path (0, 1, or 2 = "many") — used by the
+    non-recency variant to decide when a site still denotes one object.
+    """
+
+    __slots__ = ("pts", "heap", "mult", "_key")
+
+    def __init__(
+        self,
+        pts: Dict[str, FrozenSet[Obj]],
+        heap: Dict[Tuple[Obj, str], FrozenSet[Obj]],
+        mult: Optional[Dict[str, int]] = None,
+    ) -> None:
+        self.pts = pts
+        self.heap = heap
+        self.mult = mult or {}
+        self._key = (
+            frozenset(pts.items()),
+            frozenset(heap.items()),
+            frozenset(self.mult.items()),
+        )
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, PtState) and self._key == other._key
+
+    def __hash__(self) -> int:
+        return hash(self._key)
+
+    def lookup(self, var: str) -> FrozenSet[Obj]:
+        return self.pts.get(var, frozenset([NULL]))
+
+    def field(self, obj: Obj, fieldname: str) -> FrozenSet[Obj]:
+        return self.heap.get((obj, fieldname), frozenset([NULL]))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = [f"{v}->{sorted(o)}" for v, o in sorted(self.pts.items())]
+        return "PtState(" + "; ".join(parts) + ")"
+
+
+class AllocSiteDomain(HeapDomain):
+    """Flow-sensitive allocation-site points-to domain."""
+
+    def __init__(self, recency: bool = False) -> None:
+        self.recency = recency
+
+    # -- singleton test ----------------------------------------------------------
+
+    def _single(self, state: PtState, obj: Obj) -> bool:
+        if obj == NULL:
+            return True
+        if self.recency:
+            return obj[1] == "new"
+        return state.mult.get(obj[0], 0) <= 1
+
+    # -- lattice -------------------------------------------------------------------
+
+    def initial(self) -> PtState:
+        return PtState({}, {}, {})
+
+    def join(self, a: PtState, b: PtState) -> PtState:
+        pts: Dict[str, FrozenSet[Obj]] = {}
+        for var in set(a.pts) | set(b.pts):
+            pts[var] = a.lookup(var) | b.lookup(var)
+        heap: Dict[Tuple[Obj, str], FrozenSet[Obj]] = {}
+        for key in set(a.heap) | set(b.heap):
+            obj, fieldname = key
+            heap[key] = a.field(obj, fieldname) | b.field(obj, fieldname)
+        mult: Dict[str, int] = {}
+        for site in set(a.mult) | set(b.mult):
+            mult[site] = max(a.mult.get(site, 0), b.mult.get(site, 0))
+        return PtState(pts, heap, mult)
+
+    # -- transformers ----------------------------------------------------------------
+
+    def copy_var(self, state: PtState, dst: str, src: str) -> PtState:
+        pts = dict(state.pts)
+        pts[dst] = state.lookup(src)
+        return PtState(pts, state.heap, state.mult)
+
+    def set_null(self, state: PtState, dst: str) -> PtState:
+        pts = dict(state.pts)
+        pts[dst] = frozenset([NULL])
+        return PtState(pts, state.heap, state.mult)
+
+    def forget(self, state: PtState, variables: Iterable[str]) -> PtState:
+        names = set(variables)
+        pts = {v: o for v, o in state.pts.items() if v not in names}
+        return PtState(pts, state.heap, state.mult)
+
+    def load(
+        self, state: PtState, dst: str, base: str, fieldname: str
+    ) -> PtState:
+        targets: FrozenSet[Obj] = frozenset()
+        for obj in state.lookup(base):
+            if obj == NULL:
+                continue  # that execution dies with an NPE
+            targets |= state.field(obj, fieldname)
+        pts = dict(state.pts)
+        pts[dst] = targets or frozenset([NULL])
+        return PtState(pts, state.heap, state.mult)
+
+    def store(
+        self, state: PtState, base: str, fieldname: str, src: str
+    ) -> PtState:
+        bases = [o for o in state.lookup(base) if o != NULL]
+        value = state.lookup(src)
+        heap = dict(state.heap)
+        if len(bases) == 1 and self._single(state, bases[0]):
+            heap[(bases[0], fieldname)] = value  # strong update
+        else:
+            for obj in bases:
+                heap[(obj, fieldname)] = state.field(obj, fieldname) | value
+        return PtState(state.pts, heap, state.mult)
+
+    def alloc(self, state: PtState, dst: str, site: str) -> PtState:
+        if self.recency:
+            return self._alloc_recency(state, dst, site)
+        obj: Obj = (site, "")
+        mult = dict(state.mult)
+        count = min(mult.get(site, 0) + 1, MANY)
+        mult[site] = count
+        pts = dict(state.pts)
+        pts[dst] = frozenset([obj])
+        heap = dict(state.heap)
+        if count == 1:
+            # the site's single object: fields start null
+            for key in [k for k in heap if k[0] == obj]:
+                del heap[key]
+        else:
+            # the abstract object now covers old objects too: field reads
+            # may also see null (the fresh object's fields)
+            for key in [k for k in heap if k[0] == obj]:
+                heap[key] = heap[key] | frozenset([NULL])
+        return PtState(pts, heap, mult)
+
+    def _alloc_recency(self, state: PtState, dst: str, site: str) -> PtState:
+        new_obj: Obj = (site, "new")
+        old_obj: Obj = (site, "old")
+
+        def demote(obj: Obj) -> Obj:
+            return old_obj if obj == new_obj else obj
+
+        pts = {
+            var: frozenset(demote(o) for o in objs)
+            for var, objs in state.pts.items()
+        }
+        heap: Dict[Tuple[Obj, str], FrozenSet[Obj]] = {}
+        for (obj, fieldname), targets in state.heap.items():
+            key = (demote(obj), fieldname)
+            merged = frozenset(demote(t) for t in targets)
+            heap[key] = heap.get(key, frozenset()) | merged
+        pts[dst] = frozenset([new_obj])
+        for key in [k for k in heap if k[0] == new_obj]:
+            del heap[key]
+        return PtState(pts, heap, state.mult)
+
+    # -- queries -------------------------------------------------------------------------
+
+    def must_equal(self, state: PtState, lhs: str, rhs: str) -> bool:
+        left, right = state.lookup(lhs), state.lookup(rhs)
+        return (
+            left == right
+            and len(left) == 1
+            and self._single(state, next(iter(left)))
+        )
+
+    def may_equal(self, state: PtState, lhs: str, rhs: str) -> bool:
+        return bool(state.lookup(lhs) & state.lookup(rhs))
+
+    # -- refinement ------------------------------------------------------------------------
+
+    def assume_equal(
+        self, state: PtState, lhs: str, rhs: str, equal: bool
+    ) -> Optional[PtState]:
+        left, right = state.lookup(lhs), state.lookup(rhs)
+        if equal:
+            both = left & right
+            if not both:
+                return None
+            pts = dict(state.pts)
+            pts[lhs] = both
+            pts[rhs] = both
+            return PtState(pts, state.heap, state.mult)
+        if self.must_equal(state, lhs, rhs):
+            return None  # definitely equal, contradiction
+        return state
+
+    def assume_null(
+        self, state: PtState, var: str, is_null: bool
+    ) -> Optional[PtState]:
+        objs = state.lookup(var)
+        if is_null:
+            if NULL not in objs:
+                return None
+            pts = dict(state.pts)
+            pts[var] = frozenset([NULL])
+            return PtState(pts, state.heap, state.mult)
+        rest = objs - {NULL}
+        if not rest:
+            return None
+        pts = dict(state.pts)
+        pts[var] = rest
+        return PtState(pts, state.heap, state.mult)

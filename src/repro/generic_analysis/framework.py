@@ -1,0 +1,406 @@
+"""Shared machinery for the generic (Section 3) certifiers.
+
+A *heap domain* supplies abstract transformers for the statement forms of
+the 3-address CFG plus must/may equality queries.  The framework:
+
+1. inlines the client (``repro.lang.inline``) to form the composite
+   program;
+2. flattens each component operation's Easl body once (reusing the WP
+   stage's flattener, so generic and staged certification interpret the
+   very same specification statements);
+3. runs a join-over-all-paths fixpoint, executing specification bodies
+   abstractly at each ``SCallComp`` edge;
+4. reports an alarm at every ``requires`` whose alias condition is not
+   *must*-true in the fixpoint state.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.certifier.report import Alarm, CertificationReport
+from repro.easl.spec import ComponentSpec, Operation
+from repro.easl.wp import (
+    NAssignField,
+    NAssignVar,
+    NAssume,
+    NBranch,
+    _Flattener,
+)
+from repro.lang.cfg import (
+    SAssume,
+    SCallComp,
+    SCopy,
+    SLoad,
+    SNewClient,
+    SNop,
+    SNull,
+    SReturn,
+    SStore,
+)
+from repro.lang.inline import InlinedProgram
+from repro.logic.formula import And, EqAtom, Formula, Not, Or, Truth
+from repro.logic.terms import Base, Field, Fresh, Term
+
+
+class HeapDomain(ABC):
+    """Abstract heap transformers over immutable states."""
+
+    @abstractmethod
+    def initial(self) -> object:
+        """The entry state: every variable null."""
+
+    @abstractmethod
+    def join(self, a: object, b: object) -> object:
+        ...
+
+    @abstractmethod
+    def copy_var(self, state: object, dst: str, src: str) -> object:
+        ...
+
+    @abstractmethod
+    def set_null(self, state: object, dst: str) -> object:
+        ...
+
+    @abstractmethod
+    def load(self, state: object, dst: str, base: str, fieldname: str) -> object:
+        ...
+
+    @abstractmethod
+    def store(self, state: object, base: str, fieldname: str, src: str) -> object:
+        ...
+
+    @abstractmethod
+    def alloc(self, state: object, dst: str, site: str) -> object:
+        ...
+
+    @abstractmethod
+    def must_equal(self, state: object, lhs: str, rhs: str) -> bool:
+        ...
+
+    @abstractmethod
+    def may_equal(self, state: object, lhs: str, rhs: str) -> bool:
+        ...
+
+    def assume_equal(
+        self, state: object, lhs: str, rhs: str, equal: bool
+    ) -> Optional[object]:
+        """Refine under a branch condition; None = infeasible.  The
+        default performs no refinement."""
+        return state
+
+    def assume_null(
+        self, state: object, var: str, is_null: bool
+    ) -> Optional[object]:
+        return state
+
+    def forget(self, state: object, variables: Iterable[str]) -> object:
+        """Drop temporary variables (spec locals) from the state."""
+        result = state
+        for var in variables:
+            result = self.set_null(result, var)
+        return result
+
+
+@dataclass
+class GenericResult:
+    report: CertificationReport
+    node_states: Dict[int, object]
+    iterations: int
+
+
+# -- specification-body execution ----------------------------------------------------
+
+
+class _SpecRunner:
+    """Abstractly executes flattened Easl operation bodies."""
+
+    def __init__(self, spec: ComponentSpec, domain: HeapDomain) -> None:
+        self.spec = spec
+        self.domain = domain
+        self._flattened: Dict[str, list] = {}
+        self._temp_id = 0
+
+    def flattened(self, op: Operation) -> list:
+        if op.key not in self._flattened:
+            flattener = _Flattener(self.spec, op.key)
+            self._flattened[op.key] = flattener.flatten_operation(op)
+        return self._flattened[op.key]
+
+    def run(
+        self,
+        state: object,
+        op: Operation,
+        binding: Dict[str, str],
+        site_id: int,
+        line: int,
+        check_sink: Optional[List[Tuple[int, int, str, bool]]],
+    ) -> List[object]:
+        """Execute one operation; returns successor states.
+
+        ``check_sink`` (when provided) accumulates
+        ``(site_id, line, op_key, must_ok)`` tuples for each ``requires``
+        encountered.
+        """
+        env: Dict[str, str] = {}
+        temps: List[str] = []
+        for operand in op.operands:
+            if operand.name in binding:
+                env[operand.name] = binding[operand.name]
+        states = self._run_stmts(
+            self.flattened(op), state, env, temps, op, site_id, line,
+            check_sink,
+        )
+        return [self.domain.forget(s, temps) for s in states]
+
+    # -- statement execution -------------------------------------------------------
+
+    def _run_stmts(
+        self, stmts, state, env, temps, op, site_id, line, check_sink
+    ) -> List[object]:
+        states = [state]
+        for stmt in stmts:
+            next_states: List[object] = []
+            for current in states:
+                next_states.extend(
+                    self._run_stmt(
+                        stmt, current, env, temps, op, site_id, line,
+                        check_sink,
+                    )
+                )
+            states = next_states
+            if not states:
+                break
+        return states
+
+    def _run_stmt(
+        self, stmt, state, env, temps, op, site_id, line, check_sink
+    ) -> List[object]:
+        if isinstance(stmt, NAssignVar):
+            value_var, state = self._eval_term(
+                stmt.rhs, state, env, temps, site_id
+            )
+            target = self._var_for_base(stmt.var, env, temps)
+            return [self.domain.copy_var(state, target, value_var)]
+        if isinstance(stmt, NAssignField):
+            base_var, state = self._eval_term(
+                stmt.base, state, env, temps, site_id
+            )
+            value_var, state = self._eval_term(
+                stmt.rhs, state, env, temps, site_id
+            )
+            return [self.domain.store(state, base_var, stmt.field, value_var)]
+        if isinstance(stmt, NAssume):
+            ok, state = self._check_cond(
+                stmt.cond, state, env, temps, site_id
+            )
+            if check_sink is not None:
+                check_sink.append((site_id, line, op.key, ok))
+            return [state]
+        if isinstance(stmt, NBranch):
+            value, state = self._eval_cond_3(
+                stmt.cond, state, env, temps, site_id
+            )
+            results: List[object] = []
+            if value is not False:
+                results.extend(
+                    self._run_stmts(
+                        list(stmt.then_body), state, dict(env), temps, op,
+                        site_id, line, check_sink,
+                    )
+                )
+            if value is not True:
+                results.extend(
+                    self._run_stmts(
+                        list(stmt.else_body), state, dict(env), temps, op,
+                        site_id, line, check_sink,
+                    )
+                )
+            return results
+        raise TypeError(f"unknown normalized statement {stmt!r}")
+
+    def _fresh_temp(self, hint: str) -> str:
+        self._temp_id += 1
+        return f"$g{self._temp_id}${hint}"
+
+    def _var_for_base(self, base: Base, env: Dict[str, str], temps) -> str:
+        if base.name in env:
+            return env[base.name]
+        temp = f"$spec${base.name}"
+        env[base.name] = temp
+        if temp not in temps:
+            temps.append(temp)
+        return temp
+
+    def _eval_term(
+        self, term: Term, state, env, temps, site_id
+    ) -> Tuple[str, object]:
+        if isinstance(term, Base):
+            if term.name == "null":
+                temp = self._fresh_temp("null")
+                temps.append(temp)
+                return temp, self.domain.set_null(state, temp)
+            return self._var_for_base(term, env, temps), state
+        if isinstance(term, Fresh):
+            key = f"$nu${term.label}"
+            if key not in env:
+                env[key] = self._fresh_temp("nu")
+                temps.append(env[key])
+                state = self.domain.alloc(
+                    state, env[key], f"spec:{site_id}:{term.label}"
+                )
+            return env[key], state
+        assert isinstance(term, Field)
+        base_var, state = self._eval_term(term.base, state, env, temps, site_id)
+        temp = self._fresh_temp(term.field)
+        temps.append(temp)
+        state = self.domain.load(state, temp, base_var, term.field)
+        return temp, state
+
+    def _check_cond(
+        self, cond: Formula, state, env, temps, site_id
+    ) -> Tuple[bool, object]:
+        """Is the requires condition must-true?  Returns (ok, state)."""
+        value, state = self._eval_cond_3(cond, state, env, temps, site_id)
+        return value is True, state
+
+    def _eval_cond_3(
+        self, cond: Formula, state, env, temps, site_id
+    ):
+        """3-valued condition evaluation: True / False / None (unknown)."""
+        if isinstance(cond, Truth):
+            return cond.value, state
+        if isinstance(cond, EqAtom):
+            lhs, state = self._eval_term(cond.lhs, state, env, temps, site_id)
+            rhs, state = self._eval_term(cond.rhs, state, env, temps, site_id)
+            if self.domain.must_equal(state, lhs, rhs):
+                return True, state
+            if not self.domain.may_equal(state, lhs, rhs):
+                return False, state
+            return None, state
+        if isinstance(cond, Not):
+            value, state = self._eval_cond_3(
+                cond.body, state, env, temps, site_id
+            )
+            return (None if value is None else not value), state
+        if isinstance(cond, And):
+            result = True
+            for arg in cond.args:
+                value, state = self._eval_cond_3(
+                    arg, state, env, temps, site_id
+                )
+                if value is False:
+                    return False, state
+                if value is None:
+                    result = None
+            return result, state
+        if isinstance(cond, Or):
+            result = False
+            for arg in cond.args:
+                value, state = self._eval_cond_3(
+                    arg, state, env, temps, site_id
+                )
+                if value is True:
+                    return True, state
+                if value is None:
+                    result = None
+            return result, state
+        raise TypeError(f"unsupported condition {cond!r}")
+
+
+# -- the fixpoint ------------------------------------------------------------------------
+
+
+def analyze_generic(
+    inlined: InlinedProgram,
+    domain: HeapDomain,
+    engine_name: str,
+    max_iterations: int = 200_000,
+) -> GenericResult:
+    """Run a generic heap analysis over the composite program."""
+    spec = inlined.program.spec
+    runner = _SpecRunner(spec, domain)
+    cfg = inlined.cfg
+    states: Dict[int, object] = {cfg.entry: domain.initial()}
+    worklist = deque([cfg.entry])
+    queued = {cfg.entry}
+    iterations = 0
+    while worklist:
+        iterations += 1
+        if iterations > max_iterations:
+            raise RuntimeError(
+                f"{engine_name}: fixpoint exceeded {max_iterations} steps"
+            )
+        node = worklist.popleft()
+        queued.discard(node)
+        state = states[node]
+        for edge in cfg.out_edges(node):
+            for successor in _transfer(edge.stm, state, domain, runner, None):
+                old = states.get(edge.dst)
+                merged = (
+                    successor if old is None else domain.join(old, successor)
+                )
+                if old is None or merged != old:
+                    states[edge.dst] = merged
+                    if edge.dst not in queued:
+                        queued.add(edge.dst)
+                        worklist.append(edge.dst)
+    # final pass: evaluate the requires clauses in the settled states
+    checks: List[Tuple[int, int, str, bool]] = []
+    for edge in cfg.edges:
+        state = states.get(edge.src)
+        if state is None:
+            continue
+        _transfer(edge.stm, state, domain, runner, checks)
+    alarms: List[Alarm] = []
+    seen = set()
+    for site_id, line, op_key, ok in checks:
+        if ok or site_id in seen:
+            continue
+        seen.add(site_id)
+        alarms.append(
+            Alarm(
+                site_id=site_id,
+                line=line,
+                op_key=op_key,
+                instance="<heap must-alias check>",
+            )
+        )
+    alarms.sort(key=lambda a: a.site_id)
+    report = CertificationReport(
+        subject=cfg.method,
+        engine=engine_name,
+        alarms=alarms,
+        stats={"iterations": iterations, "edges": len(cfg.edges)},
+    )
+    return GenericResult(report, states, iterations)
+
+
+def _transfer(stm, state, domain: HeapDomain, runner: _SpecRunner, checks):
+    if isinstance(stm, (SNop, SReturn)):
+        return [state]
+    if isinstance(stm, SCopy):
+        return [domain.copy_var(state, stm.dst, stm.src)]
+    if isinstance(stm, SNull):
+        return [domain.set_null(state, stm.dst)]
+    if isinstance(stm, SLoad):
+        return [domain.load(state, stm.dst, stm.base, stm.field)]
+    if isinstance(stm, SStore):
+        return [domain.store(state, stm.base, stm.field, stm.src)]
+    if isinstance(stm, SNewClient):
+        return [domain.alloc(state, stm.dst, f"client:{stm.line}:{stm.class_name}")]
+    if isinstance(stm, SCallComp):
+        op = runner.spec.operation(stm.op_key)
+        return runner.run(
+            state, op, stm.binding_map, stm.site_id, stm.line, checks
+        )
+    if isinstance(stm, SAssume):
+        if stm.rhs == "null":
+            refined = domain.assume_null(state, stm.lhs, stm.equal)
+        else:
+            refined = domain.assume_equal(state, stm.lhs, stm.rhs, stm.equal)
+        return [refined] if refined is not None else []
+    raise TypeError(f"unknown statement {stm!r}")

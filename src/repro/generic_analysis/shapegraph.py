@@ -1,0 +1,268 @@
+"""Storage-shape-graph analysis — the Fig. 7 baseline.
+
+Heap nodes are identified by the *set of variables pointing to them*; all
+objects pointed to by the same variable set share one node, and a node
+that comes to abstract more than one object becomes a *summary* node
+(drawn merged as ``o4o5`` in Fig. 7(c)).  Field edges carry a per-source
+``definite`` flag — the solid "must" edges of Fig. 7 — meaning the field
+points into the target node (and nowhere else, and is non-null) in every
+represented store.
+
+A ``requires (α == β)`` check is answered by loading both paths into
+temporaries and asking whether the temporaries end up in the *same
+non-summary* node: non-summary means the node stands for a single object
+per store, so co-residence implies equality.
+
+The characteristic imprecision (Section 4.4): once a collection is
+modified while an old version object is still referenced by an iterator,
+two version objects exist with no variables pointing at them; their nodes
+merge into the empty-varset summary, the definite edges degrade, and the
+analysis can no longer validate *any* iterator — producing the Fig. 7
+false alarm at statement 7 that the staged certifier avoids.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Optional, Set, Tuple
+
+from repro.generic_analysis.framework import HeapDomain
+
+VarSet = FrozenSet[str]
+EMPTY: VarSet = frozenset()
+
+
+class ShapeState:
+    """An immutable storage shape graph."""
+
+    __slots__ = ("summary", "edges", "definite", "_key")
+
+    def __init__(
+        self,
+        summary: Dict[VarSet, bool],
+        edges: Dict[Tuple[VarSet, str], FrozenSet[VarSet]],
+        definite: FrozenSet[Tuple[VarSet, str]],
+    ) -> None:
+        # drop empty nodes that nothing references
+        self.summary = summary
+        self.edges = {k: v for k, v in edges.items() if v}
+        self.definite = frozenset(
+            k for k in definite if k in self.edges and len(self.edges[k]) == 1
+        )
+        self._key = (
+            frozenset(self.summary.items()),
+            frozenset((k, v) for k, v in self.edges.items()),
+            self.definite,
+        )
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, ShapeState) and self._key == other._key
+
+    def __hash__(self) -> int:
+        return hash(self._key)
+
+    def nodes_of(self, var: str) -> Tuple[VarSet, ...]:
+        return tuple(n for n in self.summary if var in n)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        def name(n: VarSet) -> str:
+            label = "{" + ",".join(sorted(n)) + "}"
+            return label + ("*" if self.summary[n] else "")
+
+        parts = [name(n) for n in self.summary]
+        for (n, f), targets in sorted(
+            self.edges.items(), key=lambda kv: (sorted(kv[0][0]), kv[0][1])
+        ):
+            flag = "=" if (n, f) in self.definite else "~"
+            parts.append(
+                f"{name(n)}.{f} {flag}> {[name(t) for t in targets]}"
+            )
+        return "Shape(" + "; ".join(parts) + ")"
+
+
+def _rename(
+    state: ShapeState, mapping: Dict[VarSet, VarSet]
+) -> ShapeState:
+    """Apply a node renaming, merging nodes that collide (collided nodes
+    become summaries; their definite edges survive only when they agree)."""
+
+    def target(n: VarSet) -> VarSet:
+        return mapping.get(n, n)
+
+    summary: Dict[VarSet, bool] = {}
+    collided: Set[VarSet] = set()
+    for node, is_summary in state.summary.items():
+        new = target(node)
+        if new in summary:
+            collided.add(new)
+            summary[new] = True
+        else:
+            summary[new] = is_summary
+    edges: Dict[Tuple[VarSet, str], FrozenSet[VarSet]] = {}
+    definite_votes: Dict[Tuple[VarSet, str], list] = {}
+    for (node, fieldname), targets in state.edges.items():
+        key = (target(node), fieldname)
+        new_targets = frozenset(target(t) for t in targets)
+        edges[key] = edges.get(key, frozenset()) | new_targets
+        definite_votes.setdefault(key, []).append(
+            (node, fieldname) in state.definite
+        )
+    definite = frozenset(
+        key
+        for key, votes in definite_votes.items()
+        if all(votes) and len(edges[key]) == 1 and key[0] not in collided
+    )
+    # merged source nodes may have had edges only in one constituent;
+    # conservatively keep definiteness only for non-collided sources
+    definite = frozenset(
+        key for key in definite if key[0] not in collided
+    )
+    return ShapeState(summary, edges, definite)
+
+
+def _remove_var(state: ShapeState, var: str) -> ShapeState:
+    mapping = {
+        n: frozenset(n - {var}) for n in state.summary if var in n
+    }
+    return _rename(state, mapping) if mapping else state
+
+
+class ShapeGraphDomain(HeapDomain):
+    """The storage-shape-graph heap domain."""
+
+    def initial(self) -> ShapeState:
+        return ShapeState({}, {}, frozenset())
+
+    def join(self, a: ShapeState, b: ShapeState) -> ShapeState:
+        summary: Dict[VarSet, bool] = dict(a.summary)
+        for node, is_summary in b.summary.items():
+            summary[node] = summary.get(node, False) or is_summary
+        edges: Dict[Tuple[VarSet, str], FrozenSet[VarSet]] = dict(a.edges)
+        for key, targets in b.edges.items():
+            edges[key] = edges.get(key, frozenset()) | targets
+        definite = set()
+        for key in set(a.definite) | set(b.definite):
+            node = key[0]
+            ok = True
+            for side, state in ((a.definite, a), (b.definite, b)):
+                if node in state.summary and key not in side:
+                    ok = False
+            if ok and len(edges.get(key, frozenset())) == 1:
+                definite.add(key)
+        return ShapeState(summary, edges, frozenset(definite))
+
+    # -- transformers ---------------------------------------------------------------
+
+    def copy_var(self, state: ShapeState, dst: str, src: str) -> ShapeState:
+        state = _remove_var(state, dst)
+        mapping = {
+            n: frozenset(n | {dst}) for n in state.summary if src in n
+        }
+        return _rename(state, mapping) if mapping else state
+
+    def set_null(self, state: ShapeState, dst: str) -> ShapeState:
+        return _remove_var(state, dst)
+
+    def forget(self, state: ShapeState, variables: Iterable[str]) -> ShapeState:
+        result = state
+        for var in variables:
+            result = _remove_var(result, var)
+        return result
+
+    def alloc(self, state: ShapeState, dst: str, site: str) -> ShapeState:
+        state = _remove_var(state, dst)
+        node: VarSet = frozenset([dst])
+        summary = dict(state.summary)
+        assert node not in summary
+        summary[node] = False
+        return ShapeState(summary, dict(state.edges), state.definite)
+
+    def load(
+        self, state: ShapeState, dst: str, base: str, fieldname: str
+    ) -> ShapeState:
+        state = _remove_var(state, dst)
+        base_nodes = state.nodes_of(base)
+        all_targets: Set[VarSet] = set()
+        strong = len(base_nodes) == 1
+        for node in base_nodes:
+            key = (node, fieldname)
+            targets = state.edges.get(key, frozenset())
+            all_targets |= targets
+            if key not in state.definite:
+                strong = False
+        if not all_targets:
+            return state  # field is null (or base is null): dst stays null
+        if (
+            strong
+            and len(all_targets) == 1
+            and not state.summary[next(iter(all_targets))]
+        ):
+            # the target stands for one object per store: dst joins it
+            target = next(iter(all_targets))
+            return _rename(state, {target: frozenset(target | {dst})})
+        # weak: materialize a copy of each possible target with dst added
+        summary = dict(state.summary)
+        edges = dict(state.edges)
+        definite = set(state.definite)
+        for target in all_targets:
+            copy_node = frozenset(target | {dst})
+            if copy_node in summary:
+                summary[copy_node] = True
+            else:
+                summary[copy_node] = summary[target]
+            # the copy may have the same outgoing shape as the original
+            for (node, f2), tgts in state.edges.items():
+                if node == target:
+                    key2 = (copy_node, f2)
+                    edges[key2] = edges.get(key2, frozenset()) | tgts
+                    definite.discard(key2)
+                if target in tgts:
+                    key2 = (node, f2)
+                    edges[key2] = edges[key2] | {copy_node}
+                    definite.discard(key2)
+        return ShapeState(summary, edges, frozenset(definite))
+
+    def store(
+        self, state: ShapeState, base: str, fieldname: str, src: str
+    ) -> ShapeState:
+        base_nodes = state.nodes_of(base)
+        src_nodes = frozenset(state.nodes_of(src))
+        summary = dict(state.summary)
+        edges = dict(state.edges)
+        definite = set(state.definite)
+        strong = len(base_nodes) == 1 and not summary[base_nodes[0]]
+        for node in base_nodes:
+            key = (node, fieldname)
+            if strong:
+                if src_nodes:
+                    edges[key] = src_nodes
+                    if len(src_nodes) == 1:
+                        definite.add(key)
+                    else:
+                        definite.discard(key)
+                else:
+                    edges.pop(key, None)
+                    definite.discard(key)
+            else:
+                edges[key] = edges.get(key, frozenset()) | src_nodes
+                definite.discard(key)
+        return ShapeState(summary, edges, frozenset(definite))
+
+    # -- queries ----------------------------------------------------------------------
+
+    def must_equal(self, state: ShapeState, lhs: str, rhs: str) -> bool:
+        left = state.nodes_of(lhs)
+        right = state.nodes_of(rhs)
+        if not left and not right:
+            return True  # both definitely null
+        return (
+            len(left) == 1
+            and left == right
+            and not state.summary[left[0]]
+        )
+
+    def may_equal(self, state: ShapeState, lhs: str, rhs: str) -> bool:
+        left = set(state.nodes_of(lhs))
+        right = set(state.nodes_of(rhs))
+        if not left and not right:
+            return True
+        return bool(left & right)

@@ -1,0 +1,231 @@
+"""Surface abstract syntax of Jlite client programs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+# -- expressions ----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PathE:
+    """An access path ``root.f1.f2``; ``root`` may be ``this``, a local,
+    a field (implicit ``this.``), a static, or a class name (static
+    access)."""
+
+    root: str
+    fields: Tuple[str, ...] = ()
+    line: int = 0
+
+    def __str__(self) -> str:
+        return ".".join((self.root,) + self.fields)
+
+
+@dataclass(frozen=True)
+class NewE:
+    class_name: str
+    args: Tuple["ExprT", ...] = ()
+    line: int = 0
+
+    def __str__(self) -> str:
+        return f"new {self.class_name}({', '.join(map(str, self.args))})"
+
+
+@dataclass(frozen=True)
+class CallE:
+    """A method call ``target.method(args)``.
+
+    ``target`` is None for same-class calls ``method(args)``.
+    """
+
+    target: Optional[PathE]
+    method: str
+    args: Tuple["ExprT", ...] = ()
+    line: int = 0
+
+    def __str__(self) -> str:
+        prefix = f"{self.target}." if self.target else ""
+        return f"{prefix}{self.method}({', '.join(map(str, self.args))})"
+
+
+@dataclass(frozen=True)
+class NullE:
+    line: int = 0
+
+    def __str__(self) -> str:
+        return "null"
+
+
+@dataclass(frozen=True)
+class OpaqueE:
+    """A string/int literal: carries no component state."""
+
+    text: str
+    line: int = 0
+
+    def __str__(self) -> str:
+        return repr(self.text)
+
+
+ExprT = object  # PathE | NewE | CallE | NullE | OpaqueE
+
+
+# -- conditions -------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class NondetC:
+    """``?`` — the abstracted condition (primitive data is not modelled)."""
+
+    line: int = 0
+
+    def __str__(self) -> str:
+        return "?"
+
+
+@dataclass(frozen=True)
+class CompareC:
+    """``lhs == rhs`` / ``lhs != rhs`` over reference paths (or null)."""
+
+    lhs: PathE
+    rhs: ExprT  # PathE or NullE
+    equal: bool
+    line: int = 0
+
+    def __str__(self) -> str:
+        return f"{self.lhs} {'==' if self.equal else '!='} {self.rhs}"
+
+
+@dataclass(frozen=True)
+class CallC:
+    """A boolean-returning call used as a condition, e.g. ``i.hasNext()``.
+
+    The call's component effects happen; its truth value is nondet.
+    """
+
+    call: CallE
+    negated: bool = False
+    line: int = 0
+
+    def __str__(self) -> str:
+        return ("!" if self.negated else "") + str(self.call)
+
+
+CondT = object  # NondetC | CompareC | CallC
+
+
+# -- statements ---------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DeclS:
+    type: str
+    name: str
+    init: Optional[ExprT]
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class AssignS:
+    lhs: PathE
+    rhs: ExprT
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class ExprS:
+    expr: ExprT  # a call (only expression with effects)
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class IfS:
+    cond: CondT
+    then_body: Tuple["StmtT", ...]
+    else_body: Tuple["StmtT", ...] = ()
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class WhileS:
+    cond: CondT
+    body: Tuple["StmtT", ...]
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class ReturnS:
+    expr: Optional[ExprT]
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class BlockS:
+    """A statement sequence (used by the ``for``-loop desugaring)."""
+
+    body: Tuple["StmtT", ...]
+    line: int = 0
+
+
+StmtT = object  # DeclS | AssignS | ExprS | IfS | WhileS | ReturnS | BlockS
+
+
+# -- declarations ----------------------------------------------------------------------
+
+
+@dataclass
+class FieldDecl:
+    name: str
+    type: str
+    is_static: bool = False
+    line: int = 0
+
+
+@dataclass
+class MethodDecl:
+    name: str
+    params: List[Tuple[str, str]]  # (name, type)
+    return_type: str
+    body: Tuple[StmtT, ...]
+    is_static: bool = False
+    is_constructor: bool = False
+    line: int = 0
+
+
+@dataclass
+class ClassDecl:
+    name: str
+    fields: List[FieldDecl] = field(default_factory=list)
+    methods: List[MethodDecl] = field(default_factory=list)
+    line: int = 0
+
+    def field_decl(self, name: str) -> Optional[FieldDecl]:
+        for f in self.fields:
+            if f.name == name:
+                return f
+        return None
+
+    def method_decl(self, name: str) -> Optional[MethodDecl]:
+        for m in self.methods:
+            if m.name == name and not m.is_constructor:
+                return m
+        return None
+
+    def constructor(self) -> Optional[MethodDecl]:
+        for m in self.methods:
+            if m.is_constructor:
+                return m
+        return None
+
+
+@dataclass
+class ProgramAST:
+    classes: List[ClassDecl]
+
+    def class_decl(self, name: str) -> Optional[ClassDecl]:
+        for c in self.classes:
+            if c.name == name:
+                return c
+        return None

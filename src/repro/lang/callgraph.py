@@ -1,0 +1,101 @@
+"""The (monomorphic) client call graph.
+
+Jlite has no inheritance, so every call site has exactly one static
+target.  The call graph drives reachability pruning, recursion detection
+(used to pick between exhaustive inlining and the summary-based
+interprocedural solver), and topological processing orders.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.lang.cfg import SCallClient
+from repro.lang.types import Program
+
+
+@dataclass
+class CallGraph:
+    """Edges between qualified method names, with call-site lines."""
+
+    program: Program
+    edges: Dict[str, List[Tuple[str, int]]] = field(default_factory=dict)
+
+    def callees(self, method: str) -> List[str]:
+        return [callee for callee, _line in self.edges.get(method, [])]
+
+    def reachable(self, entry: Optional[str] = None) -> Set[str]:
+        start = (
+            entry
+            if entry is not None
+            else self.program.entry.qualified
+        )
+        seen: Set[str] = set()
+        stack = [start]
+        while stack:
+            method = stack.pop()
+            if method in seen:
+                continue
+            seen.add(method)
+            stack.extend(
+                callee
+                for callee in self.callees(method)
+                if callee not in seen
+            )
+        return seen
+
+    def is_recursive(self, entry: Optional[str] = None) -> bool:
+        """True when a cycle is reachable from the entry point."""
+        reachable = self.reachable(entry)
+        state: Dict[str, int] = {}  # 0 = on stack, 1 = done
+
+        def visit(method: str) -> bool:
+            if state.get(method) == 1:
+                return False
+            if state.get(method) == 0:
+                return True
+            state[method] = 0
+            for callee in self.callees(method):
+                if callee in reachable and visit(callee):
+                    return True
+            state[method] = 1
+            return False
+
+        start = entry if entry else self.program.entry.qualified
+        return visit(start)
+
+    def topological_order(
+        self, entry: Optional[str] = None
+    ) -> List[str]:
+        """Callees-first order of the reachable acyclic portion; members
+        of cycles appear in discovery order."""
+        reachable = self.reachable(entry)
+        order: List[str] = []
+        visited: Set[str] = set()
+
+        def visit(method: str) -> None:
+            if method in visited:
+                return
+            visited.add(method)
+            for callee in self.callees(method):
+                if callee in reachable:
+                    visit(callee)
+            order.append(method)
+
+        start = entry if entry else self.program.entry.qualified
+        visit(start)
+        return order
+
+
+def build_call_graph(program: Program) -> CallGraph:
+    """Collect every client call edge from the lowered CFGs."""
+    graph = CallGraph(program)
+    for qualified, minfo in program.methods.items():
+        cfg = minfo.cfg
+        assert cfg is not None
+        targets = graph.edges.setdefault(qualified, [])
+        for edge in cfg.edges:
+            if isinstance(edge.stm, SCallClient):
+                targets.append((edge.stm.callee, edge.stm.line))
+    return graph

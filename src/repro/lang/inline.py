@@ -1,0 +1,221 @@
+"""Whole-program inlining of client calls.
+
+Two consumers need a single flat CFG:
+
+* the **generic certification** baselines of Section 3, which analyse a
+  composite program formed by inlining behaviour at call sites;
+* the **inlining reference** for the Section 8 interprocedural certifier:
+  running the (provably precise) intraprocedural FDS solver on the inlined
+  program yields the exact meet-over-all-valid-paths answer for
+  recursion-free clients, against which the summary-based solver is
+  validated.
+
+Locals of each inlined activation are renamed with a frame prefix
+(``f3$x``); static variables — whose names contain a dot — are left
+global.  Component call sites keep their original ``site_id``, so alarms
+map back to source lines.  Recursive calls beyond ``max_depth`` are cut:
+the call is replaced by a marker edge and the result is flagged, letting
+callers decide whether a truncated inlining is acceptable.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.lang.cfg import (
+    CFG,
+    SAssume,
+    SCallClient,
+    SCallComp,
+    SCopy,
+    SLoad,
+    SNewClient,
+    SNop,
+    SNull,
+    SReturn,
+    SStore,
+)
+from repro.lang.types import MethodInfo, Program
+
+
+@dataclass
+class InlinedProgram:
+    """A flattened whole-program CFG."""
+
+    cfg: CFG
+    variables: Dict[str, str]  # renamed variable -> type
+    program: Program
+    cut_calls: int = 0  # recursion cut points (0 = exact inlining)
+
+    @property
+    def exact(self) -> bool:
+        return self.cut_calls == 0
+
+    def component_vars(self) -> Dict[str, str]:
+        spec = self.program.spec
+        found = {
+            name: type_
+            for name, type_ in self.variables.items()
+            if spec.is_component_type(type_)
+        }
+        for name, type_ in self.program.statics.items():
+            if spec.is_component_type(type_):
+                found[name] = type_
+        return found
+
+
+class InlineError(Exception):
+    pass
+
+
+def inline_program(
+    program: Program,
+    entry: Optional[str] = None,
+    max_depth: int = 12,
+) -> InlinedProgram:
+    """Inline every client call reachable from the entry method."""
+    entry_method = program.method(entry) if entry else program.entry
+    inliner = _Inliner(program, max_depth)
+    cfg = CFG(f"{entry_method.qualified}<inlined>")
+    final = inliner.splice(
+        entry_method, cfg, cfg.entry, prefix="f0$", depth=0,
+        arg_map={},
+    )
+    cfg.add_edge(final, cfg.exit, SReturn(None))
+    return InlinedProgram(
+        cfg, inliner.variables, program, inliner.cut_calls
+    )
+
+
+class _Inliner:
+    def __init__(self, program: Program, max_depth: int) -> None:
+        self.program = program
+        self.max_depth = max_depth
+        self.variables: Dict[str, str] = {}
+        self.cut_calls = 0
+        self._frame_ids = itertools.count(1)
+
+    def splice(
+        self,
+        method: MethodInfo,
+        out: CFG,
+        entry_node: int,
+        prefix: str,
+        depth: int,
+        arg_map: Dict[str, str],
+        result_var: Optional[str] = None,
+    ) -> int:
+        """Copy ``method``'s CFG into ``out`` starting at ``entry_node``;
+        returns the node where execution continues after the method."""
+        cfg = method.cfg
+        assert cfg is not None
+        for name, type_ in method.variables.items():
+            self.variables[self._rename(name, prefix)] = type_
+        node_map: Dict[int, int] = {cfg.entry: entry_node}
+
+        def mapped(node: int) -> int:
+            if node not in node_map:
+                node_map[node] = out.new_node()
+            return node_map[node]
+
+        exit_node = mapped(cfg.exit)
+
+        # bind arguments: caller-side names were provided in arg_map
+        current = entry_node
+        for formal, actual in arg_map.items():
+            next_node = out.new_node()
+            formal_renamed = self._rename(formal, prefix)
+            type_ = method.variables.get(formal, "Object")
+            out.add_edge(
+                current, next_node, SCopy(formal_renamed, actual, type_)
+            )
+            current = next_node
+        if arg_map:
+            # re-root the entry mapping after the binding chain
+            node_map[cfg.entry] = current
+
+        for edge in cfg.edges:
+            src = mapped(edge.src)
+            dst = mapped(edge.dst)
+            stm = edge.stm
+            if isinstance(stm, SCallClient):
+                self._splice_call(stm, out, src, dst, prefix, depth)
+                continue
+            if isinstance(stm, SReturn):
+                if stm.var is not None and result_var is not None:
+                    out.add_edge(
+                        src,
+                        dst,
+                        SCopy(
+                            result_var,
+                            self._rename(stm.var, prefix),
+                            self.variables.get(
+                                self._rename(stm.var, prefix), "Object"
+                            ),
+                            stm.line,
+                        ),
+                    )
+                else:
+                    out.add_edge(src, dst, SNop(stm.line))
+                continue
+            out.add_edge(src, dst, self._rename_stm(stm, prefix))
+        return exit_node
+
+    def _splice_call(
+        self,
+        stm: SCallClient,
+        out: CFG,
+        src: int,
+        dst: int,
+        prefix: str,
+        depth: int,
+    ) -> None:
+        if depth >= self.max_depth:
+            self.cut_calls += 1
+            out.add_edge(src, dst, SNop(stm.line))
+            return
+        callee = self.program.method(stm.callee)
+        callee_prefix = f"f{next(self._frame_ids)}$"
+        arg_map: Dict[str, str] = {}
+        if stm.receiver is not None and not callee.is_static:
+            arg_map["this"] = self._rename(stm.receiver, prefix)
+        for (pname, _ptype), actual in zip(callee.params, stm.args):
+            arg_map[pname] = self._rename(actual, prefix)
+        result = (
+            self._rename(stm.result, prefix) if stm.result is not None else None
+        )
+        final = self.splice(
+            callee, out, src, callee_prefix, depth + 1, arg_map, result
+        )
+        out.add_edge(final, dst, SNop(stm.line))
+
+    # -- renaming -----------------------------------------------------------------
+
+    def _rename(self, var: str, prefix: str) -> str:
+        if "." in var:  # static variable: global
+            return var
+        return f"{prefix}{var}"
+
+    def _rename_stm(self, stm, prefix: str):
+        r = lambda v: self._rename(v, prefix)  # noqa: E731
+        if isinstance(stm, SNop):
+            return stm
+        if isinstance(stm, SCopy):
+            return SCopy(r(stm.dst), r(stm.src), stm.type, stm.line)
+        if isinstance(stm, SNull):
+            return SNull(r(stm.dst), stm.type, stm.line)
+        if isinstance(stm, SLoad):
+            return SLoad(r(stm.dst), r(stm.base), stm.field, stm.type, stm.line)
+        if isinstance(stm, SStore):
+            return SStore(r(stm.base), stm.field, r(stm.src), stm.type, stm.line)
+        if isinstance(stm, SNewClient):
+            return SNewClient(r(stm.dst), stm.class_name, stm.line)
+        if isinstance(stm, SCallComp):
+            bindings = tuple((name, r(var)) for name, var in stm.bindings)
+            return SCallComp(stm.op_key, bindings, stm.site_id, stm.line)
+        if isinstance(stm, SAssume):
+            rhs = stm.rhs if stm.rhs == "null" else r(stm.rhs)
+            return SAssume(r(stm.lhs), rhs, stm.equal, stm.line)
+        raise InlineError(f"cannot rename statement {stm!r}")

@@ -1,0 +1,298 @@
+"""Recursive-descent parser for Jlite.
+
+Grammar sketch::
+
+    program := class*
+    class   := 'class' NAME '{' member* '}'
+    member  := ['static'] TYPE NAME ';'
+             | ['static'] TYPE NAME '(' params ')' block
+             | NAME '(' params ')' block                     constructor
+    stmt    := TYPE NAME ['=' expr] ';'
+             | path '=' expr ';'
+             | expr ';'
+             | 'if' '(' cond ')' block ['else' block]
+             | 'while' '(' cond ')' block
+             | 'return' [expr] ';'
+    expr    := 'new' NAME '(' args ')'
+             | path ['(' args ')']       call when the trailing '(' follows
+             | 'null' | STRING | INT
+    cond    := '?' | ['!'] expr | path ('=='|'!=') (path|'null')
+
+The only lexical ambiguity — declaration vs. assignment — is resolved by
+one token of lookahead (``TYPE NAME`` vs. ``path =``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.lang.ast import (
+    AssignS,
+    BlockS,
+    CallC,
+    CallE,
+    ClassDecl,
+    CompareC,
+    CondT,
+    DeclS,
+    ExprS,
+    ExprT,
+    FieldDecl,
+    IfS,
+    MethodDecl,
+    NewE,
+    NondetC,
+    NullE,
+    OpaqueE,
+    PathE,
+    ProgramAST,
+    ReturnS,
+    StmtT,
+    WhileS,
+)
+from repro.util.lexer import Lexer, LexError
+
+
+class JliteParseError(Exception):
+    """Raised on malformed Jlite input."""
+
+
+def parse_program_ast(source: str) -> ProgramAST:
+    """Parse Jlite source into a surface AST."""
+    try:
+        return _Parser(source).parse()
+    except LexError as error:
+        raise JliteParseError(str(error)) from error
+
+
+class _Parser:
+    def __init__(self, source: str) -> None:
+        self.lexer = Lexer(source)
+
+    def parse(self) -> ProgramAST:
+        classes: List[ClassDecl] = []
+        while not self.lexer.at_kind("eof"):
+            classes.append(self._class_decl())
+        return ProgramAST(classes)
+
+    def _class_decl(self) -> ClassDecl:
+        line = self.lexer.current.line
+        self.lexer.expect("class")
+        name = self.lexer.expect_ident().text
+        self.lexer.expect("{")
+        decl = ClassDecl(name, line=line)
+        while not self.lexer.at("}"):
+            self._member(decl)
+        self.lexer.expect("}")
+        return decl
+
+    def _member(self, decl: ClassDecl) -> None:
+        line = self.lexer.current.line
+        is_static = bool(self.lexer.accept("static"))
+        first = self.lexer.expect_ident().text
+        if not is_static and first == decl.name and self.lexer.at("("):
+            params = self._params()
+            body = self._block()
+            decl.methods.append(
+                MethodDecl(
+                    "<init>", params, "void", body,
+                    is_static=False, is_constructor=True, line=line,
+                )
+            )
+            return
+        member_name = self.lexer.expect_ident().text
+        if self.lexer.accept(";"):
+            decl.fields.append(FieldDecl(member_name, first, is_static, line))
+            return
+        params = self._params()
+        body = self._block()
+        decl.methods.append(
+            MethodDecl(member_name, params, first, body, is_static, False, line)
+        )
+
+    def _params(self) -> List[Tuple[str, str]]:
+        self.lexer.expect("(")
+        params: List[Tuple[str, str]] = []
+        if not self.lexer.at(")"):
+            while True:
+                param_type = self.lexer.expect_ident().text
+                param_name = self.lexer.expect_ident().text
+                params.append((param_name, param_type))
+                if not self.lexer.accept(","):
+                    break
+        self.lexer.expect(")")
+        return params
+
+    def _block(self) -> Tuple[StmtT, ...]:
+        self.lexer.expect("{")
+        stmts: List[StmtT] = []
+        while not self.lexer.at("}"):
+            stmts.append(self._stmt())
+        self.lexer.expect("}")
+        return tuple(stmts)
+
+    # -- statements -----------------------------------------------------------
+
+    def _stmt(self) -> StmtT:
+        line = self.lexer.current.line
+        if self.lexer.accept("if"):
+            self.lexer.expect("(")
+            cond = self._cond()
+            self.lexer.expect(")")
+            then_body = self._block()
+            else_body: Tuple[StmtT, ...] = ()
+            if self.lexer.accept("else"):
+                if self.lexer.at("if"):
+                    else_body = (self._stmt(),)
+                else:
+                    else_body = self._block()
+            return IfS(cond, then_body, else_body, line)
+        if self.lexer.accept("while"):
+            self.lexer.expect("(")
+            cond = self._cond()
+            self.lexer.expect(")")
+            body = self._block()
+            return WhileS(cond, body, line)
+        if self.lexer.accept("for"):
+            return self._for_stmt(line)
+        if self.lexer.accept("return"):
+            if self.lexer.accept(";"):
+                return ReturnS(None, line)
+            expr = self._expr()
+            self.lexer.expect(";")
+            return ReturnS(expr, line)
+        # declaration: IDENT IDENT [= expr] ;
+        if (
+            self.lexer.current.kind == "ident"
+            and self.lexer.peek(1).kind == "ident"
+        ):
+            decl_type = self.lexer.expect_ident().text
+            name = self.lexer.expect_ident().text
+            init: Optional[ExprT] = None
+            if self.lexer.accept("="):
+                init = self._expr()
+            self.lexer.expect(";")
+            return DeclS(decl_type, name, init, line)
+        expr = self._expr()
+        if isinstance(expr, PathE) and self.lexer.accept("="):
+            rhs = self._expr()
+            self.lexer.expect(";")
+            return AssignS(expr, rhs, line)
+        self.lexer.expect(";")
+        return ExprS(expr, line)
+
+    def _for_stmt(self, line: int) -> StmtT:
+        """Desugar ``for (init; cond; step) body`` into init + while."""
+        self.lexer.expect("(")
+        init: Optional[StmtT] = None
+        if not self.lexer.at(";"):
+            init = self._simple_stmt_no_semi(line)
+        self.lexer.expect(";")
+        cond: CondT = NondetC(line)
+        if not self.lexer.at(";"):
+            cond = self._cond()
+        self.lexer.expect(";")
+        step: Optional[StmtT] = None
+        if not self.lexer.at(")"):
+            step = self._simple_stmt_no_semi(line)
+        self.lexer.expect(")")
+        body = self._block()
+        loop_body = body + ((step,) if step is not None else ())
+        loop = WhileS(cond, loop_body, line)
+        if init is not None:
+            return BlockS((init, loop), line)
+        return loop
+
+    def _simple_stmt_no_semi(self, line: int) -> StmtT:
+        if (
+            self.lexer.current.kind == "ident"
+            and self.lexer.peek(1).kind == "ident"
+        ):
+            decl_type = self.lexer.expect_ident().text
+            name = self.lexer.expect_ident().text
+            init: Optional[ExprT] = None
+            if self.lexer.accept("="):
+                init = self._expr()
+            return DeclS(decl_type, name, init, line)
+        expr = self._expr()
+        if isinstance(expr, PathE) and self.lexer.accept("="):
+            return AssignS(expr, self._expr(), line)
+        return ExprS(expr, line)
+
+    # -- conditions ------------------------------------------------------------
+
+    def _cond(self) -> CondT:
+        line = self.lexer.current.line
+        if self.lexer.accept("?"):
+            return NondetC(line)
+        negated = bool(self.lexer.accept("!"))
+        expr = self._expr()
+        if isinstance(expr, CallE):
+            return CallC(expr, negated, line)
+        if not isinstance(expr, PathE):
+            raise JliteParseError(
+                f"unsupported condition operand at line {line}"
+            )
+        if negated:
+            raise JliteParseError(
+                f"'!' applies only to call conditions (line {line})"
+            )
+        if self.lexer.accept("=="):
+            return CompareC(expr, self._cond_rhs(), True, line)
+        if self.lexer.accept("!="):
+            return CompareC(expr, self._cond_rhs(), False, line)
+        raise JliteParseError(
+            f"expected comparison or call condition at line {line}"
+        )
+
+    def _cond_rhs(self) -> ExprT:
+        if self.lexer.accept("null"):
+            return NullE(self.lexer.current.line)
+        return self._path()
+
+    # -- expressions --------------------------------------------------------------
+
+    def _expr(self) -> ExprT:
+        line = self.lexer.current.line
+        if self.lexer.accept("new"):
+            class_name = self.lexer.expect_ident().text
+            args = self._args()
+            return NewE(class_name, args, line)
+        if self.lexer.accept("null"):
+            return NullE(line)
+        if self.lexer.current.kind == "string":
+            token = self.lexer.advance()
+            return OpaqueE(token.text, line)
+        if self.lexer.current.kind == "int":
+            token = self.lexer.advance()
+            return OpaqueE(token.text, line)
+        path = self._path()
+        if self.lexer.at("("):
+            args = self._args()
+            if path.fields:
+                target = PathE(path.root, path.fields[:-1], path.line)
+                return CallE(target, path.fields[-1], args, line)
+            return CallE(None, path.root, args, line)
+        return path
+
+    def _args(self) -> Tuple[ExprT, ...]:
+        self.lexer.expect("(")
+        args: List[ExprT] = []
+        if not self.lexer.at(")"):
+            while True:
+                args.append(self._expr())
+                if not self.lexer.accept(","):
+                    break
+        self.lexer.expect(")")
+        return tuple(args)
+
+    def _path(self) -> PathE:
+        line = self.lexer.current.line
+        root = self.lexer.expect_ident().text
+        fields: List[str] = []
+        # consume field segments greedily; call detection happens in _expr
+        # by checking for '(' after the whole path
+        while self.lexer.at(".") and self.lexer.peek(1).kind == "ident":
+            self.lexer.expect(".")
+            fields.append(self.lexer.expect_ident().text)
+        return PathE(root, tuple(fields), line)

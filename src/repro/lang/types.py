@@ -1,0 +1,717 @@
+"""Program model: class table, name resolution, typed CFG construction.
+
+:func:`parse_program` is the frontend entry point: it parses Jlite source,
+builds the class table against a component specification, resolves names,
+and lowers every method body to a 3-address :class:`~repro.lang.cfg.CFG`.
+
+Name resolution inside a method body follows Java's intuition:
+local / parameter ▸ field of the enclosing class (implicit ``this.`` for
+instance fields, ``Class.field`` for statics) ▸ a class name beginning a
+static-field path.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.easl.spec import ComponentSpec, Operation
+from repro.lang import ast as A
+from repro.lang.cfg import (
+    CFG,
+    SAssume,
+    SCallClient,
+    SCallComp,
+    SCopy,
+    SLoad,
+    SNewClient,
+    SNop,
+    SNull,
+    SReturn,
+    SStore,
+)
+from repro.lang.parser import parse_program_ast
+
+OPAQUE_TYPES = frozenset({"Object", "boolean", "void", "int", "String"})
+
+
+class TypeError_(Exception):
+    """Raised on Jlite type/name-resolution errors."""
+
+
+@dataclass
+class FieldInfo:
+    name: str
+    type: str
+    is_static: bool
+    owner: str
+
+    @property
+    def static_name(self) -> str:
+        return f"{self.owner}.{self.name}"
+
+
+@dataclass
+class ClassInfo:
+    name: str
+    fields: Dict[str, FieldInfo] = field(default_factory=dict)
+    methods: Dict[str, "MethodInfo"] = field(default_factory=dict)
+
+
+@dataclass
+class MethodInfo:
+    qualified: str  # "Class.method"
+    class_name: str
+    name: str
+    params: List[Tuple[str, str]]
+    return_type: str
+    is_static: bool
+    is_constructor: bool
+    ast: A.MethodDecl
+    cfg: Optional[CFG] = None
+    #: every variable (param/local/temp/this) with its type
+    variables: Dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class CallSite:
+    site_id: int
+    line: int
+    op_key: str
+    method: str  # enclosing client method (qualified)
+
+
+class Program:
+    """A resolved Jlite program against a component specification."""
+
+    def __init__(self, ast: A.ProgramAST, spec: ComponentSpec) -> None:
+        self.ast = ast
+        self.spec = spec
+        self.classes: Dict[str, ClassInfo] = {}
+        self.methods: Dict[str, MethodInfo] = {}
+        self.statics: Dict[str, str] = {}  # "Class.field" -> type
+        self.call_sites: Dict[int, CallSite] = {}
+        self._site_counter = itertools.count()
+        self._build_class_table()
+        self._build_cfgs()
+
+    # -- class table -----------------------------------------------------------
+
+    def _build_class_table(self) -> None:
+        for decl in self.ast.classes:
+            if decl.name in self.classes or self.spec.is_component_type(
+                decl.name
+            ):
+                raise TypeError_(f"class {decl.name} conflicts")
+            info = ClassInfo(decl.name)
+            self.classes[decl.name] = info
+        for decl in self.ast.classes:
+            info = self.classes[decl.name]
+            for fdecl in decl.fields:
+                self._check_type(fdecl.type, fdecl.line)
+                finfo = FieldInfo(
+                    fdecl.name, fdecl.type, fdecl.is_static, decl.name
+                )
+                info.fields[fdecl.name] = finfo
+                if fdecl.is_static:
+                    self.statics[finfo.static_name] = fdecl.type
+            for mdecl in decl.methods:
+                name = mdecl.name
+                qualified = f"{decl.name}.{name}"
+                if qualified in self.methods:
+                    raise TypeError_(f"method {qualified} redeclared")
+                if mdecl.return_type != "void":
+                    self._check_type(mdecl.return_type, mdecl.line)
+                for _pname, ptype in mdecl.params:
+                    self._check_type(ptype, mdecl.line)
+                minfo = MethodInfo(
+                    qualified,
+                    decl.name,
+                    name,
+                    list(mdecl.params),
+                    mdecl.return_type,
+                    mdecl.is_static,
+                    mdecl.is_constructor,
+                    mdecl,
+                )
+                self.methods[qualified] = minfo
+                info.methods[name] = minfo
+
+    def _check_type(self, type_name: str, line: int) -> None:
+        if (
+            type_name not in OPAQUE_TYPES
+            and not self.spec.is_component_type(type_name)
+            and type_name not in self.classes
+        ):
+            raise TypeError_(f"unknown type {type_name} (line {line})")
+
+    # -- queries -----------------------------------------------------------------
+
+    @property
+    def entry(self) -> MethodInfo:
+        for minfo in self.methods.values():
+            if minfo.name == "main" and minfo.is_static:
+                return minfo
+        raise TypeError_("program has no static main() method")
+
+    def is_component_type(self, type_name: str) -> bool:
+        return self.spec.is_component_type(type_name)
+
+    def method(self, qualified: str) -> MethodInfo:
+        return self.methods[qualified]
+
+    def new_site(self, line: int, op_key: str, method: str) -> int:
+        site_id = next(self._site_counter)
+        self.call_sites[site_id] = CallSite(site_id, line, op_key, method)
+        return site_id
+
+    def component_vars(self, method: str) -> Dict[str, str]:
+        """Component-typed variables visible in ``method``: its locals,
+        params, temps, plus every component-typed static."""
+        minfo = self.methods[method]
+        found = {
+            name: type_
+            for name, type_ in minfo.variables.items()
+            if self.is_component_type(type_)
+        }
+        for name, type_ in self.statics.items():
+            if self.is_component_type(type_):
+                found[name] = type_
+        return found
+
+    def is_shallow(self) -> bool:
+        """SCMP check: no *instance* field (client-class field) has a
+        component type, so component references live only in locals and
+        statics (Section 4's restriction)."""
+        for cinfo in self.classes.values():
+            for finfo in cinfo.fields.values():
+                if not finfo.is_static and self.is_component_type(
+                    finfo.type
+                ):
+                    return False
+        return True
+
+    # -- CFG construction -----------------------------------------------------------
+
+    def _build_cfgs(self) -> None:
+        for minfo in self.methods.values():
+            builder = _CfgBuilder(self, minfo)
+            minfo.cfg = builder.build()
+
+
+class _CfgBuilder:
+    def __init__(self, program: Program, method: MethodInfo) -> None:
+        self.program = program
+        self.method = method
+        self.cfg = CFG(method.qualified)
+        self.vars: Dict[str, str] = {}
+        self._temp_counter = itertools.count()
+        if not method.is_static:
+            self.vars["this"] = method.class_name
+        for pname, ptype in method.params:
+            self.vars[pname] = ptype
+
+    # -- helpers -----------------------------------------------------------------
+
+    def temp(self, type_name: str) -> str:
+        name = f"$t{next(self._temp_counter)}"
+        self.vars[name] = type_name
+        return name
+
+    def declare(self, name: str, type_name: str, line: int) -> None:
+        if name in self.vars:
+            raise TypeError_(
+                f"variable {name} redeclared in {self.method.qualified} "
+                f"(line {line})"
+            )
+        self.vars[name] = type_name
+
+    def var_type(self, name: str) -> str:
+        if name in self.vars:
+            return self.vars[name]
+        if name in self.program.statics:
+            return self.program.statics[name]
+        raise TypeError_(f"unknown variable {name} in {self.method.qualified}")
+
+    def build(self) -> CFG:
+        exit_node = self._stmts(self.method.ast.body, self.cfg.entry)
+        self.cfg.add_edge(exit_node, self.cfg.exit, SReturn(None))
+        self.method.variables = dict(self.vars)
+        return self.cfg
+
+    # -- statement lowering -----------------------------------------------------------
+
+    def _stmts(self, body: Tuple[A.StmtT, ...], node: int) -> int:
+        for stmt in body:
+            node = self._stmt(stmt, node)
+        return node
+
+    def _stmt(self, stmt: A.StmtT, node: int) -> int:
+        if isinstance(stmt, A.DeclS):
+            self.program._check_type(stmt.type, stmt.line)
+            self.declare(stmt.name, stmt.type, stmt.line)
+            if stmt.init is not None:
+                return self._assign_to_var(stmt.name, stmt.init, stmt.line, node)
+            succ = self.cfg.new_node()
+            self.cfg.add_edge(
+                node, succ, SNull(stmt.name, stmt.type, stmt.line)
+            )
+            return succ
+        if isinstance(stmt, A.AssignS):
+            return self._assign(stmt.lhs, stmt.rhs, stmt.line, node)
+        if isinstance(stmt, A.ExprS):
+            _var, node = self._expr(stmt.expr, node, want_value=False)
+            return node
+        if isinstance(stmt, A.ReturnS):
+            if stmt.expr is None:
+                self.cfg.add_edge(node, self.cfg.exit, SReturn(None, stmt.line))
+            else:
+                var, node = self._expr(stmt.expr, node, want_value=True)
+                self.cfg.add_edge(node, self.cfg.exit, SReturn(var, stmt.line))
+            # dead continuation node
+            return self.cfg.new_node()
+        if isinstance(stmt, A.IfS):
+            then_entry, else_entry, node = self._branch(stmt.cond, node)
+            then_exit = self._stmts(stmt.then_body, then_entry)
+            else_exit = self._stmts(stmt.else_body, else_entry)
+            join = self.cfg.new_node()
+            self.cfg.add_edge(then_exit, join, SNop(stmt.line))
+            self.cfg.add_edge(else_exit, join, SNop(stmt.line))
+            return join
+        if isinstance(stmt, A.WhileS):
+            head = self.cfg.new_node()
+            self.cfg.add_edge(node, head, SNop(stmt.line))
+            body_entry, exit_entry, _head2 = self._branch(stmt.cond, head)
+            body_exit = self._stmts(stmt.body, body_entry)
+            self.cfg.add_edge(body_exit, head, SNop(stmt.line))
+            return exit_entry
+        if isinstance(stmt, A.BlockS):
+            return self._stmts(stmt.body, node)
+        raise TypeError_(f"unsupported statement {stmt!r}")
+
+    def _branch(self, cond: A.CondT, node: int) -> Tuple[int, int, int]:
+        """Lower a condition; returns (true-entry, false-entry, pred)."""
+        if isinstance(cond, A.CallC):
+            _var, node = self._expr(cond.call, node, want_value=False)
+            cond = A.NondetC(cond.line)
+        true_node = self.cfg.new_node()
+        false_node = self.cfg.new_node()
+        if isinstance(cond, A.NondetC):
+            self.cfg.add_edge(node, true_node, SNop(cond.line))
+            self.cfg.add_edge(node, false_node, SNop(cond.line))
+            return true_node, false_node, node
+        if isinstance(cond, A.CompareC):
+            lhs_var, node = self._path_value(cond.lhs, node)
+            if isinstance(cond.rhs, A.NullE):
+                rhs_var = "null"
+            else:
+                rhs_var, node = self._path_value(cond.rhs, node)
+            self.cfg.add_edge(
+                node, true_node,
+                SAssume(lhs_var, rhs_var, cond.equal, cond.line),
+            )
+            self.cfg.add_edge(
+                node, false_node,
+                SAssume(lhs_var, rhs_var, not cond.equal, cond.line),
+            )
+            return true_node, false_node, node
+        raise TypeError_(f"unsupported condition {cond!r}")
+
+    # -- assignment lowering --------------------------------------------------------
+
+    def _assign(
+        self, lhs: A.PathE, rhs: A.ExprT, line: int, node: int
+    ) -> int:
+        target = self._resolve_lhs(lhs)
+        if target[0] == "var":
+            return self._assign_to_var(target[1], rhs, line, node)
+        _tag, base_path, field_name, field_type = target
+        base_var, node = self._path_value(base_path, node)
+        rhs_var, node = self._expr(rhs, node, want_value=True)
+        succ = self.cfg.new_node()
+        if rhs_var is None:
+            rhs_var = self.temp(field_type)
+            null_node = self.cfg.new_node()
+            self.cfg.add_edge(
+                node, null_node, SNull(rhs_var, field_type, line)
+            )
+            node = null_node
+        self.cfg.add_edge(
+            node, succ, SStore(base_var, field_name, rhs_var, field_type, line)
+        )
+        return succ
+
+    def _resolve_lhs(self, lhs: A.PathE):
+        """Classify an lvalue as ('var', name) or
+        ('field', base PathE, field, type)."""
+        root_kind, root_name, root_type = self._resolve_root(lhs)
+        if root_kind == "class":
+            # Class.f[...]: rebase onto the static variable
+            if not lhs.fields:
+                raise TypeError_(f"class name {root_name} used as a value")
+            finfo = self.program.classes[root_name].fields.get(lhs.fields[0])
+            if finfo is None or not finfo.is_static:
+                raise TypeError_(
+                    f"unknown static field {root_name}.{lhs.fields[0]}"
+                )
+            rebased = A.PathE(finfo.static_name, lhs.fields[1:], lhs.line)
+            # static names contain a dot, so resolve manually
+            if not rebased.fields:
+                return ("var", finfo.static_name)
+            base = A.PathE(finfo.static_name, rebased.fields[:-1], lhs.line)
+            base_type = self._static_path_type(
+                finfo.type, rebased.fields[:-1], lhs.line
+            )
+            field_name = rebased.fields[-1]
+            field_type = self._field_type(base_type, field_name, lhs.line)
+            return ("field", base, field_name, field_type)
+        if not lhs.fields:
+            if root_kind == "field":
+                # implicit this.f
+                return ("field", A.PathE("this", (), lhs.line), root_name,
+                        root_type)
+            return ("var", root_name)
+        # walk to the second-to-last component
+        if root_kind == "field":
+            base = A.PathE("this", (root_name,) + lhs.fields[:-1], lhs.line)
+            base_type = self._path_type(base)
+        else:
+            base = A.PathE(root_name, lhs.fields[:-1], lhs.line)
+            base_type = self._path_type(base)
+        field_name = lhs.fields[-1]
+        field_type = self._field_type(base_type, field_name, lhs.line)
+        return ("field", base, field_name, field_type)
+
+    def _assign_to_var(
+        self, dst: str, rhs: A.ExprT, line: int, node: int
+    ) -> int:
+        dst_type = self.var_type(dst)
+        if isinstance(rhs, A.NullE):
+            succ = self.cfg.new_node()
+            self.cfg.add_edge(node, succ, SNull(dst, dst_type, line))
+            return succ
+        if isinstance(rhs, A.OpaqueE):
+            succ = self.cfg.new_node()
+            self.cfg.add_edge(node, succ, SNop(line))
+            return succ
+        var, node = self._expr(rhs, node, want_value=True, result_var=dst)
+        if var is not None and var != dst:
+            succ = self.cfg.new_node()
+            self.cfg.add_edge(node, succ, SCopy(dst, var, dst_type, line))
+            return succ
+        return node
+
+    # -- expression lowering -----------------------------------------------------------
+
+    def _expr(
+        self,
+        expr: A.ExprT,
+        node: int,
+        want_value: bool,
+        result_var: Optional[str] = None,
+    ) -> Tuple[Optional[str], int]:
+        """Lower an expression; returns (value variable or None, node)."""
+        if isinstance(expr, A.NullE) or isinstance(expr, A.OpaqueE):
+            return None, node
+        if isinstance(expr, A.PathE):
+            var, node = self._path_value(expr, node)
+            return var, node
+        if isinstance(expr, A.NewE):
+            return self._new(expr, node, result_var)
+        if isinstance(expr, A.CallE):
+            return self._call(expr, node, want_value, result_var)
+        raise TypeError_(f"unsupported expression {expr!r}")
+
+    def _new(
+        self, expr: A.NewE, node: int, result_var: Optional[str]
+    ) -> Tuple[Optional[str], int]:
+        class_name = expr.class_name
+        arg_vars: List[Optional[str]] = []
+        for arg in expr.args:
+            var, node = self._expr(arg, node, want_value=True)
+            arg_vars.append(var)
+        if self.program.is_component_type(class_name):
+            op = self.program.spec.operation(f"new {class_name}")
+            dst = result_var or self.temp(class_name)
+            node = self._emit_comp_op(op, dst, None, arg_vars, expr.line, node)
+            return dst, node
+        if class_name not in self.program.classes:
+            raise TypeError_(
+                f"allocation of unknown class {class_name} (line {expr.line})"
+            )
+        dst = result_var or self.temp(class_name)
+        alloc_node = self.cfg.new_node()
+        self.cfg.add_edge(
+            node, alloc_node, SNewClient(dst, class_name, expr.line)
+        )
+        node = alloc_node
+        ctor = self.program.classes[class_name].methods.get("<init>")
+        if ctor is not None:
+            node = self._emit_client_call(
+                ctor, dst, arg_vars, None, expr.line, node
+            )
+        elif expr.args:
+            raise TypeError_(
+                f"class {class_name} has no constructor (line {expr.line})"
+            )
+        return dst, node
+
+    def _call(
+        self,
+        expr: A.CallE,
+        node: int,
+        want_value: bool,
+        result_var: Optional[str],
+    ) -> Tuple[Optional[str], int]:
+        receiver_var: Optional[str] = None
+        receiver_type: Optional[str] = None
+        if expr.target is not None:
+            # the target may be a class name (static call) or a path
+            if (
+                not expr.target.fields
+                and expr.target.root in self.program.classes
+                and expr.target.root not in self.vars
+            ):
+                receiver_type = expr.target.root
+                receiver_var = None
+                static_call = True
+            else:
+                receiver_var, node = self._path_value(expr.target, node)
+                receiver_type = self.var_type(receiver_var)
+                static_call = False
+        else:
+            receiver_type = self.method.class_name
+            static_call = True
+
+        arg_vars: List[Optional[str]] = []
+        for arg in expr.args:
+            var, node = self._expr(arg, node, want_value=True)
+            arg_vars.append(var)
+
+        if receiver_type is not None and self.program.is_component_type(
+            receiver_type
+        ):
+            op_key = f"{receiver_type}.{expr.method}"
+            op = self.program.spec.operation(op_key)
+            result = None
+            result_operand = op.operand("result")
+            if result_operand is not None:
+                result = result_var or self.temp(result_operand.type)
+            node = self._emit_comp_op(
+                op, result, receiver_var, arg_vars, expr.line, node
+            )
+            return result, node
+
+        cinfo = self.program.classes.get(receiver_type or "")
+        if cinfo is None or expr.method not in cinfo.methods:
+            raise TypeError_(
+                f"unknown method {receiver_type}.{expr.method} "
+                f"(line {expr.line})"
+            )
+        callee = cinfo.methods[expr.method]
+        if callee.is_static and not static_call:
+            receiver_var = None  # static method invoked through a value
+        if not callee.is_static and static_call and expr.target is None:
+            # same-class instance call: implicit this
+            if self.method.is_static:
+                raise TypeError_(
+                    f"instance method {callee.qualified} called from static "
+                    f"context (line {expr.line})"
+                )
+            receiver_var = "this"
+        result = None
+        if callee.return_type != "void" and (
+            want_value or result_var is not None
+        ):
+            result = result_var or self.temp(callee.return_type)
+        node = self._emit_client_call(
+            callee, receiver_var, arg_vars, result, expr.line, node
+        )
+        return result, node
+
+    def _emit_comp_op(
+        self,
+        op: Operation,
+        result: Optional[str],
+        receiver: Optional[str],
+        arg_vars: List[Optional[str]],
+        line: int,
+        node: int,
+    ) -> int:
+        bindings: List[Tuple[str, str]] = []
+        params = [o for o in op.operands if o.role == "arg"]
+        if len(arg_vars) != len(params):
+            raise TypeError_(
+                f"{op.key} expects {len(params)} arguments, got "
+                f"{len(arg_vars)} (line {line})"
+            )
+        for operand in op.operands:
+            if operand.role == "receiver":
+                if receiver is None:
+                    raise TypeError_(f"{op.key} needs a receiver (line {line})")
+                bindings.append((operand.name, receiver))
+            elif operand.role == "result":
+                if result is not None:
+                    bindings.append((operand.name, result))
+            elif operand.role == "arg":
+                index = params.index(operand)
+                var = arg_vars[index]
+                if self.program.is_component_type(operand.type):
+                    if var is None:
+                        raise TypeError_(
+                            f"{op.key}: component argument "
+                            f"{operand.name} is null/opaque (line {line})"
+                        )
+                    bindings.append((operand.name, var))
+        site_id = self.program.new_site(line, op.key, self.method.qualified)
+        succ = self.cfg.new_node()
+        self.cfg.add_edge(
+            node, succ, SCallComp(op.key, tuple(bindings), site_id, line)
+        )
+        return succ
+
+    def _emit_client_call(
+        self,
+        callee: MethodInfo,
+        receiver: Optional[str],
+        arg_vars: List[Optional[str]],
+        result: Optional[str],
+        line: int,
+        node: int,
+    ) -> int:
+        if len(arg_vars) != len(callee.params):
+            raise TypeError_(
+                f"{callee.qualified} expects {len(callee.params)} arguments, "
+                f"got {len(arg_vars)} (line {line})"
+            )
+        # null/opaque arguments materialize as fresh null temporaries so
+        # callee parameters are always bound
+        materialized: List[str] = []
+        for var, (pname, ptype) in zip(arg_vars, callee.params):
+            if var is None:
+                temp = self.temp(ptype)
+                null_node = self.cfg.new_node()
+                self.cfg.add_edge(node, null_node, SNull(temp, ptype, line))
+                node = null_node
+                materialized.append(temp)
+            else:
+                materialized.append(var)
+        succ = self.cfg.new_node()
+        self.cfg.add_edge(
+            node,
+            succ,
+            SCallClient(
+                callee.qualified, receiver, tuple(materialized), result, line
+            ),
+        )
+        return succ
+
+    # -- path lowering ------------------------------------------------------------------
+
+    def _resolve_root(self, path: A.PathE) -> Tuple[str, str, str]:
+        """Resolve a path's root: ('var', name, type) for locals/params/
+        temps/statics, ('field', name, type) for implicit this-fields,
+        ('class', name, '') for class names starting static paths."""
+        root = path.root
+        if root in self.vars:
+            return ("var", root, self.vars[root])
+        if root in self.program.statics:
+            return ("var", root, self.program.statics[root])
+        cinfo = self.program.classes.get(self.method.class_name)
+        if cinfo and root in cinfo.fields:
+            finfo = cinfo.fields[root]
+            if finfo.is_static:
+                return ("var", finfo.static_name, finfo.type)
+            if self.method.is_static:
+                raise TypeError_(
+                    f"instance field {root} used in static method "
+                    f"{self.method.qualified}"
+                )
+            return ("field", root, finfo.type)
+        if root in self.program.classes:
+            return ("class", root, "")
+        raise TypeError_(
+            f"unknown name {root} in {self.method.qualified} "
+            f"(line {path.line})"
+        )
+
+    def _path_type(self, path: A.PathE) -> str:
+        kind, name, type_ = self._resolve_root(path)
+        fields = path.fields
+        if kind == "field":
+            current = type_
+        elif kind == "class":
+            if not fields:
+                raise TypeError_(f"class name {name} used as a value")
+            finfo = self.program.classes[name].fields.get(fields[0])
+            if finfo is None or not finfo.is_static:
+                raise TypeError_(f"unknown static field {name}.{fields[0]}")
+            current = finfo.type
+            fields = fields[1:]
+        else:
+            current = type_
+        for field_name in fields:
+            current = self._field_type(current, field_name, path.line)
+        return current
+
+    def _static_path_type(
+        self, start_type: str, fields, line: int
+    ) -> str:
+        current = start_type
+        for field_name in fields:
+            current = self._field_type(current, field_name, line)
+        return current
+
+    def _field_type(self, owner: str, field_name: str, line: int) -> str:
+        cinfo = self.program.classes.get(owner)
+        if cinfo is None or field_name not in cinfo.fields:
+            raise TypeError_(
+                f"unknown field {owner}.{field_name} (line {line})"
+            )
+        finfo = cinfo.fields[field_name]
+        if finfo.is_static:
+            raise TypeError_(
+                f"static field {finfo.static_name} accessed through an "
+                f"instance (line {line})"
+            )
+        return finfo.type
+
+    def _path_value(self, path: A.PathE, node: int) -> Tuple[str, int]:
+        """Lower a path read to a variable, emitting loads for fields."""
+        kind, name, type_ = self._resolve_root(path)
+        fields = list(path.fields)
+        if kind == "field":
+            current_var = "this"
+            current_type = self.method.class_name
+            fields = [name] + fields
+        elif kind == "class":
+            if not fields:
+                raise TypeError_(f"class name {name} used as a value")
+            finfo = self.program.classes[name].fields.get(fields[0])
+            if finfo is None or not finfo.is_static:
+                raise TypeError_(f"unknown static field {name}.{fields[0]}")
+            current_var = finfo.static_name
+            current_type = finfo.type
+            fields = fields[1:]
+        else:
+            current_var = name
+            current_type = type_
+        for field_name in fields:
+            field_type = self._field_type(current_type, field_name, path.line)
+            dst = self.temp(field_type)
+            succ = self.cfg.new_node()
+            self.cfg.add_edge(
+                node,
+                succ,
+                SLoad(dst, current_var, field_name, field_type, path.line),
+            )
+            node = succ
+            current_var = dst
+            current_type = field_type
+        return current_var, node
+
+
+def parse_program(source: str, spec: ComponentSpec) -> Program:
+    """Parse + resolve + lower a Jlite client program."""
+    return Program(parse_program_ast(source), spec)

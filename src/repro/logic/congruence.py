@@ -1,0 +1,148 @@
+"""Congruence closure for the ground access-path logic.
+
+The theory is EUF restricted to constants (:class:`~repro.logic.terms.Base`
+and :class:`~repro.logic.terms.Fresh`) and unary functions (field
+selections), extended with the *fresh-token axioms*: a fresh allocation
+token is distinct from every pre-state value (every ``Base``-rooted path)
+and from every other fresh token.
+
+The implementation is a straightforward union-find with congruence
+propagation over field selections; the term universes involved in
+abstraction derivation are tiny (tens of terms), so simplicity wins over
+asymptotics.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro.logic.terms import Base, Field, Fresh, Term, root, subterms
+
+
+class Inconsistent(Exception):
+    """Raised when an asserted literal contradicts the current closure."""
+
+
+class CongruenceClosure:
+    """Incremental congruence closure over access-path terms."""
+
+    def __init__(self) -> None:
+        self._parent: Dict[Term, Term] = {}
+        self._disequalities: List[Tuple[Term, Term]] = []
+        # For congruence propagation: map (representative, field) to one
+        # known Field term over that class.
+        self._field_uses: Dict[Tuple[Term, str], Term] = {}
+
+    # -- union-find ---------------------------------------------------------
+
+    def _add(self, term: Term) -> None:
+        for sub in subterms(term):
+            if sub not in self._parent:
+                self._parent[sub] = sub
+                if isinstance(sub, Field):
+                    self._register_use(sub)
+
+    def _register_use(self, field_term: Field) -> None:
+        key = (self.find(field_term.base), field_term.field)
+        existing = self._field_uses.get(key)
+        if existing is None:
+            self._field_uses[key] = field_term
+        elif self.find(existing) != self.find(field_term):
+            self._union(existing, field_term)
+
+    def find(self, term: Term) -> Term:
+        self._add(term)
+        node = term
+        while self._parent[node] != node:
+            self._parent[node] = self._parent[self._parent[node]]
+            node = self._parent[node]
+        return node
+
+    def _union(self, a: Term, b: Term) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return
+        self._parent[ra] = rb
+        # Re-register every field use whose base class changed, merging
+        # congruent field terms.
+        for (base_rep, field), use in list(self._field_uses.items()):
+            if base_rep == ra and self._field_uses.get((base_rep, field)) is use:
+                self._field_uses.pop((base_rep, field), None)
+                self._register_use(use)  # type: ignore[arg-type]
+
+    # -- public API ---------------------------------------------------------
+
+    def assert_equal(self, lhs: Term, rhs: Term) -> None:
+        """Assert ``lhs == rhs``; raises :class:`Inconsistent` on clash."""
+        self._add(lhs)
+        self._add(rhs)
+        self._union(lhs, rhs)
+        self.check()
+
+    def assert_unequal(self, lhs: Term, rhs: Term) -> None:
+        """Assert ``lhs != rhs``; raises :class:`Inconsistent` on clash."""
+        self._add(lhs)
+        self._add(rhs)
+        self._disequalities.append((lhs, rhs))
+        self.check()
+
+    def are_equal(self, lhs: Term, rhs: Term) -> bool:
+        """True if the closure entails ``lhs == rhs``."""
+        # register both terms first: adding the second may trigger a
+        # congruence union that changes the first's representative
+        self.find(lhs)
+        self.find(rhs)
+        return self.find(lhs) == self.find(rhs)
+
+    def classes(self) -> Dict[Term, Set[Term]]:
+        """The current partition, keyed by representative."""
+        partition: Dict[Term, Set[Term]] = {}
+        for term in list(self._parent):
+            partition.setdefault(self.find(term), set()).add(term)
+        return partition
+
+    def check(self) -> None:
+        """Raise :class:`Inconsistent` if the closure violates a
+        disequality or a fresh-token axiom."""
+        for lhs, rhs in self._disequalities:
+            if self.find(lhs) == self.find(rhs):
+                raise Inconsistent(f"{lhs} == {rhs} contradicts {lhs} != {rhs}")
+        for rep, members in self.classes().items():
+            fresh_tokens = {m for m in members if isinstance(m, Fresh)}
+            if not fresh_tokens:
+                continue
+            if len(fresh_tokens) > 1:
+                raise Inconsistent(
+                    f"distinct fresh tokens identified: {fresh_tokens}"
+                )
+            prestate = {
+                m
+                for m in members
+                if not isinstance(m, Fresh) and isinstance(root(m), Base)
+            }
+            if prestate:
+                token = next(iter(fresh_tokens))
+                raise Inconsistent(
+                    f"fresh token {token} identified with pre-state "
+                    f"value(s) {sorted(map(str, prestate))}"
+                )
+
+    def is_consistent(self) -> bool:
+        try:
+            self.check()
+        except Inconsistent:
+            return False
+        return True
+
+
+def closure_of(
+    equalities: Iterable[Tuple[Term, Term]],
+    disequalities: Iterable[Tuple[Term, Term]] = (),
+) -> CongruenceClosure:
+    """Build a closure from literal lists; raises on inconsistency."""
+    cc = CongruenceClosure()
+    for lhs, rhs in equalities:
+        cc.assert_equal(lhs, rhs)
+    for lhs, rhs in disequalities:
+        cc.assert_unequal(lhs, rhs)
+    return cc

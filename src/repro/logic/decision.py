@@ -1,0 +1,190 @@
+"""Decision procedures for the access-path alias logic.
+
+The derivation stage (Section 4.1) needs to decide, at certifier-generation
+time, questions like "is this weakest-precondition disjunct equivalent to an
+already-derived instrumentation predicate?" and "can this literal be dropped
+under the method's precondition?".  The paper notes that simple syntactic
+checks suffice for termination on examples like CMP, but that *more powerful
+decision procedures reduce the number of generated predicates* (Section
+4.5).  Both are provided here:
+
+* :func:`satisfiable` / :func:`entails` / :func:`equivalent` — a small
+  DPLL-style enumeration over the equality atoms of the query, with
+  congruence-closure theory checks (EUF + fresh-token distinctness) at the
+  leaves.  Exponential in the atom count of the *query*, which is tiny and
+  paid only at certifier-generation time — exactly the staging argument of
+  Section 1.3.
+* :func:`minimize_disjunct` / :func:`minimize_dnf` — greedy semantic
+  minimization of a DNF under an assumption (the method precondition),
+  which is what collapses the exact WP of ``Iterator.remove()`` to the
+  paper's ``stale ∨ mutx`` form.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.logic.congruence import CongruenceClosure, Inconsistent
+from repro.logic.formula import (
+    FALSE,
+    TRUE,
+    EqAtom,
+    Formula,
+    Truth,
+    atoms,
+    conj,
+    disj,
+    literal_parts,
+    neg,
+    substitute_atom,
+)
+from repro.logic.normal import conjunct_literals, to_dnf
+
+
+def _theory_consistent(literals: List[Tuple[EqAtom, bool]]) -> bool:
+    """Check EUF + fresh-token consistency of a set of equality literals."""
+    cc = CongruenceClosure()
+    try:
+        for atom, polarity in literals:
+            if polarity:
+                cc.assert_equal(atom.lhs, atom.rhs)
+            else:
+                cc.assert_unequal(atom.lhs, atom.rhs)
+    except Inconsistent:
+        return False
+    return True
+
+
+def satisfiable(formula: Formula) -> bool:
+    """Satisfiability over the access-path alias theory."""
+    return _sat(formula, [])
+
+
+def _sat(formula: Formula, trail: List[Tuple[EqAtom, bool]]) -> bool:
+    if formula is FALSE:
+        return False
+    if not _theory_consistent(trail):
+        return False
+    if formula is TRUE:
+        return True
+    atom = _pick_atom(formula)
+    if atom is None:
+        # No equality atoms left but formula is not a constant: it contains
+        # PredAtoms, which are uninterpreted here — treat each consistently.
+        return _sat_propositional(formula)
+    for value in (True, False):
+        trail.append((atom, value))
+        if _sat(substitute_atom(formula, atom, value), trail):
+            trail.pop()
+            return True
+        trail.pop()
+    return False
+
+
+def _pick_atom(formula: Formula) -> Optional[EqAtom]:
+    for atom in atoms(formula):
+        if isinstance(atom, EqAtom):
+            return atom
+    return None
+
+
+def _sat_propositional(formula: Formula) -> bool:
+    """Pure propositional satisfiability over the remaining PredAtoms."""
+    if isinstance(formula, Truth):
+        return formula.value
+    remaining = list(atoms(formula))
+    if not remaining:
+        return formula is TRUE
+    atom = remaining[0]
+    return _sat_propositional(
+        substitute_atom(formula, atom, True)
+    ) or _sat_propositional(substitute_atom(formula, atom, False))
+
+
+def entails(antecedent: Formula, consequent: Formula) -> bool:
+    """``antecedent ⊨ consequent`` over the alias theory."""
+    return not satisfiable(conj(antecedent, neg(consequent)))
+
+
+def equivalent(lhs: Formula, rhs: Formula) -> bool:
+    """Logical equivalence over the alias theory."""
+    return entails(lhs, rhs) and entails(rhs, lhs)
+
+
+def valid(formula: Formula) -> bool:
+    """Validity over the alias theory."""
+    return not satisfiable(neg(formula))
+
+
+# ---------------------------------------------------------------------------
+# Minimization under an assumption
+# ---------------------------------------------------------------------------
+
+
+def minimize_disjunct(
+    disjunct: Formula, whole: Formula, assumption: Formula = TRUE
+) -> Formula:
+    """Greedily drop literals from one DNF disjunct.
+
+    A literal ``l`` of ``disjunct`` can be dropped when the weakened
+    disjunct stays within the original formula under the assumption::
+
+        assumption ∧ (disjunct − l)  ⊨  whole
+
+    This preserves ``whole``'s meaning under ``assumption`` while producing
+    the weakest (hence most reusable) candidate predicates.  For
+    ``Iterator.remove()`` it is what reduces the exact weakest precondition
+    of ``stale(i)`` to ``stale(i) ∨ mutx(i, j)`` under the precondition
+    ``¬stale(j)`` (see Section 4.1, Step 3).
+    """
+    literals = conjunct_literals(disjunct)
+    changed = True
+    while changed:
+        changed = False
+        for index in range(len(literals)):
+            candidate = literals[:index] + literals[index + 1 :]
+            weakened = conj(*candidate) if candidate else TRUE
+            if entails(conj(assumption, weakened), whole):
+                literals = candidate
+                changed = True
+                break
+    return conj(*literals) if literals else TRUE
+
+
+def minimize_dnf(
+    disjuncts: List[Formula], assumption: Formula = TRUE
+) -> List[Formula]:
+    """Minimize a whole DNF under an assumption.
+
+    Drops disjuncts unsatisfiable with the assumption, minimizes each
+    remaining disjunct with :func:`minimize_disjunct`, and finally removes
+    disjuncts entailed (under the assumption) by the disjunction of the
+    others.
+    """
+    whole = disj(*disjuncts)
+    live = [
+        d for d in disjuncts if satisfiable(conj(assumption, d))
+    ]
+    minimized: List[Formula] = []
+    seen = set()
+    for disjunct in live:
+        reduced = minimize_disjunct(disjunct, whole, assumption)
+        if reduced not in seen:
+            seen.add(reduced)
+            minimized.append(reduced)
+    if any(d is TRUE for d in minimized):
+        return [TRUE]
+    result: List[Formula] = []
+    for index, disjunct in enumerate(minimized):
+        others = result + minimized[index + 1 :]
+        if others and entails(conj(assumption, disjunct), disj(*others)):
+            continue
+        result.append(disjunct)
+    return result
+
+
+def normalize_to_minimal_dnf(
+    formula: Formula, assumption: Formula = TRUE
+) -> List[Formula]:
+    """DNF + minimization in one step; the derivation-stage workhorse."""
+    return minimize_dnf(to_dnf(formula), assumption)

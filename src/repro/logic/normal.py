@@ -1,0 +1,135 @@
+"""Normal forms and the Rule 2 disjunct splitting of Section 4.1.
+
+The derivation procedure turns each weakest precondition into disjunctive
+normal form and then treats each disjunct as a *candidate instrumentation
+predicate* (Rule 2).  Splitting disjuncts — rather than tracking the whole
+disjunction as one predicate — is what lets the certifier use an efficient
+independent-attribute analysis without losing relational precision: the
+disjuncts are tracked separately and recombined by the update formulae
+``p0 := p1 ∨ … ∨ pk``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.logic.formula import (
+    FALSE,
+    TRUE,
+    And,
+    EqAtom,
+    Formula,
+    Not,
+    Or,
+    PredAtom,
+    Truth,
+    conj,
+    disj,
+    neg,
+)
+
+
+def to_nnf(formula: Formula) -> Formula:
+    """Negation normal form: negations pushed to the literals."""
+    if isinstance(formula, (Truth, EqAtom, PredAtom)):
+        return formula
+    if isinstance(formula, And):
+        return conj(*(to_nnf(a) for a in formula.args))
+    if isinstance(formula, Or):
+        return disj(*(to_nnf(a) for a in formula.args))
+    if isinstance(formula, Not):
+        body = formula.body
+        if isinstance(body, (Truth, EqAtom, PredAtom)):
+            return neg(body)
+        if isinstance(body, Not):
+            return to_nnf(body.body)
+        if isinstance(body, And):
+            return disj(*(to_nnf(neg(a)) for a in body.args))
+        if isinstance(body, Or):
+            return conj(*(to_nnf(neg(a)) for a in body.args))
+    raise TypeError(f"cannot normalize quantified formula: {formula!r}")
+
+
+def to_dnf(formula: Formula) -> List[Formula]:
+    """Disjunctive normal form as a list of conjunctions of literals.
+
+    The empty list denotes FALSE; a list containing ``TRUE`` denotes a
+    formula with a trivially-true disjunct.  Contradictory disjuncts
+    (containing both a literal and its negation) are dropped by the smart
+    constructors.
+    """
+    nnf = to_nnf(formula)
+    clauses = _dnf_clauses(nnf)
+    disjuncts: List[Formula] = []
+    seen = set()
+    for clause in clauses:
+        disjunct = conj(*clause)
+        if disjunct is FALSE:
+            continue
+        if disjunct not in seen:
+            seen.add(disjunct)
+            disjuncts.append(disjunct)
+    if any(d is TRUE for d in disjuncts):
+        return [TRUE]
+    return disjuncts
+
+
+def _dnf_clauses(formula: Formula) -> List[Tuple[Formula, ...]]:
+    if isinstance(formula, Truth):
+        return [()] if formula.value else []
+    if isinstance(formula, (EqAtom, PredAtom, Not)):
+        return [(formula,)]
+    if isinstance(formula, Or):
+        clauses: List[Tuple[Formula, ...]] = []
+        for arg in formula.args:
+            clauses.extend(_dnf_clauses(arg))
+        return clauses
+    if isinstance(formula, And):
+        clauses = [()]
+        for arg in formula.args:
+            arg_clauses = _dnf_clauses(arg)
+            clauses = [c + a for c in clauses for a in arg_clauses]
+        return clauses
+    raise TypeError(f"cannot normalize quantified formula: {formula!r}")
+
+
+def split_disjuncts(formula: Formula) -> List[Formula]:
+    """Rule 2 of Section 4.1: split a candidate instrumentation *formula*
+    into candidate instrumentation *predicates*, one per DNF disjunct.
+
+    Conjunctions are kept whole (tracking their conjuncts independently
+    would lose precision in an independent-attribute analysis); only
+    top-level disjunctive structure is split.
+    """
+    return to_dnf(formula)
+
+
+def conjunct_literals(disjunct: Formula) -> List[Formula]:
+    """The literals of one DNF disjunct."""
+    if isinstance(disjunct, And):
+        return list(disjunct.args)
+    if disjunct is TRUE:
+        return []
+    return [disjunct]
+
+
+def absorb(disjuncts: List[Formula]) -> List[Formula]:
+    """Remove disjuncts syntactically absorbed by another disjunct.
+
+    ``D`` absorbs ``D'`` when the literal set of ``D`` is a subset of the
+    literal set of ``D'`` (so ``D' → D``).
+    """
+    literal_sets = [frozenset(conjunct_literals(d)) for d in disjuncts]
+    kept: List[Formula] = []
+    for index, disjunct in enumerate(disjuncts):
+        mine = literal_sets[index]
+        absorbed = False
+        for other_index, other in enumerate(literal_sets):
+            if other_index == index:
+                continue
+            if other < mine or (other == mine and other_index < index):
+                absorbed = True
+                break
+        if not absorbed:
+            kept.append(disjunct)
+    return kept

@@ -1,0 +1,196 @@
+"""2-valued logical structures (Section 5.1).
+
+A 2-valued structure is a pair ``(U, ι)`` of a universe of individuals and
+an interpretation mapping each predicate symbol of arity ``k`` to a set of
+``k``-tuples over ``U``.  TVP program states are such structures; the TVLA
+layer abstracts them into 3-valued structures.
+
+Individuals are plain integers allocated by the structure.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Iterator, Optional, Set, Tuple
+
+from repro.logic.formula import (
+    And,
+    EqAtom,
+    Exists,
+    Forall,
+    Formula,
+    Not,
+    Or,
+    PredAtom,
+    Truth,
+)
+from repro.logic.terms import Base
+
+
+@dataclass(frozen=True, order=True)
+class PredicateSymbol:
+    """A predicate symbol with a fixed arity."""
+
+    name: str
+    arity: int
+
+    def __str__(self) -> str:
+        return f"{self.name}/{self.arity}"
+
+
+class TwoValuedStructure:
+    """A mutable 2-valued logical structure."""
+
+    def __init__(self, predicates: Iterable[PredicateSymbol] = ()) -> None:
+        self.predicates: Dict[str, PredicateSymbol] = {}
+        self.universe: Set[int] = set()
+        self._tuples: Dict[str, Set[Tuple[int, ...]]] = {}
+        self._next_individual = 0
+        for symbol in predicates:
+            self.declare(symbol)
+
+    # -- schema -------------------------------------------------------------
+
+    def declare(self, symbol: PredicateSymbol) -> None:
+        existing = self.predicates.get(symbol.name)
+        if existing is not None and existing != symbol:
+            raise ValueError(
+                f"predicate {symbol.name} redeclared with arity "
+                f"{symbol.arity} (was {existing.arity})"
+            )
+        self.predicates[symbol.name] = symbol
+        self._tuples.setdefault(symbol.name, set())
+
+    # -- universe -----------------------------------------------------------
+
+    def new_individual(self) -> int:
+        """Allocate a fresh individual (all predicates false on it)."""
+        individual = self._next_individual
+        self._next_individual += 1
+        self.universe.add(individual)
+        return individual
+
+    def remove_individual(self, individual: int) -> None:
+        """Remove an individual and every tuple mentioning it."""
+        self.universe.discard(individual)
+        for name, tuples in self._tuples.items():
+            self._tuples[name] = {
+                t for t in tuples if individual not in t
+            }
+
+    # -- interpretation -----------------------------------------------------
+
+    def set_value(self, name: str, args: Tuple[int, ...], value: bool) -> None:
+        symbol = self.predicates[name]
+        if len(args) != symbol.arity:
+            raise ValueError(
+                f"{name} expects {symbol.arity} args, got {len(args)}"
+            )
+        if value:
+            self._tuples[name].add(args)
+        else:
+            self._tuples[name].discard(args)
+
+    def value(self, name: str, args: Tuple[int, ...]) -> bool:
+        return args in self._tuples[name]
+
+    def tuples(self, name: str) -> FrozenSet[Tuple[int, ...]]:
+        return frozenset(self._tuples[name])
+
+    def clear(self, name: str) -> None:
+        self._tuples[name] = set()
+
+    def copy(self) -> "TwoValuedStructure":
+        clone = TwoValuedStructure(self.predicates.values())
+        clone.universe = set(self.universe)
+        clone._tuples = {k: set(v) for k, v in self._tuples.items()}
+        clone._next_individual = self._next_individual
+        return clone
+
+    # -- evaluation ---------------------------------------------------------
+
+    def evaluate(
+        self, formula: Formula, env: Optional[Dict[str, int]] = None
+    ) -> bool:
+        """Evaluate a closed-under-``env`` formula in this structure."""
+        env = env or {}
+        return self._eval(formula, env)
+
+    def _eval(self, formula: Formula, env: Dict[str, int]) -> bool:
+        if isinstance(formula, Truth):
+            return formula.value
+        if isinstance(formula, PredAtom):
+            args = tuple(self._lookup(a, env) for a in formula.args)
+            return self.value(formula.name, args)
+        if isinstance(formula, EqAtom):
+            lhs = self._term_value(formula.lhs, env)
+            rhs = self._term_value(formula.rhs, env)
+            return lhs == rhs
+        if isinstance(formula, Not):
+            return not self._eval(formula.body, env)
+        if isinstance(formula, And):
+            return all(self._eval(a, env) for a in formula.args)
+        if isinstance(formula, Or):
+            return any(self._eval(a, env) for a in formula.args)
+        if isinstance(formula, Exists):
+            return any(
+                self._eval(formula.body, {**env, formula.var: u})
+                for u in self.universe
+            )
+        if isinstance(formula, Forall):
+            return all(
+                self._eval(formula.body, {**env, formula.var: u})
+                for u in self.universe
+            )
+        raise TypeError(f"unknown formula node: {formula!r}")
+
+    def _lookup(self, name: str, env: Dict[str, int]) -> int:
+        if name not in env:
+            raise KeyError(f"unbound logical variable {name!r}")
+        return env[name]
+
+    def _term_value(self, term, env: Dict[str, int]) -> int:
+        if isinstance(term, Base):
+            return self._lookup(term.name, env)
+        raise TypeError(
+            "2-valued evaluation only supports variable equality atoms; "
+            f"got term {term!r}"
+        )
+
+    def satisfying_assignments(
+        self, formula: Formula, variables: Tuple[str, ...]
+    ) -> Iterator[Tuple[int, ...]]:
+        """All tuples over the universe satisfying ``formula``."""
+        for assignment in itertools.product(
+            sorted(self.universe), repeat=len(variables)
+        ):
+            env = dict(zip(variables, assignment))
+            if self.evaluate(formula, env):
+                yield assignment
+
+    # -- comparison ---------------------------------------------------------
+
+    def canonical_key(self):
+        """A hashable key identifying the structure up to nothing (exact)."""
+        return (
+            frozenset(self.universe),
+            frozenset(
+                (name, frozenset(tuples))
+                for name, tuples in self._tuples.items()
+            ),
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TwoValuedStructure):
+            return NotImplemented
+        return self.canonical_key() == other.canonical_key()
+
+    def __hash__(self) -> int:
+        return hash(self.canonical_key())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        rows = [f"U = {sorted(self.universe)}"]
+        for name in sorted(self._tuples):
+            rows.append(f"{name} = {sorted(self._tuples[name])}")
+        return "Structure(" + "; ".join(rows) + ")"

@@ -1,0 +1,31 @@
+"""Concrete execution: the ground truth for precision measurements.
+
+The paper evaluates its certifiers by counting *false alarms* — reported
+violations that cannot actually occur.  This package provides the
+reference semantics against which alarms are judged:
+
+* :mod:`repro.runtime.jcf` — a concrete component model obtained by
+  *executing the Easl specification itself*: component objects are
+  records, operations run the specification bodies, and a failing
+  ``requires`` clause raises the conformance exception (for CMP, this is
+  precisely the versioned ``ConcurrentModificationException`` check the
+  real JCF performs).
+* :mod:`repro.runtime.interp` — an exhaustive interpreter for Jlite CFGs
+  under the *nondeterministic client semantics*: branch conditions written
+  ``?`` take both outcomes, loops are explored up to a budget.  This is
+  exactly the semantics the certifiers over-approximate, so "false alarm"
+  and "missed error" are well-defined: an alarm is false iff no explored
+  execution fails at that site, and soundness requires every failing site
+  to be alarmed.
+"""
+
+from repro.runtime.interp import ExplorationBudget, GroundTruth, explore
+from repro.runtime.jcf import ComponentHeap, ConformanceViolation
+
+__all__ = [
+    "ComponentHeap",
+    "ConformanceViolation",
+    "ExplorationBudget",
+    "GroundTruth",
+    "explore",
+]

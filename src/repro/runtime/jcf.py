@@ -1,0 +1,219 @@
+"""Concrete component semantics by direct execution of the Easl spec.
+
+The JCF detects concurrent modification *dynamically*: collections carry a
+modification count and iterators remember the count at creation (the paper
+notes its Fig. 2 specification matches this up to using heap-allocated
+``Version`` objects instead of integers).  Rather than hard-coding that
+one component, this module executes any Easl specification concretely:
+
+* component objects are records with reference fields,
+* an operation runs the constructor/method body (assignments, ``new``,
+  conditionals, ``return``),
+* a failing ``requires`` raises :class:`ConformanceViolation` — for CMP,
+  the ``ConcurrentModificationException``.
+
+Because the certifier's weakest preconditions were computed from the same
+bodies, the concrete and abstract semantics agree by construction.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.easl.ast import (
+    AndCond,
+    Assign,
+    CmpCond,
+    Cond,
+    If,
+    NewExpr,
+    NotCond,
+    NullExpr,
+    OrCond,
+    PathExpr,
+    Requires,
+    Return,
+    Stmt,
+)
+from repro.easl.spec import ComponentSpec, Operation
+
+
+class ConformanceViolation(Exception):
+    """A ``requires`` clause failed during concrete execution."""
+
+    def __init__(self, op_key: str, clause: str) -> None:
+        super().__init__(f"{op_key}: requires ({clause}) failed")
+        self.op_key = op_key
+        self.clause = clause
+
+
+@dataclass(eq=False)
+class ComponentObject:
+    """A concrete component instance."""
+
+    oid: int
+    class_name: str
+    fields: Dict[str, Optional["ComponentObject"]] = field(default_factory=dict)
+
+    def __repr__(self) -> str:
+        return f"<{self.class_name}#{self.oid}>"
+
+
+class ComponentHeap:
+    """Allocator + operation executor for one specification."""
+
+    def __init__(self, spec: ComponentSpec) -> None:
+        self.spec = spec
+        self._ids = itertools.count(1)
+        self.allocations = 0
+
+    def allocate(self, class_name: str) -> ComponentObject:
+        self.allocations += 1
+        decl = self.spec.classes[class_name]
+        obj = ComponentObject(
+            next(self._ids),
+            class_name,
+            {name: None for name in decl.fields},
+        )
+        return obj
+
+    # -- operation execution ----------------------------------------------------
+
+    def execute(
+        self,
+        op: Operation,
+        operand_values: Dict[str, Optional[ComponentObject]],
+    ) -> Optional[ComponentObject]:
+        """Run one operation; returns the result value (if any).
+
+        ``operand_values`` binds component-typed operand placeholder names;
+        opaque operands are ignored.  Raises :class:`ConformanceViolation`
+        when a ``requires`` fails and ``NullDereference`` when the body
+        reads a field of null.
+        """
+        if op.kind == "copy":
+            return operand_values.get("src")
+        if op.kind == "new":
+            receiver = self.allocate(op.class_name)
+            ctor = self.spec.constructor(op.class_name)
+            if ctor is not None:
+                env: Dict[str, Optional[ComponentObject]] = {"this": receiver}
+                for pname, ptype in ctor.params:
+                    env[pname] = operand_values.get(pname)
+                self._run_body(ctor.body, env, op)
+            return receiver
+        method = self.spec.method(op.class_name, op.method or "")
+        receiver = operand_values.get("this")
+        if receiver is None:
+            raise NullDereference(f"{op.key} invoked on null")
+        env = {"this": receiver}
+        for pname, ptype in method.params:
+            env[pname] = operand_values.get(pname)
+        return self._run_body(method.body, env, op)
+
+    def _run_body(
+        self,
+        body: Tuple[Stmt, ...],
+        env: Dict[str, Optional[ComponentObject]],
+        op: Operation,
+    ) -> Optional[ComponentObject]:
+        for stmt in body:
+            if isinstance(stmt, Requires):
+                if not self._eval_cond(stmt.cond, env):
+                    raise ConformanceViolation(op.key, str(stmt.cond))
+            elif isinstance(stmt, Assign):
+                self._assign(stmt, env)
+            elif isinstance(stmt, Return):
+                if stmt.expr is None:
+                    return None
+                return self._eval_expr(stmt.expr, env)
+            elif isinstance(stmt, If):
+                branch = (
+                    stmt.then_body
+                    if self._eval_cond(stmt.cond, env)
+                    else stmt.else_body
+                )
+                result = self._run_body(branch, env, op)
+                if result is not None:
+                    return result
+            else:
+                raise TypeError(f"unsupported spec statement {stmt!r}")
+        return None
+
+    def _assign(self, stmt: Assign, env) -> None:
+        value = self._eval_expr(stmt.rhs, env)
+        lhs = stmt.lhs
+        if not lhs.fields:
+            owner = self._implicit_this_owner(lhs.root, env)
+            if owner is not None:
+                owner.fields[lhs.root] = value
+            else:
+                env[lhs.root] = value
+            return
+        base = self._eval_path(PathExpr(lhs.root, lhs.fields[:-1]), env)
+        if base is None:
+            raise NullDereference(f"store through null path {lhs}")
+        base.fields[lhs.fields[-1]] = value
+
+    def _implicit_this_owner(self, name: str, env) -> Optional[ComponentObject]:
+        this = env.get("this")
+        if (
+            name not in env
+            and this is not None
+            and name in self.spec.classes[this.class_name].fields
+        ):
+            return this
+        return None
+
+    def _eval_expr(self, expr, env) -> Optional[ComponentObject]:
+        if isinstance(expr, NewExpr):
+            values = {
+                pname: self._eval_path(arg, env)
+                for (pname, _ptype), arg in zip(
+                    (self.spec.constructor(expr.class_name).params
+                     if self.spec.constructor(expr.class_name) else []),
+                    expr.args,
+                )
+            }
+            op = self.spec.operation(f"new {expr.class_name}")
+            return self.execute(op, values)
+        if isinstance(expr, NullExpr):
+            return None
+        if isinstance(expr, PathExpr):
+            return self._eval_path(expr, env)
+        raise TypeError(f"unsupported spec expression {expr!r}")
+
+    def _eval_path(self, path: PathExpr, env) -> Optional[ComponentObject]:
+        if path.root in env:
+            value = env[path.root]
+        else:
+            owner = self._implicit_this_owner(path.root, env)
+            if owner is None:
+                raise KeyError(f"unbound name {path.root} in spec body")
+            value = owner.fields[path.root]
+        for field_name in path.fields:
+            if value is None:
+                raise NullDereference(f"read through null path {path}")
+            value = value.fields[field_name]
+        return value
+
+    def _eval_cond(self, cond: Cond, env) -> bool:
+        if isinstance(cond, CmpCond):
+            lhs = self._eval_path(cond.lhs, env)
+            rhs = self._eval_path(cond.rhs, env)
+            return (lhs is rhs) == cond.equal
+        if isinstance(cond, NotCond):
+            return not self._eval_cond(cond.body, env)
+        if isinstance(cond, AndCond):
+            return all(self._eval_cond(a, env) for a in cond.args)
+        if isinstance(cond, OrCond):
+            return any(self._eval_cond(a, env) for a in cond.args)
+        raise TypeError(f"unsupported spec condition {cond!r}")
+
+
+class NullDereference(Exception):
+    """A null dereference during concrete execution: the path dies
+    (a would-be NullPointerException), which is not a conformance
+    violation."""

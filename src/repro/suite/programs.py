@@ -1,0 +1,743 @@
+"""The benchmark client programs.
+
+Sources use explicit line layout so that ``expected_error_lines`` stays
+readable: the first source line is line 2 (sources start with a newline).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Tuple
+
+
+@dataclass(frozen=True)
+class BenchmarkProgram:
+    name: str
+    category: str  # "contrived" | "realworld" | "heap"
+    description: str
+    source: str
+    expected_error_lines: FrozenSet[int]
+    shallow: bool = True
+
+
+_PROGRAMS: List[BenchmarkProgram] = []
+
+
+def _add(
+    name: str,
+    category: str,
+    description: str,
+    source: str,
+    expected: Tuple[int, ...],
+    shallow: bool = True,
+) -> None:
+    _PROGRAMS.append(
+        BenchmarkProgram(
+            name, category, description, source, frozenset(expected), shallow
+        )
+    )
+
+
+# ---------------------------------------------------------------------------
+# Contrived programs — "difficult" CMP instances
+# ---------------------------------------------------------------------------
+
+_add(
+    "fig3",
+    "contrived",
+    "The paper's Fig. 3: aliased iterators, remove-based and add-based "
+    "invalidation; the i3.next() use must NOT be flagged.",
+    """
+class Main {
+  static void main() {
+    Set v = new Set();
+    Iterator i1 = v.iterator();
+    Iterator i2 = v.iterator();
+    Iterator i3 = i1;
+    i1.next();
+    i1.remove();
+    if (?) { i2.next(); }
+    if (?) { i3.next(); }
+    v.add("x");
+    if (?) { i1.next(); }
+  }
+}
+""",
+    (10, 13),
+)
+
+_add(
+    "sec3_loop",
+    "contrived",
+    "Section 3's loop example: a collection modified and freshly "
+    "re-iterated each round — safe, but beyond allocation-site analysis.",
+    """
+class Main {
+  static void main() {
+    Set s = new Set();
+    while (?) {
+      s.add("x");
+      Iterator i = s.iterator();
+      while (i.hasNext()) {
+        i.next();
+      }
+    }
+  }
+}
+""",
+    (),
+)
+
+_add(
+    "loop_invalidate",
+    "contrived",
+    "An iterator created before a loop that conditionally mutates the "
+    "collection: the next() inside the loop can throw.",
+    """
+class Main {
+  static void main() {
+    Set s = new Set();
+    s.add("a");
+    Iterator i = s.iterator();
+    while (?) {
+      i.next();
+      if (?) { s.add("b"); }
+    }
+  }
+}
+""",
+    (8,),
+)
+
+_add(
+    "remove_self_ok",
+    "contrived",
+    "Element removal through the iterator itself keeps it valid — the "
+    "blessed JCF idiom.",
+    """
+class Main {
+  static void main() {
+    Set s = new Set();
+    s.add("a");
+    Iterator i = s.iterator();
+    while (i.hasNext()) {
+      i.next();
+      if (?) { i.remove(); }
+    }
+  }
+}
+""",
+    (),
+)
+
+_add(
+    "remove_breaks_sibling",
+    "contrived",
+    "remove() through one iterator invalidates a sibling iterator over "
+    "the same collection but not iterators over other collections.",
+    """
+class Main {
+  static void main() {
+    Set s = new Set();
+    Set t = new Set();
+    Iterator a = s.iterator();
+    Iterator b = s.iterator();
+    Iterator c = t.iterator();
+    a.next();
+    a.remove();
+    if (?) { b.next(); }
+    if (?) { c.next(); }
+    if (?) { a.next(); }
+  }
+}
+""",
+    (11,),
+)
+
+_add(
+    "alias_chain",
+    "contrived",
+    "A chain of set-variable copies: mutation through the last alias "
+    "invalidates an iterator created through the first.",
+    """
+class Main {
+  static void main() {
+    Set s1 = new Set();
+    Set s2 = s1;
+    Set s3 = s2;
+    Iterator i = s1.iterator();
+    s3.add("x");
+    i.next();
+  }
+}
+""",
+    (9,),
+)
+
+_add(
+    "reassign_set_var",
+    "contrived",
+    "Reassigning the set variable breaks the alias before mutation: the "
+    "iterator stays valid (a precision trap for name-based analyses).",
+    """
+class Main {
+  static void main() {
+    Set s = new Set();
+    Iterator i = s.iterator();
+    s = new Set();
+    s.add("x");
+    i.next();
+  }
+}
+""",
+    (),
+)
+
+_add(
+    "diamond_join",
+    "contrived",
+    "The collection is mutated on only one arm of a branch: the use "
+    "after the join is a real (path-sensitive) error.",
+    """
+class Main {
+  static void main() {
+    Set s = new Set();
+    Iterator i = s.iterator();
+    if (?) {
+      s.add("x");
+    } else {
+      i.next();
+    }
+    i.next();
+  }
+}
+""",
+    (11,),
+)
+
+_add(
+    "iterator_copy_web",
+    "contrived",
+    "Iterator copies: invalidation must flow through value aliases of "
+    "the iterator variable itself.",
+    """
+class Main {
+  static void main() {
+    Set s = new Set();
+    Iterator a = s.iterator();
+    Iterator b = a;
+    Iterator c = b;
+    s.add("x");
+    if (?) { c.next(); }
+    Iterator d = s.iterator();
+    d.next();
+  }
+}
+""",
+    (9,),
+)
+
+_add(
+    "two_sets_swap",
+    "contrived",
+    "Two sets whose variables are swapped: mutation must track values, "
+    "not names.",
+    """
+class Main {
+  static void main() {
+    Set s = new Set();
+    Set t = new Set();
+    Iterator i = s.iterator();
+    Set tmp = s;
+    s = t;
+    t = tmp;
+    s.add("x");
+    if (?) { i.next(); }
+    t.add("y");
+    if (?) { i.next(); }
+  }
+}
+""",
+    (13,),
+)
+
+_add(
+    "null_flow",
+    "contrived",
+    "Nulling a set variable before mutation through another alias; uses "
+    "through the remaining alias still fail.",
+    """
+class Main {
+  static void main() {
+    Set s = new Set();
+    Set t = s;
+    Iterator i = s.iterator();
+    s = null;
+    t.add("x");
+    i.next();
+  }
+}
+""",
+    (9,),
+)
+
+_add(
+    "nested_loops",
+    "contrived",
+    "Fresh iterator per outer round over a growing set with an inner "
+    "read loop — safe, needs loop-stable facts.",
+    """
+class Main {
+  static void main() {
+    Set s = new Set();
+    while (?) {
+      s.add("grow");
+      Iterator i = s.iterator();
+      while (i.hasNext()) {
+        i.next();
+        i.next();
+      }
+    }
+  }
+}
+""",
+    (),
+)
+
+_add(
+    "stale_then_recreate",
+    "contrived",
+    "An invalidated iterator variable is later overwritten with a fresh "
+    "iterator: only the pre-overwrite use fails.",
+    """
+class Main {
+  static void main() {
+    Set s = new Set();
+    Iterator i = s.iterator();
+    s.add("x");
+    if (?) { i.next(); }
+    i = s.iterator();
+    i.next();
+  }
+}
+""",
+    (7,),
+)
+
+# ---------------------------------------------------------------------------
+# Contrived, interprocedural
+# ---------------------------------------------------------------------------
+
+_add(
+    "callee_mutates_param",
+    "contrived",
+    "The callee mutates a set received as a parameter, invalidating the "
+    "caller's iterator.",
+    """
+class Main {
+  static void main() {
+    Set v = new Set();
+    Iterator i = v.iterator();
+    mutate(v);
+    i.next();
+  }
+  static void mutate(Set s) { s.add("x"); }
+}
+""",
+    (7,),
+)
+
+_add(
+    "callee_mutates_other",
+    "contrived",
+    "The callee mutates a different set: the caller's iterator stays "
+    "valid (context sensitivity).",
+    """
+class Main {
+  static void main() {
+    Set v = new Set();
+    Set w = new Set();
+    Iterator i = v.iterator();
+    mutate(w);
+    i.next();
+  }
+  static void mutate(Set s) { s.add("x"); }
+}
+""",
+    (),
+)
+
+_add(
+    "returned_iterator",
+    "contrived",
+    "A factory method returns an iterator; mutation in the caller must "
+    "invalidate it.",
+    """
+class Main {
+  static void main() {
+    Set v = new Set();
+    Iterator i = fresh(v);
+    v.add("x");
+    i.next();
+  }
+  static Iterator fresh(Set s) { Iterator t = s.iterator(); return t; }
+}
+""",
+    (7,),
+)
+
+_add(
+    "callee_removes_via_alias",
+    "contrived",
+    "The callee calls remove() on a passed iterator, invalidating the "
+    "caller's sibling iterator over the same set.",
+    """
+class Main {
+  static void main() {
+    Set v = new Set();
+    Iterator i = v.iterator();
+    Iterator k = v.iterator();
+    removeit(k);
+    i.next();
+  }
+  static void removeit(Iterator j) { j.remove(); }
+}
+""",
+    (8,),
+)
+
+_add(
+    "recursive_growth",
+    "contrived",
+    "Recursion conditionally mutating a static set under an active "
+    "iterator.",
+    """
+class Main {
+  static Set g;
+  static void main() {
+    g = new Set();
+    Iterator i = g.iterator();
+    rec();
+    i.next();
+  }
+  static void rec() {
+    if (?) { g.add("x"); }
+    if (?) { rec(); }
+  }
+}
+""",
+    (8,),
+)
+
+_add(
+    "static_swap_safe",
+    "contrived",
+    "A callee redirects the static to a fresh set before the mutation, "
+    "so the caller's iterator survives.",
+    """
+class Main {
+  static Set g;
+  static void main() {
+    g = new Set();
+    Iterator i = g.iterator();
+    swap();
+    g.add("x");
+    i.next();
+  }
+  static void swap() { g = new Set(); }
+}
+""",
+    (),
+)
+
+# ---------------------------------------------------------------------------
+# Real-world-style programs
+# ---------------------------------------------------------------------------
+
+_add(
+    "worklist_static",
+    "realworld",
+    "Fig. 1's build-tool bug, SCMP form: item processing re-enters the "
+    "worklist through nested calls and mutates it mid-iteration.",
+    """
+class Make {
+  static Set work;
+  static void main() {
+    work = new Set();
+    work.add("seed");
+    processWorklist();
+  }
+  static void processWorklist() {
+    Iterator i = work.iterator();
+    while (i.hasNext()) {
+      i.next();
+      if (?) { processItem(); }
+    }
+  }
+  static void processItem() { doSubproblem(); }
+  static void doSubproblem() { work.add("item"); }
+}
+""",
+    (12,),
+)
+
+_add(
+    "scanner",
+    "realworld",
+    "A two-phase scanner: collect into a fresh set, then iterate it — "
+    "a correct idiom.",
+    """
+class Main {
+  static void main() {
+    Set input = new Set();
+    while (?) { input.add("tok"); }
+    Set filtered = new Set();
+    Iterator i = input.iterator();
+    while (i.hasNext()) {
+      i.next();
+      if (?) { filtered.add("keep"); }
+    }
+    Iterator j = filtered.iterator();
+    while (j.hasNext()) { j.next(); }
+  }
+}
+""",
+    (),
+)
+
+_add(
+    "dispatcher",
+    "realworld",
+    "An event dispatcher where a handler may (de)register listeners "
+    "while the listener set is being iterated.",
+    """
+class Main {
+  static Set listeners;
+  static void main() {
+    listeners = new Set();
+    listeners.add("l1");
+    dispatch();
+  }
+  static void dispatch() {
+    Iterator i = listeners.iterator();
+    while (i.hasNext()) {
+      i.next();
+      if (?) { register(); }
+    }
+  }
+  static void register() { listeners.add("l2"); }
+}
+""",
+    (12,),
+)
+
+_add(
+    "cache_rebuild",
+    "realworld",
+    "A cache rebuilt wholesale before re-iteration (swap to a fresh "
+    "set) — correct, defeats name-based reasoning.",
+    """
+class Main {
+  static Set cache;
+  static void main() {
+    cache = new Set();
+    Iterator i = cache.iterator();
+    while (i.hasNext()) { i.next(); }
+    rebuild();
+    Iterator j = cache.iterator();
+    while (j.hasNext()) { j.next(); }
+  }
+  static void rebuild() {
+    cache = new Set();
+    cache.add("fresh");
+  }
+}
+""",
+    (),
+)
+
+_add(
+    "filter_in_place",
+    "realworld",
+    "In-place filtering with it.remove() — the supported idiom, "
+    "followed by an unsupported direct add during a second pass.",
+    """
+class Main {
+  static void main() {
+    Set data = new Set();
+    data.add("a");
+    data.add("b");
+    Iterator i = data.iterator();
+    while (i.hasNext()) {
+      i.next();
+      if (?) { i.remove(); }
+    }
+    Iterator j = data.iterator();
+    while (j.hasNext()) {
+      j.next();
+      if (?) { data.add("c"); }
+    }
+  }
+}
+""",
+    (14,),
+)
+
+# ---------------------------------------------------------------------------
+# Heap clients (beyond SCMP) — the Section 5 pipeline
+# ---------------------------------------------------------------------------
+
+_add(
+    "fig1_heap",
+    "heap",
+    "Fig. 1 verbatim shape: the worklist object owns its Set in an "
+    "instance field.",
+    """
+class Worklist {
+  Set s;
+  Worklist() { s = new Set(); }
+  void addItem(Object item) { s.add(item); }
+  Set unprocessedItems() { return s; }
+}
+class Make {
+  static Worklist worklist;
+  static void main() {
+    worklist = new Worklist();
+    processWorklist();
+  }
+  static void processWorklist() {
+    Set t = worklist.unprocessedItems();
+    Iterator i = t.iterator();
+    while (i.hasNext()) {
+      i.next();
+      if (?) { doSubproblem(); }
+    }
+  }
+  static void doSubproblem() { worklist.addItem("item"); }
+}
+""",
+    (18,),
+    shallow=False,
+)
+
+_add(
+    "holder_invalidate",
+    "heap",
+    "An iterator parked in an object field, invalidated while parked.",
+    """
+class Holder { Iterator it; Holder() { } }
+class Main {
+  static void main() {
+    Set v = new Set();
+    Holder h = new Holder();
+    h.it = v.iterator();
+    v.add("x");
+    Iterator j = h.it;
+    j.next();
+  }
+}
+""",
+    (10,),
+    shallow=False,
+)
+
+_add(
+    "holder_safe",
+    "heap",
+    "The parked iterator is consumed before any mutation — correct.",
+    """
+class Holder { Iterator it; Holder() { } }
+class Main {
+  static void main() {
+    Set v = new Set();
+    Holder h = new Holder();
+    h.it = v.iterator();
+    Iterator j = h.it;
+    j.next();
+    v.add("x");
+  }
+}
+""",
+    (),
+    shallow=False,
+)
+
+_add(
+    "holder_overwrite",
+    "heap",
+    "The field is overwritten with a fresh iterator after mutation; "
+    "only a use of the stale snapshot fails.",
+    """
+class Holder { Iterator it; Holder() { } }
+class Main {
+  static void main() {
+    Set v = new Set();
+    Holder h = new Holder();
+    h.it = v.iterator();
+    Iterator early = h.it;
+    v.add("x");
+    h.it = v.iterator();
+    Iterator late = h.it;
+    late.next();
+    if (?) { early.next(); }
+  }
+}
+""",
+    (13,),
+    shallow=False,
+)
+
+_add(
+    "holders_loop",
+    "heap",
+    "Holders allocated in a loop (summary nodes); the surviving "
+    "iterator read back from the heap fails only after the add.",
+    """
+class Holder { Iterator it; Holder() { } }
+class Main {
+  static void main() {
+    Set v = new Set();
+    Holder last = new Holder();
+    while (?) {
+      Holder h = new Holder();
+      h.it = v.iterator();
+      last = h;
+    }
+    Iterator j = last.it;
+    if (?) { j.next(); }
+    v.add("x");
+    if (?) { j.next(); }
+  }
+}
+""",
+    (15,),
+    shallow=False,
+)
+
+
+# ---------------------------------------------------------------------------
+# Registry accessors
+# ---------------------------------------------------------------------------
+
+
+def all_programs() -> List[BenchmarkProgram]:
+    return list(_PROGRAMS)
+
+
+def by_name(name: str) -> BenchmarkProgram:
+    for program in _PROGRAMS:
+        if program.name == name:
+            return program
+    raise KeyError(name)
+
+
+def by_category(category: str) -> List[BenchmarkProgram]:
+    return [p for p in _PROGRAMS if p.category == category]
+
+
+def shallow_programs() -> List[BenchmarkProgram]:
+    return [p for p in _PROGRAMS if p.shallow]
+
+
+def heap_programs() -> List[BenchmarkProgram]:
+    return [p for p in _PROGRAMS if not p.shallow]

@@ -1,0 +1,327 @@
+"""The TVLA fixpoint engine (Section 5.5).
+
+Interprets TVP actions over 3-valued structures in two modes:
+
+* ``mode="relational"`` — the set of canonically-abstracted structures
+  arising at each program point, with *focus* materializing individuals
+  so the pointer formulas named by each action evaluate definitely;
+* ``mode="independent"`` — one structure per point approximating all of
+  them (no focus; joins blur disagreements to ``1/2``).
+
+``requires`` checks raise an alarm unless their condition is definitely
+true; with ``prune_requires`` the analysis then assumes the component
+threw — matching the dynamic CME check — by forcing the checked nullary
+predicate false on the surviving state.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.certifier.report import Alarm, CertificationReport
+from repro.logic.formula import Formula, Not, PredAtom
+from repro.logic.kleene import FALSE3, HALF, Kleene, TRUE3
+from repro.tvla.three_valued import ThreeValuedStructure
+from repro.tvp.program import Action, TvpProgram
+
+
+class TvlaBudgetExceeded(Exception):
+    pass
+
+
+@dataclass
+class TvlaResult:
+    report: CertificationReport
+    iterations: int
+    max_structures: int
+
+
+class TvlaEngine:
+    def __init__(
+        self,
+        tvp: TvpProgram,
+        *,
+        mode: str = "relational",
+        prune_requires: bool = True,
+        focus_budget: int = 64,
+        structure_budget: int = 4000,
+        iteration_budget: int = 200_000,
+    ) -> None:
+        if mode not in ("relational", "independent"):
+            raise ValueError(f"unknown mode {mode!r}")
+        self.tvp = tvp
+        self.mode = mode
+        self.prune_requires = prune_requires
+        self.focus_budget = focus_budget
+        self.structure_budget = structure_budget
+        self.iteration_budget = iteration_budget
+        self.abstraction_preds = tvp.abstraction_predicates()
+
+    # -- initial state -------------------------------------------------------------------
+
+    def initial_structure(self) -> ThreeValuedStructure:
+        structure = ThreeValuedStructure()
+        for pred in getattr(self.tvp, "initially_true_nullary", []):
+            structure.nullary[pred] = TRUE3
+        return structure
+
+    # -- focus ----------------------------------------------------------------------------
+
+    def _focus_one(
+        self, structure: ThreeValuedStructure, pred: str
+    ) -> List[ThreeValuedStructure]:
+        """Make the unary ``pred`` definite on every individual."""
+        pending = [structure]
+        finished: List[ThreeValuedStructure] = []
+        while pending:
+            current = pending.pop()
+            half_node = next(
+                (
+                    n
+                    for n in current.nodes
+                    if current.get(pred, (n,)) is HALF
+                ),
+                None,
+            )
+            if half_node is None:
+                finished.append(current)
+                continue
+            if (
+                len(finished) + len(pending) >= self.focus_budget
+            ):  # give up focusing: keep the indefinite structure
+                finished.append(current)
+                continue
+            positive = current.copy()
+            positive.set(pred, (half_node,), TRUE3)
+            negative = current.copy()
+            negative.set(pred, (half_node,), FALSE3)
+            pending.extend([positive, negative])
+            if current.summary.get(half_node, False):
+                split = current.copy()
+                clone = _duplicate_node(split, half_node)
+                split.set(pred, (half_node,), TRUE3)
+                split.set(pred, (clone,), FALSE3)
+                pending.append(split)
+        return finished
+
+    def _focus(
+        self, structure: ThreeValuedStructure, action: Action
+    ) -> List[ThreeValuedStructure]:
+        if self.mode != "relational":
+            return [structure]
+        structures = [structure]
+        for formula in action.focus:
+            if not isinstance(formula, PredAtom) or len(formula.args) != 1:
+                continue  # only unary focus is implemented
+            next_round: List[ThreeValuedStructure] = []
+            for s in structures:
+                next_round.extend(self._focus_one(s, formula.name))
+            structures = next_round
+        return structures
+
+    # -- one action -----------------------------------------------------------------------
+
+    def apply(
+        self,
+        structure: ThreeValuedStructure,
+        action: Action,
+        alarm_sink: Optional[Dict[Tuple[int, str], Alarm]],
+    ) -> List[ThreeValuedStructure]:
+        results: List[ThreeValuedStructure] = []
+        for focused in self._focus(structure, action):
+            survivor = self._check(focused, action, alarm_sink)
+            if survivor is None:
+                continue
+            results.append(self._update(survivor, action))
+        return results
+
+    def _check(
+        self,
+        structure: ThreeValuedStructure,
+        action: Action,
+        alarm_sink: Optional[Dict[Tuple[int, str], Alarm]],
+    ) -> Optional[ThreeValuedStructure]:
+        current = structure
+        for check in action.checks:
+            value = current.eval(check.cond)
+            if value is TRUE3:
+                continue
+            if alarm_sink is not None:
+                key = (check.site_id, str(check.cond))
+                existing = alarm_sink.get(key)
+                definite = value is FALSE3 and (
+                    existing is None or existing.definite
+                )
+                alarm_sink[key] = Alarm(
+                    site_id=check.site_id,
+                    line=check.line,
+                    op_key=check.op_key,
+                    instance=str(check.cond),
+                    definite=definite,
+                )
+            if value is FALSE3 and self.prune_requires:
+                return None  # the exception definitely fires
+            if self.prune_requires and isinstance(check.cond, Not):
+                body = check.cond.body
+                if isinstance(body, PredAtom) and not body.args:
+                    current = current.copy()
+                    current.nullary[body.name] = FALSE3
+        return current
+
+    def _update(
+        self, structure: ThreeValuedStructure, action: Action
+    ) -> ThreeValuedStructure:
+        pre = structure
+        post = structure.copy()
+        env: Dict[str, int] = {}
+        if action.new_var is not None:
+            node = post.new_node(summary=False)
+            env[action.new_var] = node
+            # the new node does not exist in the pre-state; evaluate rhs
+            # formulas in the post-universe minus predicate changes, so
+            # re-point `pre` at a copy that has the node with all-0 values
+            pre = post.copy()
+        for update in action.updates:
+            if not update.vars:
+                post.set(update.pred, (), pre.eval(update.rhs, env))
+                continue
+            assignments = _tuples(pre.nodes, len(update.vars))
+            values = []
+            for combo in assignments:
+                local_env = dict(env)
+                local_env.update(zip(update.vars, combo))
+                values.append((combo, pre.eval(update.rhs, local_env)))
+            for combo, value in values:
+                post.set(update.pred, combo, value)
+        return post.canonicalize(self.abstraction_preds)
+
+    # -- the fixpoint ----------------------------------------------------------------------
+
+    def run(self) -> TvlaResult:
+        started = time.perf_counter()
+        alarms: Dict[Tuple[int, str], Alarm] = {}
+        initial = self.initial_structure().canonicalize(
+            self.abstraction_preds
+        )
+        iterations = 0
+        max_structures = 1
+        if self.mode == "relational":
+            states: Dict[int, Dict[object, ThreeValuedStructure]] = {
+                self.tvp.entry: {
+                    initial.canonical_key(self.abstraction_preds): initial
+                }
+            }
+            worklist = deque([self.tvp.entry])
+            queued = {self.tvp.entry}
+            while worklist:
+                iterations += 1
+                if iterations > self.iteration_budget:
+                    raise TvlaBudgetExceeded("iteration budget exceeded")
+                node = worklist.popleft()
+                queued.discard(node)
+                here = list(states.get(node, {}).values())
+                for edge in self.tvp.out_edges(node):
+                    for structure in here:
+                        for out in self.apply(
+                            structure, edge.action, alarms
+                        ):
+                            key = out.canonical_key(self.abstraction_preds)
+                            bucket = states.setdefault(edge.dst, {})
+                            if key in bucket:
+                                continue
+                            bucket[key] = out
+                            max_structures = max(
+                                max_structures, len(bucket)
+                            )
+                            if len(bucket) > self.structure_budget:
+                                raise TvlaBudgetExceeded(
+                                    f"more than {self.structure_budget} "
+                                    f"structures at node {edge.dst}"
+                                )
+                            if edge.dst not in queued:
+                                queued.add(edge.dst)
+                                worklist.append(edge.dst)
+        else:
+            single: Dict[int, ThreeValuedStructure] = {
+                self.tvp.entry: initial
+            }
+            worklist = deque([self.tvp.entry])
+            queued = {self.tvp.entry}
+            while worklist:
+                iterations += 1
+                if iterations > self.iteration_budget:
+                    raise TvlaBudgetExceeded("iteration budget exceeded")
+                node = worklist.popleft()
+                queued.discard(node)
+                current = single.get(node)
+                if current is None:
+                    continue
+                for edge in self.tvp.out_edges(node):
+                    for out in self.apply(current, edge.action, alarms):
+                        old = single.get(edge.dst)
+                        if old is None:
+                            merged = out
+                        else:
+                            merged = ThreeValuedStructure.join(
+                                old, out, self.abstraction_preds
+                            ).canonicalize(self.abstraction_preds)
+                        old_key = (
+                            None
+                            if old is None
+                            else old.canonical_key(self.abstraction_preds)
+                        )
+                        if old_key != merged.canonical_key(
+                            self.abstraction_preds
+                        ):
+                            single[edge.dst] = merged
+                            if edge.dst not in queued:
+                                queued.add(edge.dst)
+                                worklist.append(edge.dst)
+        alarm_list = sorted(
+            alarms.values(), key=lambda a: (a.site_id, a.instance)
+        )
+        report = CertificationReport(
+            subject=self.tvp.name,
+            engine=f"tvla-{self.mode}",
+            alarms=alarm_list,
+            stats={
+                "iterations": iterations,
+                "max_structures": max_structures,
+                "abstraction_preds": len(self.abstraction_preds),
+                "seconds": round(time.perf_counter() - started, 4),
+            },
+        )
+        return TvlaResult(report, iterations, max_structures)
+
+
+def _duplicate_node(
+    structure: ThreeValuedStructure, node: int
+) -> int:
+    """Bifurcate a summary node: the clone inherits every predicate value
+    (including pairs with the original and itself)."""
+    clone = structure.new_node(summary=True)
+    for table in structure.unary.values():
+        if node in table:
+            table[clone] = table[node]
+    for table2 in structure.binary.values():
+        for (n1, n2), value in list(table2.items()):
+            if n1 == node and n2 == node:
+                table2[(clone, clone)] = value
+                table2[(clone, node)] = value
+                table2[(node, clone)] = value
+            elif n1 == node:
+                table2[(clone, n2)] = value
+            elif n2 == node:
+                table2[(n1, clone)] = value
+    return clone
+
+
+def _tuples(nodes: List[int], arity: int):
+    if arity == 1:
+        return [(n,) for n in nodes]
+    if arity == 2:
+        return [(a, b) for a in nodes for b in nodes]
+    raise ValueError(f"unsupported update arity {arity}")

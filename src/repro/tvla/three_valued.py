@@ -1,0 +1,331 @@
+"""3-valued logical structures (Section 5.5).
+
+A 3-valued structure is ``(U, ι)`` where each predicate maps tuples over
+``U`` to a :class:`~repro.logic.kleene.Kleene` value.  Individuals carry a
+*summary* bit: a summary individual may represent several concrete
+objects, so equality on it evaluates to ``1/2``.
+
+Formula evaluation follows Kleene semantics; canonical abstraction merges
+individuals with identical unary abstraction-predicate vectors, joining
+predicate values in the information order and marking merged individuals
+as summaries.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from repro.logic.formula import (
+    And,
+    EqAtom,
+    Exists,
+    Forall,
+    Formula,
+    Not,
+    Or,
+    PredAtom,
+    Truth,
+)
+from repro.logic.kleene import FALSE3, HALF, Kleene, TRUE3, kleene_join
+from repro.logic.terms import Base
+
+
+class ThreeValuedStructure:
+    """A mutable 3-valued structure; sparse (absent tuples are 0)."""
+
+    def __init__(self) -> None:
+        self.nodes: List[int] = []
+        self.summary: Dict[int, bool] = {}
+        self.nullary: Dict[str, Kleene] = {}
+        self.unary: Dict[str, Dict[int, Kleene]] = {}
+        self.binary: Dict[str, Dict[Tuple[int, int], Kleene]] = {}
+        self._next = 0
+
+    # -- universe ----------------------------------------------------------------
+
+    def new_node(self, summary: bool = False) -> int:
+        node = self._next
+        self._next += 1
+        self.nodes.append(node)
+        self.summary[node] = summary
+        return node
+
+    def copy(self) -> "ThreeValuedStructure":
+        clone = ThreeValuedStructure()
+        clone.nodes = list(self.nodes)
+        clone.summary = dict(self.summary)
+        clone.nullary = dict(self.nullary)
+        clone.unary = {p: dict(m) for p, m in self.unary.items()}
+        clone.binary = {p: dict(m) for p, m in self.binary.items()}
+        clone._next = self._next
+        return clone
+
+    # -- values ------------------------------------------------------------------
+
+    def get(self, pred: str, args: Tuple[int, ...]) -> Kleene:
+        if len(args) == 0:
+            return self.nullary.get(pred, FALSE3)
+        if len(args) == 1:
+            return self.unary.get(pred, {}).get(args[0], FALSE3)
+        return self.binary.get(pred, {}).get(args, FALSE3)  # type: ignore[arg-type]
+
+    def set(self, pred: str, args: Tuple[int, ...], value: Kleene) -> None:
+        if len(args) == 0:
+            self.nullary[pred] = value
+            return
+        if len(args) == 1:
+            table = self.unary.setdefault(pred, {})
+            if value is FALSE3:
+                table.pop(args[0], None)
+            else:
+                table[args[0]] = value
+            return
+        table2 = self.binary.setdefault(pred, {})
+        if value is FALSE3:
+            table2.pop(args, None)  # type: ignore[arg-type]
+        else:
+            table2[args] = value  # type: ignore[index]
+
+    # -- evaluation -----------------------------------------------------------------
+
+    def eval(self, formula: Formula, env: Optional[Dict[str, int]] = None) -> Kleene:
+        env = env or {}
+        return self._eval(formula, env)
+
+    def _eval(self, formula: Formula, env: Dict[str, int]) -> Kleene:
+        if isinstance(formula, Truth):
+            return TRUE3 if formula.value else FALSE3
+        if isinstance(formula, PredAtom):
+            args = tuple(env[a] for a in formula.args)
+            return self.get(formula.name, args)
+        if isinstance(formula, EqAtom):
+            lhs = self._term_node(formula.lhs, env)
+            rhs = self._term_node(formula.rhs, env)
+            if lhs != rhs:
+                return FALSE3
+            return HALF if self.summary.get(lhs, False) else TRUE3
+        if isinstance(formula, Not):
+            return self._eval(formula.body, env).logical_not()
+        if isinstance(formula, And):
+            result = TRUE3
+            for arg in formula.args:
+                result = result.logical_and(self._eval(arg, env))
+                if result is FALSE3:
+                    return result
+            return result
+        if isinstance(formula, Or):
+            result = FALSE3
+            for arg in formula.args:
+                result = result.logical_or(self._eval(arg, env))
+                if result is TRUE3:
+                    return result
+            return result
+        if isinstance(formula, Exists):
+            result = FALSE3
+            for node in self.nodes:
+                value = self._eval(
+                    formula.body, {**env, formula.var: node}
+                )
+                result = result.logical_or(value)
+                if result is TRUE3:
+                    return result
+            return result
+        if isinstance(formula, Forall):
+            result = TRUE3
+            for node in self.nodes:
+                value = self._eval(
+                    formula.body, {**env, formula.var: node}
+                )
+                result = result.logical_and(value)
+                if result is FALSE3:
+                    return result
+            return result
+        raise TypeError(f"unknown formula node {formula!r}")
+
+    def _term_node(self, term, env: Dict[str, int]) -> int:
+        if isinstance(term, Base):
+            return env[term.name]
+        raise TypeError(
+            "3-valued equality supports logical variables only; got "
+            f"{term!r}"
+        )
+
+    # -- canonical abstraction ----------------------------------------------------------
+
+    def canonical_vector(
+        self, node: int, abstraction_preds: List[str]
+    ) -> Tuple[Kleene, ...]:
+        return tuple(self.get(p, (node,)) for p in abstraction_preds)
+
+    def canonicalize(
+        self, abstraction_preds: List[str]
+    ) -> "ThreeValuedStructure":
+        """Merge individuals with identical abstraction vectors."""
+        groups: Dict[Tuple[Kleene, ...], List[int]] = {}
+        for node in self.nodes:
+            groups.setdefault(
+                self.canonical_vector(node, abstraction_preds), []
+            ).append(node)
+        result = ThreeValuedStructure()
+        mapping: Dict[int, int] = {}
+        for vector in sorted(groups, key=str):
+            members = groups[vector]
+            merged_summary = len(members) > 1 or any(
+                self.summary[m] for m in members
+            )
+            new = result.new_node(merged_summary)
+            for member in members:
+                mapping[member] = new
+        for pred, value in self.nullary.items():
+            result.nullary[pred] = value
+        for pred, table in self.unary.items():
+            merged: Dict[int, List[Kleene]] = {}
+            for node in self.nodes:
+                merged.setdefault(mapping[node], []).append(
+                    table.get(node, FALSE3)
+                )
+            for new, values in merged.items():
+                value = kleene_join(values)
+                if value is not FALSE3:
+                    result.unary.setdefault(pred, {})[new] = value
+        for pred, table in self.binary.items():
+            merged2: Dict[Tuple[int, int], List[Kleene]] = {}
+            for n1 in self.nodes:
+                for n2 in self.nodes:
+                    key = (mapping[n1], mapping[n2])
+                    merged2.setdefault(key, []).append(
+                        table.get((n1, n2), FALSE3)
+                    )
+            for key, values in merged2.items():
+                value = kleene_join(values)
+                if value is not FALSE3:
+                    result.binary.setdefault(pred, {})[key] = value
+        return result
+
+    # -- canonical naming / comparison ------------------------------------------------------
+
+    def canonical_key(self, abstraction_preds: List[str]):
+        """A hashable key identifying the structure up to renaming of
+        individuals with distinct abstraction vectors.  Structures must be
+        canonicalized first (one individual per vector)."""
+        order = sorted(
+            self.nodes,
+            key=lambda n: (
+                str(self.canonical_vector(n, abstraction_preds)),
+                self.summary[n],
+            ),
+        )
+        index = {node: i for i, node in enumerate(order)}
+        unary_part = frozenset(
+            (pred, index[node], value.value)
+            for pred, table in self.unary.items()
+            for node, value in table.items()
+            if value is not FALSE3
+        )
+        binary_part = frozenset(
+            (pred, index[n1], index[n2], value.value)
+            for pred, table in self.binary.items()
+            for (n1, n2), value in table.items()
+            if value is not FALSE3
+        )
+        nullary_part = frozenset(
+            (pred, value.value)
+            for pred, value in self.nullary.items()
+            if value is not FALSE3
+        )
+        summary_part = frozenset(
+            (index[n], s) for n, s in self.summary.items()
+        )
+        return (nullary_part, unary_part, binary_part, summary_part)
+
+    # -- join (independent-attribute mode) ------------------------------------------------------
+
+    @staticmethod
+    def join(
+        a: "ThreeValuedStructure",
+        b: "ThreeValuedStructure",
+        abstraction_preds: List[str],
+    ) -> "ThreeValuedStructure":
+        """Information-order join of two canonicalized structures: nodes
+        with equal abstraction vectors merge; unmatched nodes are kept.
+
+        The result over-approximates both inputs for the may-queries the
+        certifier asks (existentials and nullary reads); this is the
+        single-structure "independent attribute" mode of Section 5.5."""
+        result = ThreeValuedStructure()
+        mapping_a: Dict[int, int] = {}
+        mapping_b: Dict[int, int] = {}
+        vectors_a = {
+            n: a.canonical_vector(n, abstraction_preds) for n in a.nodes
+        }
+        vectors_b = {
+            n: b.canonical_vector(n, abstraction_preds) for n in b.nodes
+        }
+        by_vector_b: Dict[Tuple[Kleene, ...], int] = {}
+        for n, vector in vectors_b.items():
+            by_vector_b.setdefault(vector, n)
+        matched_b = set()
+        for n, vector in sorted(vectors_a.items(), key=lambda kv: str(kv[1])):
+            partner = by_vector_b.get(vector)
+            if partner is not None and partner not in matched_b:
+                matched_b.add(partner)
+                new = result.new_node(
+                    a.summary[n] or b.summary[partner]
+                )
+                mapping_a[n] = new
+                mapping_b[partner] = new
+            else:
+                new = result.new_node(a.summary[n])
+                mapping_a[n] = new
+        for n in b.nodes:
+            if n not in mapping_b:
+                mapping_b[n] = result.new_node(b.summary[n])
+        inverse_a = {new: old for old, new in mapping_a.items()}
+        inverse_b = {new: old for old, new in mapping_b.items()}
+        for pred in set(a.nullary) | set(b.nullary):
+            result.nullary[pred] = a.nullary.get(pred, FALSE3).join(
+                b.nullary.get(pred, FALSE3)
+            )
+        for pred in set(a.unary) | set(b.unary):
+            table = result.unary.setdefault(pred, {})
+            for node in result.nodes:
+                values = []
+                if node in inverse_a:
+                    values.append(a.get(pred, (inverse_a[node],)))
+                if node in inverse_b:
+                    values.append(b.get(pred, (inverse_b[node],)))
+                value = kleene_join(values)
+                if value is not FALSE3:
+                    table[node] = value
+        for pred in set(a.binary) | set(b.binary):
+            table2 = result.binary.setdefault(pred, {})
+            for n1 in result.nodes:
+                for n2 in result.nodes:
+                    values = []
+                    if n1 in inverse_a and n2 in inverse_a:
+                        values.append(
+                            a.get(pred, (inverse_a[n1], inverse_a[n2]))
+                        )
+                    if n1 in inverse_b and n2 in inverse_b:
+                        values.append(
+                            b.get(pred, (inverse_b[n1], inverse_b[n2]))
+                        )
+                    if values:
+                        value = kleene_join(values)
+                        if value is not FALSE3:
+                            table2[(n1, n2)] = value
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = [f"U={[(n, 'sm' if self.summary[n] else '') for n in self.nodes]}"]
+        for pred, value in sorted(self.nullary.items()):
+            if value is not FALSE3:
+                parts.append(f"{pred}={value}")
+        for pred, table in sorted(self.unary.items()):
+            if table:
+                parts.append(f"{pred}={dict(table)}")
+        for pred, table in sorted(self.binary.items()):
+            if table:
+                parts.append(f"{pred}={dict(table)}")
+        return "TVS(" + "; ".join(parts) + ")"

@@ -1,0 +1,31 @@
+"""TVP — the first-order intermediate language of Section 5.
+
+A TVP program is a control-flow graph whose edges carry *actions*:
+an optional precondition, optional allocation bindings, and parallel
+predicate updates given by first-order formulae (Section 5.1).  Program
+states are logical structures; the TVLA engine (:mod:`repro.tvla`)
+interprets actions over 3-valued structures.
+
+* :mod:`repro.tvp.program` — the action IR.
+* :mod:`repro.tvp.translate` — the *standard translation* of client
+  statements (Fig. 9): variables become unary ``pt`` predicates, fields
+  binary ``rv`` predicates.
+* :mod:`repro.tvp.specialize` — the *specialized translation* (Sections
+  5.3–5.4, Figs. 10–11): the derived instrumentation-predicate families
+  are instantiated over the client's component-typed variables (nullary
+  predicates) and fields (unary/binary predicates over client objects),
+  and component operations update them via the derived method
+  abstractions.  Component objects then never need to be individuals at
+  all — the client-object heap is the whole universe.
+"""
+
+from repro.tvp.program import Action, PredicateDecl, TvpProgram
+from repro.tvp.specialize import SpecializeError, specialized_translation
+
+__all__ = [
+    "Action",
+    "PredicateDecl",
+    "SpecializeError",
+    "TvpProgram",
+    "specialized_translation",
+]

@@ -1,0 +1,135 @@
+"""The TVP action IR (Section 5.1).
+
+An action consists of:
+
+* ``focus`` — formulas (in one free variable ``v``) the engine should make
+  definite before applying the action, by materializing individuals out
+  of summary nodes (the TVLA focus operation);
+* ``new_var`` — an allocation binding: a fresh individual is added to the
+  universe and bound to this logical variable for the updates;
+* ``updates`` — simultaneous predicate updates
+  ``p(v1 … vk) := φ(v1 … vk)``, evaluated in the pre-state;
+* ``checks`` — ``requires φ`` obligations: the action's source state must
+  satisfy φ definitely, otherwise an alarm is reported at ``site_id``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.logic.formula import Formula
+
+
+@dataclass(frozen=True)
+class PredicateDecl:
+    """A predicate of the TVP program.
+
+    ``abstraction`` marks unary predicates used by canonical abstraction
+    (Section 5.5: "TVLA users can control this abstraction process by
+    identifying a subset A of unary predicates to be the abstraction
+    predicates").
+    """
+
+    name: str
+    arity: int
+    abstraction: bool = False
+    #: instances true of a freshly allocated individual (reflexive
+    #: instrumentation instances; everything else starts false)
+    true_on_new: bool = False
+
+
+@dataclass(frozen=True)
+class Update:
+    """``pred(vars) := rhs`` — rhs evaluated in the pre-state."""
+
+    pred: str
+    vars: Tuple[str, ...]
+    rhs: Formula
+
+    def __str__(self) -> str:
+        args = f"({', '.join(self.vars)})" if self.vars else ""
+        return f"{self.pred}{args} := {self.rhs}"
+
+
+@dataclass(frozen=True)
+class Check:
+    """``requires φ`` at a component call site."""
+
+    site_id: int
+    line: int
+    op_key: str
+    cond: Formula  # must hold definitely, else alarm
+
+
+@dataclass(frozen=True)
+class Action:
+    focus: Tuple[Formula, ...] = ()
+    new_var: Optional[str] = None
+    updates: Tuple[Update, ...] = ()
+    checks: Tuple[Check, ...] = ()
+
+    def __str__(self) -> str:
+        parts: List[str] = []
+        for check in self.checks:
+            parts.append(f"requires {check.cond}")
+        if self.new_var:
+            parts.append(f"let {self.new_var} = new()")
+        parts.extend(str(u) for u in self.updates)
+        return "; ".join(parts) if parts else "skip"
+
+
+@dataclass(frozen=True)
+class TvpEdge:
+    src: int
+    dst: int
+    action: Action
+
+
+class TvpProgram:
+    """A TVP control-flow graph."""
+
+    def __init__(self, name: str, entry: int, exit_: int) -> None:
+        self.name = name
+        self.entry = entry
+        self.exit = exit_
+        self.predicates: Dict[str, PredicateDecl] = {}
+        self.edges: List[TvpEdge] = []
+        self._out: Dict[int, List[TvpEdge]] = {}
+
+    def declare(self, decl: PredicateDecl) -> None:
+        existing = self.predicates.get(decl.name)
+        if existing is not None and existing != decl:
+            raise ValueError(f"predicate {decl.name} redeclared differently")
+        self.predicates[decl.name] = decl
+
+    def add_edge(self, src: int, dst: int, action: Action) -> None:
+        edge = TvpEdge(src, dst, action)
+        self.edges.append(edge)
+        self._out.setdefault(src, []).append(edge)
+
+    def out_edges(self, node: int) -> List[TvpEdge]:
+        return self._out.get(node, [])
+
+    def nodes(self) -> List[int]:
+        found = {self.entry, self.exit}
+        for edge in self.edges:
+            found.add(edge.src)
+            found.add(edge.dst)
+        return sorted(found)
+
+    def abstraction_predicates(self) -> List[str]:
+        return [
+            d.name
+            for d in self.predicates.values()
+            if d.arity == 1 and d.abstraction
+        ]
+
+    def describe(self) -> str:
+        lines = [f"tvp {self.name}"]
+        for decl in self.predicates.values():
+            mark = "*" if decl.abstraction else ""
+            lines.append(f"  pred {decl.name}/{decl.arity}{mark}")
+        for edge in self.edges:
+            lines.append(f"  {edge.src} --[{edge.action}]--> {edge.dst}")
+        return "\n".join(lines)

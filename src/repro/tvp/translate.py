@@ -1,0 +1,120 @@
+"""The standard translation of client programs into TVP (Fig. 9).
+
+Every heap-allocated (client) object is an individual; every reference
+variable ``x`` is a unary predicate ``pt[x]``; every reference field ``f``
+is a binary predicate ``rv[C.f]``.  The four pointer-manipulation
+statements translate exactly as in Fig. 9:
+
+=====================  ==================================================
+Java statement          TVP action
+=====================  ==================================================
+``x = new C()``         ``let n = new() in pt[x](v) := (v == n)``
+``x = y``               ``pt[x](v) := pt[y](v)``
+``x = y.f``             ``pt[x](v) := ∃o. pt[y](o) ∧ rv[f](o, v)``
+``x.f = y``             ``pt[x](o1) ⇒ rv[f](o1, o2) := pt[y](o2)``
+=====================  ==================================================
+
+The specialized translation (:mod:`repro.tvp.specialize`) embeds these
+rules for the client-object heap; this module exposes the plain version
+for tests and for running the TVLA engine as a *generic* client-heap
+analysis.
+"""
+
+from __future__ import annotations
+
+from repro.lang.cfg import (
+    SAssume,
+    SCopy,
+    SLoad,
+    SNewClient,
+    SNop,
+    SNull,
+    SReturn,
+    SStore,
+)
+from repro.lang.inline import InlinedProgram
+from repro.logic.formula import Exists, FALSE, PredAtom, conj, disj, eq, neg
+from repro.logic.terms import Base
+from repro.tvp.program import Action, PredicateDecl, TvpProgram, Update
+
+
+def pt(var: str) -> str:
+    return f"pt[{var}]"
+
+
+def rv(owner: str, field: str) -> str:
+    return f"rv[{owner}.{field}]"
+
+
+def standard_translation(inlined: InlinedProgram) -> TvpProgram:
+    """Translate the *client-object* statements of an inlined program.
+
+    Component interactions are not modelled here (use the specialized
+    translation); this exists to exercise the Fig. 9 rules on their own.
+    """
+    program = inlined.program
+    cfg = inlined.cfg
+    tvp = TvpProgram(f"{cfg.method}<std>", cfg.entry, cfg.exit)
+    client_vars = {
+        name: type_
+        for name, type_ in {**inlined.variables, **program.statics}.items()
+        if type_ in program.classes
+    }
+    for name in client_vars:
+        tvp.declare(PredicateDecl(pt(name), 1, abstraction=True))
+    for cinfo in program.classes.values():
+        for finfo in cinfo.fields.values():
+            if not finfo.is_static and finfo.type in program.classes:
+                tvp.declare(PredicateDecl(rv(cinfo.name, finfo.name), 2))
+
+    def owner_of(var: str) -> str:
+        return client_vars[var]
+
+    for edge in cfg.edges:
+        stm = edge.stm
+        action = Action()
+        if isinstance(stm, SNewClient):
+            action = Action(
+                new_var="n",
+                updates=(
+                    Update(pt(stm.dst), ("v",), eq(Base("v"), Base("n"))),
+                ),
+            )
+        elif isinstance(stm, SCopy) and stm.dst in client_vars:
+            action = Action(
+                updates=(
+                    Update(pt(stm.dst), ("v",), PredAtom(pt(stm.src), ("v",))),
+                )
+            )
+        elif isinstance(stm, SNull) and stm.dst in client_vars:
+            action = Action(updates=(Update(pt(stm.dst), ("v",), FALSE),))
+        elif isinstance(stm, SLoad) and stm.type in program.classes:
+            rhs = Exists(
+                "o",
+                conj(
+                    PredAtom(pt(stm.base), ("o",)),
+                    PredAtom(rv(owner_of(stm.base), stm.field), ("o", "v")),
+                ),
+            )
+            action = Action(
+                focus=(PredAtom(pt(stm.base), ("v",)),),
+                updates=(Update(pt(stm.dst), ("v",), rhs),),
+            )
+        elif isinstance(stm, SStore) and stm.type in program.classes:
+            rv_name = rv(owner_of(stm.base), stm.field)
+            rhs = disj(
+                conj(
+                    PredAtom(pt(stm.base), ("v1",)),
+                    PredAtom(pt(stm.src), ("v2",)),
+                ),
+                conj(
+                    neg(PredAtom(pt(stm.base), ("v1",))),
+                    PredAtom(rv_name, ("v1", "v2")),
+                ),
+            )
+            action = Action(
+                focus=(PredAtom(pt(stm.base), ("v",)),),
+                updates=(Update(rv_name, ("v1", "v2"), rhs),),
+            )
+        tvp.add_edge(edge.src, edge.dst, action)
+    return tvp

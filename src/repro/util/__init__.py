@@ -1,0 +1,5 @@
+"""Shared utilities: lexing and source-position bookkeeping."""
+
+from repro.util.lexer import Lexer, LexError, Token
+
+__all__ = ["Lexer", "LexError", "Token"]

@@ -1,0 +1,167 @@
+"""A small hand-written lexer shared by the Easl and Jlite frontends.
+
+Both languages are Java-flavoured, so one tokenizer serves both: it
+produces identifiers, punctuation, string literals, and integers, tracking
+line/column positions for error messages.  Keywords are not distinguished
+at this level; parsers match identifier spellings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+
+class LexError(Exception):
+    """Raised on malformed input."""
+
+
+@dataclass(frozen=True)
+class Token:
+    """A lexical token.
+
+    ``kind`` is one of ``"ident"``, ``"punct"``, ``"int"``, ``"string"``,
+    ``"eof"``.  ``text`` is the exact source spelling (without quotes for
+    strings).
+    """
+
+    kind: str
+    text: str
+    line: int
+    column: int
+
+    def __str__(self) -> str:
+        if self.kind == "eof":
+            return "<end of input>"
+        return repr(self.text)
+
+
+_PUNCTUATION = [
+    # longest first so maximal munch works
+    "==", "!=", "&&", "||", "<=", ">=",
+    "{", "}", "(", ")", "[", "]", ";", ",", ".", "=", "!", "?",
+    "<", ">", "+", "-", "*", "/", ":", "@",
+]
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize ``source`` completely; raises :class:`LexError` on junk."""
+    tokens: List[Token] = []
+    line, column = 1, 1
+    index = 0
+    length = len(source)
+    while index < length:
+        char = source[index]
+        if char == "\n":
+            line += 1
+            column = 1
+            index += 1
+            continue
+        if char in " \t\r":
+            index += 1
+            column += 1
+            continue
+        if source.startswith("//", index):
+            end = source.find("\n", index)
+            index = length if end < 0 else end
+            continue
+        if source.startswith("/*", index):
+            end = source.find("*/", index + 2)
+            if end < 0:
+                raise LexError(f"unterminated comment at line {line}")
+            skipped = source[index : end + 2]
+            line += skipped.count("\n")
+            if "\n" in skipped:
+                column = len(skipped) - skipped.rfind("\n")
+            else:
+                column += len(skipped)
+            index = end + 2
+            continue
+        if char == '"':
+            end = source.find('"', index + 1)
+            if end < 0 or "\n" in source[index:end]:
+                raise LexError(f"unterminated string at line {line}")
+            tokens.append(Token("string", source[index + 1 : end], line, column))
+            column += end + 1 - index
+            index = end + 1
+            continue
+        if char.isalpha() or char == "_":
+            start = index
+            while index < length and (
+                source[index].isalnum() or source[index] == "_"
+            ):
+                index += 1
+            tokens.append(Token("ident", source[start:index], line, column))
+            column += index - start
+            continue
+        if char.isdigit():
+            start = index
+            while index < length and source[index].isdigit():
+                index += 1
+            tokens.append(Token("int", source[start:index], line, column))
+            column += index - start
+            continue
+        for punct in _PUNCTUATION:
+            if source.startswith(punct, index):
+                tokens.append(Token("punct", punct, line, column))
+                index += len(punct)
+                column += len(punct)
+                break
+        else:
+            raise LexError(
+                f"unexpected character {char!r} at line {line}, column {column}"
+            )
+    tokens.append(Token("eof", "", line, column))
+    return tokens
+
+
+class Lexer:
+    """A token cursor with the usual peek/accept/expect interface."""
+
+    def __init__(self, source: str) -> None:
+        self._tokens = tokenize(source)
+        self._position = 0
+
+    @property
+    def current(self) -> Token:
+        return self._tokens[self._position]
+
+    def peek(self, offset: int = 0) -> Token:
+        index = min(self._position + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.kind != "eof":
+            self._position += 1
+        return token
+
+    def at(self, text: str) -> bool:
+        return self.current.text == text and self.current.kind != "string"
+
+    def at_kind(self, kind: str) -> bool:
+        return self.current.kind == kind
+
+    def accept(self, text: str) -> Optional[Token]:
+        if self.at(text):
+            return self.advance()
+        return None
+
+    def expect(self, text: str) -> Token:
+        if not self.at(text):
+            raise LexError(
+                f"expected {text!r} but found {self.current} at line "
+                f"{self.current.line}"
+            )
+        return self.advance()
+
+    def expect_ident(self) -> Token:
+        if self.current.kind != "ident":
+            raise LexError(
+                f"expected identifier but found {self.current} at line "
+                f"{self.current.line}"
+            )
+        return self.advance()
+
+    def __iter__(self) -> Iterator[Token]:
+        return iter(self._tokens[self._position :])

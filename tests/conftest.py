@@ -1,0 +1,36 @@
+"""Shared fixtures: specs, abstractions, and suite programs."""
+
+import pytest
+
+from repro.easl.library import aop_spec, cmp_spec, grp_spec, imp_spec
+from repro.derivation import derive
+
+
+@pytest.fixture(scope="session")
+def cmp_specification():
+    return cmp_spec()
+
+
+@pytest.fixture(scope="session")
+def grp_specification():
+    return grp_spec()
+
+
+@pytest.fixture(scope="session")
+def imp_specification():
+    return imp_spec()
+
+
+@pytest.fixture(scope="session")
+def aop_specification():
+    return aop_spec()
+
+
+@pytest.fixture(scope="session")
+def cmp_abstraction(cmp_specification):
+    return derive(cmp_specification)
+
+
+@pytest.fixture(scope="session")
+def cmp_abstraction_id(cmp_specification):
+    return derive(cmp_specification, identity_families=True)

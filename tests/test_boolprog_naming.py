@@ -1,0 +1,133 @@
+"""Unit tests for the boolean-program IR, family naming, and the
+certification report model."""
+
+import pytest
+
+from repro.certifier.boolprog import (
+    BoolEdge,
+    BoolProgram,
+    Check,
+    Instance,
+    ParallelAssign,
+)
+from repro.certifier.report import Alarm, CertificationReport
+from repro.derivation.naming import propose_names
+from repro.derivation.predicates import Family
+from repro.logic.formula import conj, eq, neq
+from repro.logic.terms import Base, Field
+
+
+class TestBoolProgram:
+    def test_variable_interning(self):
+        program = BoolProgram("p")
+        a = program.variable(Instance("f", ("x",)))
+        b = program.variable(Instance("f", ("x",)))
+        c = program.variable(Instance("f", ("y",)))
+        assert a == b != c
+        assert program.num_vars == 2
+
+    def test_lookup_missing_returns_none(self):
+        program = BoolProgram("p")
+        assert program.lookup(Instance("f", ("x",))) is None
+
+    def test_initial_mask(self):
+        program = BoolProgram("p")
+        program.variable(Instance("f", ()))
+        idx = program.variable(Instance("g", ()))
+        program.initially_true.append(idx)
+        assert program.initial_mask() == 1 << idx
+
+    def test_describe_mentions_checks_and_updates(self):
+        program = BoolProgram("p")
+        v = program.variable(Instance("stale", ("i",)))
+        program.add_edge(
+            BoolEdge(
+                0, 1,
+                checks=(Check(3, 9, "Iterator.next", v),),
+                assigns=(ParallelAssign(v, (), True),),
+            )
+        )
+        text = program.describe()
+        assert "requires !stale[i]" in text
+        assert "stale[i] := 1" in text
+
+    def test_parallel_assign_identity_detection(self):
+        target = Instance("f", ("x",))
+        program = BoolProgram("p")
+        idx = program.variable(target)
+        from repro.derivation.predicates import (
+            GenArg,
+            InstanceRef,
+            UpdateCase,
+        )
+
+        ref = InstanceRef("f", (GenArg(0),))
+        case = UpdateCase(ref, (ref,), False)
+        assert case.identity
+        assert not UpdateCase(ref, (), True).identity
+        assert UpdateCase(ref, (), False).is_constant_false
+
+
+class TestNaming:
+    def _family(self, name, vars_, formula):
+        return Family(name, vars_, formula)
+
+    def test_fig4_shapes(self):
+        i = Base("x0", "Iterator")
+        j = Base("x1", "Iterator")
+        v = Base("x0", "Set")
+        w = Base("x1", "Set")
+        stale = self._family(
+            "P0", (i,), neq(Field(i, "d"), Field(Field(i, "s"), "v"))
+        )
+        iterof = self._family("P1", (i, w), eq(Field(i, "s"), w))
+        mutx = self._family(
+            "P2", (i, j), conj(eq(Field(i, "s"), Field(j, "s")), neq(i, j))
+        )
+        same = self._family("P3", (v, w), eq(v, w))
+        names = propose_names([stale, iterof, mutx, same])
+        assert names == {
+            "P0": "stale",
+            "P1": "iterof",
+            "P2": "mutx",
+            "P3": "same",
+        }
+
+    def test_duplicate_shapes_numbered(self):
+        v = Base("x0", "A")
+        w = Base("x1", "A")
+        s1 = self._family("P0", (v, w), eq(v, w))
+        s2 = self._family(
+            "P1", (Base("x0", "B"), Base("x1", "B")),
+            eq(Base("x0", "B"), Base("x1", "B")),
+        )
+        names = propose_names([s1, s2])
+        assert names["P0"] == "same" and names["P1"] == "same2"
+
+    def test_unrecognized_keeps_generated_name(self):
+        odd = self._family(
+            "P9", (Base("x0", "A"),), neq(Base("x0", "A"), Base("null"))
+        )
+        assert propose_names([odd])["P9"] == "P9"
+
+
+class TestReport:
+    def test_alarm_string_mentions_everything(self):
+        alarm = Alarm(3, 42, "Iterator.next", "stale[i]", definite=True)
+        text = str(alarm)
+        assert "definite" in text and "line 42" in text
+        assert "Iterator.next" in text and "stale[i]" in text
+
+    def test_report_verdict_and_sets(self):
+        report = CertificationReport(
+            "m", "fds", [Alarm(1, 5, "op", "p"), Alarm(2, 6, "op", "q")]
+        )
+        assert not report.certified
+        assert report.alarm_sites() == {1, 2}
+        assert report.alarm_lines() == {5, 6}
+        assert "2 alarm(s)" in report.describe()
+
+    def test_empty_report_certified(self):
+        report = CertificationReport("m", "fds", [])
+        assert report.certified
+        assert "CERTIFIED" in report.describe()

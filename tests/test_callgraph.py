@@ -1,0 +1,78 @@
+"""Tests for the client call graph."""
+
+import pytest
+
+from repro.lang import parse_program
+from repro.lang.callgraph import build_call_graph
+
+SRC = """
+class Main {
+  static void main() {
+    a();
+    b();
+  }
+  static void a() { b(); }
+  static void b() { }
+  static void unreached() { a(); }
+}
+"""
+
+RECURSIVE = """
+class Main {
+  static void main() { ping(); }
+  static void ping() { if (?) { pong(); } }
+  static void pong() { ping(); }
+}
+"""
+
+
+@pytest.fixture
+def graph(cmp_specification):
+    return build_call_graph(parse_program(SRC, cmp_specification))
+
+
+class TestEdges:
+    def test_callees_collected(self, graph):
+        assert set(graph.callees("Main.main")) == {"Main.a", "Main.b"}
+        assert graph.callees("Main.a") == ["Main.b"]
+        assert graph.callees("Main.b") == []
+
+    def test_reachable_excludes_dead_methods(self, graph):
+        assert graph.reachable() == {"Main.main", "Main.a", "Main.b"}
+
+    def test_reachable_from_other_entry(self, graph):
+        assert graph.reachable("Main.unreached") == {
+            "Main.unreached",
+            "Main.a",
+            "Main.b",
+        }
+
+
+class TestRecursion:
+    def test_acyclic_not_recursive(self, graph):
+        assert not graph.is_recursive()
+
+    def test_mutual_recursion_detected(self, cmp_specification):
+        graph = build_call_graph(
+            parse_program(RECURSIVE, cmp_specification)
+        )
+        assert graph.is_recursive()
+
+    def test_cycle_not_reachable_is_ignored(self, cmp_specification):
+        source = """
+class Main {
+  static void main() { leaf(); }
+  static void leaf() { }
+  static void loopy() { loopy(); }
+}
+"""
+        graph = build_call_graph(parse_program(source, cmp_specification))
+        assert not graph.is_recursive()
+
+
+class TestTopologicalOrder:
+    def test_callees_before_callers(self, graph):
+        order = graph.topological_order()
+        assert order.index("Main.b") < order.index("Main.a")
+        assert order.index("Main.a") < order.index("Main.main")
+        assert order[-1] == "Main.main"

@@ -1,0 +1,151 @@
+"""Tests for CFG structure and whole-program inlining."""
+
+import pytest
+
+from repro.lang import parse_program
+from repro.lang.cfg import SCallClient, SCallComp, SCopy, SNop
+from repro.lang.inline import inline_program
+
+
+SRC = """
+class Main {
+  static Set g;
+  static void main() {
+    g = new Set();
+    Iterator i = g.iterator();
+    touch(i);
+    Iterator j = make();
+  }
+  static void touch(Iterator it) { it.next(); }
+  static Iterator make() { Iterator t = g.iterator(); return t; }
+}
+"""
+
+
+@pytest.fixture
+def program(cmp_specification):
+    return parse_program(SRC, cmp_specification)
+
+
+class TestCfg:
+    def test_entry_exit_distinct(self, program):
+        cfg = program.method("Main.main").cfg
+        assert cfg.entry != cfg.exit
+
+    def test_every_statement_on_an_edge(self, program):
+        cfg = program.method("Main.main").cfg
+        kinds = {type(e.stm).__name__ for e in cfg.edges}
+        assert "SCallComp" in kinds and "SCallClient" in kinds
+
+    def test_branches_fork_and_join(self, cmp_specification):
+        program = parse_program(
+            """
+            class Main {
+              static void main() {
+                Set s = new Set();
+                if (?) { s.add("a"); } else { s.add("b"); }
+                Iterator i = s.iterator();
+              }
+            }
+            """,
+            cmp_specification,
+        )
+        cfg = program.method("Main.main").cfg
+        fanout = [n for n in cfg.nodes() if len(cfg.out_edges(n)) == 2]
+        assert fanout  # the branch node
+
+    def test_while_loop_has_back_edge(self, cmp_specification):
+        program = parse_program(
+            """
+            class Main {
+              static void main() {
+                Set s = new Set();
+                while (?) { s.add("x"); }
+              }
+            }
+            """,
+            cmp_specification,
+        )
+        cfg = program.method("Main.main").cfg
+        # a back edge: some edge's dst dominates... cheap check: a node
+        # reachable from itself
+        reach = {n: set() for n in cfg.nodes()}
+        for e in cfg.edges:
+            reach[e.src].add(e.dst)
+        changed = True
+        while changed:
+            changed = False
+            for n in cfg.nodes():
+                for m in list(reach[n]):
+                    new = reach[m] - reach[n]
+                    if new:
+                        reach[n] |= new
+                        changed = True
+        assert any(n in reach[n] for n in cfg.nodes())
+
+
+class TestInlining:
+    def test_exact_for_nonrecursive(self, program):
+        inlined = inline_program(program)
+        assert inlined.exact
+
+    def test_site_ids_preserved(self, program):
+        inlined = inline_program(program)
+        original_sites = set(program.call_sites)
+        inlined_sites = {
+            e.stm.site_id
+            for e in inlined.cfg.edges
+            if isinstance(e.stm, SCallComp)
+        }
+        assert inlined_sites <= original_sites
+        # the component calls inside touch/make appear
+        assert any(
+            program.call_sites[s].method == "Main.touch"
+            for s in inlined_sites
+        )
+
+    def test_no_client_calls_remain(self, program):
+        inlined = inline_program(program)
+        assert not any(
+            isinstance(e.stm, SCallClient) for e in inlined.cfg.edges
+        )
+
+    def test_locals_renamed_statics_global(self, program):
+        inlined = inline_program(program)
+        assert "Main.g" in inlined.component_vars()
+        renamed = [
+            v for v in inlined.component_vars() if v.endswith("$i")
+        ]
+        assert renamed  # frame-prefixed local
+
+    def test_param_binding_edges_emitted(self, program):
+        inlined = inline_program(program)
+        copies = [
+            e.stm
+            for e in inlined.cfg.edges
+            if isinstance(e.stm, SCopy) and e.stm.dst.endswith("$it")
+        ]
+        assert copies
+
+    def test_return_value_wired_to_caller(self, program):
+        inlined = inline_program(program)
+        copies = [
+            e.stm
+            for e in inlined.cfg.edges
+            if isinstance(e.stm, SCopy) and e.stm.dst.endswith("$j")
+        ]
+        assert copies
+
+    def test_recursion_cut_flagged(self, cmp_specification):
+        program = parse_program(
+            """
+            class Main {
+              static void main() { rec(); }
+              static void rec() { if (?) { rec(); } }
+            }
+            """,
+            cmp_specification,
+        )
+        inlined = inline_program(program, max_depth=3)
+        assert not inlined.exact
+        assert inlined.cut_calls >= 1

@@ -1,0 +1,94 @@
+"""Unit tests for the Easl parser and specification model."""
+
+import pytest
+
+from repro.easl.ast import Assign, CmpCond, NewExpr, Requires, Return
+from repro.easl.parser import EaslParseError, parse_spec
+from repro.easl.library import CMP_SOURCE
+
+
+class TestParsing:
+    def test_parses_cmp_specification(self):
+        spec = parse_spec(CMP_SOURCE, "CMP")
+        assert set(spec.classes) == {"Version", "Set", "Iterator"}
+
+    def test_fields_parsed_with_types(self):
+        spec = parse_spec(CMP_SOURCE)
+        assert spec.classes["Set"].fields == {"ver": "Version"}
+        assert spec.classes["Iterator"].fields == {
+            "set": "Set",
+            "defVer": "Version",
+        }
+
+    def test_constructor_recognized(self):
+        spec = parse_spec(CMP_SOURCE)
+        ctor = spec.classes["Iterator"].constructor
+        assert ctor is not None and ctor.is_constructor
+        assert ctor.params == [("s", "Set")]
+
+    def test_method_bodies(self):
+        spec = parse_spec(CMP_SOURCE)
+        remove = spec.method("Iterator", "remove")
+        assert isinstance(remove.body[0], Requires)
+        assert isinstance(remove.body[1], Assign)
+        assert isinstance(remove.body[1].rhs, NewExpr)
+
+    def test_requires_condition_is_alias(self):
+        spec = parse_spec(CMP_SOURCE)
+        clause = spec.method("Iterator", "next").requires_clauses()[0]
+        assert isinstance(clause.cond, CmpCond)
+        assert clause.cond.equal
+
+    def test_return_expression(self):
+        spec = parse_spec(CMP_SOURCE)
+        iterator = spec.method("Set", "iterator")
+        returns = [s for s in iterator.body if isinstance(s, Return)]
+        assert len(returns) == 1
+        assert isinstance(returns[0].expr, NewExpr)
+
+    def test_comments_ignored(self):
+        spec = parse_spec("class A { /* a field */ A a; // trailing\n }")
+        assert spec.classes["A"].fields == {"a": "A"}
+
+    def test_conditionals_parse(self):
+        spec = parse_spec(
+            """
+            class A {
+              A f;
+              void m(A x) {
+                if (x == f) { f = x; } else { f = new A(); }
+              }
+              A() { }
+            }
+            """
+        )
+        assert spec.method("A", "m") is not None
+
+    def test_boolean_conditions(self):
+        spec = parse_spec(
+            """
+            class A {
+              A f; A g;
+              void m(A x) { requires (x == f && !(x == g) || f == g); }
+            }
+            """
+        )
+        assert spec.method("A", "m").requires_clauses()
+
+    def test_duplicate_class_raises(self):
+        with pytest.raises(Exception):
+            parse_spec("class A { } class A { }")
+
+    def test_duplicate_field_raises(self):
+        with pytest.raises(EaslParseError):
+            parse_spec("class A { A f; A f; }")
+
+    def test_two_constructors_raise(self):
+        with pytest.raises(EaslParseError):
+            parse_spec("class A { A() { } A() { } }")
+
+    def test_unknown_field_type_raises(self):
+        from repro.easl.spec import SpecError
+
+        with pytest.raises(SpecError):
+            parse_spec("class A { Missing f; }")

@@ -1,0 +1,117 @@
+"""Unit tests for the specification model: operations, mutability,
+type graphs, and Section 6 classification."""
+
+import pytest
+
+from repro.easl.library import aop_spec, cmp_spec, grp_spec, imp_spec
+from repro.easl.parser import parse_spec
+from repro.easl.spec import SpecError
+
+
+class TestOperations:
+    def test_cmp_operation_keys(self, cmp_specification):
+        keys = {op.key for op in cmp_specification.operations()}
+        assert {
+            "new Set",
+            "Set.add",
+            "Set.iterator",
+            "Iterator.remove",
+            "Iterator.next",
+            "Iterator.hasNext",
+            "copy Set",
+            "copy Iterator",
+        } <= keys
+
+    def test_method_call_operands(self, cmp_specification):
+        op = cmp_specification.operation("Set.iterator")
+        roles = {o.role: o for o in op.operands}
+        assert roles["receiver"].name == "this"
+        assert roles["receiver"].type == "Set"
+        assert roles["result"].name == "ret"
+        assert roles["result"].type == "Iterator"
+
+    def test_new_operand_includes_ctor_params(self, cmp_specification):
+        op = cmp_specification.operation("new Iterator")
+        args = [o for o in op.operands if o.role == "arg"]
+        assert [(a.name, a.type) for a in args] == [("s", "Set")]
+
+    def test_opaque_operands_not_component(self, cmp_specification):
+        op = cmp_specification.operation("Set.add")
+        component = op.component_operands(cmp_specification)
+        assert [o.name for o in component] == ["this"]
+
+    def test_unknown_operation_raises(self, cmp_specification):
+        with pytest.raises(SpecError):
+            cmp_specification.operation("Set.clear")
+
+
+class TestMutability:
+    def test_cmp_mutable_fields(self, cmp_specification):
+        assert cmp_specification.mutable_fields() == {
+            ("Set", "ver"),
+            ("Iterator", "defVer"),
+        }
+
+    def test_iterator_set_field_immutable(self, cmp_specification):
+        assert ("Iterator", "set") not in cmp_specification.mutable_fields()
+
+    def test_cross_class_field_write_detected(self):
+        # Iterator.remove writes Set.ver — mutability must resolve the
+        # owner through the path's type, not the enclosing class
+        spec = cmp_spec()
+        owners = {
+            (owner, field)
+            for owner, field, _s, in_class, _c in spec.field_assignments()
+            if in_class == "Iterator"
+        }
+        assert ("Set", "ver") in owners
+
+    def test_grp_mutable_fields(self, grp_specification):
+        assert grp_specification.mutable_fields() == {("Graph", "cur")}
+
+    def test_imp_mutation_free(self, imp_specification):
+        assert imp_specification.mutable_fields() == set()
+
+
+class TestTypeGraph:
+    def test_cmp_type_graph_edges(self, cmp_specification):
+        graph = cmp_specification.type_graph()
+        assert ("ver", "Version") in graph["Set"]
+        assert ("set", "Set") in graph["Iterator"]
+        assert ("defVer", "Version") in graph["Iterator"]
+
+    def test_cmp_acyclic_with_path_count(self, cmp_specification):
+        assert cmp_specification.type_graph_acyclic()
+        # paths: Version:1; Set: {ε, ver}=2; Iterator: {ε, set, set.ver,
+        # defVer}=4 — total 7
+        assert cmp_specification.type_graph_path_count() == 7
+
+    def test_cyclic_type_graph_detected(self):
+        spec = parse_spec("class A { B b; } class B { A a; }")
+        assert not spec.type_graph_acyclic()
+        assert spec.type_graph_path_count() is None
+
+
+class TestMutationRestricted:
+    def test_cmp_is_not_mutation_restricted(self, cmp_specification):
+        # defVer = set.ver in remove() copies an existing value into a
+        # mutable field — the paper singles CMP out as outside the class
+        assert not cmp_specification.is_mutation_restricted()
+        assert cmp_specification.is_alias_based()
+        assert not cmp_specification.mutable_field_assignments_are_fresh()
+
+    @pytest.mark.parametrize("factory", [grp_spec, imp_spec, aop_spec])
+    def test_section_2_2_specs_are_mutation_restricted(self, factory):
+        assert factory().is_mutation_restricted()
+
+    def test_non_alias_precondition_excludes(self):
+        spec = parse_spec(
+            """
+            class A {
+              A f;
+              void m(A x) { requires (x != f); }
+            }
+            """
+        )
+        assert not spec.is_alias_based()
+        assert not spec.is_mutation_restricted()

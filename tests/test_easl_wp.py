@@ -1,0 +1,142 @@
+"""Unit tests for the weakest-precondition transformer.
+
+Each test checks one entry of the paper's Fig. 5 method-abstraction table
+by computing the WP symbolically and comparing it (semantically, under
+the operation's precondition) with the paper's update formula.
+"""
+
+import pytest
+
+from repro.easl.wp import WPError, operation_preconditions, wp_operation
+from repro.logic.decision import equivalent, normalize_to_minimal_dnf
+from repro.logic.formula import FALSE, TRUE, conj, disj, eq, neg, neq
+from repro.logic.terms import Base, Field
+
+
+def stale(var):
+    return neq(Field(var, "defVer"), Field(Field(var, "set"), "ver"))
+
+
+def iterof(it, set_):
+    return eq(Field(it, "set"), set_)
+
+
+def mutx(i1, i2):
+    return conj(eq(Field(i1, "set"), Field(i2, "set")), neq(i1, i2))
+
+
+K = Base("k", "Iterator")
+Z = Base("z", "Set")
+THIS_SET = Base("this", "Set")
+THIS_IT = Base("this", "Iterator")
+RET = Base("ret", "Iterator")
+R = Base("r", "Set")
+
+
+def minimal(spec, op_key, post):
+    op = spec.operation(op_key)
+    result = wp_operation(spec, op, post)
+    return disj(
+        *normalize_to_minimal_dnf(result.wp, result.assumption)
+    ), result
+
+
+class TestFig5Add:
+    def test_stale_update(self, cmp_specification):
+        wp, _ = minimal(cmp_specification, "Set.add", stale(K))
+        assert equivalent(wp, disj(stale(K), iterof(K, THIS_SET)))
+
+    def test_iterof_unchanged(self, cmp_specification):
+        wp, _ = minimal(cmp_specification, "Set.add", iterof(K, Z))
+        assert equivalent(wp, iterof(K, Z))
+
+    def test_mutx_unchanged(self, cmp_specification):
+        k2 = Base("k2", "Iterator")
+        wp, _ = minimal(cmp_specification, "Set.add", mutx(K, k2))
+        assert equivalent(wp, mutx(K, k2))
+
+
+class TestFig5Iterator:
+    def test_fresh_iterator_not_stale(self, cmp_specification):
+        wp, _ = minimal(cmp_specification, "Set.iterator", stale(RET))
+        assert wp is FALSE
+
+    def test_iterof_of_result_is_same(self, cmp_specification):
+        wp, _ = minimal(cmp_specification, "Set.iterator", iterof(RET, Z))
+        assert equivalent(wp, eq(THIS_SET, Z))
+
+    def test_mutx_of_result_is_iterof(self, cmp_specification):
+        wp, _ = minimal(cmp_specification, "Set.iterator", mutx(RET, K))
+        assert equivalent(wp, iterof(K, THIS_SET))
+
+    def test_mutx_result_with_itself_false(self, cmp_specification):
+        wp, _ = minimal(cmp_specification, "Set.iterator", mutx(RET, RET))
+        assert wp is FALSE
+
+
+class TestFig5Remove:
+    def test_precondition_collected(self, cmp_specification):
+        pres = operation_preconditions(
+            cmp_specification, cmp_specification.operation("Iterator.remove")
+        )
+        assert len(pres) == 1
+        assert equivalent(pres[0], neg(stale(THIS_IT)))
+
+    def test_stale_update_is_stale_or_mutx(self, cmp_specification):
+        wp, result = minimal(cmp_specification, "Iterator.remove", stale(K))
+        assert equivalent(
+            conj(result.assumption, wp),
+            conj(result.assumption, disj(stale(K), mutx(K, THIS_IT))),
+        )
+
+    def test_receiver_not_stale_after(self, cmp_specification):
+        wp, result = minimal(
+            cmp_specification, "Iterator.remove", stale(THIS_IT)
+        )
+        # under the precondition the receiver remains valid
+        assert not_satisfiable_under(result.assumption, wp)
+
+
+class TestNewSet:
+    def test_fresh_set_distinct_from_existing(self, cmp_specification):
+        wp, _ = minimal(cmp_specification, "new Set", eq(R, Z))
+        assert wp is FALSE
+
+    def test_fresh_set_equal_to_itself(self, cmp_specification):
+        wp, _ = minimal(cmp_specification, "new Set", eq(R, R))
+        assert wp is TRUE
+
+    def test_no_iterator_over_fresh_set(self, cmp_specification):
+        wp, _ = minimal(cmp_specification, "new Set", iterof(K, R))
+        assert wp is FALSE
+
+
+class TestCopy:
+    def test_copy_substitutes(self, cmp_specification):
+        dst = Base("dst", "Iterator")
+        src = Base("src", "Iterator")
+        wp, _ = minimal(cmp_specification, "copy Iterator", stale(dst))
+        assert equivalent(wp, stale(src))
+
+    def test_copy_leaves_unrelated(self, cmp_specification):
+        wp, _ = minimal(cmp_specification, "copy Iterator", stale(K))
+        assert equivalent(wp, stale(K))
+
+
+class TestErrors:
+    def test_unbound_name_raises(self, cmp_specification):
+        from repro.easl.parser import parse_spec
+
+        spec = parse_spec(
+            "class A { A f; void m() { f = nosuch; } }"
+        )
+        with pytest.raises(WPError):
+            wp_operation(
+                spec, spec.operation("A.m"), eq(Base("x", "A"), Base("y", "A"))
+            )
+
+
+def not_satisfiable_under(assumption, formula):
+    from repro.logic.decision import satisfiable
+
+    return not satisfiable(conj(assumption, formula))

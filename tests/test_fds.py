@@ -1,0 +1,157 @@
+"""Unit tests for the FDS and relational solvers."""
+
+import pytest
+
+from repro.certifier.boolprog import (
+    BoolEdge,
+    BoolProgram,
+    Check,
+    Instance,
+    ParallelAssign,
+)
+from repro.certifier.fds import FdsSolver, certify_fds
+from repro.certifier.relational import RelationalSolver, certify_relational
+
+
+def make_program(num_vars=3):
+    program = BoolProgram("test")
+    for index in range(num_vars):
+        program.variable(Instance(f"p{index}", ()))
+    return program
+
+
+class TestTransfer:
+    def test_constant_assignments(self):
+        program = make_program(2)
+        program.entry, program.exit = 0, 2
+        program.add_edge(
+            BoolEdge(0, 1, assigns=(ParallelAssign(0, (), True),))
+        )
+        program.add_edge(
+            BoolEdge(1, 2, assigns=(ParallelAssign(1, (0,)),))
+        )
+        result = FdsSolver().solve(program)
+        assert result.may_be_one(2, 1)
+        assert not result.may_be_zero(2, 1)
+
+    def test_parallel_swap_reads_old_values(self):
+        # p0 := p1; p1 := p0 simultaneously must exchange values
+        program = make_program(2)
+        program.entry, program.exit = 0, 2
+        program.add_edge(
+            BoolEdge(0, 1, assigns=(ParallelAssign(0, (), True),))
+        )  # p0 = 1, p1 = 0
+        program.add_edge(
+            BoolEdge(
+                1, 2,
+                assigns=(
+                    ParallelAssign(0, (1,)),
+                    ParallelAssign(1, (0,)),
+                ),
+            )
+        )
+        relational = RelationalSolver().solve(program)
+        states = relational.states[2]
+        assert states == frozenset([0b10])  # p1 = 1, p0 = 0
+
+    def test_disjunction_assignment(self):
+        program = make_program(3)
+        program.entry, program.exit = 0, 3
+        program.add_edge(
+            BoolEdge(0, 1, assigns=(ParallelAssign(0, (), True),))
+        )
+        program.add_edge(BoolEdge(0, 2))
+        program.add_edge(
+            BoolEdge(1, 3, assigns=(ParallelAssign(2, (0, 1)),))
+        )
+        program.add_edge(
+            BoolEdge(2, 3, assigns=(ParallelAssign(2, (0, 1)),))
+        )
+        result = FdsSolver().solve(program)
+        assert result.may_be_one(3, 2)  # via node 1
+        assert result.may_be_zero(3, 2)  # via node 2
+
+    def test_unreachable_nodes_have_no_state(self):
+        program = make_program(1)
+        program.entry, program.exit = 0, 1
+        program.add_edge(BoolEdge(0, 1))
+        program.add_edge(BoolEdge(5, 6))  # disconnected
+        result = FdsSolver().solve(program)
+        assert 6 not in result.may_one
+
+
+class TestChecksAndPruning:
+    def _checked_program(self):
+        program = make_program(1)
+        program.entry, program.exit = 0, 3
+        program.add_edge(
+            BoolEdge(0, 1, assigns=(ParallelAssign(0, (), True),))
+        )
+        program.add_edge(
+            BoolEdge(1, 2, checks=(Check(7, 42, "Iterator.next", 0),))
+        )
+        program.add_edge(
+            BoolEdge(2, 3, checks=(Check(8, 43, "Iterator.next", 0),))
+        )
+        return program
+
+    def test_alarm_reported_with_site_metadata(self):
+        report = certify_fds(self._checked_program())
+        assert not report.certified
+        first = report.alarms[0]
+        assert (first.site_id, first.line) == (7, 42)
+
+    def test_pruning_suppresses_downstream_alarm(self):
+        report = certify_fds(self._checked_program(), prune_requires=True)
+        assert {a.site_id for a in report.alarms} == {7}
+
+    def test_no_pruning_repeats_alarm(self):
+        report = certify_fds(self._checked_program(), prune_requires=False)
+        assert {a.site_id for a in report.alarms} == {7, 8}
+
+    def test_definite_flag(self):
+        report = certify_fds(self._checked_program())
+        assert report.alarms[0].definite
+
+    def test_relational_agrees(self):
+        fds = certify_fds(self._checked_program())
+        relational = certify_relational(self._checked_program())
+        assert fds.alarm_sites() == relational.alarm_sites()
+
+
+class TestRelationalFilters:
+    def test_filter_refines_states(self):
+        program = make_program(2)
+        program.entry, program.exit = 0, 2
+        # nondeterministically set p0, then keep only p0 == 1 states and
+        # check !p1 afterwards (never fails)
+        program.add_edge(
+            BoolEdge(0, 1, assigns=(ParallelAssign(0, (), True),))
+        )
+        program.add_edge(BoolEdge(0, 1))
+        program.add_edge(
+            BoolEdge(
+                1, 2,
+                filters=((0, True),),
+                checks=(Check(1, 1, "op", 1),),
+            )
+        )
+        result = RelationalSolver().solve(program)
+        assert result.states[2] == frozenset([0b01])
+        assert not result.alarms
+
+    def test_state_budget_enforced(self):
+        from repro.certifier.relational import StateExplosion
+
+        program = make_program(8)
+        program.entry, program.exit = 0, 1
+        # one edge nondeterministically toggling every variable via a
+        # self-loop would need 2^8 states
+        for v in range(8):
+            program.add_edge(
+                BoolEdge(0, 0, assigns=(ParallelAssign(v, (), True),))
+            )
+        program.add_edge(BoolEdge(0, 1))
+        solver = RelationalSolver(state_budget=10)
+        with pytest.raises(StateExplosion):
+            solver.solve(program)

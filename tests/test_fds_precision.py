@@ -1,0 +1,135 @@
+"""The paper's precision theorem, property-tested (Section 4.3/4.6).
+
+Random boolean programs of the transformed clients' special form
+(``p0 := p1 ∨ … ∨ pk``, ``p := 0/1``, nondeterministic branching) are
+solved three ways:
+
+* exhaustive path enumeration (the meet-over-all-paths reference),
+* the relational powerset solver,
+* the FDS independent-attribute solver.
+
+For the alarm question ("may p be 1 at n?") all three must agree — the
+independent-attribute analysis loses nothing because the update form has
+no negation, so may-1 is union-distributive.
+"""
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.certifier.boolprog import (
+    BoolEdge,
+    BoolProgram,
+    Instance,
+    ParallelAssign,
+)
+from repro.certifier.fds import FdsSolver
+from repro.certifier.relational import RelationalSolver
+
+NUM_VARS = 4
+NUM_NODES = 5
+
+
+@st.composite
+def boolean_programs(draw):
+    program = BoolProgram("random")
+    for index in range(NUM_VARS):
+        program.variable(Instance(f"p{index}", ()))
+    program.entry, program.exit = 0, NUM_NODES - 1
+    if draw(st.booleans()):
+        program.initially_true.append(
+            draw(st.integers(0, NUM_VARS - 1))
+        )
+    num_edges = draw(st.integers(4, 9))
+    for _ in range(num_edges):
+        src = draw(st.integers(0, NUM_NODES - 2))
+        dst = draw(st.integers(1, NUM_NODES - 1))
+        assigns = []
+        targets = draw(
+            st.lists(
+                st.integers(0, NUM_VARS - 1),
+                max_size=2,
+                unique=True,
+            )
+        )
+        for target in targets:
+            kind = draw(st.integers(0, 2))
+            if kind == 0:
+                assigns.append(ParallelAssign(target, (), False))  # := 0
+            elif kind == 1:
+                assigns.append(ParallelAssign(target, (), True))  # := 1
+            else:
+                sources = tuple(
+                    draw(
+                        st.lists(
+                            st.integers(0, NUM_VARS - 1),
+                            min_size=1,
+                            max_size=3,
+                            unique=True,
+                        )
+                    )
+                )
+                assigns.append(ParallelAssign(target, sources, False))
+        program.add_edge(BoolEdge(src, dst, assigns=tuple(assigns)))
+    return program
+
+
+def enumerate_paths(program):
+    """Exact collecting semantics by (node, valuation) state exploration.
+
+    The reachable state graph has at most ``nodes × 2^vars`` states, so
+    exhaustive exploration terminates and gives the true
+    meet-over-all-paths answer, loops included.
+    """
+    stack = [(program.entry, program.initial_mask())]
+    seen = set()
+    while stack:
+        node, valuation = stack.pop()
+        for edge in program.out_edges(node):
+            updated = valuation
+            for assign in edge.assigns:
+                bit = 1 << assign.target
+                value = assign.const_true or any(
+                    valuation >> s & 1 for s in assign.sources
+                )
+                updated = updated | bit if value else updated & ~bit
+            key = (edge.dst, updated)
+            if key not in seen:
+                seen.add(key)
+                stack.append((edge.dst, updated))
+    # may-one per node = union of reached valuations
+    masks = {}
+    for node, valuation in seen | {(program.entry, program.initial_mask())}:
+        masks[node] = masks.get(node, 0) | valuation
+    return masks
+
+
+@settings(max_examples=200, deadline=None)
+@given(boolean_programs())
+def test_fds_matches_exhaustive_paths(program):
+    fds = FdsSolver(prune_requires=False).solve(program)
+    exact = enumerate_paths(program)
+    for node, mask in exact.items():
+        # every valuation reached by a real path is below the FDS answer
+        # (soundness) …
+        assert fds.may_one.get(node, 0) & mask == mask
+    # … and on loop-free prefixes the FDS answer is attained by real
+    # paths (precision): check nodes whose exact mask saturated
+    for node, mask in exact.items():
+        fds_mask = fds.may_one.get(node, 0)
+        # precision claim: no spurious may-1 facts at all
+        assert fds_mask == mask, (
+            f"node {node}: fds={fds_mask:b} exact={mask:b}"
+        )
+
+
+@settings(max_examples=200, deadline=None)
+@given(boolean_programs())
+def test_fds_matches_relational_alarm_question(program):
+    fds = FdsSolver(prune_requires=False).solve(program)
+    relational = RelationalSolver(prune_requires=False).solve(program)
+    for node, states in relational.states.items():
+        union = 0
+        for state in states:
+            union |= state
+        assert fds.may_one.get(node, 0) == union

@@ -1,0 +1,191 @@
+"""Tests for the Section 3 generic baselines.
+
+Besides domain unit tests, these pin the paper's two motivating
+imprecision stories: allocation-site analysis fails the Section 3 loop,
+and shape graphs produce the Fig. 7 false alarm at Fig. 3's statement 7.
+"""
+
+import pytest
+
+from repro.generic_analysis import (
+    AllocSiteDomain,
+    ShapeGraphDomain,
+    analyze_generic,
+)
+from repro.generic_analysis.allocsite import NULL
+from repro.lang import parse_program
+from repro.lang.inline import inline_program
+from repro.runtime import explore
+from repro.suite import by_name
+
+FIG3 = by_name("fig3").source
+SEC3_LOOP = by_name("sec3_loop").source
+
+
+def run(source, domain, spec, name="test"):
+    program = parse_program(source, spec)
+    inlined = inline_program(program)
+    return program, analyze_generic(inlined, domain, name)
+
+
+class TestAllocSiteDomain:
+    def test_alloc_then_must_equal_self(self):
+        domain = AllocSiteDomain()
+        state = domain.initial()
+        state = domain.alloc(state, "x", "s1")
+        state = domain.copy_var(state, "y", "x")
+        assert domain.must_equal(state, "x", "y")
+
+    def test_second_allocation_defeats_must(self):
+        domain = AllocSiteDomain()
+        state = domain.initial()
+        state = domain.alloc(state, "x", "s1")
+        state = domain.copy_var(state, "y", "x")
+        state = domain.alloc(state, "x", "s1")  # same site again
+        assert not domain.must_equal(state, "x", "y")
+
+    def test_recency_keeps_most_recent_singleton(self):
+        domain = AllocSiteDomain(recency=True)
+        state = domain.initial()
+        state = domain.alloc(state, "x", "s1")
+        state = domain.alloc(state, "x", "s1")
+        state = domain.copy_var(state, "y", "x")
+        assert domain.must_equal(state, "x", "y")
+
+    def test_strong_field_update(self):
+        domain = AllocSiteDomain()
+        state = domain.initial()
+        state = domain.alloc(state, "x", "s1")
+        state = domain.alloc(state, "v", "s2")
+        state = domain.store(state, "x", "f", "v")
+        state = domain.load(state, "y", "x", "f")
+        assert domain.must_equal(state, "y", "v")
+
+    def test_null_tracking(self):
+        domain = AllocSiteDomain()
+        state = domain.initial()
+        state = domain.set_null(state, "x")
+        assert state.lookup("x") == frozenset([NULL])
+        assert domain.must_equal(state, "x", "never_assigned")
+
+    def test_assume_refines(self):
+        domain = AllocSiteDomain()
+        state = domain.initial()
+        state = domain.alloc(state, "x", "s1")
+        state = domain.alloc(state, "y", "s2")
+        assert domain.assume_equal(state, "x", "y", True) is None
+
+    def test_join_unions(self):
+        domain = AllocSiteDomain()
+        a = domain.alloc(domain.initial(), "x", "s1")
+        b = domain.alloc(domain.initial(), "x", "s2")
+        joined = domain.join(a, b)
+        assert len(joined.lookup("x")) == 2
+
+
+class TestShapeGraphDomain:
+    def test_copy_shares_node(self):
+        domain = ShapeGraphDomain()
+        state = domain.initial()
+        state = domain.alloc(state, "x", "s")
+        state = domain.copy_var(state, "y", "x")
+        assert domain.must_equal(state, "x", "y")
+
+    def test_unpointed_objects_merge_to_summary(self):
+        domain = ShapeGraphDomain()
+        state = domain.initial()
+        state = domain.alloc(state, "x", "s1")
+        state = domain.alloc(state, "keep", "k")
+        state = domain.store(state, "keep", "f", "x")
+        state = domain.alloc(state, "x", "s2")
+        state = domain.store(state, "keep", "g", "x")
+        state = domain.set_null(state, "x")
+        # both stored objects lost their variables: one summary node
+        empty_nodes = [n for n in state.summary if not n]
+        assert len(empty_nodes) == 1
+        assert state.summary[frozenset()]
+
+    def test_definite_edge_supports_must(self):
+        domain = ShapeGraphDomain()
+        state = domain.initial()
+        state = domain.alloc(state, "x", "s")
+        state = domain.alloc(state, "v", "t")
+        state = domain.store(state, "x", "f", "v")
+        state = domain.load(state, "y", "x", "f")
+        assert domain.must_equal(state, "y", "v")
+
+    def test_summary_target_defeats_must(self):
+        domain = ShapeGraphDomain()
+        state = domain.initial()
+        state = domain.alloc(state, "x", "s")
+        state = domain.alloc(state, "a", "t1")
+        state = domain.store(state, "x", "f", "a")
+        state = domain.set_null(state, "a")
+        state = domain.alloc(state, "b", "t2")
+        state = domain.store(state, "x", "g", "b")
+        state = domain.set_null(state, "b")
+        # two unpointed objects share the summary; loads are weak
+        state = domain.load(state, "p", "x", "f")
+        state = domain.load(state, "q", "x", "f")
+        assert not domain.must_equal(state, "p", "q")
+
+    def test_both_null_must_equal(self):
+        domain = ShapeGraphDomain()
+        state = domain.initial()
+        assert domain.must_equal(state, "x", "y")
+
+
+class TestPaperNarratives:
+    def test_allocsite_handles_fig3(self, cmp_specification):
+        program, result = run(
+            FIG3, AllocSiteDomain(), cmp_specification, "allocsite"
+        )
+        truth = explore(program)
+        summary = truth.compare(result.report.alarm_sites())
+        assert summary.sound and summary.false_alarms == 0
+
+    def test_allocsite_false_alarms_on_sec3_loop(self, cmp_specification):
+        program, result = run(
+            SEC3_LOOP, AllocSiteDomain(), cmp_specification, "allocsite"
+        )
+        truth = explore(program)
+        summary = truth.compare(result.report.alarm_sites())
+        assert summary.sound
+        assert summary.false_alarms >= 1  # the Section 3 motivation
+
+    def test_recency_certifies_sec3_loop(self, cmp_specification):
+        program, result = run(
+            SEC3_LOOP,
+            AllocSiteDomain(recency=True),
+            cmp_specification,
+            "allocsite-recency",
+        )
+        assert result.report.certified
+
+    def test_shapegraph_fig7_false_alarm_at_statement_7(
+        self, cmp_specification
+    ):
+        program, result = run(
+            FIG3, ShapeGraphDomain(), cmp_specification, "shapegraph"
+        )
+        # Fig. 3 line 11 is i3.next(): valid, but the merged version
+        # summary (Fig. 7(c)) makes the shape analysis flag it
+        assert 11 in result.report.alarm_lines()
+        truth = explore(program)
+        summary = truth.compare(result.report.alarm_sites())
+        assert summary.sound
+        assert summary.false_alarms == 1
+
+    @pytest.mark.parametrize(
+        "domain_factory",
+        [AllocSiteDomain, lambda: AllocSiteDomain(recency=True),
+         ShapeGraphDomain],
+    )
+    def test_generic_analyses_sound_on_fig3(
+        self, domain_factory, cmp_specification
+    ):
+        program, result = run(
+            FIG3, domain_factory(), cmp_specification, "generic"
+        )
+        truth = explore(program)
+        assert truth.compare(result.report.alarm_sites()).sound

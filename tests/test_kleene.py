@@ -1,0 +1,73 @@
+"""Unit tests for the 3-valued truth domain."""
+
+import pytest
+
+from repro.logic.kleene import (
+    FALSE3,
+    HALF,
+    Kleene,
+    TRUE3,
+    kleene_and,
+    kleene_join,
+    kleene_or,
+)
+
+
+class TestConnectives:
+    def test_and_restricts_to_boolean(self):
+        assert TRUE3.logical_and(TRUE3) is TRUE3
+        assert TRUE3.logical_and(FALSE3) is FALSE3
+
+    def test_and_with_half(self):
+        assert HALF.logical_and(TRUE3) is HALF
+        assert HALF.logical_and(FALSE3) is FALSE3  # annihilator wins
+
+    def test_or_with_half(self):
+        assert HALF.logical_or(FALSE3) is HALF
+        assert HALF.logical_or(TRUE3) is TRUE3
+
+    def test_not_involution(self):
+        for value in Kleene:
+            assert value.logical_not().logical_not() is value
+
+    def test_not_fixes_half(self):
+        assert HALF.logical_not() is HALF
+
+
+class TestInformationOrder:
+    def test_join_of_definite_disagreement_is_half(self):
+        assert TRUE3.join(FALSE3) is HALF
+
+    def test_join_idempotent(self):
+        for value in Kleene:
+            assert value.join(value) is value
+
+    def test_leq_info(self):
+        assert TRUE3.leq_info(HALF)
+        assert FALSE3.leq_info(HALF)
+        assert not HALF.leq_info(TRUE3)
+
+    def test_join_iterable(self):
+        assert kleene_join([TRUE3, TRUE3]) is TRUE3
+        assert kleene_join([TRUE3, FALSE3]) is HALF
+        with pytest.raises(ValueError):
+            kleene_join([])
+
+
+class TestAggregates:
+    def test_kleene_and_empty_is_true(self):
+        assert kleene_and([]) is TRUE3
+
+    def test_kleene_or_empty_is_false(self):
+        assert kleene_or([]) is FALSE3
+
+    def test_kleene_or_short_circuits_on_true(self):
+        assert kleene_or([HALF, TRUE3]) is TRUE3
+
+    def test_may_flags(self):
+        assert HALF.may_be_true and HALF.may_be_false
+        assert TRUE3.may_be_true and not TRUE3.may_be_false
+
+    def test_from_bool(self):
+        assert Kleene.from_bool(True) is TRUE3
+        assert Kleene.from_bool(False) is FALSE3

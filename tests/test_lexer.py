@@ -1,0 +1,99 @@
+"""Unit tests for the shared lexer."""
+
+import pytest
+
+from repro.util.lexer import Lexer, LexError, tokenize
+
+
+def kinds(source):
+    return [(t.kind, t.text) for t in tokenize(source) if t.kind != "eof"]
+
+
+class TestTokenize:
+    def test_identifiers_and_punctuation(self):
+        assert kinds("foo = bar;") == [
+            ("ident", "foo"),
+            ("punct", "="),
+            ("ident", "bar"),
+            ("punct", ";"),
+        ]
+
+    def test_maximal_munch_on_comparisons(self):
+        assert kinds("a == b != c") == [
+            ("ident", "a"),
+            ("punct", "=="),
+            ("ident", "b"),
+            ("punct", "!="),
+            ("ident", "c"),
+        ]
+
+    def test_logical_operators(self):
+        assert [t for _, t in kinds("a && b || !c")] == [
+            "a", "&&", "b", "||", "!", "c",
+        ]
+
+    def test_string_literal(self):
+        tokens = kinds('x = "hello world";')
+        assert ("string", "hello world") in tokens
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(LexError):
+            tokenize('x = "oops')
+
+    def test_integers(self):
+        assert ("int", "42") in kinds("x = 42;")
+
+    def test_line_comment_skipped(self):
+        assert kinds("a // comment\nb") == [("ident", "a"), ("ident", "b")]
+
+    def test_block_comment_skipped(self):
+        assert kinds("a /* multi\nline */ b") == [
+            ("ident", "a"),
+            ("ident", "b"),
+        ]
+
+    def test_unterminated_block_comment_raises(self):
+        with pytest.raises(LexError):
+            tokenize("a /* never closed")
+
+    def test_line_numbers_track_newlines(self):
+        tokens = tokenize("a\nb\n  c")
+        lines = {t.text: t.line for t in tokens if t.kind == "ident"}
+        assert lines == {"a": 1, "b": 2, "c": 3}
+
+    def test_unexpected_character_raises(self):
+        with pytest.raises(LexError):
+            tokenize("a # b")
+
+    def test_question_mark_is_punctuation(self):
+        assert ("punct", "?") in kinds("while (?)")
+
+
+class TestLexerCursor:
+    def test_peek_does_not_consume(self):
+        lexer = Lexer("a b c")
+        assert lexer.peek(1).text == "b"
+        assert lexer.current.text == "a"
+
+    def test_accept_consumes_on_match_only(self):
+        lexer = Lexer("a b")
+        assert lexer.accept("x") is None
+        assert lexer.accept("a") is not None
+        assert lexer.current.text == "b"
+
+    def test_expect_raises_with_location(self):
+        lexer = Lexer("a")
+        with pytest.raises(LexError, match="expected"):
+            lexer.expect(";")
+
+    def test_expect_ident_rejects_punct(self):
+        lexer = Lexer(";")
+        with pytest.raises(LexError):
+            lexer.expect_ident()
+
+    def test_advance_stops_at_eof(self):
+        lexer = Lexer("a")
+        lexer.advance()
+        assert lexer.current.kind == "eof"
+        lexer.advance()
+        assert lexer.current.kind == "eof"

@@ -1,0 +1,87 @@
+"""Unit tests for congruence closure with fresh-token axioms."""
+
+import pytest
+
+from repro.logic.congruence import CongruenceClosure, Inconsistent, closure_of
+from repro.logic.terms import Base, Field, Fresh
+
+a, b, c = Base("a"), Base("b"), Base("c")
+
+
+class TestUnionFind:
+    def test_transitivity(self):
+        cc = closure_of([(a, b), (b, c)])
+        assert cc.are_equal(a, c)
+
+    def test_symmetric(self):
+        cc = closure_of([(a, b)])
+        assert cc.are_equal(b, a)
+
+    def test_unrelated_terms_distinct(self):
+        cc = closure_of([(a, b)])
+        assert not cc.are_equal(a, c)
+
+
+class TestCongruence:
+    def test_fields_of_equal_bases_merge(self):
+        cc = closure_of([(a, b)])
+        assert cc.are_equal(Field(a, "f"), Field(b, "f"))
+
+    def test_different_fields_do_not_merge(self):
+        cc = closure_of([(a, b)])
+        assert not cc.are_equal(Field(a, "f"), Field(b, "g"))
+
+    def test_nested_congruence(self):
+        cc = closure_of([(a, b)])
+        assert cc.are_equal(
+            Field(Field(a, "f"), "g"), Field(Field(b, "f"), "g")
+        )
+
+    def test_congruence_after_late_union(self):
+        cc = CongruenceClosure()
+        # register the field terms first, then merge the bases
+        cc.find(Field(a, "f"))
+        cc.find(Field(b, "f"))
+        cc.assert_equal(a, b)
+        assert cc.are_equal(Field(a, "f"), Field(b, "f"))
+
+
+class TestDisequalities:
+    def test_violated_disequality_raises(self):
+        with pytest.raises(Inconsistent):
+            closure_of([(a, b)], [(a, b)])
+
+    def test_disequality_via_congruence_raises(self):
+        with pytest.raises(Inconsistent):
+            closure_of([(a, b)], [(Field(a, "f"), Field(b, "f"))])
+
+    def test_consistent_disequality(self):
+        cc = closure_of([(a, b)], [(a, c)])
+        assert cc.is_consistent()
+
+
+class TestFreshTokens:
+    def test_fresh_equal_to_prestate_raises(self):
+        nu = Fresh("n")
+        with pytest.raises(Inconsistent):
+            closure_of([(nu, a)])
+
+    def test_fresh_equal_to_prestate_path_raises(self):
+        nu = Fresh("n")
+        with pytest.raises(Inconsistent):
+            closure_of([(nu, Field(a, "f"))])
+
+    def test_two_fresh_tokens_distinct(self):
+        with pytest.raises(Inconsistent):
+            closure_of([(Fresh("n1"), Fresh("n2"))])
+
+    def test_fresh_token_self_consistent(self):
+        nu = Fresh("n")
+        cc = closure_of([(Field(a, "f"), Field(b, "f"))])
+        cc.find(nu)
+        assert cc.is_consistent()
+
+    def test_fields_of_fresh_unconstrained(self):
+        nu = Fresh("n")
+        cc = closure_of([(Field(nu, "f"), a)])
+        assert cc.is_consistent()

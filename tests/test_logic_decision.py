@@ -1,0 +1,103 @@
+"""Unit tests for the alias-theory decision procedures."""
+
+from repro.logic.decision import (
+    entails,
+    equivalent,
+    minimize_disjunct,
+    minimize_dnf,
+    normalize_to_minimal_dnf,
+    satisfiable,
+    valid,
+)
+from repro.logic.formula import FALSE, TRUE, conj, disj, eq, neg, neq
+from repro.logic.normal import to_dnf
+from repro.logic.terms import Base, Field, Fresh
+
+i = Base("i", "Iterator")
+j = Base("j", "Iterator")
+iset = Field(i, "set")
+jset = Field(j, "set")
+stale_i = neq(Field(i, "defVer"), Field(iset, "ver"))
+stale_j = neq(Field(j, "defVer"), Field(jset, "ver"))
+mutx_ij = conj(eq(iset, jset), neq(i, j))
+
+
+class TestSatisfiability:
+    def test_atoms_satisfiable(self):
+        assert satisfiable(eq(i, j))
+        assert satisfiable(neq(i, j))
+
+    def test_contradiction_unsat(self):
+        assert not satisfiable(conj(eq(i, j), neq(i, j)))
+
+    def test_congruence_contradiction_unsat(self):
+        assert not satisfiable(conj(eq(i, j), neq(iset, jset)))
+
+    def test_fresh_vs_prestate_unsat(self):
+        assert not satisfiable(eq(Fresh("n"), iset))
+
+    def test_truth_constants(self):
+        assert satisfiable(TRUE)
+        assert not satisfiable(FALSE)
+
+
+class TestEntailment:
+    def test_equality_entails_field_equality(self):
+        assert entails(eq(i, j), eq(iset, jset))
+
+    def test_field_equality_does_not_entail_equality(self):
+        assert not entails(eq(iset, jset), eq(i, j))
+
+    def test_conjunction_entails_conjunct(self):
+        assert entails(mutx_ij, eq(iset, jset))
+
+    def test_validity(self):
+        assert valid(disj(eq(i, j), neq(i, j)))
+        assert not valid(eq(i, j))
+
+
+class TestEquivalence:
+    def test_symmetric_forms_equivalent(self):
+        assert equivalent(
+            conj(eq(iset, jset), neq(i, j)),
+            conj(neq(j, i), eq(jset, iset)),
+        )
+
+    def test_different_predicates_not_equivalent(self):
+        assert not equivalent(stale_i, stale_j)
+
+    def test_dnf_preserves_meaning(self):
+        formula = conj(disj(stale_i, mutx_ij), disj(stale_j, eq(i, j)))
+        assert equivalent(formula, disj(*to_dnf(formula)))
+
+
+class TestMinimization:
+    def test_remove_redundant_literal_under_assumption(self):
+        # the paper's Step 3: under ¬stale(j), the exact WP of stale(i)
+        # wrt remove() collapses to stale ∨ mutx
+        wp = disj(mutx_ij, conj(neq(i, j), neq(iset, jset), stale_i))
+        minimized = minimize_dnf(to_dnf(wp), assumption=neg(stale_j))
+        assert set(minimized) == {mutx_ij, stale_i}
+
+    def test_minimization_preserves_meaning_under_assumption(self):
+        wp = disj(mutx_ij, conj(neq(i, j), neq(iset, jset), stale_i))
+        assumption = neg(stale_j)
+        minimized = disj(*minimize_dnf(to_dnf(wp), assumption))
+        assert equivalent(conj(assumption, minimized), conj(assumption, wp))
+
+    def test_unsat_disjuncts_dropped(self):
+        disjuncts = [conj(eq(i, j), neq(iset, jset)), stale_i]
+        assert minimize_dnf(disjuncts) == [stale_i]
+
+    def test_absorbed_disjuncts_dropped(self):
+        disjuncts = [stale_i, conj(stale_i, eq(i, j))]
+        assert minimize_dnf(disjuncts) == [stale_i]
+
+    def test_minimize_disjunct_keeps_needed_literals(self):
+        whole = mutx_ij
+        result = minimize_disjunct(mutx_ij, whole, TRUE)
+        assert equivalent(result, mutx_ij)
+
+    def test_normalize_to_minimal_dnf(self):
+        formula = disj(stale_i, conj(stale_i, mutx_ij))
+        assert normalize_to_minimal_dnf(formula) == [stale_i]

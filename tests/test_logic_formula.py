@@ -1,0 +1,121 @@
+"""Unit tests for the formula AST and smart constructors."""
+
+from repro.logic.formula import (
+    FALSE,
+    TRUE,
+    And,
+    EqAtom,
+    Not,
+    Or,
+    PredAtom,
+    atoms,
+    conj,
+    disj,
+    eq,
+    formula_size,
+    free_logic_vars,
+    implies,
+    is_literal,
+    ite,
+    literal_parts,
+    map_atoms,
+    neg,
+    neq,
+    rename_pred_args,
+    substitute_atom,
+)
+from repro.logic.terms import Base, Field
+
+a = Base("a")
+b = Base("b")
+c = Base("c")
+
+
+class TestSmartConstructors:
+    def test_eq_is_canonical_in_operand_order(self):
+        assert eq(a, b) == eq(b, a)
+
+    def test_eq_folds_reflexivity(self):
+        assert eq(a, a) is TRUE
+
+    def test_neq_of_same_term_is_false(self):
+        assert neq(a, a) is FALSE
+
+    def test_double_negation_cancels(self):
+        assert neg(neg(eq(a, b))) == eq(a, b)
+
+    def test_conj_flattens_nested(self):
+        formula = conj(conj(eq(a, b), eq(b, c)), eq(a, c))
+        assert isinstance(formula, And)
+        assert len(formula.args) == 3
+
+    def test_conj_deduplicates(self):
+        assert conj(eq(a, b), eq(b, a)) == eq(a, b)
+
+    def test_conj_with_false_is_false(self):
+        assert conj(eq(a, b), FALSE) is FALSE
+
+    def test_conj_detects_complementary_literals(self):
+        assert conj(eq(a, b), neq(a, b)) is FALSE
+
+    def test_disj_detects_complementary_literals(self):
+        assert disj(eq(a, b), neq(a, b)) is TRUE
+
+    def test_empty_conj_is_true_empty_disj_is_false(self):
+        assert conj() is TRUE
+        assert disj() is FALSE
+
+    def test_disj_with_true_short_circuits(self):
+        assert disj(eq(a, b), TRUE) is TRUE
+
+    def test_ite_expands_to_guarded_disjunction(self):
+        formula = ite(eq(a, b), eq(a, c), eq(b, c))
+        assert isinstance(formula, Or)
+
+    def test_implies_is_material(self):
+        assert implies(FALSE, eq(a, b)) is TRUE
+
+
+class TestTraversal:
+    def test_atoms_enumerates_each_atom_once(self):
+        formula = conj(eq(a, b), disj(eq(a, b), eq(b, c)))
+        assert len(list(atoms(formula))) == 2
+
+    def test_map_atoms_rebuilds_with_folding(self):
+        formula = conj(eq(a, b), eq(b, c))
+        result = map_atoms(formula, lambda at: TRUE)
+        assert result is TRUE
+
+    def test_substitute_atom_true(self):
+        formula = disj(eq(a, b), eq(b, c))
+        assert substitute_atom(formula, eq(a, b), True) is TRUE
+
+    def test_substitute_atom_false_leaves_rest(self):
+        formula = disj(eq(a, b), eq(b, c))
+        assert substitute_atom(formula, eq(a, b), False) == eq(b, c)
+
+    def test_is_literal(self):
+        assert is_literal(eq(a, b))
+        assert is_literal(neq(a, b))
+        assert not is_literal(conj(eq(a, b), eq(b, c)))
+
+    def test_literal_parts(self):
+        atom, polarity = literal_parts(neq(a, b))
+        assert atom == eq(a, b) and polarity is False
+
+    def test_free_logic_vars_on_pred_atoms(self):
+        formula = conj(PredAtom("p", ("x", "y")), PredAtom("q", ("y",)))
+        assert free_logic_vars(formula) == {"x", "y"}
+
+    def test_rename_pred_args(self):
+        formula = PredAtom("p", ("x", "y"))
+        renamed = rename_pred_args(formula, {"x": "z"})
+        assert renamed == PredAtom("p", ("z", "y"))
+
+    def test_formula_size_counts_nodes(self):
+        assert formula_size(conj(eq(a, b), neg(eq(b, c)))) == 4
+
+    def test_field_terms_in_atoms(self):
+        atom = eq(Field(a, "f"), b)
+        assert isinstance(atom, EqAtom)
+        assert str(atom) in ("a.f == b", "b == a.f")

@@ -1,0 +1,81 @@
+"""Unit tests for normal forms and Rule 2 splitting."""
+
+from repro.logic.formula import FALSE, TRUE, And, Or, conj, disj, eq, neg
+from repro.logic.normal import (
+    absorb,
+    conjunct_literals,
+    split_disjuncts,
+    to_dnf,
+    to_nnf,
+)
+from repro.logic.terms import Base
+
+a, b, c, d = Base("a"), Base("b"), Base("c"), Base("d")
+AB, BC, CD, AC = eq(a, b), eq(b, c), eq(c, d), eq(a, c)
+
+
+class TestNnf:
+    def test_negation_pushed_through_conjunction(self):
+        result = to_nnf(neg(conj(AB, BC)))
+        assert isinstance(result, Or)
+
+    def test_negation_pushed_through_disjunction(self):
+        result = to_nnf(neg(disj(AB, BC)))
+        assert isinstance(result, And)
+
+    def test_double_negation_eliminated(self):
+        assert to_nnf(neg(neg(AB))) == AB
+
+    def test_literals_unchanged(self):
+        assert to_nnf(neg(AB)) == neg(AB)
+
+
+class TestDnf:
+    def test_distributes_conjunction_over_disjunction(self):
+        disjuncts = to_dnf(conj(disj(AB, BC), CD))
+        assert set(disjuncts) == {conj(AB, CD), conj(BC, CD)}
+
+    def test_contradictory_disjuncts_dropped(self):
+        disjuncts = to_dnf(conj(AB, neg(AB)))
+        assert disjuncts == []
+
+    def test_true_collapses(self):
+        assert to_dnf(disj(AB, neg(AB))) == [TRUE]
+
+    def test_false_is_empty_list(self):
+        assert to_dnf(FALSE) == []
+
+    def test_already_dnf_preserved(self):
+        disjuncts = to_dnf(disj(conj(AB, BC), CD))
+        assert conj(AB, BC) in disjuncts and CD in disjuncts
+
+    def test_deduplicates_disjuncts(self):
+        disjuncts = to_dnf(disj(AB, AB))
+        assert disjuncts == [AB]
+
+
+class TestRule2Splitting:
+    def test_disjunction_splits_but_conjunction_does_not(self):
+        # Rule 2: disjuncts become separate predicates; conjunctions
+        # stay whole (Section 4.1's precision argument)
+        split = split_disjuncts(disj(conj(AB, BC), CD))
+        assert len(split) == 2
+        assert conj(AB, BC) in split
+
+    def test_conjunct_literals(self):
+        assert set(conjunct_literals(conj(AB, neg(BC)))) == {AB, neg(BC)}
+        assert conjunct_literals(AB) == [AB]
+        assert conjunct_literals(TRUE) == []
+
+
+class TestAbsorb:
+    def test_subsuming_disjunct_removes_superset(self):
+        kept = absorb([AB, conj(AB, BC)])
+        assert kept == [AB]
+
+    def test_identical_disjuncts_keep_one(self):
+        assert len(absorb([AB, AB])) == 1
+
+    def test_unrelated_disjuncts_kept(self):
+        kept = absorb([AB, CD])
+        assert set(kept) == {AB, CD}

@@ -1,0 +1,122 @@
+"""Property-based tests on the logic substrate (hypothesis).
+
+Random quantifier-free formulas over a small set of access-path atoms are
+checked for: NNF/DNF meaning preservation, decision-procedure consistency
+with brute-force model enumeration, and minimization soundness.
+"""
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.logic.decision import equivalent, minimize_dnf, satisfiable
+from repro.logic.formula import (
+    FALSE,
+    TRUE,
+    Formula,
+    conj,
+    disj,
+    eq,
+    neg,
+)
+from repro.logic.normal import to_dnf, to_nnf
+from repro.logic.terms import Base, Field
+
+# a tiny vocabulary of atoms over two variables and one field
+_A = Base("a", "T")
+_B = Base("b", "T")
+_ATOMS = [
+    eq(_A, _B),
+    eq(Field(_A, "f"), Field(_B, "f")),
+    eq(Field(_A, "f"), _B),
+]
+
+
+def _formulas(depth: int = 3) -> st.SearchStrategy:
+    leaves = st.sampled_from(_ATOMS + [TRUE, FALSE])
+    return st.recursive(
+        leaves,
+        lambda children: st.one_of(
+            st.builds(lambda x: neg(x), children),
+            st.builds(lambda x, y: conj(x, y), children, children),
+            st.builds(lambda x, y: disj(x, y), children, children),
+        ),
+        max_leaves=8,
+    )
+
+
+def _models():
+    """All EUF models over the tiny vocabulary, as atom valuations.
+
+    Enumerate which atoms hold, keeping only theory-consistent
+    combinations (checked via satisfiability of the literal conjunction).
+    """
+    models = []
+    for values in itertools.product([True, False], repeat=len(_ATOMS)):
+        literals = [
+            atom if value else neg(atom)
+            for atom, value in zip(_ATOMS, values)
+        ]
+        if satisfiable(conj(*literals)):
+            models.append(dict(zip(_ATOMS, values)))
+    return models
+
+
+_MODELS = _models()
+
+
+def _eval(formula: Formula, model) -> bool:
+    from repro.logic.formula import And, EqAtom, Not, Or, Truth
+
+    if isinstance(formula, Truth):
+        return formula.value
+    if isinstance(formula, EqAtom):
+        return model[formula]
+    if isinstance(formula, Not):
+        return not _eval(formula.body, model)
+    if isinstance(formula, And):
+        return all(_eval(x, model) for x in formula.args)
+    if isinstance(formula, Or):
+        return any(_eval(x, model) for x in formula.args)
+    raise TypeError(formula)
+
+
+@settings(max_examples=150, deadline=None)
+@given(_formulas())
+def test_nnf_preserves_meaning(formula):
+    nnf = to_nnf(formula)
+    for model in _MODELS:
+        assert _eval(formula, model) == _eval(nnf, model)
+
+
+@settings(max_examples=150, deadline=None)
+@given(_formulas())
+def test_dnf_preserves_meaning(formula):
+    dnf = disj(*to_dnf(formula))
+    for model in _MODELS:
+        assert _eval(formula, model) == _eval(dnf, model)
+
+
+@settings(max_examples=100, deadline=None)
+@given(_formulas())
+def test_satisfiable_agrees_with_model_enumeration(formula):
+    brute = any(_eval(formula, model) for model in _MODELS)
+    assert satisfiable(formula) == brute
+
+
+@settings(max_examples=60, deadline=None)
+@given(_formulas(), _formulas())
+def test_equivalent_agrees_with_model_enumeration(left, right):
+    brute = all(
+        _eval(left, model) == _eval(right, model) for model in _MODELS
+    )
+    assert equivalent(left, right) == brute
+
+
+@settings(max_examples=60, deadline=None)
+@given(_formulas())
+def test_minimize_dnf_preserves_meaning(formula):
+    disjuncts = to_dnf(formula)
+    minimized = disj(*minimize_dnf(list(disjuncts)))
+    for model in _MODELS:
+        assert _eval(formula, model) == _eval(minimized, model)

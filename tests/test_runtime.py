@@ -1,0 +1,264 @@
+"""Tests for the concrete interpreter and component semantics."""
+
+import pytest
+
+from repro.easl.spec import SpecError
+from repro.lang import parse_program
+from repro.runtime import ExplorationBudget, explore
+from repro.runtime.jcf import (
+    ComponentHeap,
+    ConformanceViolation,
+    NullDereference,
+)
+
+
+class TestComponentHeap:
+    def test_new_set_has_version(self, cmp_specification):
+        heap = ComponentHeap(cmp_specification)
+        s = heap.execute(cmp_specification.operation("new Set"), {})
+        assert s.fields["ver"] is not None
+        assert s.fields["ver"].class_name == "Version"
+
+    def test_iterator_snapshot(self, cmp_specification):
+        heap = ComponentHeap(cmp_specification)
+        s = heap.execute(cmp_specification.operation("new Set"), {})
+        it = heap.execute(
+            cmp_specification.operation("Set.iterator"), {"this": s}
+        )
+        assert it.fields["set"] is s
+        assert it.fields["defVer"] is s.fields["ver"]
+
+    def test_add_refreshes_version(self, cmp_specification):
+        heap = ComponentHeap(cmp_specification)
+        s = heap.execute(cmp_specification.operation("new Set"), {})
+        before = s.fields["ver"]
+        heap.execute(cmp_specification.operation("Set.add"), {"this": s})
+        assert s.fields["ver"] is not before
+
+    def test_next_after_add_throws(self, cmp_specification):
+        heap = ComponentHeap(cmp_specification)
+        s = heap.execute(cmp_specification.operation("new Set"), {})
+        it = heap.execute(
+            cmp_specification.operation("Set.iterator"), {"this": s}
+        )
+        heap.execute(cmp_specification.operation("Set.add"), {"this": s})
+        with pytest.raises(ConformanceViolation):
+            heap.execute(
+                cmp_specification.operation("Iterator.next"), {"this": it}
+            )
+
+    def test_remove_keeps_receiver_valid_invalidates_sibling(
+        self, cmp_specification
+    ):
+        heap = ComponentHeap(cmp_specification)
+        s = heap.execute(cmp_specification.operation("new Set"), {})
+        a = heap.execute(
+            cmp_specification.operation("Set.iterator"), {"this": s}
+        )
+        b = heap.execute(
+            cmp_specification.operation("Set.iterator"), {"this": s}
+        )
+        heap.execute(
+            cmp_specification.operation("Iterator.remove"), {"this": a}
+        )
+        heap.execute(
+            cmp_specification.operation("Iterator.next"), {"this": a}
+        )  # receiver still valid
+        with pytest.raises(ConformanceViolation):
+            heap.execute(
+                cmp_specification.operation("Iterator.next"), {"this": b}
+            )
+
+    def test_null_receiver_raises_npe_not_violation(self, cmp_specification):
+        heap = ComponentHeap(cmp_specification)
+        with pytest.raises(NullDereference):
+            heap.execute(
+                cmp_specification.operation("Iterator.next"), {"this": None}
+            )
+
+
+class TestExploration:
+    def test_straight_line_single_path(self, cmp_specification):
+        program = parse_program(
+            """
+            class Main {
+              static void main() {
+                Set s = new Set();
+                Iterator i = s.iterator();
+                i.next();
+              }
+            }
+            """,
+            cmp_specification,
+        )
+        truth = explore(program)
+        assert truth.paths_explored == 1
+        assert not truth.truncated
+        assert truth.failing_sites() == set()
+
+    def test_branching_explores_both_arms(self, cmp_specification):
+        program = parse_program(
+            """
+            class Main {
+              static void main() {
+                Set s = new Set();
+                Iterator i = s.iterator();
+                if (?) { s.add("x"); }
+                i.next();
+              }
+            }
+            """,
+            cmp_specification,
+        )
+        truth = explore(program)
+        assert truth.paths_explored == 2
+        next_site = next(
+            t for t in truth.sites.values() if t.op_key == "Iterator.next"
+        )
+        assert next_site.fail_count == 1 and next_site.pass_count == 1
+
+    def test_reference_comparison_conditions_respected(
+        self, cmp_specification
+    ):
+        program = parse_program(
+            """
+            class Main {
+              static void main() {
+                Set s = new Set();
+                Set t = s;
+                Iterator i = s.iterator();
+                if (t == s) { s.add("x"); }
+                i.next();
+              }
+            }
+            """,
+            cmp_specification,
+        )
+        truth = explore(program)
+        # the comparison is concretely true: the add always runs
+        next_site = next(
+            t for t in truth.sites.values() if t.op_key == "Iterator.next"
+        )
+        assert next_site.fail_count >= 1 and next_site.pass_count == 0
+
+    def test_violation_kills_the_path(self, cmp_specification):
+        program = parse_program(
+            """
+            class Main {
+              static void main() {
+                Set s = new Set();
+                Iterator i = s.iterator();
+                s.add("x");
+                i.next();
+                i.next();
+              }
+            }
+            """,
+            cmp_specification,
+        )
+        truth = explore(program)
+        sites = [
+            t for t in truth.sites.values()
+            if t.op_key == "Iterator.next"
+        ]
+        first, second = sorted(sites, key=lambda t: t.site_id)
+        assert first.fail_count == 1
+        assert second.fail_count == 0 and second.pass_count == 0
+
+    def test_npe_kills_path_without_violation(self, cmp_specification):
+        program = parse_program(
+            """
+            class Main {
+              static void main() {
+                Set s = null;
+                Iterator i = s.iterator();
+                i.next();
+              }
+            }
+            """,
+            cmp_specification,
+        )
+        truth = explore(program)
+        assert truth.failing_sites() == set()
+
+    def test_client_calls_and_returns(self, cmp_specification):
+        program = parse_program(
+            """
+            class Main {
+              static void main() {
+                Set s = make();
+                Iterator i = s.iterator();
+                i.next();
+              }
+              static Set make() { Set t = new Set(); return t; }
+            }
+            """,
+            cmp_specification,
+        )
+        truth = explore(program)
+        assert truth.failing_sites() == set()
+        assert truth.paths_explored == 1
+
+    def test_instance_methods_and_fields(self, cmp_specification):
+        program = parse_program(
+            """
+            class Counter {
+              Set data;
+              Counter() { data = new Set(); }
+              Set get() { return data; }
+            }
+            class Main {
+              static void main() {
+                Counter c = new Counter();
+                Set s = c.get();
+                Iterator i = s.iterator();
+                Set again = c.get();
+                again.add("x");
+                i.next();
+              }
+            }
+            """,
+            cmp_specification,
+        )
+        truth = explore(program)
+        assert len(truth.failing_lines()) == 1
+
+    def test_path_budget_truncates(self, cmp_specification):
+        program = parse_program(
+            """
+            class Main {
+              static void main() {
+                Set s = new Set();
+                while (?) { s.add("x"); }
+              }
+            }
+            """,
+            cmp_specification,
+        )
+        truth = explore(
+            program, ExplorationBudget(max_paths=3, max_steps_per_path=50)
+        )
+        assert truth.truncated
+
+    def test_compare_reports_false_alarms_and_misses(
+        self, cmp_specification
+    ):
+        program = parse_program(
+            """
+            class Main {
+              static void main() {
+                Set s = new Set();
+                Iterator i = s.iterator();
+                s.add("x");
+                i.next();
+              }
+            }
+            """,
+            cmp_specification,
+        )
+        truth = explore(program)
+        real = truth.failing_sites()
+        assert truth.compare(real).exact
+        assert truth.compare(set()).missed_errors == len(real)
+        bogus = real | {9999}
+        assert truth.compare(bogus).false_alarms == 1

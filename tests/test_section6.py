@@ -1,0 +1,62 @@
+"""Section 6: mutation-restricted specifications and termination bounds."""
+
+import pytest
+
+from repro.derivation import derive
+from repro.derivation.mutation import (
+    access_path_count,
+    classify_library,
+    termination_certificate,
+)
+from repro.easl.library import aop_spec, cmp_spec, grp_spec, imp_spec
+from repro.easl.parser import parse_spec
+
+
+class TestCertificates:
+    def test_cmp_not_guaranteed(self):
+        certificate = termination_certificate(cmp_spec())
+        assert not certificate.mutation_restricted
+        assert certificate.alias_based
+        assert certificate.acyclic_type_graph
+        assert not certificate.fresh_mutations
+
+    @pytest.mark.parametrize("factory", [grp_spec, imp_spec, aop_spec])
+    def test_section_2_2_guaranteed(self, factory):
+        certificate = termination_certificate(factory())
+        assert certificate.guarantees_termination
+        assert certificate.family_bound is not None
+
+    def test_cyclic_type_graph_unbounded(self):
+        spec = parse_spec("class A { B b; A() { } } class B { A a; B() { } }")
+        certificate = termination_certificate(spec)
+        assert certificate.type_graph_paths is None
+        assert not certificate.guarantees_termination
+
+    def test_classify_library_covers_all(self):
+        rows = dict(classify_library())
+        assert set(rows) == {"CMP", "GRP", "IMP", "AOP"}
+        assert not rows["CMP"].mutation_restricted
+        assert all(
+            rows[name].mutation_restricted for name in ("GRP", "IMP", "AOP")
+        )
+
+
+class TestBoundHoldsEmpirically:
+    @pytest.mark.parametrize("factory", [grp_spec, imp_spec, aop_spec])
+    def test_derivation_stays_within_bound(self, factory):
+        spec = factory()
+        certificate = termination_certificate(spec)
+        abstraction = derive(spec)
+        assert len(abstraction.families) <= certificate.family_bound
+
+    def test_access_path_count_per_sort(self):
+        counts = access_path_count(cmp_spec(), per_sort=True)
+        # Iterator roots: ε, set, set.ver, defVer
+        assert counts["Iterator"] == 4
+        assert counts["Set"] == 2
+        assert counts["Version"] == 1
+
+    def test_cmp_converges_despite_no_guarantee(self):
+        # the paper's observation: CMP is outside the class yet converges
+        abstraction = derive(cmp_spec())
+        assert len(abstraction.families) == 4

@@ -1,0 +1,105 @@
+"""Unit tests for 2-valued logical structures."""
+
+import pytest
+
+from repro.logic.formula import (
+    Exists,
+    Forall,
+    PredAtom,
+    conj,
+    eq,
+    neg,
+)
+from repro.logic.structure import PredicateSymbol, TwoValuedStructure
+from repro.logic.terms import Base
+
+
+@pytest.fixture
+def structure():
+    s = TwoValuedStructure(
+        [PredicateSymbol("pt", 1), PredicateSymbol("rv", 2)]
+    )
+    u1, u2 = s.new_individual(), s.new_individual()
+    s.set_value("pt", (u1,), True)
+    s.set_value("rv", (u1, u2), True)
+    return s, u1, u2
+
+
+class TestInterpretation:
+    def test_declared_predicates_start_empty(self):
+        s = TwoValuedStructure([PredicateSymbol("p", 1)])
+        u = s.new_individual()
+        assert not s.value("p", (u,))
+
+    def test_set_and_clear_value(self, structure):
+        s, u1, u2 = structure
+        assert s.value("pt", (u1,))
+        s.set_value("pt", (u1,), False)
+        assert not s.value("pt", (u1,))
+
+    def test_arity_mismatch_raises(self, structure):
+        s, u1, _ = structure
+        with pytest.raises(ValueError):
+            s.set_value("pt", (u1, u1), True)
+
+    def test_redeclare_different_arity_raises(self, structure):
+        s, _, _ = structure
+        with pytest.raises(ValueError):
+            s.declare(PredicateSymbol("pt", 2))
+
+    def test_remove_individual_drops_tuples(self, structure):
+        s, u1, u2 = structure
+        s.remove_individual(u2)
+        assert s.tuples("rv") == frozenset()
+
+
+class TestEvaluation:
+    def test_atom_evaluation(self, structure):
+        s, u1, u2 = structure
+        assert s.evaluate(PredAtom("pt", ("x",)), {"x": u1})
+        assert not s.evaluate(PredAtom("pt", ("x",)), {"x": u2})
+
+    def test_exists(self, structure):
+        s, _, _ = structure
+        assert s.evaluate(Exists("x", PredAtom("pt", ("x",))))
+
+    def test_forall(self, structure):
+        s, _, _ = structure
+        assert not s.evaluate(Forall("x", PredAtom("pt", ("x",))))
+
+    def test_nested_quantifiers(self, structure):
+        s, _, _ = structure
+        formula = Exists(
+            "x",
+            conj(
+                PredAtom("pt", ("x",)),
+                Exists("y", PredAtom("rv", ("x", "y"))),
+            ),
+        )
+        assert s.evaluate(formula)
+
+    def test_variable_equality(self, structure):
+        s, u1, _ = structure
+        assert s.evaluate(eq(Base("x"), Base("y")), {"x": u1, "y": u1})
+        assert s.evaluate(
+            neg(eq(Base("x"), Base("y"))), {"x": u1, "y": u1 + 1}
+        )
+
+    def test_unbound_variable_raises(self, structure):
+        s, _, _ = structure
+        with pytest.raises(KeyError):
+            s.evaluate(PredAtom("pt", ("z",)))
+
+    def test_satisfying_assignments(self, structure):
+        s, u1, u2 = structure
+        pairs = list(
+            s.satisfying_assignments(PredAtom("rv", ("x", "y")), ("x", "y"))
+        )
+        assert pairs == [(u1, u2)]
+
+    def test_structure_equality_and_copy(self, structure):
+        s, _, _ = structure
+        clone = s.copy()
+        assert clone == s
+        clone.new_individual()
+        assert clone != s

@@ -1,0 +1,48 @@
+"""The corpus's recorded ground truth matches the interpreter.
+
+Keeps ``expected_error_lines`` honest: if a program or the component
+semantics changes, these tests pinpoint the drift.
+"""
+
+import pytest
+
+from repro.lang import parse_program
+from repro.runtime import ExplorationBudget, explore
+from repro.suite import all_programs, by_category, by_name
+
+
+@pytest.mark.parametrize("bench", all_programs(), ids=lambda b: b.name)
+def test_expected_error_lines_match_interpreter(bench, cmp_specification):
+    program = parse_program(bench.source, cmp_specification)
+    truth = explore(
+        program,
+        ExplorationBudget(max_paths=15_000, max_steps_per_path=400),
+    )
+    assert frozenset(truth.failing_lines()) == bench.expected_error_lines
+
+
+@pytest.mark.parametrize("bench", all_programs(), ids=lambda b: b.name)
+def test_shallow_flag_matches_program(bench, cmp_specification):
+    program = parse_program(bench.source, cmp_specification)
+    assert program.is_shallow() == bench.shallow
+
+
+class TestRegistry:
+    def test_categories_cover_paper_taxonomy(self):
+        assert by_category("contrived")
+        assert by_category("realworld")
+        assert by_category("heap")
+
+    def test_names_unique(self):
+        names = [p.name for p in all_programs()]
+        assert len(names) == len(set(names))
+
+    def test_by_name_lookup(self):
+        assert by_name("fig3").category == "contrived"
+        with pytest.raises(KeyError):
+            by_name("nope")
+
+    def test_suite_has_safe_and_erroneous_programs(self):
+        safe = [p for p in all_programs() if not p.expected_error_lines]
+        erroneous = [p for p in all_programs() if p.expected_error_lines]
+        assert len(safe) >= 8 and len(erroneous) >= 12

@@ -1,0 +1,179 @@
+"""Tests for the TVP IR and the two translations (Figs. 9–11)."""
+
+import pytest
+
+from repro.lang import parse_program
+from repro.lang.inline import inline_program
+from repro.logic.formula import Exists, PredAtom
+from repro.tvp import specialized_translation
+from repro.tvp.program import Action, PredicateDecl, TvpProgram, Update
+from repro.tvp.specialize import FieldSlot, SlotInstance, VarSlot
+from repro.tvp.translate import standard_translation
+
+
+class TestProgramIR:
+    def test_declare_and_redeclare(self):
+        tvp = TvpProgram("t", 0, 1)
+        tvp.declare(PredicateDecl("p", 1, abstraction=True))
+        tvp.declare(PredicateDecl("p", 1, abstraction=True))  # idempotent
+        with pytest.raises(ValueError):
+            tvp.declare(PredicateDecl("p", 2))
+
+    def test_abstraction_predicates_unary_only(self):
+        tvp = TvpProgram("t", 0, 1)
+        tvp.declare(PredicateDecl("u", 1, abstraction=True))
+        tvp.declare(PredicateDecl("b", 2, abstraction=True))
+        assert tvp.abstraction_predicates() == ["u"]
+
+    def test_action_rendering(self):
+        action = Action(
+            new_var="n",
+            updates=(Update("p", ("v",), PredAtom("q", ("v",))),),
+        )
+        text = str(action)
+        assert "new()" in text and "p(v) := q(v)" in text
+
+
+CLIENT = """
+class Node { Node next; Node() { } }
+class Main {
+  static void main() {
+    Node head = new Node();
+    Node second = new Node();
+    head.next = second;
+    Node walk = head.next;
+  }
+}
+"""
+
+
+class TestStandardTranslation:
+    def test_fig9_rules_emitted(self, cmp_specification):
+        program = parse_program(CLIENT, cmp_specification)
+        tvp = standard_translation(inline_program(program))
+        # pt per client var (incl. frame-renamed), rv for Node.next
+        assert any(n.startswith("pt[") for n in tvp.predicates)
+        assert any(n == "rv[Node.next]" for n in tvp.predicates)
+        # x = new C(): let n = new() in pt[x](v) := (v == n)
+        news = [e for e in tvp.edges if e.action.new_var is not None]
+        assert len(news) == 2
+        # x = y.f: pt[x](v) := exists o. pt[y](o) && rv[f](o, v)
+        loads = [
+            e
+            for e in tvp.edges
+            if any(
+                isinstance(u.rhs, Exists) for u in e.action.updates
+            )
+        ]
+        assert loads
+
+    def test_store_rule_has_frame_condition(self, cmp_specification):
+        program = parse_program(CLIENT, cmp_specification)
+        tvp = standard_translation(inline_program(program))
+        stores = [
+            e
+            for e in tvp.edges
+            for u in e.action.updates
+            if u.pred == "rv[Node.next]"
+        ]
+        assert stores  # pt[x](o1) ? pt[y](o2) : rv(o1,o2)
+
+
+class TestSlotInstances:
+    def test_pred_name_and_arity(self):
+        stale = SlotInstance(
+            "P0", (FieldSlot("Holder", "it", "Iterator"),)
+        )
+        assert stale.arity == 1
+        assert stale.pred_name == "P0[.Holder.it]"
+        nullary = SlotInstance("P0", (VarSlot("i", "Iterator"),))
+        assert nullary.arity == 0
+        assert nullary.pred_name == "P0[i]"
+
+    def test_atom_uses_field_positions_only(self):
+        mixed = SlotInstance(
+            "P4",
+            (
+                FieldSlot("Holder", "it", "Iterator"),
+                VarSlot("v", "Set"),
+            ),
+        )
+        atom = mixed.atom({0: "v0"})
+        assert atom.args == ("v0",)
+
+
+class TestSpecializedTranslation:
+    def test_shallow_client_gets_nullary_instances(
+        self, cmp_specification, cmp_abstraction
+    ):
+        program = parse_program(
+            """
+            class Main {
+              static void main() {
+                Set v = new Set();
+                Iterator i = v.iterator();
+                i.next();
+              }
+            }
+            """,
+            cmp_specification,
+        )
+        tvp = specialized_translation(
+            inline_program(program), cmp_abstraction
+        )
+        nullary = [
+            d for d in tvp.predicates.values() if d.arity == 0
+        ]
+        assert nullary  # the SCMP abstraction embeds as nullary preds
+        assert getattr(tvp, "initially_true_nullary")
+
+    def test_checks_attached_to_component_calls(
+        self, cmp_specification, cmp_abstraction
+    ):
+        program = parse_program(
+            """
+            class Main {
+              static void main() {
+                Set v = new Set();
+                Iterator i = v.iterator();
+                i.next();
+              }
+            }
+            """,
+            cmp_specification,
+        )
+        tvp = specialized_translation(
+            inline_program(program), cmp_abstraction
+        )
+        checks = [c for e in tvp.edges for c in e.action.checks]
+        assert len(checks) == 1
+        assert checks[0].op_key == "Iterator.next"
+
+    def test_component_store_case_split(
+        self, cmp_specification, cmp_abstraction
+    ):
+        program = parse_program(
+            """
+            class H { Iterator it; H() { } }
+            class Main {
+              static void main() {
+                Set v = new Set();
+                H h = new H();
+                h.it = v.iterator();
+              }
+            }
+            """,
+            cmp_specification,
+        )
+        tvp = specialized_translation(
+            inline_program(program), cmp_abstraction
+        )
+        # the store edge must update unary field-slot instances guarded
+        # by pt[h-like](v0)
+        field_updates = [
+            u
+            for e in tvp.edges
+            for u in e.action.updates
+            if ".H.it" in u.pred and u.vars
+        ]
+        assert field_updates

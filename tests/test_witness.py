@@ -1,0 +1,77 @@
+"""Tests for FDS alarm witness traces."""
+
+import pytest
+
+from repro.certifier.fds import FdsSolver, certify_fds
+from repro.certifier.transform import ClientTransformer
+from repro.lang import parse_program
+from repro.suite import by_name
+
+
+@pytest.fixture
+def fig3_report(cmp_specification, cmp_abstraction):
+    program = parse_program(by_name("fig3").source, cmp_specification)
+    boolprog = ClientTransformer(
+        program, cmp_abstraction
+    ).transform_method("Main.main")
+    return certify_fds(boolprog), cmp_abstraction
+
+
+class TestTraces:
+    def test_every_alarm_has_a_trace(self, fig3_report):
+        report, _ = fig3_report
+        assert report.alarms
+        for alarm in report.alarms:
+            assert alarm.trace
+
+    def test_remove_alarm_traces_through_mutx(self, fig3_report):
+        report, abstraction = fig3_report
+        names = abstraction.pretty_names()
+        mutx = next(k for k, v in names.items() if v == "mutx")
+        line10 = next(a for a in report.alarms if a.line == 10)
+        # stale[i2] came from the remove() update through mutx[i1, i2]
+        assert mutx in line10.trace
+        assert "line 9" in line10.trace  # the i1.remove() statement
+
+    def test_add_alarm_traces_through_iterof(self, fig3_report):
+        report, abstraction = fig3_report
+        names = abstraction.pretty_names()
+        iterof = next(k for k, v in names.items() if v == "iterof")
+        line13 = next(a for a in report.alarms if a.line == 13)
+        assert iterof in line13.trace
+        assert "line 12" in line13.trace  # the v.add() statement
+
+    def test_trace_roots_at_a_constant_or_initial_fact(self, fig3_report):
+        report, _ = fig3_report
+        for alarm in report.alarms:
+            assert alarm.trace.endswith(":= 1")
+
+    def test_traces_shown_in_description(self, fig3_report):
+        report, _ = fig3_report
+        assert "because:" in report.describe()
+
+    def test_provenance_acyclic(self, cmp_specification, cmp_abstraction):
+        # a loop that keeps re-invalidating must still give finite traces
+        program = parse_program(
+            """
+            class Main {
+              static void main() {
+                Set s = new Set();
+                Iterator i = s.iterator();
+                while (?) {
+                  s.add("x");
+                  if (?) { i.next(); }
+                }
+              }
+            }
+            """,
+            cmp_specification,
+        )
+        boolprog = ClientTransformer(
+            program, cmp_abstraction
+        ).transform_method("Main.main")
+        report = certify_fds(boolprog)
+        assert report.alarms
+        for alarm in report.alarms:
+            assert alarm.trace is not None
+            assert len(alarm.trace) < 2000
