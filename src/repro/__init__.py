@@ -24,25 +24,34 @@ Supporting substrates: :mod:`repro.lang` (the Jlite client language),
 
 Quickstart::
 
-    from repro import certify_source
+    from repro import CertifySession
     from repro.easl.library import cmp_spec
 
-    report = certify_source(CLIENT_SOURCE, cmp_spec())
+    session = CertifySession(cmp_spec())
+    report = session.certify(CLIENT_SOURCE)
     for alarm in report.alarms:
         print(alarm)
+
+For many clients at once — with a process pool, per-job timeouts,
+engine fallback, and per-phase tracing — see
+:mod:`repro.runtime.batch` and the ``repro batch`` CLI.
 """
 
 from repro.api import (
     CertificationReport,
+    CertifyOptions,
+    CertifySession,
     certify_program,
     certify_source,
     derive_abstraction,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CertificationReport",
+    "CertifyOptions",
+    "CertifySession",
     "certify_program",
     "certify_source",
     "derive_abstraction",

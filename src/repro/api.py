@@ -2,11 +2,23 @@
 
 The paper's workflow in three calls::
 
-    spec = cmp_spec()                       # the component author's Easl spec
-    abstraction = derive_abstraction(spec)  # certifier-generation time
-    report = certify_source(client, spec)   # certify a client
+    spec = cmp_spec()                        # the component author's Easl spec
+    session = CertifySession(spec)           # certifier-generation time
+    report = session.certify(client_source)  # certify a client
 
-:func:`certify_source` / :func:`certify_program` pick an engine:
+:class:`CertifySession` is the primary API: it owns the expensive
+per-specification state — the derived abstraction and inlining results —
+in *bounded*, stats-reporting LRU caches, so the staging amortization of
+Section 1.3 (derive once, certify many clients) is explicit rather than
+hidden in module-global state.  ``certify_many`` certifies a batch of
+clients against the same spec; the batch runtime
+(:mod:`repro.runtime.batch`) runs one session per worker job.
+
+:func:`certify_source` / :func:`certify_program` remain as the **legacy
+path**: thin wrappers that delegate to a session backed by a shared
+module-level cache.  New code should construct a session.
+
+Engines (``session.certify(...)`` or the wrappers pick one):
 
 ========================  =====================================================
 engine                    what runs
@@ -25,13 +37,14 @@ engine                    what runs
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Iterable, Iterator, List, Optional, Sequence
 
 from repro.certifier.fds import certify_fds
 from repro.certifier.interproc import InterproceduralCertifier
 from repro.certifier.relational import certify_relational
-from repro.certifier.report import Alarm, CertificationReport
+from repro.certifier.report import CertificationReport
 from repro.certifier.transform import ClientTransformer
 from repro.derivation import DerivedAbstraction, derive
 from repro.easl.spec import ComponentSpec
@@ -40,8 +53,10 @@ from repro.generic_analysis import (
     ShapeGraphDomain,
     analyze_generic,
 )
-from repro.lang.inline import inline_program
+from repro.lang.inline import InlinedProgram, inline_program
 from repro.lang.types import Program, parse_program
+from repro.runtime.cache import CacheStats, LRUCache, stable_key
+from repro.runtime.trace import Tracer, current_tracer, phase, use_tracer
 from repro.tvla.engine import TvlaEngine
 from repro.tvp.specialize import specialized_translation
 
@@ -57,23 +72,280 @@ ENGINES = (
     "shapegraph",
 )
 
-_ABSTRACTION_CACHE: Dict[tuple, DerivedAbstraction] = {}
+#: default bound for per-session (and the legacy module-level) caches
+DEFAULT_CACHE_SIZE = 64
+
+#: the legacy shared abstraction cache — bounded LRU, not a bare dict
+_ABSTRACTION_CACHE = LRUCache(DEFAULT_CACHE_SIZE, name="abstractions")
+
+
+def abstraction_cache_stats() -> CacheStats:
+    """Counters for the shared (legacy-path) abstraction cache."""
+    return _ABSTRACTION_CACHE.stats()
+
+
+def _abstraction_key(
+    spec_name: str, identity_families: bool, kwargs: dict
+) -> tuple:
+    # stable_key normalizes unhashable kwarg values (lists, dicts, ...)
+    # instead of letting the cache lookup raise TypeError.
+    return (spec_name, bool(identity_families), stable_key(kwargs))
+
+
+def _cached_abstraction(
+    cache: LRUCache,
+    spec: ComponentSpec,
+    identity_families: bool,
+    kwargs: dict,
+) -> DerivedAbstraction:
+    key = _abstraction_key(spec.name, identity_families, kwargs)
+    ran = False
+
+    def factory() -> DerivedAbstraction:
+        nonlocal ran
+        ran = True
+        return derive(spec, identity_families=identity_families, **kwargs)
+
+    # On a miss, derive() emits the authoritative "derive" event itself;
+    # on a hit, emit a near-zero "derive" event marked cached so every
+    # certification job still shows the full phase sequence.
+    with phase("derive", spec=spec.name) as meta:
+        value = cache.get_or_create(key, factory)
+        meta["cached"] = not ran
+        if ran:
+            meta["families"] = value.stats.families
+    return value
+
+
+@dataclass(frozen=True)
+class CertifyOptions:
+    """Client-side knobs shared by every engine.
+
+    ``entry``
+        entry method (default: the program's ``main``);
+    ``prune_requires``
+        assume a passing ``requires`` afterwards (the A2 ablation
+        toggles this off);
+    ``inline_depth``
+        recursion cut-off for the whole-program inliner.
+    """
+
+    entry: Optional[str] = None
+    prune_requires: bool = True
+    inline_depth: int = 12
+
+
+class CertifySession:
+    """Reusable certification context for one component specification.
+
+    A session makes spec-level reuse explicit: the derived abstraction
+    is computed once per (session, derivation-parameter) combination and
+    inlining results are memoized per source, both in bounded LRU caches
+    whose counters :meth:`cache_stats` reports.
+
+    ::
+
+        session = CertifySession(
+            cmp_spec(),
+            engine="auto",
+            options=CertifyOptions(prune_requires=True, inline_depth=12),
+        )
+        report = session.certify(source)
+        reports = session.certify_many(sources)
+
+    A ``tracer`` (see :mod:`repro.runtime.trace`) receives per-phase
+    events for every certification run through the session; by default
+    the session inherits whatever tracer is ambient.
+    """
+
+    def __init__(
+        self,
+        spec: ComponentSpec,
+        engine: str = "auto",
+        options: Optional[CertifyOptions] = None,
+        *,
+        tracer: Optional[Tracer] = None,
+        cache: Optional[LRUCache] = None,
+        cache_size: int = DEFAULT_CACHE_SIZE,
+    ) -> None:
+        if engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {engine!r}; pick one of {ENGINES}"
+            )
+        self.spec = spec
+        self.engine = engine
+        self.options = options or CertifyOptions()
+        self._tracer = tracer
+        self._abstractions = (
+            cache
+            if cache is not None
+            else LRUCache(cache_size, name=f"abstractions[{spec.name}]")
+        )
+        self._inlined = LRUCache(cache_size, name=f"inlined[{spec.name}]")
+
+    # -- traced execution ------------------------------------------------------
+
+    @contextlib.contextmanager
+    def _activated(self) -> Iterator[Tracer]:
+        """Install the session tracer; inherit the ambient one if unset."""
+        if self._tracer is None:
+            yield current_tracer()
+        else:
+            with use_tracer(self._tracer) as tracer:
+                yield tracer
+
+    # -- cached building blocks ------------------------------------------------
+
+    def abstraction(
+        self, *, identity_families: bool = False, **kwargs
+    ) -> DerivedAbstraction:
+        """The session's derived abstraction (cached per parameters)."""
+        with self._activated():
+            return _cached_abstraction(
+                self._abstractions, self.spec, identity_families, kwargs
+            )
+
+    def prewarm(self, engines: Sequence[str] = ("auto",)) -> None:
+        """Derive every abstraction flavour the given engines may need.
+
+        The batch runtime calls this in the parent before forking its
+        worker pool, so workers inherit a warm cache.
+        """
+        flavours = set()
+        for engine in engines:
+            if engine in ("auto", "interproc"):
+                flavours.add(True)
+            if engine != "interproc":
+                flavours.add(False)
+        for identity in sorted(flavours):
+            self.abstraction(identity_families=identity)
+
+    def _inline(self, program: Program, source_key=None) -> InlinedProgram:
+        options = self.options
+        if source_key is None:
+            return inline_program(
+                program, options.entry, max_depth=options.inline_depth
+            )
+        key = (source_key, options.entry, options.inline_depth)
+        return self._inlined.get_or_create(
+            key,
+            lambda: inline_program(
+                program, options.entry, max_depth=options.inline_depth
+            ),
+        )
+
+    # -- certification ---------------------------------------------------------
+
+    def certify(
+        self, source: str, engine: Optional[str] = None
+    ) -> CertificationReport:
+        """Parse a Jlite client and certify it against the session spec."""
+        with self._activated():
+            with phase("parse", spec=self.spec.name) as meta:
+                program = parse_program(source, self.spec)
+                meta["methods"] = len(program.methods)
+            return self._dispatch(program, engine, source_key=source)
+
+    def certify_many(
+        self, sources: Iterable[str], engine: Optional[str] = None
+    ) -> List[CertificationReport]:
+        """Certify several clients, reusing the session's abstraction.
+
+        For pool-parallel execution with timeouts and fallbacks, use
+        :class:`repro.runtime.batch.BatchRunner` instead.
+        """
+        return [self.certify(source, engine) for source in sources]
+
+    def certify_program(
+        self, program: Program, engine: Optional[str] = None
+    ) -> CertificationReport:
+        """Certify an already-parsed client."""
+        if program.spec is not self.spec and program.spec.name != self.spec.name:
+            raise ValueError(
+                f"program was parsed against spec {program.spec.name!r}, "
+                f"session is for {self.spec.name!r}"
+            )
+        with self._activated():
+            return self._dispatch(program, engine, source_key=None)
+
+    # -- engine dispatch -------------------------------------------------------
+
+    def _dispatch(
+        self,
+        program: Program,
+        engine: Optional[str],
+        source_key,
+    ) -> CertificationReport:
+        engine = engine or self.engine
+        if engine == "auto":
+            engine = "interproc" if program.is_shallow() else "tvla-relational"
+        if engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {engine!r}; pick one of {ENGINES}"
+            )
+        options = self.options
+
+        if engine == "interproc":
+            abstraction = self.abstraction(identity_families=True)
+            certifier = InterproceduralCertifier(
+                program, abstraction, prune_requires=options.prune_requires
+            )
+            return certifier.certify(options.entry)
+
+        inlined = self._inline(program, source_key)
+
+        if engine in ("fds", "relational"):
+            abstraction = self.abstraction()
+            boolprog = ClientTransformer(program, abstraction).transform_inlined(
+                inlined
+            )
+            if engine == "fds":
+                return certify_fds(
+                    boolprog, prune_requires=options.prune_requires
+                )
+            return certify_relational(
+                boolprog, prune_requires=options.prune_requires
+            )
+
+        if engine.startswith("tvla-"):
+            abstraction = self.abstraction()
+            tvp = specialized_translation(inlined, abstraction)
+            mode = engine.split("-", 1)[1]
+            result = TvlaEngine(
+                tvp, mode=mode, prune_requires=options.prune_requires
+            ).run()
+            return result.report
+
+        if engine == "allocsite":
+            return analyze_generic(inlined, AllocSiteDomain(), engine).report
+        if engine == "allocsite-recency":
+            return analyze_generic(
+                inlined, AllocSiteDomain(recency=True), engine
+            ).report
+        if engine == "shapegraph":
+            return analyze_generic(inlined, ShapeGraphDomain(), engine).report
+        raise AssertionError("unreachable")
+
+    # -- observability ---------------------------------------------------------
+
+    def cache_stats(self) -> List[CacheStats]:
+        return [self._abstractions.stats(), self._inlined.stats()]
+
+
+# -- the legacy path -----------------------------------------------------------
 
 
 def derive_abstraction(
     spec: ComponentSpec, *, identity_families: bool = False, **kwargs
 ) -> DerivedAbstraction:
-    """Derive (and cache) the specialized abstraction of a specification."""
-    key = (
-        spec.name,
-        identity_families,
-        tuple(sorted(kwargs.items())),
+    """Derive (and cache) the specialized abstraction of a specification.
+
+    Legacy path: uses the shared module-level LRU.  Prefer
+    :meth:`CertifySession.abstraction`.
+    """
+    return _cached_abstraction(
+        _ABSTRACTION_CACHE, spec, identity_families, kwargs
     )
-    if key not in _ABSTRACTION_CACHE:
-        _ABSTRACTION_CACHE[key] = derive(
-            spec, identity_families=identity_families, **kwargs
-        )
-    return _ABSTRACTION_CACHE[key]
 
 
 def certify_source(
@@ -82,8 +354,15 @@ def certify_source(
     engine: str = "auto",
     **kwargs,
 ) -> CertificationReport:
-    """Parse a Jlite client and certify it against ``spec``."""
-    return certify_program(parse_program(source, spec), engine, **kwargs)
+    """Parse a Jlite client and certify it against ``spec``.
+
+    Legacy path: delegates to a throwaway :class:`CertifySession` backed
+    by the shared abstraction cache.
+    """
+    session = CertifySession(
+        spec, engine, CertifyOptions(**kwargs), cache=_ABSTRACTION_CACHE
+    )
+    return session.certify(source)
 
 
 def certify_program(
@@ -94,46 +373,15 @@ def certify_program(
     prune_requires: bool = True,
     inline_depth: int = 12,
 ) -> CertificationReport:
-    """Certify a parsed client with the chosen engine."""
-    spec = program.spec
-    if engine == "auto":
-        engine = "interproc" if program.is_shallow() else "tvla-relational"
-    if engine not in ENGINES:
-        raise ValueError(f"unknown engine {engine!r}; pick one of {ENGINES}")
-
-    if engine == "interproc":
-        abstraction = derive_abstraction(spec, identity_families=True)
-        certifier = InterproceduralCertifier(
-            program, abstraction, prune_requires=prune_requires
-        )
-        return certifier.certify(entry)
-
-    inlined = inline_program(program, entry, max_depth=inline_depth)
-
-    if engine in ("fds", "relational"):
-        abstraction = derive_abstraction(spec)
-        boolprog = ClientTransformer(program, abstraction).transform_inlined(
-            inlined
-        )
-        if engine == "fds":
-            return certify_fds(boolprog, prune_requires=prune_requires)
-        return certify_relational(boolprog, prune_requires=prune_requires)
-
-    if engine.startswith("tvla-"):
-        abstraction = derive_abstraction(spec)
-        tvp = specialized_translation(inlined, abstraction)
-        mode = engine.split("-", 1)[1]
-        result = TvlaEngine(
-            tvp, mode=mode, prune_requires=prune_requires
-        ).run()
-        return result.report
-
-    if engine == "allocsite":
-        return analyze_generic(inlined, AllocSiteDomain(), engine).report
-    if engine == "allocsite-recency":
-        return analyze_generic(
-            inlined, AllocSiteDomain(recency=True), engine
-        ).report
-    if engine == "shapegraph":
-        return analyze_generic(inlined, ShapeGraphDomain(), engine).report
-    raise AssertionError("unreachable")
+    """Certify a parsed client with the chosen engine (legacy path)."""
+    session = CertifySession(
+        program.spec,
+        engine,
+        CertifyOptions(
+            entry=entry,
+            prune_requires=prune_requires,
+            inline_depth=inline_depth,
+        ),
+        cache=_ABSTRACTION_CACHE,
+    )
+    return session.certify_program(program)

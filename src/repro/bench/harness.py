@@ -20,11 +20,17 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from repro.api import certify_program
+from repro.api import CertifySession
 from repro.easl.library import cmp_spec
 from repro.easl.spec import ComponentSpec
 from repro.lang.types import Program, parse_program
-from repro.runtime import ExplorationBudget, GroundTruth, explore
+from repro.runtime import (
+    CollectingTracer,
+    ExplorationBudget,
+    GroundTruth,
+    explore,
+    use_tracer,
+)
 from repro.suite import BenchmarkProgram, all_programs
 
 #: engines applicable to shallow (SCMP) clients
@@ -57,6 +63,8 @@ class EngineRun:
     seconds: float
     alarm_lines: List[int] = field(default_factory=list)
     error: Optional[str] = None
+    #: per-phase durations (derive / inline / transform / fixpoint)
+    phases: Dict[str, float] = field(default_factory=dict)
 
     @property
     def sound(self) -> bool:
@@ -82,15 +90,29 @@ def ground_truth(
 
 
 def run_engine(
-    program: Program, truth: GroundTruth, engine: str
+    program: Program,
+    truth: GroundTruth,
+    engine: str,
+    session: Optional[CertifySession] = None,
 ) -> EngineRun:
+    """Certify ``program`` with ``engine`` and judge it against ``truth``.
+
+    Runs through the instrumented :class:`CertifySession` path, so each
+    row of the precision table also carries per-phase durations.  Pass a
+    ``session`` to amortize derivation across rows (as
+    :func:`run_precision_table` does).
+    """
+    session = session or CertifySession(program.spec)
+    tracer = CollectingTracer()
     started = time.perf_counter()
     try:
-        report = certify_program(program, engine)
+        with use_tracer(tracer):
+            report = session.certify_program(program, engine=engine)
     except Exception as error:  # budget blowups etc. count as failures
         return EngineRun(
             engine, 0, 0, 0, time.perf_counter() - started,
             error=f"{type(error).__name__}: {error}",
+            phases=tracer.totals(),
         )
     elapsed = time.perf_counter() - started
     summary = truth.compare(report.alarm_sites())
@@ -101,6 +123,7 @@ def run_engine(
         missed=summary.missed_errors,
         seconds=elapsed,
         alarm_lines=sorted(report.alarm_lines()),
+        phases=tracer.totals(),
     )
 
 
@@ -110,8 +133,14 @@ def run_precision_table(
     programs: Optional[Sequence[BenchmarkProgram]] = None,
     budget: Optional[ExplorationBudget] = None,
 ) -> List[ProgramResult]:
-    """Run the full E1/E2 experiment (or a filtered slice of it)."""
+    """Run the full E1/E2 experiment (or a filtered slice of it).
+
+    One :class:`CertifySession` serves the whole table, so the derived
+    abstraction is computed once and every engine row reuses it — the
+    same amortization the batch runtime applies across worker jobs.
+    """
     spec = spec or cmp_spec()
+    session = CertifySession(spec)
     results: List[ProgramResult] = []
     for bench in programs if programs is not None else all_programs():
         program = parse_program(bench.source, spec)
@@ -127,9 +156,45 @@ def run_precision_table(
         for engine in applicable:
             if not bench.shallow and engine not in HEAP_ENGINES:
                 continue
-            result.runs[engine] = run_engine(program, truth, engine)
+            result.runs[engine] = run_engine(
+                program, truth, engine, session=session
+            )
         results.append(result)
     return results
+
+
+def format_phase_table(results: List[ProgramResult]) -> str:
+    """Render summed per-phase seconds per engine (the E2 time view).
+
+    The rows come from the trace events collected by :func:`run_engine`,
+    so this is the same data the batch runtime exports as JSONL.
+    """
+    engines: List[str] = []
+    for result in results:
+        for engine in result.runs:
+            if engine not in engines:
+                engines.append(engine)
+    phases: List[str] = []
+    totals: Dict[str, Dict[str, float]] = {e: {} for e in engines}
+    for result in results:
+        for engine, run in result.runs.items():
+            for phase_name, seconds in run.phases.items():
+                if phase_name not in phases:
+                    phases.append(phase_name)
+                bucket = totals[engine]
+                bucket[phase_name] = bucket.get(phase_name, 0.0) + seconds
+    header = f"{'engine':>20s}"
+    for phase_name in phases:
+        header += f" | {phase_name:>10s}"
+    lines = [header, "-" * len(header)]
+    for engine in engines:
+        row = f"{engine:>20s}"
+        for phase_name in phases:
+            seconds = totals[engine].get(phase_name)
+            cell = f"{seconds:.3f}s" if seconds is not None else "—"
+            row += f" | {cell:>10s}"
+        lines.append(row)
+    return "\n".join(lines)
 
 
 def format_table(results: List[ProgramResult]) -> str:

@@ -31,6 +31,7 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from repro.certifier.boolprog import BoolEdge, BoolProgram, Check
 from repro.certifier.report import Alarm, CertificationReport
+from repro.runtime.trace import phase as trace_phase
 
 
 @dataclass
@@ -78,7 +79,10 @@ class FdsSolver:
             one = may_one.get(node, 0)
             zero = may_zero.get(node, 0)
             for edge in program.out_edges(node):
-                new_one, new_zero = self._transfer(edge, one, zero)
+                transferred = self._transfer(edge, one, zero)
+                if transferred is None:
+                    continue  # definite failure: the edge kills all executions
+                new_one, new_zero = transferred
                 old_one = may_one.get(edge.dst, 0)
                 old_zero = may_zero.get(edge.dst, 0)
                 merged_one = old_one | new_one
@@ -138,9 +142,16 @@ class FdsSolver:
 
     def _transfer(
         self, edge: BoolEdge, one: int, zero: int
-    ) -> Tuple[int, int]:
+    ) -> Optional[Tuple[int, int]]:
         if self.prune_requires:
             for check in edge.checks:
+                if not zero >> check.var & 1:
+                    # the checked predicate is 1 on every execution
+                    # reaching this edge: the component definitely
+                    # throws, so no execution survives the operation
+                    # (mirrors the relational solver dropping every
+                    # failing valuation)
+                    return None
                 one &= ~(1 << check.var)
                 zero |= 1 << check.var
         new_one, new_zero = one, zero
@@ -211,7 +222,11 @@ def certify_fds(
     program: BoolProgram, *, prune_requires: bool = True
 ) -> CertificationReport:
     """Convenience wrapper returning a report for one boolean program."""
-    result = FdsSolver(prune_requires=prune_requires).solve(program)
+    with trace_phase("fixpoint", engine="fds") as trace_meta:
+        result = FdsSolver(prune_requires=prune_requires).solve(program)
+        trace_meta.update(
+            iterations=result.iterations, variables=program.num_vars
+        )
     return CertificationReport(
         subject=program.name,
         engine="fds",

@@ -56,6 +56,7 @@ from repro.lang.cfg import CFG, SCallClient, SCopy, SReturn
 from repro.lang.types import MethodInfo, Program
 from repro.logic.formula import And, EqAtom, Not
 from repro.logic.terms import Base, Field
+from repro.runtime.trace import phase as trace_phase
 
 GHOST_SUFFIX = "##in"
 PHANTOM_SUFFIX = "##ph"
@@ -729,12 +730,22 @@ class InterproceduralCertifier:
     # -- the tabulation ---------------------------------------------------------------------
 
     def certify(self, entry: Optional[str] = None) -> CertificationReport:
+        with trace_phase("fixpoint", engine="interproc") as trace_meta:
+            report = self._certify(entry)
+            trace_meta.update(
+                contexts=self.stats["contexts"],
+                edge_visits=self.stats["edge_visits"],
+            )
+        return report
+
+    def _certify(self, entry: Optional[str] = None) -> CertificationReport:
         entry_method = (
             self.program.method(entry) if entry else self.program.entry
         )
         entry_space = self.space(entry_method.qualified)
         memo: Dict[Tuple[str, int], Optional[int]] = {}
         node_states: Dict[Tuple[str, int], Dict[int, int]] = {}
+        node_zeros: Dict[Tuple[str, int], Dict[int, int]] = {}
         dependents: Dict[Tuple[str, int], Set[Tuple[str, int]]] = {}
         worklist: deque = deque()
         queued: Set[Tuple[str, int]] = set()
@@ -749,12 +760,21 @@ class InterproceduralCertifier:
                 worklist.append(key)
 
         root = (entry_method.qualified, entry_space.default_mask)
+        # the root context starts from the one concrete initial valuation,
+        # so its may-0 complement is exact; callee contexts fall back to
+        # the conservative "everything may be 0" default (no definite
+        # claims cross a call boundary)
+        all_vars = (1 << entry_space.boolprog.num_vars) - 1
+        node_zeros[root] = {
+            entry_space.boolprog.entry: all_vars & ~entry_space.default_mask
+        }
         schedule(root)
         while worklist:
             key = worklist.popleft()
             queued.discard(key)
             if self._analyze_context(
-                key, memo, node_states, dependents, schedule, alarms
+                key, memo, node_states, node_zeros, dependents, schedule,
+                alarms,
             ):
                 for dependent in dependents.get(key, ()):
                     schedule(dependent)
@@ -769,13 +789,17 @@ class InterproceduralCertifier:
         )
 
     def _analyze_context(
-        self, key, memo, node_states, dependents, schedule, alarms
+        self, key, memo, node_states, node_zeros, dependents, schedule,
+        alarms,
     ) -> bool:
         qualified, entry_vector = key
         space = self.space(qualified)
         boolprog = space.boolprog
+        all_vars = (1 << boolprog.num_vars) - 1
         states = node_states.setdefault(key, {})
         states[boolprog.entry] = states.get(boolprog.entry, 0) | entry_vector
+        zeros = node_zeros.setdefault(key, {})
+        zeros.setdefault(boolprog.entry, all_vars)
         calls = {
             (src, dst): stm for src, dst, stm in space.call_edges
         }
@@ -791,6 +815,7 @@ class InterproceduralCertifier:
             node = local_work.popleft()
             local_queued.discard(node)
             mask = states.get(node, 0)
+            zmask = zeros.get(node, all_vars)
             for edge in boolprog.out_edges(node):
                 self.stats["edge_visits"] += 1
                 call_stm = calls.get((edge.src, edge.dst))
@@ -801,8 +826,11 @@ class InterproceduralCertifier:
                     )
                     if out is None:
                         continue  # callee summary not yet available
+                    zout = all_vars  # callee effects: nothing stays definite
                 else:
                     out = mask
+                    zout = zmask
+                    killed = False
                     for check in edge.checks:
                         if out >> check.var & 1:
                             alarm_key = (
@@ -817,21 +845,41 @@ class InterproceduralCertifier:
                                 context=qualified,
                             )
                         if self.prune_requires:
+                            if not zout >> check.var & 1:
+                                # the checked predicate is definitely 1:
+                                # every execution throws here, so nothing
+                                # flows past this edge (mirrors the FDS
+                                # and relational solvers)
+                                killed = True
                             out &= ~(1 << check.var)
+                            zout |= 1 << check.var
+                    if killed:
+                        continue
                     updated = out
+                    zupdated = zout
                     for assign in edge.assigns:
                         bit = 1 << assign.target
                         value = assign.const_true or any(
                             out >> s & 1 for s in assign.sources
                         )
+                        zvalue = not assign.const_true and all(
+                            zout >> s & 1 for s in assign.sources
+                        )
                         updated = (
                             updated | bit if value else updated & ~bit
                         )
+                        zupdated = (
+                            zupdated | bit if zvalue else zupdated & ~bit
+                        )
                     out = updated
+                    zout = zupdated
                 old = states.get(edge.dst, 0)
+                old_zero = zeros.get(edge.dst, 0)
                 merged = old | out
-                if merged != old:
+                merged_zero = old_zero | zout
+                if merged != old or merged_zero != old_zero:
                     states[edge.dst] = merged
+                    zeros[edge.dst] = merged_zero
                     if edge.dst not in local_queued:
                         local_queued.add(edge.dst)
                         local_work.append(edge.dst)

@@ -22,6 +22,7 @@ from typing import Dict, FrozenSet, List, Set, Tuple
 
 from repro.certifier.boolprog import BoolEdge, BoolProgram
 from repro.certifier.report import Alarm, CertificationReport
+from repro.runtime.trace import phase as trace_phase
 
 
 class StateExplosion(Exception):
@@ -150,7 +151,11 @@ def certify_relational(
     program: BoolProgram, **kwargs
 ) -> CertificationReport:
     solver = RelationalSolver(**kwargs)
-    result = solver.solve(program)
+    with trace_phase("fixpoint", engine="relational") as trace_meta:
+        result = solver.solve(program)
+        trace_meta.update(
+            max_states=result.max_states, variables=program.num_vars
+        )
     return CertificationReport(
         subject=program.name,
         engine="relational",

@@ -46,6 +46,7 @@ from repro.lang.cfg import (
 )
 from repro.lang.types import MethodInfo, Program
 from repro.logic.formula import TRUE
+from repro.runtime.trace import phase as trace_phase
 from repro.logic.terms import Base
 
 
@@ -167,7 +168,14 @@ class ClientTransformer:
     def transform_inlined(self, inlined) -> BoolProgram:
         """Transform a whole-program inlined CFG (the Section 8
         inlining reference for recursion-free clients)."""
-        return self.transform_cfg(inlined.cfg, inlined.component_vars())
+        with trace_phase("transform", target="boolprog") as trace_meta:
+            boolprog = self.transform_cfg(
+                inlined.cfg, inlined.component_vars()
+            )
+            trace_meta.update(
+                variables=boolprog.num_vars, edges=len(boolprog.edges)
+            )
+        return boolprog
 
     def transform_cfg(
         self, cfg: CFG, variables: Dict[str, str]

@@ -1,21 +1,32 @@
-"""Command-line interface: ``repro-certify``.
+"""Command-line interface: ``repro`` / ``repro-certify``.
 
-Examples::
+Single-client certification (the legacy surface)::
 
     repro-certify client.jl                      # CMP, auto engine
     repro-certify client.jl --engine fds
     repro-certify client.jl --spec grp --engine interproc
     repro-certify --show-abstraction --spec cmp  # print Figs. 4+5
     repro-certify client.jl --ground-truth       # compare vs interpreter
+
+Batch certification on a process pool (see :mod:`repro.runtime.batch`)::
+
+    repro batch manifest.json --jobs 4 --timeout 30 --trace out.jsonl
+    repro batch manifest.json --jobs 4 --fallback fds --json summary.json
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
-from repro.api import ENGINES, certify_source, derive_abstraction
+from repro.api import (
+    ENGINES,
+    CertifyOptions,
+    CertifySession,
+    derive_abstraction,
+)
 from repro.easl.library import ALL_SPECS
 from repro.lang.types import parse_program
 from repro.runtime import explore
@@ -60,7 +71,97 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_batch_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro batch",
+        description=(
+            "Run a manifest of (client, spec, engine) certification jobs "
+            "on a process pool with per-job timeouts, engine fallback and "
+            "per-phase JSONL tracing."
+        ),
+    )
+    parser.add_argument("manifest", help="path to the JSON job manifest")
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes (1 = run in-process, no pool)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="default per-job wall-clock budget for jobs without one",
+    )
+    parser.add_argument(
+        "--fallback",
+        default=None,
+        choices=ENGINES,
+        help="default fallback engine for jobs without one",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="retries per job after transient worker death",
+    )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="write per-phase trace events as JSONL",
+    )
+    parser.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="write the aggregated batch summary as JSON ('-' for stdout)",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress the summary table"
+    )
+    return parser
+
+
+def batch_main(argv: Optional[List[str]] = None) -> int:
+    from repro.runtime.batch import BatchRunner, ManifestError, load_manifest
+
+    args = build_batch_parser().parse_args(argv)
+    try:
+        jobs = load_manifest(args.manifest)
+    except (OSError, json.JSONDecodeError, ManifestError) as error:
+        print(f"error: bad manifest: {error}", file=sys.stderr)
+        return 2
+    runner = BatchRunner(
+        jobs,
+        max_workers=args.jobs,
+        default_timeout=args.timeout,
+        default_fallback=args.fallback,
+        max_retries=args.retries,
+    )
+    result = runner.run()
+    if args.trace:
+        result.write_trace(args.trace)
+    if args.json == "-":
+        print(json.dumps(result.to_json(), indent=2))
+    elif args.json:
+        with open(args.json, "w") as handle:
+            json.dump(result.to_json(), handle, indent=2)
+    if not args.quiet:
+        print(result.format_summary())
+        if args.trace:
+            print(f"trace: {args.trace}")
+    return 0 if result.ok else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "batch":
+        return batch_main(argv[1:])
+
     args = build_parser().parse_args(argv)
     spec = ALL_SPECS[args.spec.upper()]()
 
@@ -82,9 +183,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     with open(args.client) as handle:
         source = handle.read()
 
-    report = certify_source(
-        source, spec, args.engine, prune_requires=not args.no_prune
+    session = CertifySession(
+        spec,
+        args.engine,
+        CertifyOptions(prune_requires=not args.no_prune),
     )
+    report = session.certify(source)
     print(report.describe())
 
     if args.ground_truth:

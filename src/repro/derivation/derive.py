@@ -55,6 +55,7 @@ from repro.logic.formula import (
 )
 from repro.logic.normal import absorb, to_dnf
 from repro.logic.terms import Base, Field, Term, root
+from repro.runtime.trace import phase as trace_phase
 
 
 @dataclass
@@ -421,19 +422,30 @@ def derive(
     """
     if decision not in ("semantic", "syntactic"):
         raise ValueError(f"unknown decision procedure {decision!r}")
-    started = time.perf_counter()
-    deriver = _Deriver(spec, decision, minimize, split_disjuncts, max_families)
-    deriver.seed()
-    if identity_families:
-        from repro.logic.formula import eq as make_eq
+    with trace_phase(
+        "derive", spec=spec.name, identity_families=identity_families
+    ) as trace_meta:
+        started = time.perf_counter()
+        deriver = _Deriver(
+            spec, decision, minimize, split_disjuncts, max_families
+        )
+        deriver.seed()
+        if identity_families:
+            from repro.logic.formula import eq as make_eq
 
-        for class_name in spec.classes:
-            lhs = Base("x0", class_name)
-            rhs = Base("x1", class_name)
-            deriver.match_or_create(make_eq(lhs, rhs))
-    deriver.close()
-    deriver.stats.families = len(deriver.families)
-    deriver.stats.elapsed_seconds = time.perf_counter() - started
+            for class_name in spec.classes:
+                lhs = Base("x0", class_name)
+                rhs = Base("x1", class_name)
+                deriver.match_or_create(make_eq(lhs, rhs))
+        deriver.close()
+        deriver.stats.families = len(deriver.families)
+        deriver.stats.elapsed_seconds = time.perf_counter() - started
+        trace_meta.update(
+            families=deriver.stats.families,
+            iterations=deriver.stats.iterations,
+            wp_calls=deriver.stats.wp_calls,
+            equivalence_checks=deriver.stats.equivalence_checks,
+        )
     return DerivedAbstraction(
         spec, deriver.families, deriver.operations, deriver.stats
     )

@@ -44,6 +44,7 @@ from repro.lang.cfg import (
 from repro.lang.inline import InlinedProgram
 from repro.logic.formula import And, EqAtom, Formula, Not, Or, Truth
 from repro.logic.terms import Base, Field, Fresh, Term
+from repro.runtime.trace import phase as trace_phase
 
 
 class HeapDomain(ABC):
@@ -321,6 +322,18 @@ def analyze_generic(
     max_iterations: int = 200_000,
 ) -> GenericResult:
     """Run a generic heap analysis over the composite program."""
+    with trace_phase("fixpoint", engine=engine_name) as trace_meta:
+        result = _analyze_generic(inlined, domain, engine_name, max_iterations)
+        trace_meta["iterations"] = result.iterations
+    return result
+
+
+def _analyze_generic(
+    inlined: InlinedProgram,
+    domain: HeapDomain,
+    engine_name: str,
+    max_iterations: int,
+) -> GenericResult:
     spec = inlined.program.spec
     runner = _SpecRunner(spec, domain)
     cfg = inlined.cfg

@@ -38,6 +38,7 @@ from repro.lang.cfg import (
     SStore,
 )
 from repro.lang.types import MethodInfo, Program
+from repro.runtime.trace import phase as trace_phase
 
 
 @dataclass
@@ -77,13 +78,19 @@ def inline_program(
 ) -> InlinedProgram:
     """Inline every client call reachable from the entry method."""
     entry_method = program.method(entry) if entry else program.entry
-    inliner = _Inliner(program, max_depth)
-    cfg = CFG(f"{entry_method.qualified}<inlined>")
-    final = inliner.splice(
-        entry_method, cfg, cfg.entry, prefix="f0$", depth=0,
-        arg_map={},
-    )
-    cfg.add_edge(final, cfg.exit, SReturn(None))
+    with trace_phase("inline", entry=entry_method.qualified) as trace_meta:
+        inliner = _Inliner(program, max_depth)
+        cfg = CFG(f"{entry_method.qualified}<inlined>")
+        final = inliner.splice(
+            entry_method, cfg, cfg.entry, prefix="f0$", depth=0,
+            arg_map={},
+        )
+        cfg.add_edge(final, cfg.exit, SReturn(None))
+        trace_meta.update(
+            edges=len(cfg.edges),
+            variables=len(inliner.variables),
+            cut_calls=inliner.cut_calls,
+        )
     return InlinedProgram(
         cfg, inliner.variables, program, inliner.cut_calls
     )

@@ -1,6 +1,7 @@
-"""Concrete execution: the ground truth for precision measurements.
+"""Execution services: concrete semantics, observability, batch runtime.
 
-The paper evaluates its certifiers by counting *false alarms* — reported
+Concrete execution — the ground truth for precision measurements.  The
+paper evaluates its certifiers by counting *false alarms* — reported
 violations that cannot actually occur.  This package provides the
 reference semantics against which alarms are judged:
 
@@ -17,15 +18,67 @@ reference semantics against which alarms are judged:
   and "missed error" are well-defined: an alarm is false iff no explored
   execution fails at that site, and soundness requires every failing site
   to be alarmed.
+
+Production services for running certification at scale:
+
+* :mod:`repro.runtime.trace` — per-phase trace events (parse / derive /
+  inline / transform / fixpoint) behind a no-op-by-default tracer;
+* :mod:`repro.runtime.cache` — bounded, stats-reporting LRU memoization
+  plus defensive cache-key normalization;
+* :mod:`repro.runtime.batch` — the batch-certification runtime: a
+  manifest of (client, spec, engine) jobs executed on a process pool
+  with per-job timeouts, engine fallback, and crash retry.  (Imported
+  lazily: it depends on :mod:`repro.api`, which itself uses this
+  package's tracing.)
 """
 
+from repro.runtime.cache import CacheStats, LRUCache, stable_key
 from repro.runtime.interp import ExplorationBudget, GroundTruth, explore
 from repro.runtime.jcf import ComponentHeap, ConformanceViolation
+from repro.runtime.trace import (
+    NULL_TRACER,
+    CollectingTracer,
+    JsonlTracer,
+    TraceEvent,
+    Tracer,
+    current_tracer,
+    phase,
+    use_tracer,
+)
+
+_BATCH_EXPORTS = (
+    "BatchResult",
+    "BatchRunner",
+    "JobResult",
+    "JobSpec",
+    "JobTimedOut",
+    "load_manifest",
+)
 
 __all__ = [
+    "CacheStats",
+    "CollectingTracer",
     "ComponentHeap",
     "ConformanceViolation",
     "ExplorationBudget",
     "GroundTruth",
+    "JsonlTracer",
+    "LRUCache",
+    "NULL_TRACER",
+    "TraceEvent",
+    "Tracer",
+    "current_tracer",
     "explore",
+    "phase",
+    "stable_key",
+    "use_tracer",
+    *_BATCH_EXPORTS,
 ]
+
+
+def __getattr__(name: str):
+    if name in _BATCH_EXPORTS:
+        from repro.runtime import batch
+
+        return getattr(batch, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

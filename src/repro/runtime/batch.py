@@ -1,0 +1,742 @@
+"""The batch-certification runtime.
+
+Certification is an amortized workload: one specification, many clients
+(the staging argument of Section 1.3; the certificate-enhanced-analysis
+lineage makes the same point for proof-carrying code).  This module runs
+a *manifest* of (client, spec, engine) jobs on a
+:mod:`concurrent.futures` process pool:
+
+* **timeouts & fallback** — every job gets a wall-clock budget, enforced
+  inside the worker with a POSIX interval timer; a job that blows its
+  budget is re-run on its configured fallback engine (e.g. a
+  ``tvla-relational`` job falls back to ``fds``) and marked
+  ``fallback`` rather than failing the batch;
+* **crash retry** — a worker that dies (OOM-killed, segfault) breaks the
+  pool; affected jobs are retried with exponential backoff on a fresh
+  pool, up to a per-job retry budget, and exhausted jobs degrade to
+  error results instead of poisoning the rest of the batch;
+* **deterministic results** — results come back in manifest order no
+  matter the completion order;
+* **shared caching** — the parent derives every abstraction the manifest
+  needs *once* into the bounded LRU of :mod:`repro.api` before the pool
+  starts; forked workers inherit the warm cache for free, spawned ones
+  receive a pickled copy via the pool initializer;
+* **observability** — workers certify under a
+  :class:`~repro.runtime.trace.CollectingTracer`; the per-phase events
+  travel back with each result, and :meth:`BatchResult.write_trace`
+  emits them as JSONL together with one summary record per job.
+
+Manifest format (JSON)::
+
+    {
+      "spec": "cmp",                      // batch-wide default spec
+      "defaults": {"engine": "auto", "timeout": 30, "fallback": "fds"},
+      "jobs": [
+        {"name": "fig3", "suite": "fig3", "engine": "fds"},
+        {"client": "clients/cart.jl", "engine": "tvla-relational",
+         "timeout": 5, "fallback": "tvla-independent"},
+        {"name": "inline", "source": "class Main { ... }",
+         "spec": "grp", "options": {"prune_requires": false}}
+      ]
+    }
+
+Each job names its client one of three ways: ``suite`` (a program from
+:mod:`repro.suite`), ``client`` (a path, relative to the manifest), or
+``source`` (inline Jlite text).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import signal
+import threading
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from contextlib import contextmanager
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import multiprocessing
+
+from repro.certifier.report import CertificationReport
+from repro.runtime.cache import CacheStats
+from repro.runtime.trace import (
+    CollectingTracer,
+    JsonlTracer,
+    TraceEvent,
+    use_tracer,
+)
+
+#: retries allowed per job for transient worker death
+DEFAULT_MAX_RETRIES = 2
+#: base of the exponential retry backoff, seconds
+DEFAULT_RETRY_BACKOFF = 0.25
+
+
+class JobTimedOut(Exception):
+    """Raised inside a worker when a job exceeds its wall-clock budget."""
+
+
+class ManifestError(ValueError):
+    """The manifest is malformed."""
+
+
+# -- job descriptions ----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One certification job: a client, a spec, an engine, budgets."""
+
+    name: str
+    spec: str  # library spec name (``repro.easl.library.ALL_SPECS``)
+    source: str  # Jlite client text
+    engine: str = "auto"
+    timeout: Optional[float] = None  # seconds; None = unlimited
+    fallback: Optional[str] = None  # engine to retry with after a timeout
+    fallback_timeout: Optional[float] = None  # None = unlimited fallback
+    options: "CertifyOptions" = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.options is None:
+            from repro.api import CertifyOptions
+
+            object.__setattr__(self, "options", CertifyOptions())
+
+
+@dataclass(frozen=True)
+class _WorkItem:
+    """One attempt at a job, as shipped to a worker."""
+
+    index: int
+    job: JobSpec
+    engine: str
+    timeout: Optional[float]
+    is_fallback: bool = False
+    attempt: int = 0
+
+
+@dataclass
+class _JobOutcome:
+    """What a worker reports back for one attempt."""
+
+    status: str  # "ok" | "timeout" | "error"
+    engine: str
+    certified: Optional[bool] = None
+    alarms: int = 0
+    alarm_lines: List[int] = field(default_factory=list)
+    seconds: float = 0.0
+    error: Optional[str] = None
+    events: List[TraceEvent] = field(default_factory=list)
+    pid: int = 0
+
+
+@dataclass
+class JobResult:
+    """The final, post-fallback/post-retry verdict for one job."""
+
+    job: JobSpec
+    status: str  # "ok" | "fallback" | "timeout" | "error"
+    engine_used: str
+    fallback: bool = False
+    retries: int = 0
+    certified: Optional[bool] = None
+    alarms: int = 0
+    alarm_lines: List[int] = field(default_factory=list)
+    seconds: float = 0.0  # summed over every attempt
+    error: Optional[str] = None
+    events: List[TraceEvent] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.status in ("ok", "fallback")
+
+    def phase_seconds(self) -> Dict[str, float]:
+        totals: Dict[str, float] = {}
+        for event in self.events:
+            totals[event.phase] = totals.get(event.phase, 0.0) + event.seconds
+        return totals
+
+    def summary_record(self) -> Dict[str, object]:
+        return {
+            "phase": "job",
+            "job": self.job.name,
+            "seconds": round(self.seconds, 6),
+            "ts": 0.0,
+            "meta": {
+                "status": self.status,
+                "engine": self.job.engine,
+                "engine_used": self.engine_used,
+                "fallback": self.fallback,
+                "retries": self.retries,
+                "certified": self.certified,
+                "alarms": self.alarms,
+                "error": self.error,
+            },
+        }
+
+
+@dataclass
+class BatchResult:
+    """Results for the whole manifest, in manifest order."""
+
+    results: List[JobResult]
+    seconds: float
+    jobs: int  # pool size used
+    prewarm_events: List[TraceEvent] = field(default_factory=list)
+    cache: Optional[CacheStats] = None
+
+    @property
+    def ok(self) -> bool:
+        return all(result.ok for result in self.results)
+
+    def write_trace(self, path: str) -> None:
+        """JSONL: every phase event, then one summary record per job."""
+        with open(path, "w") as handle:
+            tracer = JsonlTracer(handle)
+            for event in self.prewarm_events:
+                tracer.emit(event)
+            for result in self.results:
+                for event in result.events:
+                    tracer.emit(event)
+                handle.write(
+                    json.dumps(result.summary_record(), sort_keys=True) + "\n"
+                )
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "seconds": round(self.seconds, 4),
+            "jobs": self.jobs,
+            "ok": self.ok,
+            "cache": self.cache.to_json() if self.cache else None,
+            "results": [
+                {
+                    "name": r.job.name,
+                    "spec": r.job.spec,
+                    "engine": r.job.engine,
+                    "engine_used": r.engine_used,
+                    "status": r.status,
+                    "fallback": r.fallback,
+                    "retries": r.retries,
+                    "certified": r.certified,
+                    "alarms": r.alarms,
+                    "alarm_lines": r.alarm_lines,
+                    "seconds": round(r.seconds, 4),
+                    "error": r.error,
+                    "phases": {
+                        k: round(v, 4)
+                        for k, v in sorted(r.phase_seconds().items())
+                    },
+                }
+                for r in self.results
+            ],
+        }
+
+    def format_summary(self) -> str:
+        """The aggregated batch table (rendered by ``repro batch``)."""
+        header = (
+            f"{'job':24s} {'engine':28s} {'status':9s} "
+            f"{'verdict':14s} {'time':>8s} {'fixpoint':>9s}"
+        )
+        lines = [header, "-" * len(header)]
+        for r in self.results:
+            engine = r.job.engine
+            if r.fallback:
+                engine = f"{engine}->{r.engine_used}"
+            if r.certified is None:
+                verdict = "—"
+            elif r.certified:
+                verdict = "CERTIFIED"
+            else:
+                verdict = f"{r.alarms} alarm(s)"
+            fixpoint = r.phase_seconds().get("fixpoint")
+            lines.append(
+                f"{r.job.name:24s} {engine:28s} {r.status:9s} "
+                f"{verdict:14s} {r.seconds:>7.2f}s "
+                f"{(f'{fixpoint:.2f}s' if fixpoint is not None else '—'):>9s}"
+            )
+        lines.append("-" * len(header))
+        good = sum(1 for r in self.results if r.ok)
+        lines.append(
+            f"{good}/{len(self.results)} jobs ok in {self.seconds:.2f}s "
+            f"on {self.jobs} worker(s)"
+        )
+        if self.cache is not None:
+            lines.append(f"[{self.cache}]")
+        return "\n".join(lines)
+
+
+# -- manifest loading ----------------------------------------------------------
+
+_JOB_KEYS = {
+    "name",
+    "suite",
+    "client",
+    "source",
+    "spec",
+    "engine",
+    "timeout",
+    "fallback",
+    "fallback_timeout",
+    "options",
+}
+_OPTION_KEYS = {"entry", "prune_requires", "inline_depth"}
+
+
+def load_manifest(path: str) -> List[JobSpec]:
+    """Parse a manifest file into job specs (see the module docstring)."""
+    with open(path) as handle:
+        data = json.load(handle)
+    base_dir = os.path.dirname(os.path.abspath(path))
+    return parse_manifest(data, base_dir=base_dir)
+
+
+def parse_manifest(data: object, base_dir: str = ".") -> List[JobSpec]:
+    from repro.api import ENGINES, CertifyOptions
+    from repro.easl.library import ALL_SPECS
+
+    if isinstance(data, list):
+        data = {"jobs": data}
+    if not isinstance(data, dict) or not isinstance(data.get("jobs"), list):
+        raise ManifestError("manifest must be a JSON object with a 'jobs' list")
+    defaults = data.get("defaults", {})
+    if not isinstance(defaults, dict):
+        raise ManifestError("'defaults' must be an object")
+    batch_spec = data.get("spec", defaults.get("spec", "cmp"))
+
+    jobs: List[JobSpec] = []
+    names: Dict[str, int] = {}
+    for index, entry in enumerate(data["jobs"]):
+        if not isinstance(entry, dict):
+            raise ManifestError(f"job #{index} is not an object")
+        unknown = set(entry) - _JOB_KEYS
+        if unknown:
+            raise ManifestError(
+                f"job #{index} has unknown key(s): {sorted(unknown)}"
+            )
+        merged = {**defaults, **entry}
+        source, default_name = _resolve_source(merged, index, base_dir)
+
+        spec_name = str(merged.get("spec", batch_spec)).lower()
+        if spec_name.upper() not in ALL_SPECS:
+            raise ManifestError(
+                f"job #{index}: unknown spec {spec_name!r}; "
+                f"available: {sorted(n.lower() for n in ALL_SPECS)}"
+            )
+        engine = str(merged.get("engine", "auto"))
+        fallback = merged.get("fallback")
+        for candidate in (engine, fallback):
+            if candidate is not None and candidate not in ENGINES:
+                raise ManifestError(
+                    f"job #{index}: unknown engine {candidate!r}"
+                )
+
+        option_values = merged.get("options", {})
+        if not isinstance(option_values, dict):
+            raise ManifestError(f"job #{index}: 'options' must be an object")
+        unknown = set(option_values) - _OPTION_KEYS
+        if unknown:
+            raise ManifestError(
+                f"job #{index} has unknown option(s): {sorted(unknown)}"
+            )
+
+        name = str(merged.get("name", default_name))
+        if name in names:
+            names[name] += 1
+            name = f"{name}#{names[name]}"
+        names.setdefault(name, 1)
+
+        timeout = merged.get("timeout")
+        fallback_timeout = merged.get("fallback_timeout")
+        jobs.append(
+            JobSpec(
+                name=name,
+                spec=spec_name,
+                source=source,
+                engine=engine,
+                timeout=float(timeout) if timeout is not None else None,
+                fallback=fallback,
+                fallback_timeout=(
+                    float(fallback_timeout)
+                    if fallback_timeout is not None
+                    else None
+                ),
+                options=CertifyOptions(**option_values),
+            )
+        )
+    if not jobs:
+        raise ManifestError("manifest has no jobs")
+    return jobs
+
+
+def _resolve_source(
+    entry: Dict[str, object], index: int, base_dir: str
+) -> Tuple[str, str]:
+    given = [key for key in ("suite", "client", "source") if key in entry]
+    if len(given) != 1:
+        raise ManifestError(
+            f"job #{index} must name its client with exactly one of "
+            f"'suite', 'client' or 'source' (got {given or 'none'})"
+        )
+    if "suite" in entry:
+        from repro.suite import by_name
+
+        bench = by_name(str(entry["suite"]))
+        return bench.source, bench.name
+    if "client" in entry:
+        path = os.path.join(base_dir, str(entry["client"]))
+        with open(path) as handle:
+            return handle.read(), os.path.basename(path)
+    return str(entry["source"]), f"job-{index}"
+
+
+# -- worker side ---------------------------------------------------------------
+
+
+@contextmanager
+def _deadline(seconds: Optional[float]) -> Iterator[None]:
+    """Enforce a wall-clock budget with SIGALRM (POSIX main thread only).
+
+    On platforms without ``SIGALRM`` — or off the main thread — the
+    budget is not enforced; the parent still observes elapsed time in
+    the job result.
+    """
+    usable = (
+        seconds is not None
+        and seconds > 0
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not usable:
+        yield
+        return
+
+    def on_alarm(signum, frame):
+        raise JobTimedOut(f"job exceeded {seconds}s wall-clock budget")
+
+    previous = signal.signal(signal.SIGALRM, on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, float(seconds))
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _init_worker(warm_blob: Optional[bytes]) -> None:
+    """Pool initializer: install pre-derived abstractions (spawn path).
+
+    With a forked pool the worker already inherits the parent's warm
+    cache and ``warm_blob`` is ``None``.
+    """
+    if not warm_blob:
+        return
+    from repro import api
+
+    for key, abstraction in pickle.loads(warm_blob):
+        api._ABSTRACTION_CACHE.put(key, abstraction)
+
+
+def _execute_certification(item: _WorkItem) -> CertificationReport:
+    """Run one certification attempt (kept separate for fault injection
+    in tests — crash/hang simulations monkeypatch this symbol)."""
+    from repro import api
+    from repro.api import CertifySession
+    from repro.easl.library import ALL_SPECS
+
+    spec = ALL_SPECS[item.job.spec.upper()]()
+    session = CertifySession(
+        spec,
+        item.engine,
+        item.job.options,
+        cache=api._ABSTRACTION_CACHE,
+    )
+    return session.certify(item.job.source)
+
+
+def _worker_run(item: _WorkItem) -> _JobOutcome:
+    """Top-level worker entry: certify one job attempt, never raise."""
+    tracer = CollectingTracer()
+    started = time.perf_counter()
+    try:
+        with use_tracer(tracer):
+            with _deadline(item.timeout):
+                report = _execute_certification(item)
+        outcome = _JobOutcome(
+            status="ok",
+            engine=item.engine,
+            certified=report.certified,
+            alarms=len(report.alarms),
+            alarm_lines=sorted(report.alarm_lines()),
+        )
+    except JobTimedOut as error:
+        outcome = _JobOutcome(
+            status="timeout", engine=item.engine, error=str(error)
+        )
+    except Exception as error:
+        outcome = _JobOutcome(
+            status="error",
+            engine=item.engine,
+            error=f"{type(error).__name__}: {error}",
+        )
+    outcome.seconds = time.perf_counter() - started
+    outcome.pid = os.getpid()
+    for event in tracer.events:
+        event.job = item.job.name
+        event.meta.setdefault("engine", item.engine)
+        event.meta.setdefault("attempt", item.attempt)
+        if item.is_fallback:
+            event.meta.setdefault("fallback", True)
+    outcome.events = tracer.events
+    return outcome
+
+
+# -- the runner ----------------------------------------------------------------
+
+
+class BatchRunner:
+    """Execute a list of :class:`JobSpec` on a process pool.
+
+    ``max_workers=1`` runs the jobs sequentially in-process (identical
+    semantics, no pool overhead) — the baseline the parallel speedup is
+    measured against.
+    """
+
+    def __init__(
+        self,
+        jobs: Sequence[JobSpec],
+        *,
+        max_workers: int = 1,
+        default_timeout: Optional[float] = None,
+        default_fallback: Optional[str] = None,
+        max_retries: int = DEFAULT_MAX_RETRIES,
+        retry_backoff: float = DEFAULT_RETRY_BACKOFF,
+    ) -> None:
+        if not jobs:
+            raise ValueError("no jobs to run")
+        self.jobs = [
+            self._apply_defaults(job, default_timeout, default_fallback)
+            for job in jobs
+        ]
+        self.max_workers = max(1, int(max_workers))
+        self.max_retries = max(0, int(max_retries))
+        self.retry_backoff = retry_backoff
+        self._results: Dict[int, JobResult] = {}
+        self._accum: Dict[int, Dict[str, object]] = {}
+
+    @staticmethod
+    def _apply_defaults(
+        job: JobSpec,
+        default_timeout: Optional[float],
+        default_fallback: Optional[str],
+    ) -> JobSpec:
+        updates = {}
+        if job.timeout is None and default_timeout is not None:
+            updates["timeout"] = default_timeout
+        if job.fallback is None and default_fallback is not None:
+            if default_fallback != job.engine:
+                updates["fallback"] = default_fallback
+        return replace(job, **updates) if updates else job
+
+    # -- shared caching --------------------------------------------------------
+
+    def _prewarm(self) -> List[TraceEvent]:
+        """Derive every needed abstraction once, before workers exist."""
+        from repro import api
+        from repro.api import CertifySession
+        from repro.easl.library import ALL_SPECS
+
+        engines_by_spec: Dict[str, set] = {}
+        for job in self.jobs:
+            wanted = engines_by_spec.setdefault(job.spec, set())
+            wanted.add(job.engine)
+            if job.fallback:
+                wanted.add(job.fallback)
+        tracer = CollectingTracer()
+        with use_tracer(tracer):
+            for spec_name, engines in sorted(engines_by_spec.items()):
+                spec = ALL_SPECS[spec_name.upper()]()
+                session = CertifySession(
+                    spec, cache=api._ABSTRACTION_CACHE
+                )
+                session.prewarm(sorted(engines))
+        for event in tracer.events:
+            event.job = "<prewarm>"
+        return tracer.events
+
+    def _warm_blob(self) -> Optional[bytes]:
+        """Pickled warm-cache entries for spawn-based pools."""
+        from repro import api
+
+        try:
+            return pickle.dumps(api._ABSTRACTION_CACHE.items())
+        except Exception:
+            return None  # workers will re-derive; correct, just slower
+
+    # -- result accumulation ---------------------------------------------------
+
+    def _bump(self, index: int, key: str, amount) -> None:
+        accum = self._accum.setdefault(
+            index, {"events": [], "seconds": 0.0, "retries": 0}
+        )
+        if key == "events":
+            accum["events"].extend(amount)
+        else:
+            accum[key] = accum[key] + amount
+
+    def _finalize(self, item: _WorkItem, outcome: _JobOutcome, status: str):
+        accum = self._accum.setdefault(
+            item.index, {"events": [], "seconds": 0.0, "retries": 0}
+        )
+        self._results[item.index] = JobResult(
+            job=item.job,
+            status=status,
+            engine_used=outcome.engine,
+            fallback=item.is_fallback,
+            retries=int(accum["retries"]),
+            certified=outcome.certified,
+            alarms=outcome.alarms,
+            alarm_lines=outcome.alarm_lines,
+            seconds=float(accum["seconds"]) + outcome.seconds,
+            error=outcome.error,
+            events=list(accum["events"]) + outcome.events,
+        )
+
+    def _absorb(
+        self, item: _WorkItem, outcome: _JobOutcome
+    ) -> Optional[_WorkItem]:
+        """Record one attempt; return a follow-up work item if any."""
+        job = item.job
+        if outcome.status == "ok":
+            self._finalize(
+                item, outcome, "fallback" if item.is_fallback else "ok"
+            )
+            return None
+        if (
+            outcome.status == "timeout"
+            and not item.is_fallback
+            and job.fallback
+            and job.fallback != item.engine
+        ):
+            self._bump(item.index, "events", outcome.events)
+            self._bump(item.index, "seconds", outcome.seconds)
+            return _WorkItem(
+                index=item.index,
+                job=job,
+                engine=job.fallback,
+                timeout=job.fallback_timeout,
+                is_fallback=True,
+                attempt=0,
+            )
+        self._finalize(item, outcome, outcome.status)
+        return None
+
+    def _retry(self, item: _WorkItem, reason: str) -> Optional[_WorkItem]:
+        """Handle a worker death; return the retry item or finalize."""
+        if item.attempt >= self.max_retries:
+            self._finalize(
+                item,
+                _JobOutcome(
+                    status="error",
+                    engine=item.engine,
+                    error=f"worker died ({reason}); retries exhausted",
+                ),
+                "error",
+            )
+            return None
+        self._bump(item.index, "retries", 1)
+        return replace(item, attempt=item.attempt + 1)
+
+    # -- execution -------------------------------------------------------------
+
+    def run(self) -> BatchResult:
+        from repro import api
+
+        started = time.perf_counter()
+        self._results.clear()
+        self._accum.clear()
+        prewarm_events = self._prewarm()
+        items = [
+            _WorkItem(
+                index=index,
+                job=job,
+                engine=job.engine,
+                timeout=job.timeout,
+            )
+            for index, job in enumerate(self.jobs)
+        ]
+        if self.max_workers == 1:
+            self._run_inline(items)
+        else:
+            self._run_pool(items)
+        results = [self._results[index] for index in range(len(self.jobs))]
+        return BatchResult(
+            results=results,
+            seconds=time.perf_counter() - started,
+            jobs=self.max_workers,
+            prewarm_events=prewarm_events,
+            cache=api._ABSTRACTION_CACHE.stats(),
+        )
+
+    def _run_inline(self, items: List[_WorkItem]) -> None:
+        for item in items:
+            follow: Optional[_WorkItem] = item
+            while follow is not None:
+                follow = self._absorb(follow, _worker_run(follow))
+
+    def _mp_context(self):
+        # fork is preferred: workers inherit the warm derivation cache
+        # (and all imported modules) for free.
+        methods = multiprocessing.get_all_start_methods()
+        if "fork" in methods:
+            return multiprocessing.get_context("fork")
+        return multiprocessing.get_context()
+
+    def _run_pool(self, items: List[_WorkItem]) -> None:
+        pending: List[_WorkItem] = list(items)
+        pool_round = 0
+        context = self._mp_context()
+        warm_blob = (
+            None if context.get_start_method() == "fork" else self._warm_blob()
+        )
+        while pending:
+            if pool_round:
+                delay = min(
+                    2.0, self.retry_backoff * (2 ** (pool_round - 1))
+                )
+                time.sleep(delay)
+            pool_round += 1
+            with ProcessPoolExecutor(
+                max_workers=self.max_workers,
+                mp_context=context,
+                initializer=_init_worker,
+                initargs=(warm_blob,),
+            ) as pool:
+                futures = {}
+                for item in pending:
+                    futures[pool.submit(_worker_run, item)] = item
+                pending = []
+                while futures:
+                    done, _ = wait(futures, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        item = futures.pop(future)
+                        try:
+                            outcome = future.result()
+                        except Exception as error:
+                            # _worker_run never raises, so any exception
+                            # here is infrastructure: the worker died and
+                            # the pool is (or is about to be) broken.
+                            follow = self._retry(item, type(error).__name__)
+                            if follow is not None:
+                                pending.append(follow)
+                            continue
+                        follow = self._absorb(item, outcome)
+                        if follow is not None:
+                            try:
+                                futures[
+                                    pool.submit(_worker_run, follow)
+                                ] = follow
+                            except Exception:
+                                pending.append(follow)

@@ -1,0 +1,191 @@
+"""Per-phase observability: trace events and the :class:`Tracer` protocol.
+
+The certification pipeline is staged — parse, derive, inline, transform,
+fixpoint — and the paper's evaluation (Section 7) is all about how the
+*time* of each stage trades against precision.  This module gives every
+stage a uniform way to report itself without coupling the analysis code
+to any particular consumer:
+
+* an instrumented region wraps itself in :func:`phase`, which times the
+  block and emits a :class:`TraceEvent` to the *active tracer*;
+* the active tracer is ambient (a :class:`contextvars.ContextVar`), so
+  deep call stacks need no plumbing and the default is a no-op —
+  un-traced certification pays one context-variable read per phase;
+* consumers install a tracer with :func:`use_tracer`:
+  :class:`CollectingTracer` buffers events in memory (the batch runtime
+  ships them across the process boundary), :class:`JsonlTracer` streams
+  them to a file.
+
+Events survive exceptions: a phase interrupted by a timeout or a budget
+blow-up still emits, with the partial duration and an ``error`` note in
+its metadata — exactly the observations one needs to tune budgets.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, TextIO
+
+#: the canonical pipeline phases, in pipeline order (engines may emit a
+#: phase more than once, e.g. a fallback re-run).
+PHASES = ("parse", "derive", "inline", "transform", "fixpoint")
+
+
+@dataclass
+class TraceEvent:
+    """One timed region of the pipeline."""
+
+    phase: str
+    seconds: float
+    meta: Dict[str, object] = field(default_factory=dict)
+    #: batch-job name; attached by the batch runtime, ``None`` elsewhere
+    job: Optional[str] = None
+    #: wall-clock start (``time.time()``)
+    ts: float = 0.0
+
+    def to_json(self) -> Dict[str, object]:
+        record: Dict[str, object] = {
+            "phase": self.phase,
+            "seconds": round(self.seconds, 6),
+            "ts": round(self.ts, 6),
+            "meta": self.meta,
+        }
+        if self.job is not None:
+            record["job"] = self.job
+        return record
+
+
+class Tracer:
+    """Protocol: anything with an ``emit(event)`` method.
+
+    The base class doubles as the no-op implementation so that
+    instrumented code can call ``current_tracer().emit(...)``
+    unconditionally.
+    """
+
+    def emit(self, event: TraceEvent) -> None:  # pragma: no cover - no-op
+        pass
+
+
+#: the shared no-op tracer (also the sentinel for "tracing disabled")
+NULL_TRACER = Tracer()
+
+
+class CollectingTracer(Tracer):
+    """Buffers events in memory; picklable, so workers can return it."""
+
+    def __init__(self) -> None:
+        self.events: List[TraceEvent] = []
+
+    def emit(self, event: TraceEvent) -> None:
+        self.events.append(event)
+
+    def totals(self) -> Dict[str, float]:
+        """Summed seconds per phase."""
+        sums: Dict[str, float] = {}
+        for event in self.events:
+            sums[event.phase] = sums.get(event.phase, 0.0) + event.seconds
+        return sums
+
+
+class JsonlTracer(Tracer):
+    """Streams events to an open text handle, one JSON object per line."""
+
+    def __init__(self, handle: TextIO) -> None:
+        self.handle = handle
+
+    def emit(self, event: TraceEvent) -> None:
+        self.handle.write(json.dumps(event.to_json(), sort_keys=True) + "\n")
+
+
+_ACTIVE: contextvars.ContextVar[Tracer] = contextvars.ContextVar(
+    "repro_active_tracer", default=NULL_TRACER
+)
+
+
+def current_tracer() -> Tracer:
+    return _ACTIVE.get()
+
+
+@contextlib.contextmanager
+def use_tracer(tracer: Optional[Tracer]) -> Iterator[Tracer]:
+    """Install ``tracer`` as the ambient tracer for the block."""
+    tracer = tracer if tracer is not None else NULL_TRACER
+    token = _ACTIVE.set(tracer)
+    try:
+        yield tracer
+    finally:
+        _ACTIVE.reset(token)
+
+
+@contextlib.contextmanager
+def phase(name: str, **meta: object) -> Iterator[Dict[str, object]]:
+    """Time a pipeline phase and emit it to the active tracer.
+
+    Yields the event's metadata dict so the block can attach results
+    (iteration counts, structure counts, cache disposition)::
+
+        with phase("fixpoint", engine="fds") as meta:
+            result = solver.solve(program)
+            meta["iterations"] = result.iterations
+
+    The event is emitted even if the block raises — with the partial
+    duration and the exception class recorded under ``meta["error"]`` —
+    so timeouts and budget blow-ups remain observable.
+    """
+    tracer = _ACTIVE.get()
+    if tracer is NULL_TRACER:
+        yield meta
+        return
+    record: Dict[str, object] = dict(meta)
+    started_wall = time.time()
+    started = time.perf_counter()
+    try:
+        yield record
+    except BaseException as error:
+        record.setdefault("error", type(error).__name__)
+        raise
+    finally:
+        tracer.emit(
+            TraceEvent(
+                phase=name,
+                seconds=time.perf_counter() - started,
+                meta=record,
+                ts=started_wall,
+            )
+        )
+
+
+def write_events(
+    path: str, events: List[TraceEvent], append: bool = False
+) -> None:
+    """Write events as JSONL (the batch runtime's trace format)."""
+    with open(path, "a" if append else "w") as handle:
+        tracer = JsonlTracer(handle)
+        for event in events:
+            tracer.emit(event)
+
+
+def validate_trace_record(record: object) -> List[str]:
+    """Schema-check one decoded JSONL trace record; returns problems."""
+    problems: List[str] = []
+    if not isinstance(record, dict):
+        return [f"record is {type(record).__name__}, expected object"]
+    phase_name = record.get("phase")
+    if not isinstance(phase_name, str) or not phase_name:
+        problems.append("missing/non-string 'phase'")
+    seconds = record.get("seconds")
+    if not isinstance(seconds, (int, float)) or seconds < 0:
+        problems.append("missing/negative 'seconds'")
+    ts = record.get("ts")
+    if not isinstance(ts, (int, float)):
+        problems.append("missing 'ts'")
+    if "meta" in record and not isinstance(record["meta"], dict):
+        problems.append("'meta' is not an object")
+    if "job" in record and not isinstance(record["job"], str):
+        problems.append("'job' is not a string")
+    return problems

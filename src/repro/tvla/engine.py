@@ -24,6 +24,7 @@ from typing import Dict, List, Optional, Set, Tuple
 from repro.certifier.report import Alarm, CertificationReport
 from repro.logic.formula import Formula, Not, PredAtom
 from repro.logic.kleene import FALSE3, HALF, Kleene, TRUE3
+from repro.runtime.trace import phase as trace_phase
 from repro.tvla.three_valued import ThreeValuedStructure
 from repro.tvp.program import Action, TvpProgram
 
@@ -201,6 +202,17 @@ class TvlaEngine:
     # -- the fixpoint ----------------------------------------------------------------------
 
     def run(self) -> TvlaResult:
+        with trace_phase(
+            "fixpoint", engine=f"tvla-{self.mode}"
+        ) as trace_meta:
+            result = self._run()
+            trace_meta.update(
+                iterations=result.iterations,
+                max_structures=result.max_structures,
+            )
+        return result
+
+    def _run(self) -> TvlaResult:
         started = time.perf_counter()
         alarms: Dict[Tuple[int, str], Alarm] = {}
         initial = self.initial_structure().canonicalize(

@@ -67,6 +67,7 @@ from repro.logic.formula import (
     neg,
 )
 from repro.logic.terms import Base
+from repro.runtime.trace import phase as trace_phase
 from repro.tvp.program import (
     Action,
     Check,
@@ -633,16 +634,20 @@ def specialized_translation(
     predicate declarations (reflexive variable instances hold on the
     all-null entry state; the engine consults ``initially_true_preds``).
     """
-    specializer = _Specializer(inlined, abstraction)
-    tvp = specializer.translate()
-    initially_true = []
-    for instance in specializer.instances:
-        family = specializer.abstraction.family(instance.family)
-        if (
-            instance.arity == 0
-            and len({s for s in instance.slots}) <= 1
-            and reflexively_true(family)
-        ):
-            initially_true.append(instance.pred_name)
-    tvp.initially_true_nullary = initially_true  # type: ignore[attr-defined]
+    with trace_phase("transform", target="tvp") as trace_meta:
+        specializer = _Specializer(inlined, abstraction)
+        tvp = specializer.translate()
+        initially_true = []
+        for instance in specializer.instances:
+            family = specializer.abstraction.family(instance.family)
+            if (
+                instance.arity == 0
+                and len({s for s in instance.slots}) <= 1
+                and reflexively_true(family)
+            ):
+                initially_true.append(instance.pred_name)
+        tvp.initially_true_nullary = initially_true  # type: ignore[attr-defined]
+        trace_meta.update(
+            predicates=len(specializer.instances), edges=len(tvp.edges)
+        )
     return tvp
