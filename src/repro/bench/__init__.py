@@ -1,17 +1,27 @@
 """Experiment drivers shared by ``benchmarks/`` and ``examples/``."""
 
 from repro.bench.harness import (
+    ComparisonResult,
+    ComparisonRow,
     EngineRun,
     ProgramResult,
+    format_phase_table,
     format_table,
+    results_to_json,
+    run_comparison,
     run_engine,
     run_precision_table,
 )
 
 __all__ = [
+    "ComparisonResult",
+    "ComparisonRow",
     "EngineRun",
     "ProgramResult",
+    "format_phase_table",
     "format_table",
+    "results_to_json",
+    "run_comparison",
     "run_engine",
     "run_precision_table",
 ]

@@ -18,9 +18,9 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.api import CertifySession
+from repro.api import CertifyOptions, CertifySession
 from repro.easl.library import cmp_spec
 from repro.easl.spec import ComponentSpec
 from repro.lang.types import Program, parse_program
@@ -161,6 +161,250 @@ def run_precision_table(
             )
         results.append(result)
     return results
+
+
+def results_to_json(results: List[ProgramResult]) -> dict:
+    """Serialize a precision table for ``repro bench --json``."""
+    programs = []
+    for result in results:
+        engines = {}
+        for engine, run in result.runs.items():
+            engines[engine] = {
+                "alarms": run.alarms,
+                "false_alarms": run.false_alarms,
+                "missed": run.missed,
+                "seconds": round(run.seconds, 6),
+                "sound": run.sound,
+                "error": run.error,
+                "alarm_lines": run.alarm_lines,
+                "phases": {
+                    name: round(seconds, 6)
+                    for name, seconds in run.phases.items()
+                },
+            }
+        programs.append(
+            {
+                "program": result.program.name,
+                "category": result.program.category,
+                "real_error_lines": result.real_error_lines,
+                "truth_truncated": result.truth_truncated,
+                "engines": engines,
+            }
+        )
+    return {"kind": "precision", "programs": programs}
+
+
+# -- interpreted-vs-compiled comparison (the PR's perf experiment) ---------------
+
+
+@dataclass
+class ComparisonRow:
+    """One suite program timed under both evaluation paths."""
+
+    program: str
+    engine: str
+    #: steady-state per-certification seconds (mean over ``reps``,
+    #: after one warm-up run per path — the staged scenario where one
+    #: session certifies many clients)
+    optimized_seconds: float
+    interpreted_seconds: float
+    #: first-certification seconds (cold caches in both paths)
+    cold_optimized_seconds: float
+    cold_interpreted_seconds: float
+    alarms_equal: bool
+    alarm_lines: List[int]
+    optimized_stats: Dict[str, object] = field(default_factory=dict)
+    interpreted_stats: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def speedup(self) -> float:
+        if self.optimized_seconds <= 0:
+            return float("inf")
+        return self.interpreted_seconds / self.optimized_seconds
+
+    @property
+    def cold_speedup(self) -> float:
+        if self.cold_optimized_seconds <= 0:
+            return float("inf")
+        return self.cold_interpreted_seconds / self.cold_optimized_seconds
+
+
+@dataclass
+class ComparisonResult:
+    engine: str
+    reps: int
+    rows: List[ComparisonRow]
+
+    @property
+    def total_optimized(self) -> float:
+        return sum(r.optimized_seconds for r in self.rows)
+
+    @property
+    def total_interpreted(self) -> float:
+        return sum(r.interpreted_seconds for r in self.rows)
+
+    @property
+    def speedup(self) -> float:
+        if self.total_optimized <= 0:
+            return float("inf")
+        return self.total_interpreted / self.total_optimized
+
+    @property
+    def cold_speedup(self) -> float:
+        cold_opt = sum(r.cold_optimized_seconds for r in self.rows)
+        if cold_opt <= 0:
+            return float("inf")
+        return sum(r.cold_interpreted_seconds for r in self.rows) / cold_opt
+
+    @property
+    def alarms_equal(self) -> bool:
+        return all(r.alarms_equal for r in self.rows)
+
+    def to_json(self) -> dict:
+        return {
+            "kind": "comparison",
+            "engine": self.engine,
+            "reps": self.reps,
+            "optimized": {
+                "worklist": "rpo",
+                "compiled_eval": True,
+                "memoize_transfers": True,
+            },
+            "interpreted": {
+                "worklist": "fifo",
+                "compiled_eval": False,
+                "memoize_transfers": False,
+            },
+            "rows": [
+                {
+                    "program": r.program,
+                    "optimized_seconds": round(r.optimized_seconds, 6),
+                    "interpreted_seconds": round(r.interpreted_seconds, 6),
+                    "cold_optimized_seconds": round(
+                        r.cold_optimized_seconds, 6
+                    ),
+                    "cold_interpreted_seconds": round(
+                        r.cold_interpreted_seconds, 6
+                    ),
+                    "speedup": round(r.speedup, 3),
+                    "cold_speedup": round(r.cold_speedup, 3),
+                    "alarms_equal": r.alarms_equal,
+                    "alarm_lines": r.alarm_lines,
+                    "optimized_stats": r.optimized_stats,
+                    "interpreted_stats": r.interpreted_stats,
+                }
+                for r in self.rows
+            ],
+            "total_optimized_seconds": round(self.total_optimized, 6),
+            "total_interpreted_seconds": round(self.total_interpreted, 6),
+            "speedup": round(self.speedup, 3),
+            "cold_speedup": round(self.cold_speedup, 3),
+            "alarms_equal": self.alarms_equal,
+        }
+
+    def format(self) -> str:
+        lines = [
+            f"{'program':26s} {'interp':>9s} {'compiled':>9s} "
+            f"{'speedup':>8s} {'cold':>7s} {'alarms':>7s}",
+        ]
+        lines.append("-" * len(lines[0]))
+        for r in sorted(
+            self.rows, key=lambda r: -r.interpreted_seconds
+        ):
+            lines.append(
+                f"{r.program:26s} {r.interpreted_seconds * 1e3:8.2f}ms "
+                f"{r.optimized_seconds * 1e3:8.2f}ms "
+                f"x{r.speedup:7.2f} x{r.cold_speedup:6.2f} "
+                f"{'equal' if r.alarms_equal else 'DIFFER':>7s}"
+            )
+        lines.append("-" * len(lines[0]))
+        lines.append(
+            f"{'TOTAL':26s} {self.total_interpreted * 1e3:8.2f}ms "
+            f"{self.total_optimized * 1e3:8.2f}ms "
+            f"x{self.speedup:7.2f} x{self.cold_speedup:6.2f} "
+            f"{'equal' if self.alarms_equal else 'DIFFER':>7s}"
+        )
+        return "\n".join(lines)
+
+
+def _alarm_signature(report) -> List[Tuple]:
+    return sorted(
+        (a.site_id, a.op_key, a.instance, a.definite)
+        for a in report.alarms
+    )
+
+
+def run_comparison(
+    spec: Optional[ComponentSpec] = None,
+    engine: str = "tvla-relational",
+    programs: Optional[Sequence[BenchmarkProgram]] = None,
+    reps: int = 5,
+) -> ComparisonResult:
+    """Time every suite program under the optimized and the interpreted
+    path **in the same run** and check their alarm sets coincide.
+
+    The optimized path is the default configuration (reverse-postorder
+    worklist, compiled formula evaluation, transfer memoization); the
+    interpreted path is the seed behaviour (FIFO worklist, recursive
+    interpreter, no memoization).  Each path runs in its own session:
+    the first certification is reported as the *cold* time, the mean of
+    the following ``reps`` certifications as the steady-state time.
+    """
+    spec = spec or cmp_spec()
+    optimized = CertifySession(
+        spec, engine=engine, options=CertifyOptions()
+    )
+    interpreted = CertifySession(
+        spec,
+        engine=engine,
+        options=CertifyOptions(
+            worklist="fifo",
+            compiled_eval=False,
+            memoize_transfers=False,
+        ),
+    )
+    rows: List[ComparisonRow] = []
+    for bench in programs if programs is not None else all_programs():
+        program = parse_program(bench.source, spec)
+        # warm the per-session derive/inline/specialize caches so the
+        # cold times isolate the engine, not the (identical) front half
+        for session in (optimized, interpreted):
+            abstraction = session.abstraction()
+            inlined = session._inline(program)
+            if engine.startswith("tvla-"):
+                session._specialize_tvp(inlined, abstraction)
+        started = time.perf_counter()
+        opt_report = optimized.certify_program(program)
+        cold_opt = time.perf_counter() - started
+        started = time.perf_counter()
+        int_report = interpreted.certify_program(program)
+        cold_int = time.perf_counter() - started
+        started = time.perf_counter()
+        for _ in range(reps):
+            opt_report = optimized.certify_program(program)
+        warm_opt = (time.perf_counter() - started) / max(reps, 1)
+        started = time.perf_counter()
+        for _ in range(reps):
+            int_report = interpreted.certify_program(program)
+        warm_int = (time.perf_counter() - started) / max(reps, 1)
+        rows.append(
+            ComparisonRow(
+                program=bench.name,
+                engine=engine,
+                optimized_seconds=warm_opt,
+                interpreted_seconds=warm_int,
+                cold_optimized_seconds=cold_opt,
+                cold_interpreted_seconds=cold_int,
+                alarms_equal=(
+                    _alarm_signature(opt_report)
+                    == _alarm_signature(int_report)
+                ),
+                alarm_lines=sorted(opt_report.alarm_lines()),
+                optimized_stats=dict(opt_report.stats),
+                interpreted_stats=dict(int_report.stats),
+            )
+        )
+    return ComparisonResult(engine=engine, reps=reps, rows=rows)
 
 
 def format_phase_table(results: List[ProgramResult]) -> str:

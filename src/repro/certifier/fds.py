@@ -25,13 +25,13 @@ predicate must be 1).
 
 from __future__ import annotations
 
-from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.certifier.boolprog import BoolEdge, BoolProgram, Check
 from repro.certifier.report import Alarm, CertificationReport
 from repro.runtime.trace import phase as trace_phase
+from repro.util.worklist import make_worklist
 
 
 @dataclass
@@ -44,7 +44,7 @@ class FdsResult:
     alarms: List[Alarm]
     iterations: int
     #: how each (node, var) first became possibly-1 (witness traces)
-    provenance: Dict = None  # type: ignore[assignment]
+    provenance: Dict[Tuple[int, int], tuple] = field(default_factory=dict)
 
     def may_be_one(self, node: int, var: int) -> bool:
         return bool(self.may_one.get(node, 0) >> var & 1)
@@ -56,11 +56,16 @@ class FdsResult:
 class FdsSolver:
     """Worklist solver for the independent-attribute (FDS) analysis."""
 
-    def __init__(self, *, prune_requires: bool = True) -> None:
+    def __init__(
+        self, *, prune_requires: bool = True, worklist: str = "rpo"
+    ) -> None:
         #: assume a checked predicate is 0 after a passing check — the
         #: component throws on violation, so later states only arise from
         #: passing executions (the A2 ablation toggles this)
         self.prune_requires = prune_requires
+        #: node-scheduling strategy: "rpo" (reverse postorder, fewer
+        #: iterations) or "fifo" (the seed behaviour)
+        self.worklist_order = worklist
 
     def solve(self, program: BoolProgram) -> FdsResult:
         init_one = program.initial_mask()
@@ -69,12 +74,15 @@ class FdsSolver:
         may_one: Dict[int, int] = {program.entry: init_one}
         may_zero: Dict[int, int] = {program.entry: init_zero}
         provenance: Dict[Tuple[int, int], tuple] = {}
-        worklist = deque([program.entry])
-        queued: Set[int] = {program.entry}
+        worklist = make_worklist(
+            self.worklist_order,
+            program.entry,
+            lambda n: [e.dst for e in program.out_edges(n)],
+        )
+        worklist.push(program.entry)
         iterations = 0
         while worklist:
-            node = worklist.popleft()
-            queued.discard(node)
+            node = worklist.pop()
             iterations += 1
             one = may_one.get(node, 0)
             zero = may_zero.get(node, 0)
@@ -95,9 +103,7 @@ class FdsSolver:
                 if merged_one != old_one or merged_zero != old_zero:
                     may_one[edge.dst] = merged_one
                     may_zero[edge.dst] = merged_zero
-                    if edge.dst not in queued:
-                        queued.add(edge.dst)
-                        worklist.append(edge.dst)
+                    worklist.push(edge.dst)
         alarms = self._collect_alarms(
             program, may_one, may_zero, provenance
         )
@@ -219,11 +225,16 @@ class FdsSolver:
 
 
 def certify_fds(
-    program: BoolProgram, *, prune_requires: bool = True
+    program: BoolProgram,
+    *,
+    prune_requires: bool = True,
+    worklist: str = "rpo",
 ) -> CertificationReport:
     """Convenience wrapper returning a report for one boolean program."""
     with trace_phase("fixpoint", engine="fds") as trace_meta:
-        result = FdsSolver(prune_requires=prune_requires).solve(program)
+        result = FdsSolver(
+            prune_requires=prune_requires, worklist=worklist
+        ).solve(program)
         trace_meta.update(
             iterations=result.iterations, variables=program.num_vars
         )

@@ -57,6 +57,11 @@ from repro.lang.types import MethodInfo, Program
 from repro.logic.formula import And, EqAtom, Not
 from repro.logic.terms import Base, Field
 from repro.runtime.trace import phase as trace_phase
+from repro.util.worklist import (
+    FifoWorklist,
+    PriorityWorklist,
+    reverse_postorder,
+)
 
 GHOST_SUFFIX = "##in"
 PHANTOM_SUFFIX = "##ph"
@@ -163,6 +168,7 @@ class InterproceduralCertifier:
         abstraction: DerivedAbstraction,
         *,
         prune_requires: bool = True,
+        worklist: str = "rpo",
     ) -> None:
         if not program.is_shallow():
             raise TransformError(
@@ -184,12 +190,32 @@ class InterproceduralCertifier:
             if self.spec.is_component_type(type_)
         }
         self.spaces: Dict[str, ProcSpace] = {}
+        self.worklist_order = worklist
+        #: per-space reverse-postorder priorities for the local fixpoints
+        self._rpo: Dict[str, Dict[int, int]] = {}
         self._formal_visible: Dict[str, str] = {}
         self.stats: Dict[str, int] = {
             "contexts": 0,
             "summary_updates": 0,
             "edge_visits": 0,
         }
+
+    def _local_worklist(self, qualified: str, boolprog):
+        """A fresh per-context worklist over one method's boolean CFG.
+
+        The RPO map is computed once per fact space and reused by every
+        (method, entry-vector) context analyzed over it.
+        """
+        if self.worklist_order == "fifo":
+            return FifoWorklist()
+        priority = self._rpo.get(qualified)
+        if priority is None:
+            priority = reverse_postorder(
+                boolprog.entry,
+                lambda n: [e.dst for e in boolprog.out_edges(n)],
+            )
+            self._rpo[qualified] = priority
+        return PriorityWorklist(priority)
 
     # -- fact-space construction ------------------------------------------------------
 
@@ -809,11 +835,11 @@ class InterproceduralCertifier:
         seeds = [boolprog.entry] + [
             src for src, _dst, _stm in space.call_edges if src in states
         ]
-        local_work = deque(dict.fromkeys(seeds))
-        local_queued = set(local_work)
+        local_work = self._local_worklist(qualified, boolprog)
+        for seed in seeds:
+            local_work.push(seed)
         while local_work:
-            node = local_work.popleft()
-            local_queued.discard(node)
+            node = local_work.pop()
             mask = states.get(node, 0)
             zmask = zeros.get(node, all_vars)
             for edge in boolprog.out_edges(node):
@@ -880,9 +906,7 @@ class InterproceduralCertifier:
                 if merged != old or merged_zero != old_zero:
                     states[edge.dst] = merged
                     zeros[edge.dst] = merged_zero
-                    if edge.dst not in local_queued:
-                        local_queued.add(edge.dst)
-                        local_work.append(edge.dst)
+                    local_work.push(edge.dst)
         exit_mask = states.get(boolprog.exit, 0)
         previous = memo.get(key)
         merged = exit_mask if previous is None else previous | exit_mask

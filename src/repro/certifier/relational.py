@@ -16,13 +16,13 @@ forgoes (and which Rule 2 renders irrelevant for the alarm question).
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Set, Tuple
 
 from repro.certifier.boolprog import BoolEdge, BoolProgram
 from repro.certifier.report import Alarm, CertificationReport
 from repro.runtime.trace import phase as trace_phase
+from repro.util.worklist import make_worklist
 
 
 class StateExplosion(Exception):
@@ -35,6 +35,7 @@ class RelationalResult:
     states: Dict[int, FrozenSet[int]]
     alarms: List[Alarm]
     max_states: int
+    iterations: int = 0
 
 
 class RelationalSolver:
@@ -44,42 +45,58 @@ class RelationalSolver:
         prune_requires: bool = True,
         apply_filters: bool = True,
         state_budget: int = 200_000,
+        worklist: str = "rpo",
     ) -> None:
         self.prune_requires = prune_requires
         self.apply_filters = apply_filters
         self.state_budget = state_budget
+        self.worklist_order = worklist
 
     def solve(self, program: BoolProgram) -> RelationalResult:
         init = frozenset([program.initial_mask()])
         states: Dict[int, Set[int]] = {program.entry: set(init)}
-        worklist = deque([program.entry])
-        queued = {program.entry}
+        worklist = make_worklist(
+            self.worklist_order,
+            program.entry,
+            lambda n: [e.dst for e in program.out_edges(n)],
+        )
+        worklist.push(program.entry)
+        in_degree: Dict[int, int] = {}
+        for edge in program.edges:
+            in_degree[edge.dst] = in_degree.get(edge.dst, 0) + 1
         max_states = 1
+        iterations = 0
         alarm_hits: Dict[Tuple[int, int], List[bool]] = {}
         while worklist:
-            node = worklist.popleft()
-            queued.discard(node)
+            iterations += 1
+            node = worklist.pop()
             current = states.get(node, set())
             for edge in program.out_edges(node):
                 outgoing = self._transfer(edge, current, alarm_hits)
                 target = states.setdefault(edge.dst, set())
                 before = len(target)
+                # budget check *before* merging, so StateExplosion always
+                # reports the consistent pre-overflow count
+                grown = len(target | outgoing)
+                if grown > self.state_budget:
+                    raise StateExplosion(
+                        f"{program.name}: relational state set would grow "
+                        f"to {grown} (> budget {self.state_budget}) at "
+                        f"node {edge.dst} "
+                        f"(in-degree {in_degree.get(edge.dst, 0)}); "
+                        f"pre-overflow count {before}"
+                    )
                 target |= outgoing
                 max_states = max(max_states, len(target))
-                if len(target) > self.state_budget:
-                    raise StateExplosion(
-                        f"{program.name}: relational state set exceeded "
-                        f"{self.state_budget} at node {edge.dst}"
-                    )
-                if len(target) != before and edge.dst not in queued:
-                    queued.add(edge.dst)
-                    worklist.append(edge.dst)
+                if len(target) != before:
+                    worklist.push(edge.dst)
         alarms = self._collect_alarms(program, alarm_hits)
         return RelationalResult(
             program,
             {node: frozenset(vals) for node, vals in states.items()},
             alarms,
             max_states,
+            iterations,
         )
 
     def _transfer(

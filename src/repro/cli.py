@@ -12,6 +12,12 @@ Batch certification on a process pool (see :mod:`repro.runtime.batch`)::
 
     repro batch manifest.json --jobs 4 --timeout 30 --trace out.jsonl
     repro batch manifest.json --jobs 4 --fallback fds --json summary.json
+
+Suite benchmarks (see :mod:`repro.bench.harness`)::
+
+    repro bench --json table.json                # precision table
+    repro bench --compare --json BENCH_pr2.json  # interpreted vs compiled
+    repro bench --compare --check --min-speedup 2.0
 """
 
 from __future__ import annotations
@@ -126,6 +132,152 @@ def build_batch_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_bench_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro bench",
+        description=(
+            "Run the suite benchmark: the precision table (default) or "
+            "the interpreted-vs-compiled comparison (--compare), with "
+            "machine-readable --json output and CI gating (--check)."
+        ),
+    )
+    parser.add_argument(
+        "--spec",
+        default="cmp",
+        choices=sorted(name.lower() for name in ALL_SPECS),
+        help="which shipped specification to benchmark against",
+    )
+    parser.add_argument(
+        "--engines",
+        default=None,
+        metavar="E1,E2,...",
+        help="comma-separated engine subset for the precision table",
+    )
+    parser.add_argument(
+        "--compare",
+        action="store_true",
+        help="run the optimized-vs-interpreted comparison (both paths "
+        "in the same run) instead of the precision table",
+    )
+    parser.add_argument(
+        "--engine",
+        default="tvla-relational",
+        choices=ENGINES,
+        help="engine for --compare mode",
+    )
+    parser.add_argument(
+        "--reps",
+        type=int,
+        default=5,
+        metavar="N",
+        help="timed repetitions per program in --compare mode",
+    )
+    parser.add_argument(
+        "--programs",
+        default=None,
+        metavar="P1,P2,...",
+        help="comma-separated suite-program subset",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        metavar="X",
+        help="with --check and --compare, fail unless the aggregate "
+        "steady-state speedup is at least X",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="gate for CI: fail if any engine misses a real error "
+        "(precision table) or the paths' alarm sets differ / the "
+        "speedup floor is not met (--compare)",
+    )
+    parser.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="write results as JSON ('-' for stdout)",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress the text table"
+    )
+    return parser
+
+
+def bench_main(argv: Optional[List[str]] = None) -> int:
+    from repro.bench import (
+        results_to_json,
+        run_comparison,
+        run_precision_table,
+    )
+    from repro.bench.harness import format_table
+    from repro.suite import all_programs
+
+    args = build_bench_parser().parse_args(argv)
+    spec = ALL_SPECS[args.spec.upper()]()
+    programs = None
+    if args.programs:
+        wanted = {name.strip() for name in args.programs.split(",")}
+        by_name = {p.name: p for p in all_programs()}
+        unknown = wanted - set(by_name)
+        if unknown:
+            print(
+                f"error: unknown suite program(s): {sorted(unknown)}",
+                file=sys.stderr,
+            )
+            return 2
+        programs = [by_name[name] for name in sorted(wanted)]
+
+    if args.compare:
+        comparison = run_comparison(
+            spec=spec,
+            engine=args.engine,
+            programs=programs,
+            reps=args.reps,
+        )
+        payload = comparison.to_json()
+        ok = comparison.alarms_equal and (
+            args.min_speedup is None
+            or comparison.speedup >= args.min_speedup
+        )
+        if not args.quiet:
+            print(comparison.format())
+    else:
+        engines = (
+            [e.strip() for e in args.engines.split(",")]
+            if args.engines
+            else None
+        )
+        if engines:
+            bad = [e for e in engines if e not in ENGINES]
+            if bad:
+                print(f"error: unknown engine(s): {bad}", file=sys.stderr)
+                return 2
+        results = run_precision_table(
+            spec=spec, engines=engines, programs=programs
+        )
+        payload = results_to_json(results)
+        ok = all(
+            run.sound
+            for result in results
+            for run in result.runs.values()
+        )
+        if not args.quiet:
+            print(format_table(results))
+
+    if args.json == "-":
+        print(json.dumps(payload, indent=2))
+    elif args.json:
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+    if args.check and not ok:
+        print("bench check FAILED", file=sys.stderr)
+        return 1
+    return 0
+
+
 def batch_main(argv: Optional[List[str]] = None) -> int:
     from repro.runtime.batch import BatchRunner, ManifestError, load_manifest
 
@@ -161,6 +313,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if argv and argv[0] == "batch":
         return batch_main(argv[1:])
+    if argv and argv[0] == "bench":
+        return bench_main(argv[1:])
 
     args = build_parser().parse_args(argv)
     spec = ALL_SPECS[args.spec.upper()]()

@@ -17,7 +17,6 @@ the 3-address CFG plus must/may equality queries.  The framework:
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -42,9 +41,11 @@ from repro.lang.cfg import (
     SStore,
 )
 from repro.lang.inline import InlinedProgram
+from repro.logic.compile import compile_condition
 from repro.logic.formula import And, EqAtom, Formula, Not, Or, Truth
 from repro.logic.terms import Base, Field, Fresh, Term
 from repro.runtime.trace import phase as trace_phase
+from repro.util.worklist import make_worklist
 
 
 class HeapDomain(ABC):
@@ -271,45 +272,31 @@ class _SpecRunner:
     def _eval_cond_3(
         self, cond: Formula, state, env, temps, site_id
     ):
-        """3-valued condition evaluation: True / False / None (unknown)."""
-        if isinstance(cond, Truth):
-            return cond.value, state
-        if isinstance(cond, EqAtom):
-            lhs, state = self._eval_term(cond.lhs, state, env, temps, site_id)
-            rhs, state = self._eval_term(cond.rhs, state, env, temps, site_id)
+        """3-valued condition evaluation: True / False / None (unknown).
+
+        The connective layer runs through a closure compiled once per
+        condition (:func:`repro.logic.compile.compile_condition`); only
+        atom evaluation — which threads the abstract state through term
+        materialization — stays here.
+        """
+        compiled = compile_condition(cond)
+
+        def eval_atom(atom: Formula, state):
+            if not isinstance(atom, EqAtom):
+                raise TypeError(f"unsupported condition atom {atom!r}")
+            lhs, state = self._eval_term(
+                atom.lhs, state, env, temps, site_id
+            )
+            rhs, state = self._eval_term(
+                atom.rhs, state, env, temps, site_id
+            )
             if self.domain.must_equal(state, lhs, rhs):
                 return True, state
             if not self.domain.may_equal(state, lhs, rhs):
                 return False, state
             return None, state
-        if isinstance(cond, Not):
-            value, state = self._eval_cond_3(
-                cond.body, state, env, temps, site_id
-            )
-            return (None if value is None else not value), state
-        if isinstance(cond, And):
-            result = True
-            for arg in cond.args:
-                value, state = self._eval_cond_3(
-                    arg, state, env, temps, site_id
-                )
-                if value is False:
-                    return False, state
-                if value is None:
-                    result = None
-            return result, state
-        if isinstance(cond, Or):
-            result = False
-            for arg in cond.args:
-                value, state = self._eval_cond_3(
-                    arg, state, env, temps, site_id
-                )
-                if value is True:
-                    return True, state
-                if value is None:
-                    result = None
-            return result, state
-        raise TypeError(f"unsupported condition {cond!r}")
+
+        return compiled(state, eval_atom)
 
 
 # -- the fixpoint ------------------------------------------------------------------------
@@ -320,10 +307,13 @@ def analyze_generic(
     domain: HeapDomain,
     engine_name: str,
     max_iterations: int = 200_000,
+    worklist: str = "rpo",
 ) -> GenericResult:
     """Run a generic heap analysis over the composite program."""
     with trace_phase("fixpoint", engine=engine_name) as trace_meta:
-        result = _analyze_generic(inlined, domain, engine_name, max_iterations)
+        result = _analyze_generic(
+            inlined, domain, engine_name, max_iterations, worklist
+        )
         trace_meta["iterations"] = result.iterations
     return result
 
@@ -333,13 +323,18 @@ def _analyze_generic(
     domain: HeapDomain,
     engine_name: str,
     max_iterations: int,
+    worklist_order: str = "rpo",
 ) -> GenericResult:
     spec = inlined.program.spec
     runner = _SpecRunner(spec, domain)
     cfg = inlined.cfg
     states: Dict[int, object] = {cfg.entry: domain.initial()}
-    worklist = deque([cfg.entry])
-    queued = {cfg.entry}
+    worklist = make_worklist(
+        worklist_order,
+        cfg.entry,
+        lambda n: [e.dst for e in cfg.out_edges(n)],
+    )
+    worklist.push(cfg.entry)
     iterations = 0
     while worklist:
         iterations += 1
@@ -347,8 +342,7 @@ def _analyze_generic(
             raise RuntimeError(
                 f"{engine_name}: fixpoint exceeded {max_iterations} steps"
             )
-        node = worklist.popleft()
-        queued.discard(node)
+        node = worklist.pop()
         state = states[node]
         for edge in cfg.out_edges(node):
             for successor in _transfer(edge.stm, state, domain, runner, None):
@@ -358,9 +352,7 @@ def _analyze_generic(
                 )
                 if old is None or merged != old:
                     states[edge.dst] = merged
-                    if edge.dst not in queued:
-                        queued.add(edge.dst)
-                        worklist.append(edge.dst)
+                    worklist.push(edge.dst)
     # final pass: evaluate the requires clauses in the settled states
     checks: List[Tuple[int, int, str, bool]] = []
     for edge in cfg.edges:

@@ -17,16 +17,17 @@ predicate false on the surviving state.
 from __future__ import annotations
 
 import time
-from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.certifier.report import Alarm, CertificationReport
+from repro.logic import compile as formula_compile
 from repro.logic.formula import Formula, Not, PredAtom
 from repro.logic.kleene import FALSE3, HALF, Kleene, TRUE3
 from repro.runtime.trace import phase as trace_phase
 from repro.tvla.three_valued import ThreeValuedStructure
 from repro.tvp.program import Action, TvpProgram
+from repro.util.worklist import make_worklist
 
 
 class TvlaBudgetExceeded(Exception):
@@ -38,6 +39,9 @@ class TvlaResult:
     report: CertificationReport
     iterations: int
     max_structures: int
+    #: per-(action, canonical-key) transfer memoization counters
+    transfer_hits: int = 0
+    transfer_misses: int = 0
 
 
 class TvlaEngine:
@@ -50,6 +54,8 @@ class TvlaEngine:
         focus_budget: int = 64,
         structure_budget: int = 4000,
         iteration_budget: int = 200_000,
+        worklist: str = "rpo",
+        memoize_transfers: bool = True,
     ) -> None:
         if mode not in ("relational", "independent"):
             raise ValueError(f"unknown mode {mode!r}")
@@ -59,7 +65,22 @@ class TvlaEngine:
         self.focus_budget = focus_budget
         self.structure_budget = structure_budget
         self.iteration_budget = iteration_budget
+        self.worklist_order = worklist
+        self.memoize_transfers = memoize_transfers
         self.abstraction_preds = tvp.abstraction_predicates()
+        #: (action identity, input canonical key) ->
+        #: ([(output key, output structure)], alarm contributions).
+        #: Persistent across runs: a session certifying many clients
+        #: against one specialized TVP replays recorded transfers (and
+        #: their alarm contributions) instead of re-running
+        #: focus / checks / update / coerce.
+        self._transfers: Dict[
+            Tuple[int, object],
+            Tuple[
+                List[Tuple[object, ThreeValuedStructure]],
+                Dict[Tuple[int, str], Alarm],
+            ],
+        ] = {}
 
     # -- initial state -------------------------------------------------------------------
 
@@ -169,7 +190,7 @@ class TvlaEngine:
                 body = check.cond.body
                 if isinstance(body, PredAtom) and not body.args:
                     current = current.copy()
-                    current.nullary[body.name] = FALSE3
+                    current.set(body.name, (), FALSE3)
         return current
 
     def _update(
@@ -190,11 +211,33 @@ class TvlaEngine:
                 post.set(update.pred, (), pre.eval(update.rhs, env))
                 continue
             assignments = _tuples(pre.nodes, len(update.vars))
+            compiled = (
+                formula_compile.compile_formula(update.rhs)
+                if formula_compile.compilation_enabled()
+                else None
+            )
             values = []
-            for combo in assignments:
-                local_env = dict(env)
-                local_env.update(zip(update.vars, combo))
-                values.append((combo, pre.eval(update.rhs, local_env)))
+            if compiled is None:
+                for combo in assignments:
+                    local_env = dict(env)
+                    local_env.update(zip(update.vars, combo))
+                    values.append((combo, pre.eval(update.rhs, local_env)))
+            else:
+                # bind free variables straight into positional slots —
+                # no per-tuple env dict; binder slots are written by fn
+                fn = compiled.fn
+                slots = [0] * compiled.num_slots
+                var_pos = {name: i for i, name in enumerate(update.vars)}
+                fills = []
+                for slot, name in enumerate(compiled.free_vars):
+                    if name in var_pos:
+                        fills.append((slot, var_pos[name]))
+                    else:
+                        slots[slot] = env[name]
+                for combo in assignments:
+                    for slot, pos in fills:
+                        slots[slot] = combo[pos]
+                    values.append((combo, fn(pre, slots)))
             for combo, value in values:
                 post.set(update.pred, combo, value)
         return post.canonicalize(self.abstraction_preds)
@@ -212,39 +255,78 @@ class TvlaEngine:
             )
         return result
 
+    def _successors(self, node: int) -> List[int]:
+        return [edge.dst for edge in self.tvp.out_edges(node)]
+
     def _run(self) -> TvlaResult:
         started = time.perf_counter()
         alarms: Dict[Tuple[int, str], Alarm] = {}
-        initial = self.initial_structure().canonicalize(
-            self.abstraction_preds
-        )
+        preds = self.abstraction_preds
+        initial = self.initial_structure().canonicalize(preds)
         iterations = 0
         max_structures = 1
+        transfer_hits = 0
+        transfer_misses = 0
+        worklist = make_worklist(
+            self.worklist_order, self.tvp.entry, self._successors
+        )
+        worklist.push(self.tvp.entry)
         if self.mode == "relational":
             states: Dict[int, Dict[object, ThreeValuedStructure]] = {
-                self.tvp.entry: {
-                    initial.canonical_key(self.abstraction_preds): initial
-                }
+                self.tvp.entry: {initial.canonical_key(preds): initial}
             }
-            worklist = deque([self.tvp.entry])
-            queued = {self.tvp.entry}
+            # isomorphic structures share a canonical key, so a
+            # revisited (action, structure) pair — within this run or a
+            # later one — skips focus / checks / update / coerce and
+            # replays its recorded alarm contributions instead
+            transfers = self._transfers
             while worklist:
                 iterations += 1
                 if iterations > self.iteration_budget:
                     raise TvlaBudgetExceeded("iteration budget exceeded")
-                node = worklist.popleft()
-                queued.discard(node)
-                here = list(states.get(node, {}).values())
+                node = worklist.pop()
+                here = list(states.get(node, {}).items())
                 for edge in self.tvp.out_edges(node):
-                    for structure in here:
-                        for out in self.apply(
-                            structure, edge.action, alarms
-                        ):
-                            key = out.canonical_key(self.abstraction_preds)
-                            bucket = states.setdefault(edge.dst, {})
-                            if key in bucket:
+                    action_id = id(edge.action)
+                    for skey, structure in here:
+                        cached = (
+                            transfers.get((action_id, skey))
+                            if self.memoize_transfers
+                            else None
+                        )
+                        if cached is None:
+                            transfer_misses += 1
+                            local: Dict[Tuple[int, str], Alarm] = {}
+                            cached = (
+                                [
+                                    (out.canonical_key(preds), out)
+                                    for out in self.apply(
+                                        structure, edge.action, local
+                                    )
+                                ],
+                                local,
+                            )
+                            if self.memoize_transfers:
+                                transfers[(action_id, skey)] = cached
+                        else:
+                            transfer_hits += 1
+                        outs, contribs = cached
+                        # merge recorded contributions: `definite` is an
+                        # AND over every contribution at a site, so the
+                        # replay is idempotent and order-independent
+                        for akey, alarm in contribs.items():
+                            existing = alarms.get(akey)
+                            if existing is None:
+                                alarms[akey] = alarm
+                            elif existing.definite and not alarm.definite:
+                                alarms[akey] = alarm
+                        bucket = states.setdefault(edge.dst, {})
+                        changed = False
+                        for okey, out in outs:
+                            if okey in bucket:
                                 continue
-                            bucket[key] = out
+                            bucket[okey] = out
+                            changed = True
                             max_structures = max(
                                 max_structures, len(bucket)
                             )
@@ -253,21 +335,17 @@ class TvlaEngine:
                                     f"more than {self.structure_budget} "
                                     f"structures at node {edge.dst}"
                                 )
-                            if edge.dst not in queued:
-                                queued.add(edge.dst)
-                                worklist.append(edge.dst)
+                        if changed:
+                            worklist.push(edge.dst)
         else:
             single: Dict[int, ThreeValuedStructure] = {
                 self.tvp.entry: initial
             }
-            worklist = deque([self.tvp.entry])
-            queued = {self.tvp.entry}
             while worklist:
                 iterations += 1
                 if iterations > self.iteration_budget:
                     raise TvlaBudgetExceeded("iteration budget exceeded")
-                node = worklist.popleft()
-                queued.discard(node)
+                node = worklist.pop()
                 current = single.get(node)
                 if current is None:
                     continue
@@ -278,20 +356,16 @@ class TvlaEngine:
                             merged = out
                         else:
                             merged = ThreeValuedStructure.join(
-                                old, out, self.abstraction_preds
-                            ).canonicalize(self.abstraction_preds)
+                                old, out, preds
+                            ).canonicalize(preds)
                         old_key = (
                             None
                             if old is None
-                            else old.canonical_key(self.abstraction_preds)
+                            else old.canonical_key(preds)
                         )
-                        if old_key != merged.canonical_key(
-                            self.abstraction_preds
-                        ):
+                        if old_key != merged.canonical_key(preds):
                             single[edge.dst] = merged
-                            if edge.dst not in queued:
-                                queued.add(edge.dst)
-                                worklist.append(edge.dst)
+                            worklist.push(edge.dst)
         alarm_list = sorted(
             alarms.values(), key=lambda a: (a.site_id, a.instance)
         )
@@ -302,11 +376,19 @@ class TvlaEngine:
             stats={
                 "iterations": iterations,
                 "max_structures": max_structures,
-                "abstraction_preds": len(self.abstraction_preds),
+                "abstraction_preds": len(preds),
+                "transfer_hits": transfer_hits,
+                "transfer_misses": transfer_misses,
                 "seconds": round(time.perf_counter() - started, 4),
             },
         )
-        return TvlaResult(report, iterations, max_structures)
+        return TvlaResult(
+            report,
+            iterations,
+            max_structures,
+            transfer_hits,
+            transfer_misses,
+        )
 
 
 def _duplicate_node(
@@ -315,6 +397,7 @@ def _duplicate_node(
     """Bifurcate a summary node: the clone inherits every predicate value
     (including pairs with the original and itself)."""
     clone = structure.new_node(summary=True)
+    structure.dirty()  # tables are mutated directly below
     for table in structure.unary.values():
         if node in table:
             table[clone] = table[node]

@@ -27,8 +27,11 @@ from repro.logic.formula import (
     PredAtom,
     Truth,
 )
+from repro.logic import compile as formula_compile
 from repro.logic.kleene import FALSE3, HALF, Kleene, TRUE3, kleene_join
 from repro.logic.terms import Base
+
+_EMPTY_TABLE: Dict = {}
 
 
 class ThreeValuedStructure:
@@ -41,14 +44,24 @@ class ThreeValuedStructure:
         self.unary: Dict[str, Dict[int, Kleene]] = {}
         self.binary: Dict[str, Dict[Tuple[int, int], Kleene]] = {}
         self._next = 0
+        #: memoized canonical_key per abstraction-pred tuple; cleared by
+        #: every mutation that goes through :meth:`set` / :meth:`new_node`
+        #: (callers mutating tables directly must call :meth:`dirty`)
+        self._ckey_cache: Dict[Tuple[str, ...], tuple] = {}
 
     # -- universe ----------------------------------------------------------------
+
+    def dirty(self) -> None:
+        """Invalidate memoized canonical keys after a direct mutation."""
+        if self._ckey_cache:
+            self._ckey_cache = {}
 
     def new_node(self, summary: bool = False) -> int:
         node = self._next
         self._next += 1
         self.nodes.append(node)
         self.summary[node] = summary
+        self.dirty()
         return node
 
     def copy(self) -> "ThreeValuedStructure":
@@ -71,6 +84,7 @@ class ThreeValuedStructure:
         return self.binary.get(pred, {}).get(args, FALSE3)  # type: ignore[arg-type]
 
     def set(self, pred: str, args: Tuple[int, ...], value: Kleene) -> None:
+        self.dirty()
         if len(args) == 0:
             self.nullary[pred] = value
             return
@@ -90,8 +104,9 @@ class ThreeValuedStructure:
     # -- evaluation -----------------------------------------------------------------
 
     def eval(self, formula: Formula, env: Optional[Dict[str, int]] = None) -> Kleene:
-        env = env or {}
-        return self._eval(formula, env)
+        if formula_compile.compilation_enabled():
+            return formula_compile.evaluate(self, formula, env)
+        return self._eval(formula, env or {})
 
     def _eval(self, formula: Formula, env: Dict[str, int]) -> Kleene:
         if isinstance(formula, Truth):
@@ -156,51 +171,78 @@ class ThreeValuedStructure:
     def canonical_vector(
         self, node: int, abstraction_preds: List[str]
     ) -> Tuple[Kleene, ...]:
-        return tuple(self.get(p, (node,)) for p in abstraction_preds)
+        unary = self.unary
+        return tuple(
+            unary.get(p, _EMPTY_TABLE).get(node, FALSE3)
+            for p in abstraction_preds
+        )
 
     def canonicalize(
         self, abstraction_preds: List[str]
     ) -> "ThreeValuedStructure":
-        """Merge individuals with identical abstraction vectors."""
+        """Merge individuals with identical abstraction vectors.
+
+        Sparse: predicate tables are folded entry-by-entry; absent
+        tuples contribute an implicit 0, accounted for by comparing the
+        number of folded entries against the size of each merged block.
+        """
         groups: Dict[Tuple[Kleene, ...], List[int]] = {}
         for node in self.nodes:
             groups.setdefault(
                 self.canonical_vector(node, abstraction_preds), []
             ).append(node)
+        if len(groups) == len(self.nodes):
+            return self  # every vector distinct: already canonical
         result = ThreeValuedStructure()
         mapping: Dict[int, int] = {}
-        for vector in sorted(groups, key=str):
+        group_size: Dict[int, int] = {}
+        for vector in sorted(
+            groups, key=lambda vec: tuple(v._value_ for v in vec)
+        ):
             members = groups[vector]
             merged_summary = len(members) > 1 or any(
                 self.summary[m] for m in members
             )
             new = result.new_node(merged_summary)
+            group_size[new] = len(members)
             for member in members:
                 mapping[member] = new
         for pred, value in self.nullary.items():
             result.nullary[pred] = value
         for pred, table in self.unary.items():
-            merged: Dict[int, List[Kleene]] = {}
-            for node in self.nodes:
-                merged.setdefault(mapping[node], []).append(
-                    table.get(node, FALSE3)
-                )
-            for new, values in merged.items():
-                value = kleene_join(values)
+            folded: Dict[int, Kleene] = {}
+            counts: Dict[int, int] = {}
+            for node, value in table.items():
+                new = mapping[node]
+                prior = folded.get(new)
+                folded[new] = value if prior is None else prior.join(value)
+                counts[new] = counts.get(new, 0) + 1
+            out = {}
+            for new, value in folded.items():
+                if counts[new] < group_size[new]:
+                    value = value.join(FALSE3)  # an implicit-0 member
                 if value is not FALSE3:
-                    result.unary.setdefault(pred, {})[new] = value
+                    out[new] = value
+            if out:
+                result.unary[pred] = out
         for pred, table in self.binary.items():
-            merged2: Dict[Tuple[int, int], List[Kleene]] = {}
-            for n1 in self.nodes:
-                for n2 in self.nodes:
-                    key = (mapping[n1], mapping[n2])
-                    merged2.setdefault(key, []).append(
-                        table.get((n1, n2), FALSE3)
-                    )
-            for key, values in merged2.items():
-                value = kleene_join(values)
+            folded2: Dict[Tuple[int, int], Kleene] = {}
+            counts2: Dict[Tuple[int, int], int] = {}
+            for (n1, n2), value in table.items():
+                key = (mapping[n1], mapping[n2])
+                prior = folded2.get(key)
+                folded2[key] = (
+                    value if prior is None else prior.join(value)
+                )
+                counts2[key] = counts2.get(key, 0) + 1
+            out2 = {}
+            for key, value in folded2.items():
+                if counts2[key] < group_size[key[0]] * group_size[key[1]]:
+                    value = value.join(FALSE3)
                 if value is not FALSE3:
-                    result.binary.setdefault(pred, {})[key] = value
+                    out2[key] = value
+            if out2:
+                result.binary[pred] = out2
         return result
 
     # -- canonical naming / comparison ------------------------------------------------------
@@ -208,29 +250,44 @@ class ThreeValuedStructure:
     def canonical_key(self, abstraction_preds: List[str]):
         """A hashable key identifying the structure up to renaming of
         individuals with distinct abstraction vectors.  Structures must be
-        canonicalized first (one individual per vector)."""
+        canonicalized first (one individual per vector).
+
+        Memoized per abstraction-pred tuple; mutations through
+        :meth:`set` / :meth:`new_node` invalidate the cache."""
+        cache_key = tuple(abstraction_preds)
+        cached = self._ckey_cache.get(cache_key)
+        if cached is not None:
+            return cached
+        key = self._canonical_key(abstraction_preds)
+        self._ckey_cache[cache_key] = key
+        return key
+
+    def _canonical_key(self, abstraction_preds: List[str]):
         order = sorted(
             self.nodes,
             key=lambda n: (
-                str(self.canonical_vector(n, abstraction_preds)),
+                tuple(
+                    v._value_
+                    for v in self.canonical_vector(n, abstraction_preds)
+                ),
                 self.summary[n],
             ),
         )
         index = {node: i for i, node in enumerate(order)}
         unary_part = frozenset(
-            (pred, index[node], value.value)
+            (pred, index[node], value._value_)
             for pred, table in self.unary.items()
             for node, value in table.items()
             if value is not FALSE3
         )
         binary_part = frozenset(
-            (pred, index[n1], index[n2], value.value)
+            (pred, index[n1], index[n2], value._value_)
             for pred, table in self.binary.items()
             for (n1, n2), value in table.items()
             if value is not FALSE3
         )
         nullary_part = frozenset(
-            (pred, value.value)
+            (pred, value._value_)
             for pred, value in self.nullary.items()
             if value is not FALSE3
         )
@@ -266,7 +323,10 @@ class ThreeValuedStructure:
         for n, vector in vectors_b.items():
             by_vector_b.setdefault(vector, n)
         matched_b = set()
-        for n, vector in sorted(vectors_a.items(), key=lambda kv: str(kv[1])):
+        for n, vector in sorted(
+            vectors_a.items(),
+            key=lambda kv: tuple(v._value_ for v in kv[1]),
+        ):
             partner = by_vector_b.get(vector)
             if partner is not None and partner not in matched_b:
                 matched_b.add(partner)

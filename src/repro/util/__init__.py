@@ -1,5 +1,19 @@
-"""Shared utilities: lexing and source-position bookkeeping."""
+"""Shared utilities: lexing, source positions, worklist strategies."""
 
 from repro.util.lexer import Lexer, LexError, Token
+from repro.util.worklist import (
+    FifoWorklist,
+    PriorityWorklist,
+    make_worklist,
+    reverse_postorder,
+)
 
-__all__ = ["Lexer", "LexError", "Token"]
+__all__ = [
+    "Lexer",
+    "LexError",
+    "Token",
+    "FifoWorklist",
+    "PriorityWorklist",
+    "make_worklist",
+    "reverse_postorder",
+]

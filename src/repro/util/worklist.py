@@ -1,0 +1,122 @@
+"""Worklist strategies shared by every fixpoint engine.
+
+The seed engines all used FIFO deques, which on nested loops re-process
+loop heads long before their bodies have stabilized.  A *reverse
+postorder* (RPO) priority worklist pops nodes in topological-ish order —
+predecessors before successors on the acyclic core — so each pass over a
+loop propagates complete information and the engines converge in fewer
+iterations (the per-engine ``iterations`` stats make the win directly
+observable).
+
+Both strategies expose one tiny API — ``push``, ``pop``, truthiness —
+and deduplicate internally: pushing an already-queued node is a no-op,
+which replaces the hand-rolled ``queued`` sets at every call site.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Callable, Dict, Hashable, Iterable, List, Set
+
+#: the supported worklist orders
+ORDERS = ("rpo", "fifo")
+
+
+def reverse_postorder(
+    entry: Hashable, successors: Callable[[Hashable], Iterable[Hashable]]
+) -> Dict[Hashable, int]:
+    """Map each node reachable from ``entry`` to its RPO index.
+
+    Iterative DFS (client CFGs can be deep), deterministic: successors
+    are visited in the order ``successors`` yields them.
+    """
+    postorder: List[Hashable] = []
+    visited: Set[Hashable] = {entry}
+    stack: List[tuple] = [(entry, iter(tuple(successors(entry))))]
+    while stack:
+        node, children = stack[-1]
+        advanced = False
+        for child in children:
+            if child not in visited:
+                visited.add(child)
+                stack.append((child, iter(tuple(successors(child)))))
+                advanced = True
+                break
+        if not advanced:
+            stack.pop()
+            postorder.append(node)
+    return {node: index for index, node in enumerate(reversed(postorder))}
+
+
+class FifoWorklist:
+    """The seed strategy: first-in first-out with dedup."""
+
+    def __init__(self) -> None:
+        self._queue: deque = deque()
+        self._queued: Set[Hashable] = set()
+
+    def push(self, node: Hashable) -> None:
+        if node not in self._queued:
+            self._queued.add(node)
+            self._queue.append(node)
+
+    def pop(self) -> Hashable:
+        node = self._queue.popleft()
+        self._queued.discard(node)
+        return node
+
+    def __bool__(self) -> bool:
+        return bool(self._queue)
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+
+class PriorityWorklist:
+    """Pop the queued node with the smallest priority (RPO index).
+
+    Nodes missing from the priority map (unreachable via the successor
+    function used to build it) sort last, in insertion order.
+    """
+
+    def __init__(self, priority: Dict[Hashable, int]) -> None:
+        self._priority = priority
+        self._fallback = len(priority)
+        self._heap: List[tuple] = []
+        self._queued: Set[Hashable] = set()
+        self._seq = 0
+
+    def push(self, node: Hashable) -> None:
+        if node in self._queued:
+            return
+        self._queued.add(node)
+        self._seq += 1
+        heapq.heappush(
+            self._heap,
+            (self._priority.get(node, self._fallback), self._seq, node),
+        )
+
+    def pop(self) -> Hashable:
+        _, _, node = heapq.heappop(self._heap)
+        self._queued.discard(node)
+        return node
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+
+def make_worklist(
+    order: str,
+    entry: Hashable,
+    successors: Callable[[Hashable], Iterable[Hashable]],
+):
+    """Build a worklist of the requested ``order`` ("rpo" or "fifo")."""
+    if order == "fifo":
+        return FifoWorklist()
+    if order == "rpo":
+        return PriorityWorklist(reverse_postorder(entry, successors))
+    raise ValueError(f"unknown worklist order {order!r}; pick from {ORDERS}")

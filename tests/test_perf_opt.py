@@ -1,0 +1,422 @@
+"""Tests for the performance layer: compiled formula evaluation,
+structure/transfer memoization, and priority worklists.
+
+The two load-bearing properties:
+
+* compiled evaluation is *observationally identical* to the recursive
+  interpreter on random formulas over random 3-valued structures;
+* reverse-postorder scheduling changes only the iteration count — the
+  FDS and relational solvers produce byte-identical ``may_one`` /
+  ``may_zero`` / alarm sets, and the TVLA engine identical alarm sets,
+  on every suite program.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.api import CertifyOptions, CertifySession
+from repro.bench.harness import run_comparison
+from repro.certifier.fds import FdsResult, FdsSolver
+from repro.certifier.relational import RelationalSolver, StateExplosion
+from repro.certifier.transform import ClientTransformer
+from repro.lang import parse_program
+from repro.lang.inline import inline_program
+from repro.logic import compile as formula_compile
+from repro.logic.formula import (
+    And,
+    EqAtom,
+    Exists,
+    Forall,
+    Not,
+    Or,
+    PredAtom,
+    Truth,
+)
+from repro.logic.kleene import FALSE3, HALF, TRUE3
+from repro.logic.terms import Base
+from repro.suite import all_programs, shallow_programs
+from repro.tvla.three_valued import ThreeValuedStructure
+from repro.util.worklist import (
+    FifoWorklist,
+    PriorityWorklist,
+    reverse_postorder,
+)
+
+# -- compiled ≡ interpreted on random formulas × structures -------------------
+
+_KLEENE = st.sampled_from([FALSE3, HALF, TRUE3])
+
+_LEAVES = st.sampled_from(
+    [
+        Truth(True),
+        Truth(False),
+        PredAtom("n0"),
+        PredAtom("n1"),
+        PredAtom("u0", ("x",)),
+        PredAtom("u0", ("y",)),
+        PredAtom("u1", ("x",)),
+        PredAtom("b0", ("x", "y")),
+        PredAtom("b0", ("y", "x")),
+        EqAtom(Base("x"), Base("y")),
+        EqAtom(Base("x"), Base("x")),
+    ]
+)
+
+
+def _formulas():
+    return st.recursive(
+        _LEAVES,
+        lambda children: st.one_of(
+            st.builds(Not, children),
+            st.builds(lambda a, b: And((a, b)), children, children),
+            st.builds(lambda a, b: Or((a, b)), children, children),
+            st.builds(
+                lambda v, b: Exists(v, b),
+                st.sampled_from(["x", "y", "z"]),
+                children,
+            ),
+            st.builds(
+                lambda v, b: Forall(v, b),
+                st.sampled_from(["x", "y", "z"]),
+                children,
+            ),
+        ),
+        max_leaves=10,
+    )
+
+
+@st.composite
+def _structures(draw):
+    s = ThreeValuedStructure()
+    count = draw(st.integers(min_value=1, max_value=3))
+    nodes = [
+        s.new_node(summary=draw(st.booleans())) for _ in range(count)
+    ]
+    for pred in ("n0", "n1"):
+        value = draw(_KLEENE)
+        if value is not FALSE3:
+            s.nullary[pred] = value
+    for pred in ("u0", "u1"):
+        for node in nodes:
+            value = draw(_KLEENE)
+            if value is not FALSE3:
+                s.unary.setdefault(pred, {})[node] = value
+    for left in nodes:
+        for right in nodes:
+            value = draw(_KLEENE)
+            if value is not FALSE3:
+                s.binary.setdefault("b0", {})[(left, right)] = value
+    return s
+
+
+class TestCompiledEquivalence:
+    @settings(max_examples=300, deadline=None)
+    @given(
+        formula=_formulas(),
+        structure=_structures(),
+        xi=st.integers(min_value=0, max_value=2),
+        yi=st.integers(min_value=0, max_value=2),
+    )
+    def test_compiled_matches_interpreter(
+        self, formula, structure, xi, yi
+    ):
+        nodes = structure.nodes
+        env = {
+            "x": nodes[xi % len(nodes)],
+            "y": nodes[yi % len(nodes)],
+        }
+        interpreted = structure._eval(formula, dict(env))
+        compiled = formula_compile.evaluate(structure, formula, env)
+        assert compiled is interpreted
+
+    def test_eval_respects_interpreted_toggle(self):
+        structure = ThreeValuedStructure()
+        node = structure.new_node()
+        structure.unary.setdefault("u0", {})[node] = TRUE3
+        formula = Exists("x", PredAtom("u0", ("x",)))
+        assert formula_compile.compilation_enabled()
+        with formula_compile.interpreted():
+            assert not formula_compile.compilation_enabled()
+            assert structure.eval(formula) is TRUE3
+        assert formula_compile.compilation_enabled()
+        assert structure.eval(formula) is TRUE3
+
+    def test_intern_shares_compiled_evaluator(self):
+        f1 = Exists("x", PredAtom("u0", ("x",)))
+        f2 = Exists("x", PredAtom("u0", ("x",)))
+        assert f1 is not f2
+        assert formula_compile.intern(f1) is formula_compile.intern(f2)
+        c1 = formula_compile.compile_formula(f1)
+        c2 = formula_compile.compile_formula(f2)
+        assert c1 is c2
+
+    def test_uncompilable_falls_back_to_interpreter(self):
+        from repro.logic.terms import Field
+
+        structure = ThreeValuedStructure()
+        structure.new_node()
+        # field-typed equality is interpreter-only; both paths raise the
+        # same interpreter TypeError
+        bad = EqAtom(Field(Base("x"), "f"), Base("y"))
+        assert formula_compile.compile_formula(bad) is None
+        with pytest.raises(TypeError):
+            structure.eval(bad, {"x": 0, "y": 0})
+
+
+# -- canonical-key memoization ------------------------------------------------
+
+
+class TestCanonicalKeyCache:
+    def _structure(self):
+        s = ThreeValuedStructure()
+        node = s.new_node()
+        s.set("a", (node,), TRUE3)
+        return s, node
+
+    def test_key_is_cached_and_invalidated_by_set(self):
+        s, node = self._structure()
+        key = s.canonical_key(["a"])
+        assert s.canonical_key(["a"]) == key
+        assert s._ckey_cache  # memoized
+        s.set("a", (node,), HALF)
+        assert not s._ckey_cache  # dirtied
+        assert s.canonical_key(["a"]) != key
+
+    def test_new_node_invalidates(self):
+        s, _ = self._structure()
+        before = s.canonical_key(["a"])
+        s.new_node()
+        assert s.canonical_key(["a"]) != before
+
+    def test_copy_does_not_share_cache(self):
+        s, node = self._structure()
+        s.canonical_key(["a"])
+        clone = s.copy()
+        # direct table mutation on the fresh copy must be safe
+        clone.unary["a"][node] = HALF
+        assert clone.canonical_key(["a"]) != s.canonical_key(["a"])
+
+
+# -- worklist primitives ------------------------------------------------------
+
+
+class TestWorklists:
+    def test_reverse_postorder_linear_chain(self):
+        succ = {0: [1], 1: [2], 2: []}
+        rpo = reverse_postorder(0, lambda n: succ[n])
+        assert rpo == {0: 0, 1: 1, 2: 2}
+
+    def test_priority_pops_in_rpo_order(self):
+        succ = {0: [1, 2], 1: [3], 2: [3], 3: []}
+        rpo = reverse_postorder(0, lambda n: succ[n])
+        wl = PriorityWorklist(rpo)
+        for node in (3, 2, 0, 1):
+            wl.push(node)
+        popped = [wl.pop() for _ in range(len(wl))]
+        assert popped == sorted(popped, key=lambda n: rpo[n])
+
+    def test_dedup(self):
+        for wl in (FifoWorklist(), PriorityWorklist({1: 0})):
+            wl.push(1)
+            wl.push(1)
+            assert len(wl) == 1
+            assert wl.pop() == 1
+            assert not wl
+
+
+# -- solver equivalence across scheduling orders ------------------------------
+
+
+@pytest.fixture(scope="module")
+def shallow_boolprogs(cmp_specification, cmp_abstraction):
+    programs = {}
+    for bench in shallow_programs():
+        program = parse_program(bench.source, cmp_specification)
+        inlined = inline_program(program)
+        programs[bench.name] = ClientTransformer(
+            program, cmp_abstraction
+        ).transform_inlined(inlined)
+    return programs
+
+
+class TestSchedulingEquivalence:
+    def test_fds_rpo_identical_and_no_slower(self, shallow_boolprogs):
+        for name, boolprog in shallow_boolprogs.items():
+            rpo = FdsSolver(worklist="rpo").solve(boolprog)
+            fifo = FdsSolver(worklist="fifo").solve(boolprog)
+            assert rpo.may_one == fifo.may_one, name
+            assert rpo.may_zero == fifo.may_zero, name
+            assert rpo.alarms == fifo.alarms, name
+            assert rpo.iterations <= fifo.iterations, name
+
+    def test_relational_rpo_identical_and_no_slower(
+        self, shallow_boolprogs
+    ):
+        for name, boolprog in shallow_boolprogs.items():
+            rpo = RelationalSolver(worklist="rpo").solve(boolprog)
+            fifo = RelationalSolver(worklist="fifo").solve(boolprog)
+            assert rpo.states == fifo.states, name
+            assert rpo.alarms == fifo.alarms, name
+            assert rpo.iterations <= fifo.iterations, name
+
+    def test_tvla_rpo_identical_alarms(self, cmp_specification):
+        rpo_session = CertifySession(
+            cmp_specification,
+            engine="tvla-relational",
+            options=CertifyOptions(worklist="rpo"),
+        )
+        fifo_session = CertifySession(
+            cmp_specification,
+            engine="tvla-relational",
+            options=CertifyOptions(
+                worklist="fifo", memoize_transfers=False
+            ),
+        )
+        for bench in all_programs():
+            program = parse_program(bench.source, cmp_specification)
+            rpo = rpo_session.certify_program(program)
+            fifo = fifo_session.certify_program(program)
+            signature = lambda r: sorted(
+                (a.site_id, a.op_key, a.instance, a.definite)
+                for a in r.alarms
+            )
+            assert signature(rpo) == signature(fifo), bench.name
+            assert (
+                rpo.stats["iterations"] <= fifo.stats["iterations"]
+            ), bench.name
+
+
+# -- transfer memoization -----------------------------------------------------
+
+
+class TestTransferMemoization:
+    def test_second_run_replays_transfers(self, cmp_specification):
+        session = CertifySession(
+            cmp_specification, engine="tvla-relational"
+        )
+        bench = next(
+            b for b in all_programs() if b.name == "holders_loop"
+        )
+        program = parse_program(bench.source, cmp_specification)
+        first = session.certify_program(program)
+        second = session.certify_program(program)
+        assert second.stats["transfer_misses"] == 0
+        assert second.stats["transfer_hits"] > 0
+        assert [
+            (a.site_id, a.op_key, a.instance, a.definite)
+            for a in second.alarms
+        ] == [
+            (a.site_id, a.op_key, a.instance, a.definite)
+            for a in first.alarms
+        ]
+
+    def test_memoization_off_never_hits(self, cmp_specification):
+        session = CertifySession(
+            cmp_specification,
+            engine="tvla-relational",
+            options=CertifyOptions(memoize_transfers=False),
+        )
+        bench = next(b for b in all_programs() if b.name == "fig3")
+        program = parse_program(bench.source, cmp_specification)
+        session.certify_program(program)
+        report = session.certify_program(program)
+        assert report.stats["transfer_hits"] == 0
+
+
+# -- satellite regressions ----------------------------------------------------
+
+
+class TestSatellites:
+    def test_fds_result_provenance_defaults_to_fresh_dict(self):
+        a = FdsResult(None, {}, {}, [], 0)
+        b = FdsResult(None, {}, {}, [], 0)
+        assert a.provenance == {}
+        a.provenance[(0, 0)] = ("x",)
+        assert b.provenance == {}  # no shared mutable default
+
+    def test_state_explosion_reports_pre_overflow_count(
+        self, cmp_specification, cmp_abstraction
+    ):
+        bench = next(
+            b for b in all_programs() if b.name == "diamond_join"
+        )
+        program = parse_program(bench.source, cmp_specification)
+        boolprog = ClientTransformer(
+            program, cmp_abstraction
+        ).transform_inlined(inline_program(program))
+        solver = RelationalSolver(state_budget=1)
+        with pytest.raises(StateExplosion) as excinfo:
+            solver.solve(boolprog)
+        message = str(excinfo.value)
+        assert "pre-overflow count" in message
+        assert "in-degree" in message
+        assert "> budget 1" in message
+
+
+# -- bench comparison mode ----------------------------------------------------
+
+
+class TestBenchComparison:
+    def test_comparison_rows_and_json(self, cmp_specification):
+        subset = [
+            b for b in all_programs() if b.name in ("fig3", "sec3_loop")
+        ]
+        result = run_comparison(
+            spec=cmp_specification, programs=subset, reps=1
+        )
+        assert result.alarms_equal
+        assert {r.program for r in result.rows} == {
+            "fig3",
+            "sec3_loop",
+        }
+        payload = result.to_json()
+        assert payload["kind"] == "comparison"
+        assert payload["alarms_equal"] is True
+        assert len(payload["rows"]) == 2
+        json.dumps(payload)  # serializable
+
+    def test_cli_bench_compare_check(self, tmp_path):
+        from repro.cli import main
+
+        out = tmp_path / "bench.json"
+        code = main(
+            [
+                "bench",
+                "--compare",
+                "--programs",
+                "fig3",
+                "--reps",
+                "1",
+                "--json",
+                str(out),
+                "--check",
+                "--quiet",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert payload["alarms_equal"] is True
+
+    def test_cli_bench_precision_json(self, tmp_path):
+        from repro.cli import main
+
+        out = tmp_path / "table.json"
+        code = main(
+            [
+                "bench",
+                "--programs",
+                "fig3",
+                "--engines",
+                "fds",
+                "--json",
+                str(out),
+                "--check",
+                "--quiet",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert payload["kind"] == "precision"
+        assert payload["programs"][0]["engines"]["fds"]["sound"]
