@@ -10,7 +10,7 @@ O(E·B²) behaviour of the Section 4.3 certifier.
 from __future__ import annotations
 
 import random
-from typing import List
+from typing import List, Optional
 
 
 def make_client(
@@ -19,9 +19,16 @@ def make_client(
     num_ops: int = 30,
     seed: int = 7,
     loop_every: int = 10,
+    rng: Optional[random.Random] = None,
 ) -> str:
-    """A single-method SCMP client with the requested size."""
-    rng = random.Random(seed)
+    """A single-method SCMP client with the requested size.
+
+    Randomness comes from ``rng`` when supplied (so callers embedding
+    this generator in a larger seeded process control the stream);
+    otherwise a fresh ``random.Random(seed)`` keeps the output
+    deterministic per ``seed`` exactly as before.
+    """
+    rng = rng if rng is not None else random.Random(seed)
     lines: List[str] = ["class Main {", "  static void main() {"]
     sets = [f"s{i}" for i in range(num_sets)]
     iters = [f"i{i}" for i in range(num_iters)]
@@ -77,9 +84,6 @@ def make_call_chain(depth: int, mutate_at_bottom: bool = True) -> str:
         "  }",
     ]
     for level in range(depth):
-        callee = f"p{level + 1}()" if level + 1 < depth else (
-            'g.add("x")' if mutate_at_bottom else "g.iterator()"
-        )
         if level + 1 < depth:
             body = f"if (?) {{ p{level + 1}(); }}"
         elif mutate_at_bottom:

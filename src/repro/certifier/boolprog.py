@@ -16,8 +16,8 @@ tuple of client variable names (``stale[i2]``, ``iterof[i1, v]``, …).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
 
 
 @dataclass(frozen=True)

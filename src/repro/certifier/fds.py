@@ -28,7 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
-from repro.certifier.boolprog import BoolEdge, BoolProgram, Check
+from repro.certifier.boolprog import BoolEdge, BoolProgram
 from repro.certifier.report import Alarm, CertificationReport
 from repro.runtime.trace import phase as trace_phase
 from repro.util.worklist import make_worklist

@@ -38,13 +38,10 @@ from repro.lang.cfg import (
     SCallComp,
     SCopy,
     SLoad,
-    SNewClient,
-    SNop,
     SNull,
-    SReturn,
     SStore,
 )
-from repro.lang.types import MethodInfo, Program
+from repro.lang.types import Program
 from repro.logic.formula import TRUE
 from repro.runtime.trace import phase as trace_phase
 from repro.logic.terms import Base

@@ -18,6 +18,13 @@ Suite benchmarks (see :mod:`repro.bench.harness`)::
     repro bench --json table.json                # precision table
     repro bench --compare --json BENCH_pr2.json  # interpreted vs compiled
     repro bench --compare --check --min-speedup 2.0
+
+Differential fuzzing with the soundness gate (see :mod:`repro.fuzz`)::
+
+    repro fuzz --seed-range 0:200                # all engine families
+    repro fuzz --seed-range 0:25 --engines fds,tvla-relational
+    repro fuzz --seed-range 0:5000 --time-budget 1200 --json out.json
+    repro fuzz --seed-range 0:200 --shrink --corpus tests/corpus
 """
 
 from __future__ import annotations
@@ -205,6 +212,224 @@ def build_bench_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_fuzz_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro fuzz",
+        description=(
+            "Differential fuzzing: generate seeded random Jlite clients, "
+            "obtain ground truth from the exhaustive interpreter, certify "
+            "with every requested engine, and fail on any soundness "
+            "violation (an engine missing a concretely-witnessed error)."
+        ),
+    )
+    parser.add_argument(
+        "--seed-range",
+        default="0:100",
+        metavar="A:B",
+        help="half-open seed interval to fuzz (default 0:100)",
+    )
+    parser.add_argument(
+        "--engines",
+        default=None,
+        metavar="E1,E2,...",
+        help="comma-separated engines (default: one per fixpoint family)",
+    )
+    parser.add_argument(
+        "--size",
+        type=int,
+        default=16,
+        metavar="N",
+        help="statement budget per generated main body",
+    )
+    parser.add_argument(
+        "--depth",
+        type=int,
+        default=2,
+        metavar="N",
+        help="max nesting depth of generated branches/loops",
+    )
+    parser.add_argument(
+        "--helpers",
+        type=int,
+        default=2,
+        metavar="N",
+        help="max generated static helper methods",
+    )
+    parser.add_argument(
+        "--max-paths",
+        type=int,
+        default=8_000,
+        metavar="N",
+        help="oracle exploration budget: concrete paths per program",
+    )
+    parser.add_argument(
+        "--max-steps",
+        type=int,
+        default=400,
+        metavar="N",
+        help="oracle exploration budget: steps per concrete path",
+    )
+    parser.add_argument(
+        "--time-budget",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="stop generating new seeds after this much wall clock",
+    )
+    parser.add_argument(
+        "--shrink",
+        action="store_true",
+        help="minimize every gate-failing program before reporting it",
+    )
+    parser.add_argument(
+        "--corpus",
+        default=None,
+        metavar="DIR",
+        help="write (shrunk) gate-failing programs into this corpus dir",
+    )
+    parser.add_argument(
+        "--fail-on-disagreement",
+        action="store_true",
+        help="also fail when engines disagree on alarm sets (default: "
+        "disagreements are reported, only soundness fails the run)",
+    )
+    parser.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="write the campaign summary as JSON ('-' for stdout)",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress the summary table"
+    )
+    return parser
+
+
+def _parse_seed_range(text: str) -> Optional[range]:
+    parts = text.split(":")
+    if len(parts) != 2:
+        return None
+    try:
+        start, stop = int(parts[0]), int(parts[1])
+    except ValueError:
+        return None
+    if start < 0 or stop < start:
+        return None
+    return range(start, stop)
+
+
+def fuzz_main(argv: Optional[List[str]] = None) -> int:
+    from repro.fuzz import (
+        DEFAULT_FUZZ_ENGINES,
+        FuzzConfig,
+        Oracle,
+        run_campaign,
+    )
+    from repro.fuzz.shrink import (
+        corpus_entry_name,
+        shrink_source,
+        write_corpus_entry,
+    )
+    from repro.runtime.interp import ExplorationBudget
+
+    args = build_fuzz_parser().parse_args(argv)
+    seeds = _parse_seed_range(args.seed_range)
+    if seeds is None:
+        print(
+            f"error: bad --seed-range {args.seed_range!r} "
+            "(expected A:B with 0 <= A <= B)",
+            file=sys.stderr,
+        )
+        return 2
+    engines = (
+        tuple(e.strip() for e in args.engines.split(","))
+        if args.engines
+        else DEFAULT_FUZZ_ENGINES
+    )
+    bad = [e for e in engines if e not in ENGINES or e == "auto"]
+    if bad:
+        print(f"error: unknown engine(s): {bad}", file=sys.stderr)
+        return 2
+    config = FuzzConfig(
+        max_stmts=args.size,
+        max_depth=args.depth,
+        max_helpers=args.helpers,
+    )
+    oracle = Oracle(
+        ExplorationBudget(
+            max_paths=args.max_paths, max_steps_per_path=args.max_steps
+        )
+    )
+    result = run_campaign(
+        seeds,
+        engines=engines,
+        config=config,
+        oracle=oracle,
+        time_budget=args.time_budget,
+    )
+
+    shrunk: List[str] = []
+    if args.shrink or args.corpus:
+        from repro.easl.library import cmp_spec
+        from repro.fuzz import run_case
+
+        spec = cmp_spec()
+        existing: List[str] = []
+        for case in result.failures:
+            signature = case.failure_signature()
+
+            def still_fails(source: str, _sig=signature) -> bool:
+                candidate = run_case(
+                    source, spec, engines, oracle=oracle
+                )
+                return bool(candidate.failure_signature() & _sig)
+
+            reduced = (
+                shrink_source(case.source, still_fails)
+                if args.shrink
+                else case.source
+            )
+            shrunk.append(reduced)
+            if args.corpus:
+                kind = sorted(k for _e, k in signature)[0]
+                name = corpus_entry_name(case.seed, kind, existing)
+                existing.append(name)
+                write_corpus_entry(
+                    args.corpus,
+                    name,
+                    reduced,
+                    {
+                        "kind": kind,
+                        "spec": "cmp",
+                        "seed": case.seed,
+                        "engines": list(engines),
+                        "failure": sorted(
+                            f"{e}:{k}" for e, k in signature
+                        ),
+                        "oracle_failing_lines": sorted(
+                            case.verdict.failing_lines()
+                        ),
+                    },
+                )
+
+    payload = result.to_json()
+    payload["shrunk_reproducers"] = shrunk
+    if args.json == "-":
+        print(json.dumps(payload, indent=2))
+    elif args.json:
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+    if not args.quiet:
+        print(result.format_summary())
+        for source in shrunk:
+            print("\nshrunk reproducer:\n" + source)
+    ok = result.ok and not (
+        args.fail_on_disagreement and result.disagreements
+    )
+    return 0 if ok else 1
+
+
 def bench_main(argv: Optional[List[str]] = None) -> int:
     from repro.bench import (
         results_to_json,
@@ -315,6 +540,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return batch_main(argv[1:])
     if argv and argv[0] == "bench":
         return bench_main(argv[1:])
+    if argv and argv[0] == "fuzz":
+        return fuzz_main(argv[1:])
 
     args = build_parser().parse_args(argv)
     spec = ALL_SPECS[args.spec.upper()]()

@@ -18,7 +18,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro.derivation.predicates import Family
-from repro.logic.formula import And, EqAtom, Formula, Not
+from repro.logic.formula import And, EqAtom, Not
 from repro.logic.terms import Base, Field
 
 

@@ -35,7 +35,6 @@ from repro.easl.ast import (
     MethodDecl,
     NewExpr,
     PathExpr,
-    Requires,
     Stmt,
 )
 

@@ -50,7 +50,7 @@ from repro.easl.ast import (
     Return,
     Stmt,
 )
-from repro.easl.spec import ComponentSpec, Operation, SpecError
+from repro.easl.spec import ComponentSpec, Operation
 from repro.logic.formula import (
     EqAtom,
     Formula,

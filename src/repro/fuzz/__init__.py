@@ -1,0 +1,51 @@
+"""Differential fuzzing of the certification engines.
+
+The fuzzer closes the analyzer-vs-checker trust gap: the five fixpoint
+engines (fds, relational, interproc, tvla, generic) are checked against
+the exhaustive concrete interpreter on *generated* clients nobody
+hand-picked.
+
+* :mod:`repro.fuzz.generator` — seeded, fully deterministic generator of
+  well-typed Jlite clients over the JCF/CMP specification (aliasing,
+  branches, loops, interprocedural calls; size/depth knobs);
+* :mod:`repro.fuzz.oracle` — the concrete oracle: bounded exhaustive
+  interpretation yields ground-truth violation sites, plus witness-trace
+  validation for alarms the engines emit;
+* :mod:`repro.fuzz.diff` — the differential harness: certify each
+  program with every engine, assert the *soundness invariant* (no engine
+  reports "safe" on a program where the oracle exhibits a violation),
+  tabulate cross-engine precision disagreements;
+* :mod:`repro.fuzz.shrink` — delta-debugging minimizer for failing
+  programs, writing shrunk reproducers into a committed regression
+  corpus (``tests/corpus/``).
+
+CLI: ``repro fuzz --seed-range A:B --engines ... --shrink --corpus DIR``.
+"""
+
+from repro.fuzz.diff import (
+    CampaignResult,
+    CaseResult,
+    DEFAULT_FUZZ_ENGINES,
+    EngineOutcome,
+    run_campaign,
+    run_case,
+)
+from repro.fuzz.generator import FuzzConfig, generate_client
+from repro.fuzz.oracle import Oracle, OracleVerdict, validate_witnesses
+from repro.fuzz.shrink import shrink_source, write_corpus_entry
+
+__all__ = [
+    "CampaignResult",
+    "CaseResult",
+    "DEFAULT_FUZZ_ENGINES",
+    "EngineOutcome",
+    "FuzzConfig",
+    "Oracle",
+    "OracleVerdict",
+    "generate_client",
+    "run_campaign",
+    "run_case",
+    "shrink_source",
+    "validate_witnesses",
+    "write_corpus_entry",
+]

@@ -1,0 +1,413 @@
+"""Differential harness: every engine vs the concrete oracle.
+
+For each generated program the harness certifies with every requested
+engine and checks the **soundness invariant**: no engine may report
+"safe" (or miss an alarm site) on a program where the oracle exhibits a
+concrete violation.  The oracle's failing sites are each witnessed by a
+real execution, so a miss is a refutation, not a precision judgement —
+even when the exploration was truncated.
+
+Cross-engine *precision* differences (different alarm-site sets on the
+same program) are legal — the paper's Section 7 tables are exactly such
+differences — but they are the most informative fuzzing output, so the
+campaign aggregates them into a pairwise table and keeps exemplar seeds
+for shrinking.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.api import CertifySession
+from repro.easl.library import cmp_spec
+from repro.easl.spec import ComponentSpec
+from repro.fuzz.generator import FuzzConfig, generate_client
+from repro.fuzz.oracle import (
+    Oracle,
+    OracleStats,
+    OracleVerdict,
+    WitnessIssue,
+    validate_witnesses,
+)
+from repro.lang.types import parse_program
+
+#: one engine per fixpoint family: boolean FDS, relational, summary-based
+#: interprocedural, TVLA, and the generic baseline
+DEFAULT_FUZZ_ENGINES: Tuple[str, ...] = (
+    "fds",
+    "relational",
+    "interproc",
+    "tvla-relational",
+    "allocsite",
+)
+
+
+@dataclass
+class EngineOutcome:
+    """One engine's result on one generated program."""
+
+    engine: str
+    alarm_sites: frozenset = frozenset()
+    alarm_lines: Tuple[int, ...] = ()
+    definite_sites: frozenset = frozenset()
+    seconds: float = 0.0
+    error: Optional[str] = None
+    missed_sites: Tuple[int, ...] = ()
+    false_alarm_sites: Tuple[int, ...] = ()
+
+    @property
+    def crashed(self) -> bool:
+        return self.error is not None
+
+    @property
+    def sound(self) -> bool:
+        return self.error is None and not self.missed_sites
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "engine": self.engine,
+            "alarm_lines": sorted(self.alarm_lines),
+            "seconds": round(self.seconds, 4),
+            "error": self.error,
+            "missed_sites": list(self.missed_sites),
+            "false_alarm_sites": list(self.false_alarm_sites),
+            "sound": self.sound,
+        }
+
+
+@dataclass
+class CaseResult:
+    """The differential result for one seed."""
+
+    seed: int
+    source: str
+    verdict: OracleVerdict
+    outcomes: Dict[str, EngineOutcome]
+    witness_issues: List[WitnessIssue] = field(default_factory=list)
+
+    @property
+    def soundness_violations(self) -> List[EngineOutcome]:
+        return [o for o in self.outcomes.values() if o.missed_sites]
+
+    @property
+    def crashes(self) -> List[EngineOutcome]:
+        return [o for o in self.outcomes.values() if o.crashed]
+
+    @property
+    def ok(self) -> bool:
+        """The hard gate: sound everywhere, no crashes, no witness lies."""
+        return (
+            not self.soundness_violations
+            and not self.crashes
+            and not self.witness_issues
+        )
+
+    @property
+    def disagreement(self) -> bool:
+        """Do two non-crashed engines report different alarm sets?"""
+        sets = {
+            o.alarm_sites
+            for o in self.outcomes.values()
+            if not o.crashed
+        }
+        return len(sets) > 1
+
+    def failure_signature(self) -> frozenset:
+        """(engine, kind) pairs describing why the case fails the gate —
+        the shrinker preserves a non-empty intersection with this."""
+        pairs = set()
+        for outcome in self.soundness_violations:
+            pairs.add((outcome.engine, "miss"))
+        for outcome in self.crashes:
+            pairs.add((outcome.engine, "crash"))
+        for issue in self.witness_issues:
+            pairs.add((issue.engine, "witness"))
+        return frozenset(pairs)
+
+    def partition(self) -> Dict[frozenset, List[str]]:
+        """Engines grouped by identical alarm-site sets."""
+        groups: Dict[frozenset, List[str]] = {}
+        for name, outcome in self.outcomes.items():
+            if outcome.crashed:
+                continue
+            groups.setdefault(outcome.alarm_sites, []).append(name)
+        return groups
+
+    def signature(self) -> str:
+        """Canonical label for the precision partition, most precise
+        group first, e.g. ``fds=relational < allocsite``."""
+        groups = sorted(
+            self.partition().items(),
+            key=lambda item: (len(item[0]), sorted(item[0])),
+        )
+        return " < ".join(
+            "=".join(sorted(names)) for _sites, names in groups
+        )
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "seed": self.seed,
+            "oracle": {
+                "failing_lines": sorted(self.verdict.failing_lines()),
+                "paths": self.verdict.paths_explored,
+                "truncated": self.verdict.truncated,
+            },
+            "engines": {
+                name: outcome.to_json()
+                for name, outcome in sorted(self.outcomes.items())
+            },
+            "witness_issues": [str(issue) for issue in self.witness_issues],
+            "ok": self.ok,
+            "disagreement": self.disagreement,
+            "signature": self.signature(),
+        }
+
+
+def run_case(
+    source: str,
+    spec: Optional[ComponentSpec] = None,
+    engines: Iterable[str] = DEFAULT_FUZZ_ENGINES,
+    *,
+    session: Optional[CertifySession] = None,
+    oracle: Optional[Oracle] = None,
+    seed: int = -1,
+    stats: Optional[OracleStats] = None,
+) -> CaseResult:
+    """Certify one program with every engine and diff against the oracle."""
+    spec = spec if spec is not None else (
+        session.spec if session is not None else cmp_spec()
+    )
+    session = session or CertifySession(spec)
+    oracle = oracle or Oracle()
+    program = parse_program(source, spec)
+    truth = oracle.ground_truth(program)
+    verdict = oracle.verdict(truth)
+    if stats is not None:
+        stats.record(truth, verdict)
+
+    outcomes: Dict[str, EngineOutcome] = {}
+    witness_issues: List[WitnessIssue] = []
+    for engine in engines:
+        start = time.perf_counter()
+        try:
+            report = session.certify_program(program, engine)
+        except Exception as error:  # engine crash: a finding, not a halt
+            outcomes[engine] = EngineOutcome(
+                engine=engine,
+                seconds=time.perf_counter() - start,
+                error=f"{type(error).__name__}: {error}",
+            )
+            continue
+        elapsed = time.perf_counter() - start
+        alarm_sites = frozenset(report.alarm_sites())
+        missed = tuple(sorted(verdict.failing_sites - alarm_sites))
+        false_alarms: Tuple[int, ...] = ()
+        if not verdict.truncated:
+            false_alarms = tuple(
+                sorted(alarm_sites - verdict.failing_sites)
+            )
+        outcomes[engine] = EngineOutcome(
+            engine=engine,
+            alarm_sites=alarm_sites,
+            alarm_lines=tuple(sorted(report.alarm_lines())),
+            definite_sites=frozenset(
+                a.site_id for a in report.alarms if a.definite
+            ),
+            seconds=elapsed,
+            missed_sites=missed,
+            false_alarm_sites=false_alarms,
+        )
+        witness_issues.extend(validate_witnesses(report, verdict))
+    return CaseResult(seed, source, verdict, outcomes, witness_issues)
+
+
+@dataclass
+class CampaignResult:
+    """Aggregated outcome of a seed-range fuzzing campaign."""
+
+    engines: Tuple[str, ...]
+    seeds_run: List[int] = field(default_factory=list)
+    failures: List[CaseResult] = field(default_factory=list)
+    disagreements: List[CaseResult] = field(default_factory=list)
+    signature_counts: Dict[str, int] = field(default_factory=dict)
+    oracle_stats: OracleStats = field(default_factory=OracleStats)
+    engine_seconds: Dict[str, float] = field(default_factory=dict)
+    engine_alarms: Dict[str, int] = field(default_factory=dict)
+    engine_false_alarms: Dict[str, int] = field(default_factory=dict)
+    wall_seconds: float = 0.0
+    budget_exhausted: bool = False
+    max_kept_disagreements: int = 50
+
+    @property
+    def ok(self) -> bool:
+        """The soundness gate for CI."""
+        return not self.failures
+
+    def record(self, case: CaseResult) -> None:
+        self.seeds_run.append(case.seed)
+        self.signature_counts[case.signature()] = (
+            self.signature_counts.get(case.signature(), 0) + 1
+        )
+        for name, outcome in case.outcomes.items():
+            self.engine_seconds[name] = (
+                self.engine_seconds.get(name, 0.0) + outcome.seconds
+            )
+            self.engine_alarms[name] = (
+                self.engine_alarms.get(name, 0) + len(outcome.alarm_sites)
+            )
+            self.engine_false_alarms[name] = (
+                self.engine_false_alarms.get(name, 0)
+                + len(outcome.false_alarm_sites)
+            )
+        if not case.ok:
+            self.failures.append(case)
+        elif case.disagreement and (
+            len(self.disagreements) < self.max_kept_disagreements
+        ):
+            self.disagreements.append(case)
+
+    # -- reporting -------------------------------------------------------------
+
+    def format_summary(self) -> str:
+        lines = [
+            f"fuzz campaign: {len(self.seeds_run)} program(s), "
+            f"engines={','.join(self.engines)}, "
+            f"{self.wall_seconds:.1f}s wall"
+            + (" [time budget exhausted]" if self.budget_exhausted else "")
+        ]
+        stats = self.oracle_stats
+        lines.append(
+            f"oracle: {stats.violating} violating program(s), "
+            f"{stats.truncated} truncated exploration(s), "
+            f"{stats.paths_total} paths total"
+        )
+        lines.append("")
+        lines.append(
+            f"{'engine':<18} {'alarms':>7} {'false':>7} {'time(s)':>9}"
+        )
+        for name in self.engines:
+            lines.append(
+                f"{name:<18} {self.engine_alarms.get(name, 0):>7} "
+                f"{self.engine_false_alarms.get(name, 0):>7} "
+                f"{self.engine_seconds.get(name, 0.0):>9.2f}"
+            )
+        lines.append("")
+        lines.append("precision partitions (most precise group first):")
+        for signature, count in sorted(
+            self.signature_counts.items(), key=lambda kv: -kv[1]
+        ):
+            lines.append(f"  {count:>5}  {signature}")
+        if self.disagreements:
+            lines.append("")
+            lines.append(
+                f"{len(self.disagreements)} disagreement exemplar(s) kept; "
+                f"first seeds: "
+                + ", ".join(
+                    str(c.seed) for c in self.disagreements[:10]
+                )
+            )
+        if self.failures:
+            lines.append("")
+            lines.append(f"SOUNDNESS GATE FAILED: {len(self.failures)} case(s)")
+            for case in self.failures:
+                for outcome in case.soundness_violations:
+                    lines.append(
+                        f"  seed {case.seed}: {outcome.engine} missed "
+                        f"sites {list(outcome.missed_sites)} "
+                        f"(oracle lines "
+                        f"{sorted(case.verdict.failing_lines())})"
+                    )
+                for outcome in case.crashes:
+                    lines.append(
+                        f"  seed {case.seed}: {outcome.engine} crashed: "
+                        f"{outcome.error}"
+                    )
+                for issue in case.witness_issues:
+                    lines.append(f"  seed {case.seed}: {issue}")
+        else:
+            lines.append("")
+            lines.append("soundness gate: PASS")
+        return "\n".join(lines)
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "engines": list(self.engines),
+            "programs": len(self.seeds_run),
+            "wall_seconds": round(self.wall_seconds, 2),
+            "budget_exhausted": self.budget_exhausted,
+            "oracle": {
+                "violating_programs": self.oracle_stats.violating,
+                "truncated": self.oracle_stats.truncated,
+                "paths_total": self.oracle_stats.paths_total,
+                "per_op_failures": dict(
+                    sorted(self.oracle_stats.per_op_failures.items())
+                ),
+            },
+            "engine_alarms": dict(sorted(self.engine_alarms.items())),
+            "engine_false_alarms": dict(
+                sorted(self.engine_false_alarms.items())
+            ),
+            "engine_seconds": {
+                k: round(v, 2)
+                for k, v in sorted(self.engine_seconds.items())
+            },
+            "signatures": dict(
+                sorted(
+                    self.signature_counts.items(), key=lambda kv: -kv[1]
+                )
+            ),
+            "disagreement_seeds": [
+                c.seed for c in self.disagreements
+            ],
+            "failures": [case.to_json() for case in self.failures],
+            "ok": self.ok,
+        }
+
+
+def run_campaign(
+    seeds: Iterable[int],
+    spec: Optional[ComponentSpec] = None,
+    engines: Iterable[str] = DEFAULT_FUZZ_ENGINES,
+    config: Optional[FuzzConfig] = None,
+    *,
+    oracle: Optional[Oracle] = None,
+    time_budget: Optional[float] = None,
+    on_case: Optional[Callable[[CaseResult], None]] = None,
+) -> CampaignResult:
+    """Run the differential harness over a seed range.
+
+    ``time_budget`` (seconds of wall clock) stops the campaign early —
+    the nightly CI job uses it so a slow runner degrades coverage rather
+    than failing the build.
+    """
+    spec = spec or cmp_spec()
+    engines = tuple(engines)
+    config = config or FuzzConfig()
+    oracle = oracle or Oracle()
+    session = CertifySession(spec)
+    result = CampaignResult(engines=engines)
+    start = time.perf_counter()
+    for seed in seeds:
+        if (
+            time_budget is not None
+            and time.perf_counter() - start > time_budget
+        ):
+            result.budget_exhausted = True
+            break
+        source = generate_client(seed, config)
+        case = run_case(
+            source,
+            spec,
+            engines,
+            session=session,
+            oracle=oracle,
+            seed=seed,
+            stats=result.oracle_stats,
+        )
+        result.record(case)
+        if on_case is not None:
+            on_case(case)
+    result.wall_seconds = time.perf_counter() - start
+    return result

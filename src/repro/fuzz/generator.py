@@ -1,0 +1,282 @@
+"""Seeded random generator of well-typed Jlite clients over the CMP spec.
+
+Every program is generated from a single integer seed and a
+:class:`FuzzConfig`: the same (seed, config) pair always yields the same
+source text, so a failing seed is a complete reproducer.  Programs
+exercise the shapes the certifiers must reason about:
+
+* collection/iterator *aliasing* (``i2 = i1;``, ``t = s;``),
+* re-iteration (``i = s.iterator();``) and iterator-blessed removal,
+* nondeterministic and ``hasNext()``-guarded branches and loops,
+* reference-comparison conditions (``i1 == i2``),
+* *interprocedural* structure: static helper methods taking component
+  references, optionally returning fresh iterators, plus a static
+  collection field shared across methods.
+
+Programs stay *shallow* (component references only in locals, params and
+statics — Section 4's SCMP restriction) so that every engine, including
+the boolean SCMP certifiers, is applicable.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+
+@dataclass(frozen=True)
+class FuzzConfig:
+    """Size/shape knobs for one generated client.
+
+    The generator draws the *actual* statement count, nesting and helper
+    usage from the seeded rng, bounded by these knobs, so a seed range
+    sweeps a spectrum of program shapes.
+    """
+
+    num_sets: int = 2
+    num_iters: int = 3
+    max_stmts: int = 16  # statement budget for main's body
+    max_depth: int = 2  # nesting depth of if/while blocks
+    max_helpers: int = 2  # static helper methods
+    helper_stmts: int = 4  # statement budget per helper body
+    allow_loops: bool = True
+    allow_calls: bool = True
+    allow_aliasing: bool = True
+    allow_compare: bool = True
+    allow_statics: bool = True
+
+    def scaled(self, factor: float) -> "FuzzConfig":
+        """A config with the size knobs scaled by ``factor`` (>= 1 keeps
+        at least the original shape alive)."""
+        return FuzzConfig(
+            num_sets=max(1, int(self.num_sets * factor)),
+            num_iters=max(1, int(self.num_iters * factor)),
+            max_stmts=max(4, int(self.max_stmts * factor)),
+            max_depth=self.max_depth,
+            max_helpers=self.max_helpers,
+            helper_stmts=self.helper_stmts,
+            allow_loops=self.allow_loops,
+            allow_calls=self.allow_calls,
+            allow_aliasing=self.allow_aliasing,
+            allow_compare=self.allow_compare,
+            allow_statics=self.allow_statics,
+        )
+
+
+@dataclass
+class _Helper:
+    name: str
+    set_params: List[str]
+    iter_params: List[str]
+    returns_iterator: bool
+    uses_static: bool
+    body: List[str]
+
+
+class _Generator:
+    def __init__(self, rng: random.Random, config: FuzzConfig) -> None:
+        self.rng = rng
+        self.config = config
+        self.sets = [f"s{i}" for i in range(config.num_sets)]
+        self.iters = [f"i{i}" for i in range(config.num_iters)]
+        self.has_static = config.allow_statics and rng.random() < 0.35
+        self.helpers: List[_Helper] = []
+
+    # -- random primitives over the current scope ------------------------------
+
+    def _a_set(self, sets: List[str]) -> str:
+        return self.rng.choice(sets)
+
+    def _an_iter(self, iters: List[str]) -> str:
+        return self.rng.choice(iters)
+
+    # -- statement synthesis ---------------------------------------------------
+
+    def _statement(
+        self,
+        out: List[str],
+        indent: str,
+        sets: List[str],
+        iters: List[str],
+        depth: int,
+        budget: int,
+    ) -> int:
+        """Emit one statement (possibly a block); return statements spent."""
+        rng = self.rng
+        config = self.config
+        choices: List[str] = ["add", "next", "remove", "reiter", "guard"]
+        if config.allow_aliasing and len(iters) > 1:
+            choices.append("alias_iter")
+        if config.allow_aliasing and len(sets) > 1:
+            choices.append("alias_set")
+        if depth < config.max_depth and budget >= 2:
+            choices.append("if")
+            if config.allow_compare:
+                choices.append("if_cmp")
+            if config.allow_loops:
+                choices.extend(["while", "hasnext_loop"])
+        if config.allow_calls and self.helpers and rng.random() < 0.5:
+            choices.append("call")
+        kind = rng.choice(choices)
+
+        if kind == "add":
+            out.append(f'{indent}{self._a_set(sets)}.add("x");')
+            return 1
+        if kind == "next":
+            out.append(f"{indent}{self._an_iter(iters)}.next();")
+            return 1
+        if kind == "remove":
+            out.append(f"{indent}{self._an_iter(iters)}.remove();")
+            return 1
+        if kind == "reiter":
+            it, owner = self._an_iter(iters), self._a_set(sets)
+            out.append(f"{indent}{it} = {owner}.iterator();")
+            return 1
+        if kind == "guard":
+            it = self._an_iter(iters)
+            out.append(f"{indent}if ({it}.hasNext()) {{ {it}.next(); }}")
+            return 1
+        if kind == "alias_iter":
+            a, b = rng.sample(iters, 2)
+            out.append(f"{indent}{a} = {b};")
+            return 1
+        if kind == "alias_set":
+            a, b = rng.sample(sets, 2)
+            out.append(f"{indent}{a} = {b};")
+            return 1
+        if kind == "call":
+            helper = rng.choice(self.helpers)
+            args = [self._a_set(sets) for _ in helper.set_params]
+            args += [self._an_iter(iters) for _ in helper.iter_params]
+            call = f"{helper.name}({', '.join(args)})"
+            if helper.returns_iterator:
+                out.append(f"{indent}{self._an_iter(iters)} = {call};")
+            else:
+                out.append(f"{indent}{call};")
+            return 1
+        if kind in ("if", "if_cmp", "while", "hasnext_loop"):
+            if kind == "if":
+                header = "if (?)"
+            elif kind == "if_cmp":
+                # compare within one type pool (or against null) so the
+                # condition stays well-typed
+                pool = rng.choice([p for p in (iters, sets) if p])
+                a = rng.choice(pool)
+                b = rng.choice([v for v in pool if v != a] + ["null"])
+                op = rng.choice(["==", "!="])
+                header = f"if ({a} {op} {b})"
+            elif kind == "while":
+                header = "while (?)"
+            else:
+                header = f"while ({self._an_iter(iters)}.hasNext())"
+            out.append(f"{indent}{header} {{")
+            spent = 1
+            inner = rng.randint(1, max(1, min(budget - 1, 4)))
+            while inner > 0 and spent < budget:
+                used = self._statement(
+                    out, indent + "  ", sets, iters, depth + 1,
+                    budget - spent,
+                )
+                spent += used
+                inner -= 1
+            if kind == "hasnext_loop" and rng.random() < 0.6:
+                # consume an element so the guard pattern is meaningful
+                out.append(f"{indent}  {self._an_iter(iters)}.next();")
+            out.append(f"{indent}}}")
+            if kind.startswith("if") and rng.random() < 0.3:
+                out.append(f"{indent}else {{")
+                used = self._statement(
+                    out, indent + "  ", sets, iters, depth + 1, 1
+                )
+                spent += used
+                out.append(f"{indent}}}")
+            return spent
+        raise AssertionError(f"unknown statement kind {kind!r}")
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _make_helper(self, index: int) -> _Helper:
+        rng = self.rng
+        config = self.config
+        set_params = [f"p{j}" for j in range(rng.randint(0, 2))]
+        iter_params = [f"q{j}" for j in range(rng.randint(0, 1))]
+        uses_static = self.has_static and rng.random() < 0.5
+        local_sets = list(set_params)
+        if uses_static:
+            local_sets.append("g")
+        if not local_sets:
+            set_params = ["p0"]
+            local_sets = ["p0"]
+        returns_iterator = rng.random() < 0.4
+        body: List[str] = []
+        local_iters = list(iter_params)
+        if returns_iterator or not local_iters:
+            body.append(
+                f"    Iterator t = {rng.choice(local_sets)}.iterator();"
+            )
+            local_iters.append("t")
+        budget = rng.randint(1, config.helper_stmts)
+        while budget > 0:
+            budget -= self._statement(
+                body, "    ", local_sets, local_iters, 1, budget
+            )
+        if returns_iterator:
+            body.append(f"    return {rng.choice(local_iters)};")
+        return _Helper(
+            f"h{index}", set_params, iter_params, returns_iterator,
+            uses_static, body,
+        )
+
+    # -- whole program ---------------------------------------------------------
+
+    def generate(self) -> str:
+        rng = self.rng
+        config = self.config
+        if config.allow_calls and config.max_helpers > 0:
+            for index in range(rng.randint(0, config.max_helpers)):
+                self.helpers.append(self._make_helper(index))
+
+        lines: List[str] = ["class Main {"]
+        if self.has_static:
+            lines.append("  static Set g;")
+        for helper in self.helpers:
+            params = ", ".join(
+                [f"Set {p}" for p in helper.set_params]
+                + [f"Iterator {q}" for q in helper.iter_params]
+            )
+            ret = "Iterator" if helper.returns_iterator else "void"
+            lines.append(f"  static {ret} {helper.name}({params}) {{")
+            lines.extend(helper.body)
+            lines.append("  }")
+        lines.append("  static void main() {")
+        for name in self.sets:
+            lines.append(f"    Set {name} = new Set();")
+        if self.has_static:
+            lines.append(f"    g = {self._a_set(self.sets)};")
+        for name in self.iters:
+            owner = self._a_set(self.sets)
+            lines.append(f"    Iterator {name} = {owner}.iterator();")
+        budget = rng.randint(3, config.max_stmts)
+        while budget > 0:
+            budget -= self._statement(
+                lines, "    ", self.sets, self.iters, 0, budget
+            )
+        lines.append("  }")
+        lines.append("}")
+        return "\n".join(lines) + "\n"
+
+
+def generate_client(
+    seed: int,
+    config: Optional[FuzzConfig] = None,
+    rng: Optional[random.Random] = None,
+) -> str:
+    """Generate one deterministic Jlite client for ``seed``.
+
+    An explicit ``rng`` may be supplied to embed the generator in a
+    larger seeded process; by default a fresh ``random.Random(seed)`` is
+    used so the source depends on nothing but (seed, config).
+    """
+    rng = rng if rng is not None else random.Random(seed)
+    return _Generator(rng, config or FuzzConfig()).generate()

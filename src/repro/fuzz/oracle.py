@@ -1,0 +1,168 @@
+"""The concrete oracle: ground truth + witness validation.
+
+The oracle runs a generated client through the exhaustive interpreter
+(:mod:`repro.runtime.interp`) under a configurable exploration budget and
+distils the result into an :class:`OracleVerdict`: the set of component
+call sites that *can* fail (each witnessed by at least one concrete
+execution) and whether the exploration was exhaustive.  Because the
+interpreter implements exactly the nondeterministic client semantics the
+certifiers over-approximate, a failing site the oracle exhibits is a
+*refutation* of any engine that certifies the program.
+
+:func:`validate_witnesses` replays an engine's alarms against the
+verdict: an alarm whose site the oracle saw fail is *confirmed*; a
+``definite`` alarm (the engine claims the violation occurs on every
+execution reaching the site) at a site the oracle reached and always saw
+pass — with exploration complete — is a witness contradiction worth
+shrinking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.certifier.report import CertificationReport
+from repro.lang.types import Program
+from repro.runtime.interp import ExplorationBudget, GroundTruth, explore
+
+
+@dataclass(frozen=True)
+class OracleVerdict:
+    """Distilled ground truth for one program."""
+
+    failing_sites: frozenset
+    reached_sites: frozenset
+    site_lines: Dict[int, int]
+    paths_explored: int
+    truncated: bool
+
+    @property
+    def has_violation(self) -> bool:
+        return bool(self.failing_sites)
+
+    def failing_lines(self) -> Set[int]:
+        return {self.site_lines[s] for s in self.failing_sites}
+
+
+@dataclass
+class WitnessIssue:
+    """One alarm whose witness story contradicts the oracle."""
+
+    engine: str
+    site_id: int
+    line: int
+    kind: str  # "definite-never-fails"
+    detail: str
+
+    def __str__(self) -> str:
+        return (
+            f"[{self.engine}] site {self.site_id} line {self.line}: "
+            f"{self.kind} — {self.detail}"
+        )
+
+
+class Oracle:
+    """Bounded exhaustive interpretation of Jlite clients."""
+
+    def __init__(self, budget: Optional[ExplorationBudget] = None) -> None:
+        self.budget = budget or ExplorationBudget(
+            max_paths=8_000, max_steps_per_path=400
+        )
+
+    def run(self, program: Program) -> OracleVerdict:
+        truth = self.ground_truth(program)
+        return self.verdict(truth)
+
+    def ground_truth(self, program: Program) -> GroundTruth:
+        return explore(program, self.budget)
+
+    @staticmethod
+    def verdict(truth: GroundTruth) -> OracleVerdict:
+        failing = frozenset(
+            sid for sid, t in truth.sites.items() if t.may_fail
+        )
+        reached = frozenset(
+            sid
+            for sid, t in truth.sites.items()
+            if t.fail_count + t.pass_count > 0
+        )
+        return OracleVerdict(
+            failing_sites=failing,
+            reached_sites=reached,
+            site_lines={sid: t.line for sid, t in truth.sites.items()},
+            paths_explored=truth.paths_explored,
+            truncated=truth.truncated,
+        )
+
+
+def validate_witnesses(
+    report: CertificationReport, verdict: OracleVerdict
+) -> List[WitnessIssue]:
+    """Replay an engine's alarms against the oracle verdict.
+
+    Only *definite* alarms make a claim strong enough to refute with a
+    bounded oracle: if the oracle explored the program completely,
+    reached the site, and never saw it fail, the engine's "fails on
+    every execution reaching this site" witness is contradicted.
+    Possible-alarms at never-failing sites are ordinary imprecision, not
+    witness bugs, and are reported by the differential layer instead.
+    """
+    issues: List[WitnessIssue] = []
+    if verdict.truncated:
+        return issues
+    for alarm in report.alarms:
+        if not alarm.definite:
+            continue
+        if (
+            alarm.site_id in verdict.reached_sites
+            and alarm.site_id not in verdict.failing_sites
+        ):
+            issues.append(
+                WitnessIssue(
+                    engine=report.engine,
+                    site_id=alarm.site_id,
+                    line=alarm.line,
+                    kind="definite-never-fails",
+                    detail=(
+                        "engine claims the violation occurs on every "
+                        "execution reaching the site, but the complete "
+                        f"exploration ({verdict.paths_explored} paths) "
+                        "saw it pass every time"
+                        + (
+                            f"; witness chain: {alarm.trace}"
+                            if alarm.trace
+                            else ""
+                        )
+                    ),
+                )
+            )
+    return issues
+
+
+# re-exported convenience: the default budget used by the CLI
+DEFAULT_BUDGET = ExplorationBudget(max_paths=8_000, max_steps_per_path=400)
+
+
+@dataclass
+class OracleStats:
+    """Aggregate oracle counters for a campaign."""
+
+    programs: int = 0
+    truncated: int = 0
+    violating: int = 0
+    paths_total: int = 0
+    failing_sites_total: int = 0
+    per_op_failures: Dict[str, int] = field(default_factory=dict)
+
+    def record(self, truth: GroundTruth, verdict: OracleVerdict) -> None:
+        self.programs += 1
+        self.paths_total += verdict.paths_explored
+        if verdict.truncated:
+            self.truncated += 1
+        if verdict.has_violation:
+            self.violating += 1
+        self.failing_sites_total += len(verdict.failing_sites)
+        for sid in verdict.failing_sites:
+            op = truth.sites[sid].op_key
+            self.per_op_failures[op] = self.per_op_failures.get(op, 0) + 1

@@ -17,8 +17,8 @@ the 3-address CFG plus must/may equality queries.  The framework:
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.certifier.report import Alarm, CertificationReport
 from repro.easl.spec import ComponentSpec, Operation
@@ -42,7 +42,7 @@ from repro.lang.cfg import (
 )
 from repro.lang.inline import InlinedProgram
 from repro.logic.compile import compile_condition
-from repro.logic.formula import And, EqAtom, Formula, Not, Or, Truth
+from repro.logic.formula import EqAtom, Formula
 from repro.logic.terms import Base, Field, Fresh, Term
 from repro.runtime.trace import phase as trace_phase
 from repro.util.worklist import make_worklist

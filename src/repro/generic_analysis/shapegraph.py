@@ -23,7 +23,7 @@ false alarm at statement 7 that the staged certifier avoids.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, Set, Tuple
 
 from repro.generic_analysis.framework import HeapDomain
 

@@ -21,8 +21,8 @@ callers decide whether a truncated inlining is acceptable.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Optional
 
 from repro.lang.cfg import (
     CFG,

@@ -34,7 +34,6 @@ from repro.logic.formula import (
     atoms,
     conj,
     disj,
-    literal_parts,
     neg,
     substitute_atom,
 )

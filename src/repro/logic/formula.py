@@ -17,7 +17,7 @@ the weakest-precondition computation from blowing up syntactically.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterable, Iterator, Tuple, Union
+from typing import Callable, Iterator, Tuple
 
 from repro.logic.terms import Base, Term
 

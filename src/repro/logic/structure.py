@@ -11,7 +11,7 @@ Individuals are plain integers allocated by the structure.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, Iterator, Optional, Set, Tuple
 
 from repro.logic.formula import (

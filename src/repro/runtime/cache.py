@@ -23,7 +23,7 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Hashable, Mapping, Optional, Set
+from typing import Any, Callable, Dict, Hashable, Mapping
 
 
 @dataclass(frozen=True)

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Dict, List, Optional, Union
 
 from repro.lang.cfg import (
     SAssume,
@@ -100,11 +100,6 @@ class GroundTruth:
 
     def compare(self, alarm_sites: set) -> "PrecisionSummary":
         real = self.failing_sites()
-        checked = {
-            s
-            for s, t in self.sites.items()
-            if t.fail_count + t.pass_count > 0 or True
-        }
         false_alarms = {s for s in alarm_sites if s not in real}
         missed = real - alarm_sites
         return PrecisionSummary(

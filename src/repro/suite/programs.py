@@ -7,7 +7,7 @@ readable: the first source line is line 2 (sources start with a newline).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Tuple
+from typing import FrozenSet, List, Tuple
 
 
 @dataclass(frozen=True)

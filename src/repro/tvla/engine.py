@@ -17,13 +17,13 @@ predicate false on the surviving state.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 from repro.certifier.report import Alarm, CertificationReport
 from repro.logic import compile as formula_compile
-from repro.logic.formula import Formula, Not, PredAtom
-from repro.logic.kleene import FALSE3, HALF, Kleene, TRUE3
+from repro.logic.formula import Not, PredAtom
+from repro.logic.kleene import FALSE3, HALF, TRUE3
 from repro.runtime.trace import phase as trace_phase
 from repro.tvla.three_valued import ThreeValuedStructure
 from repro.tvp.program import Action, TvpProgram
@@ -32,6 +32,27 @@ from repro.util.worklist import make_worklist
 
 class TvlaBudgetExceeded(Exception):
     pass
+
+
+@dataclass
+class _CheckContribution:
+    """Accumulated evaluations of one ``requires`` check site.
+
+    ``alarmed`` is an OR over contributing structures (any evaluation
+    that was not definitely-true alarms); ``all_fail`` is an AND (the
+    alarm is *definite* only when every structure reaching the check —
+    including ones where it passes — evaluated definitely-false).
+    """
+
+    line: int
+    op_key: str
+    instance: str
+    alarmed: bool
+    all_fail: bool
+
+    def merge(self, alarmed: bool, all_fail: bool) -> None:
+        self.alarmed = self.alarmed or alarmed
+        self.all_fail = self.all_fail and all_fail
 
 
 @dataclass
@@ -78,7 +99,7 @@ class TvlaEngine:
             Tuple[int, object],
             Tuple[
                 List[Tuple[object, ThreeValuedStructure]],
-                Dict[Tuple[int, str], Alarm],
+                Dict[Tuple[int, str], _CheckContribution],
             ],
         ] = {}
 
@@ -150,7 +171,7 @@ class TvlaEngine:
         self,
         structure: ThreeValuedStructure,
         action: Action,
-        alarm_sink: Optional[Dict[Tuple[int, str], Alarm]],
+        alarm_sink: Optional[Dict[Tuple[int, str], _CheckContribution]],
     ) -> List[ThreeValuedStructure]:
         results: List[ThreeValuedStructure] = []
         for focused in self._focus(structure, action):
@@ -164,26 +185,31 @@ class TvlaEngine:
         self,
         structure: ThreeValuedStructure,
         action: Action,
-        alarm_sink: Optional[Dict[Tuple[int, str], Alarm]],
+        alarm_sink: Optional[Dict[Tuple[int, str], _CheckContribution]],
     ) -> Optional[ThreeValuedStructure]:
         current = structure
         for check in action.checks:
             value = current.eval(check.cond)
+            if alarm_sink is not None:
+                # record *every* evaluation, passing ones included: an
+                # alarm is definite only when no structure reaching the
+                # check can pass it
+                key = (check.site_id, str(check.cond))
+                alarmed = value is not TRUE3
+                all_fail = value is FALSE3
+                existing = alarm_sink.get(key)
+                if existing is None:
+                    alarm_sink[key] = _CheckContribution(
+                        line=check.line,
+                        op_key=check.op_key,
+                        instance=str(check.cond),
+                        alarmed=alarmed,
+                        all_fail=all_fail,
+                    )
+                else:
+                    existing.merge(alarmed, all_fail)
             if value is TRUE3:
                 continue
-            if alarm_sink is not None:
-                key = (check.site_id, str(check.cond))
-                existing = alarm_sink.get(key)
-                definite = value is FALSE3 and (
-                    existing is None or existing.definite
-                )
-                alarm_sink[key] = Alarm(
-                    site_id=check.site_id,
-                    line=check.line,
-                    op_key=check.op_key,
-                    instance=str(check.cond),
-                    definite=definite,
-                )
             if value is FALSE3 and self.prune_requires:
                 return None  # the exception definitely fires
             if self.prune_requires and isinstance(check.cond, Not):
@@ -260,7 +286,7 @@ class TvlaEngine:
 
     def _run(self) -> TvlaResult:
         started = time.perf_counter()
-        alarms: Dict[Tuple[int, str], Alarm] = {}
+        alarms: Dict[Tuple[int, str], _CheckContribution] = {}
         preds = self.abstraction_preds
         initial = self.initial_structure().canonicalize(preds)
         iterations = 0
@@ -296,7 +322,9 @@ class TvlaEngine:
                         )
                         if cached is None:
                             transfer_misses += 1
-                            local: Dict[Tuple[int, str], Alarm] = {}
+                            local: Dict[
+                                Tuple[int, str], _CheckContribution
+                            ] = {}
                             cached = (
                                 [
                                     (out.canonical_key(preds), out)
@@ -311,15 +339,24 @@ class TvlaEngine:
                         else:
                             transfer_hits += 1
                         outs, contribs = cached
-                        # merge recorded contributions: `definite` is an
-                        # AND over every contribution at a site, so the
-                        # replay is idempotent and order-independent
-                        for akey, alarm in contribs.items():
+                        # merge recorded contributions: `alarmed` ORs
+                        # and `all_fail` ANDs over every contribution at
+                        # a site, so the replay is idempotent and
+                        # order-independent
+                        for akey, contrib in contribs.items():
                             existing = alarms.get(akey)
                             if existing is None:
-                                alarms[akey] = alarm
-                            elif existing.definite and not alarm.definite:
-                                alarms[akey] = alarm
+                                alarms[akey] = _CheckContribution(
+                                    line=contrib.line,
+                                    op_key=contrib.op_key,
+                                    instance=contrib.instance,
+                                    alarmed=contrib.alarmed,
+                                    all_fail=contrib.all_fail,
+                                )
+                            else:
+                                existing.merge(
+                                    contrib.alarmed, contrib.all_fail
+                                )
                         bucket = states.setdefault(edge.dst, {})
                         changed = False
                         for okey, out in outs:
@@ -367,7 +404,18 @@ class TvlaEngine:
                             single[edge.dst] = merged
                             worklist.push(edge.dst)
         alarm_list = sorted(
-            alarms.values(), key=lambda a: (a.site_id, a.instance)
+            (
+                Alarm(
+                    site_id=site_id,
+                    line=contrib.line,
+                    op_key=contrib.op_key,
+                    instance=contrib.instance,
+                    definite=contrib.all_fail,
+                )
+                for (site_id, _cond), contrib in alarms.items()
+                if contrib.alarmed
+            ),
+            key=lambda a: (a.site_id, a.instance),
         )
         report = CertificationReport(
             subject=self.tvp.name,

@@ -13,8 +13,7 @@ as summaries.
 
 from __future__ import annotations
 
-import itertools
-from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.logic.formula import (
     And,

@@ -15,7 +15,7 @@ An action consists of:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.logic.formula import Formula

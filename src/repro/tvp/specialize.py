@@ -31,19 +31,16 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Sequence, Tuple, Union
 
 from repro.derivation.predicates import (
     DerivedAbstraction,
-    Family,
     GenArg,
-    InstanceRef,
     OpArg,
     instance_pattern,
 )
 from repro.certifier.transform import reflexively_true
 from repro.lang.cfg import (
-    CFG,
     SAssume,
     SCallComp,
     SCopy,

@@ -22,16 +22,7 @@ analysis.
 
 from __future__ import annotations
 
-from repro.lang.cfg import (
-    SAssume,
-    SCopy,
-    SLoad,
-    SNewClient,
-    SNop,
-    SNull,
-    SReturn,
-    SStore,
-)
+from repro.lang.cfg import SCopy, SLoad, SNewClient, SNull, SStore
 from repro.lang.inline import InlinedProgram
 from repro.logic.formula import Exists, FALSE, PredAtom, conj, disj, eq, neg
 from repro.logic.terms import Base

@@ -1,0 +1,23 @@
+class Main {
+  static Set g;
+  static Iterator h0(Set p0) {
+    Iterator t = g.iterator();
+    g.add("x");
+    return t;
+  }
+  static Iterator h1(Set p0, Set p1, Iterator q0) {
+    Iterator t = p1.iterator();
+    return t;
+  }
+  static void main() {
+    Set s0 = new Set();
+    Set s1 = new Set();
+    g = s0;
+    Iterator i0 = s1.iterator();
+    Iterator i1 = s1.iterator();
+    i1 = h0(s0);
+    i0 = h1(s0, s0, i0);
+    i1.remove();
+    i0.remove();
+  }
+}

@@ -1,0 +1,13 @@
+class Main {
+  static void main() {
+    Set s0 = new Set();
+    Set s1 = new Set();
+    Iterator i0 = s0.iterator();
+    Iterator i2 = s0.iterator();
+    if (s0 == s1) {
+      i0.remove();
+      i0 = i2;
+    }
+    i0.remove();
+  }
+}

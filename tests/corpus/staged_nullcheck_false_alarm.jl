@@ -1,0 +1,11 @@
+class Main {
+  static void main() {
+    Set s1 = new Set();
+    Iterator i0 = s1.iterator();
+    Iterator i1 = s1.iterator();
+    if (i1 == null) {
+      s1.add("x");
+    }
+    if (i0.hasNext()) { i0.next(); }
+  }
+}

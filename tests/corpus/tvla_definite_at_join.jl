@@ -1,0 +1,14 @@
+class Main {
+  static void main() {
+    Set s0 = new Set();
+    Set s1 = new Set();
+    Iterator i0 = s1.iterator();
+    Iterator i1 = s0.iterator();
+    Iterator i2 = s1.iterator();
+    if (s1 == null) {
+      i1 = i0;
+      i1.remove();
+    }
+    i2.remove();
+  }
+}

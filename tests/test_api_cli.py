@@ -1,10 +1,8 @@
 """Tests for the facade API and the command-line interface."""
 
-import pytest
 
 from repro import certify_source, derive_abstraction
 from repro.cli import main
-from repro.easl.library import cmp_spec
 from repro.suite import by_name
 
 FIG3 = by_name("fig3").source

@@ -1,13 +1,7 @@
 """Tests for the experiment harness and synthetic generators."""
 
-import pytest
 
-from repro.bench.harness import (
-    EngineRun,
-    format_table,
-    run_engine,
-    run_precision_table,
-)
+from repro.bench.harness import format_table, run_engine, run_precision_table
 from repro.bench.synthetic import make_call_chain, make_client
 from repro.lang import parse_program
 from repro.runtime import ExplorationBudget, explore
@@ -18,6 +12,16 @@ class TestSynthetic:
     def test_generator_deterministic(self):
         assert make_client(seed=3) == make_client(seed=3)
         assert make_client(seed=3) != make_client(seed=4)
+
+    def test_explicit_rng_controls_stream(self):
+        import random
+
+        assert make_client(rng=random.Random(3)) == make_client(seed=3)
+        # a shared rng advances across calls instead of resetting
+        shared = random.Random(3)
+        first = make_client(rng=shared)
+        second = make_client(rng=shared)
+        assert first != second
 
     def test_generated_client_parses(self, cmp_specification):
         program = parse_program(make_client(3, 5, 40, 9), cmp_specification)

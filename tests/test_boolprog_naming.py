@@ -1,7 +1,6 @@
 """Unit tests for the boolean-program IR, family naming, and the
 certification report model."""
 
-import pytest
 
 from repro.certifier.boolprog import (
     BoolEdge,
@@ -54,7 +53,7 @@ class TestBoolProgram:
     def test_parallel_assign_identity_detection(self):
         target = Instance("f", ("x",))
         program = BoolProgram("p")
-        idx = program.variable(target)
+        program.variable(target)
         from repro.derivation.predicates import (
             GenArg,
             InstanceRef,

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.lang import parse_program
-from repro.lang.cfg import SCallClient, SCallComp, SCopy, SNop
+from repro.lang.cfg import SCallClient, SCallComp, SCopy
 from repro.lang.inline import inline_program
 
 

@@ -1,0 +1,71 @@
+"""Replay of the committed fuzz regression corpus.
+
+Every entry in ``tests/corpus/`` is a shrunk reproducer found by
+``repro fuzz`` (see EXPERIMENTS.md).  The replay asserts, per entry:
+
+* the **soundness gate** — every engine alarms at every line the oracle
+  proved can fail;
+* the pinned per-engine alarm lines, so a precision regression (or an
+  unannounced precision *improvement*) in any engine is caught;
+* the pinned definite-alarm lines, guarding the TvlaEngine fix for
+  definite bits leaking across structure joins.
+"""
+
+import os
+
+import pytest
+
+from repro.api import CertifySession
+from repro.fuzz.oracle import Oracle
+from repro.fuzz.shrink import load_corpus
+from repro.lang.types import parse_program
+from repro.runtime.interp import ExplorationBudget
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "corpus")
+ENTRIES = load_corpus(CORPUS_DIR)
+
+_ORACLE = Oracle(ExplorationBudget(max_paths=50_000, max_steps_per_path=1_000))
+
+
+@pytest.fixture(scope="module")
+def corpus_session(cmp_specification):
+    return CertifySession(cmp_specification)
+
+
+def test_corpus_is_nonempty():
+    assert len(ENTRIES) >= 3
+
+
+@pytest.mark.parametrize(
+    "entry", ENTRIES, ids=[str(e["name"]) for e in ENTRIES]
+)
+def test_corpus_entry_replays(entry, corpus_session, cmp_specification):
+    assert entry["spec"] == "cmp"
+    program = parse_program(entry["source"], cmp_specification)
+    verdict = _ORACLE.run(program)
+    assert not verdict.truncated, (
+        f"{entry['name']}: oracle budget too small for a corpus entry"
+    )
+    assert sorted(verdict.failing_lines()) == entry["oracle_failing_lines"]
+
+    expected_alarms = entry["expect_alarm_lines"]
+    expected_definite = entry.get("expect_definite_lines", {})
+    for engine, expected_lines in sorted(expected_alarms.items()):
+        report = corpus_session.certify_program(program, engine)
+        alarm_lines = sorted(report.alarm_lines())
+        # the hard gate first: no engine may miss a real error
+        missed = set(verdict.failing_lines()) - set(alarm_lines)
+        assert not missed, f"{entry['name']}: {engine} missed {missed}"
+        # then the pinned precision behaviour
+        assert alarm_lines == expected_lines, (
+            f"{entry['name']}: {engine} alarm lines changed "
+            f"(got {alarm_lines}, pinned {expected_lines}) — if this is "
+            "an intentional precision change, update the corpus entry"
+        )
+        if engine in expected_definite:
+            definite_lines = sorted(
+                {a.line for a in report.alarms if a.definite}
+            )
+            assert definite_lines == expected_definite[engine], (
+                f"{entry['name']}: {engine} definite lines changed"
+            )

@@ -14,7 +14,6 @@ concrete component semantics against each other on programs nobody
 hand-picked.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.api import certify_program

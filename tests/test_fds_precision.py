@@ -13,7 +13,6 @@ independent-attribute analysis loses nothing because the update form has
 no negation, so may-1 is union-distributive.
 """
 
-import itertools
 
 from hypothesis import given, settings, strategies as st
 

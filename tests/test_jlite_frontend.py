@@ -4,7 +4,7 @@ import pytest
 
 from repro.lang import TypeError_, parse_program
 from repro.lang.parser import JliteParseError, parse_program_ast
-from repro.lang.cfg import SCallComp, SCopy, SLoad, SNull, SStore
+from repro.lang.cfg import SLoad, SNull, SStore
 
 
 class TestSurfaceParsing:

@@ -5,7 +5,6 @@ from repro.logic.formula import (
     TRUE,
     And,
     EqAtom,
-    Not,
     Or,
     PredAtom,
     atoms,

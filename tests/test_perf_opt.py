@@ -274,14 +274,16 @@ class TestSchedulingEquivalence:
                 worklist="fifo", memoize_transfers=False
             ),
         )
+        def signature(r):
+            return sorted(
+                (a.site_id, a.op_key, a.instance, a.definite)
+                for a in r.alarms
+            )
+
         for bench in all_programs():
             program = parse_program(bench.source, cmp_specification)
             rpo = rpo_session.certify_program(program)
             fifo = fifo_session.certify_program(program)
-            signature = lambda r: sorted(
-                (a.site_id, a.op_key, a.instance, a.definite)
-                for a in r.alarms
-            )
             assert signature(rpo) == signature(fifo), bench.name
             assert (
                 rpo.stats["iterations"] <= fifo.stats["iterations"]

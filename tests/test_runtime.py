@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.easl.spec import SpecError
 from repro.lang import parse_program
 from repro.runtime import ExplorationBudget, explore
 from repro.runtime.jcf import (

@@ -3,7 +3,6 @@ engine (Section 5)."""
 
 import pytest
 
-from repro.derivation import derive
 from repro.lang import parse_program
 from repro.lang.inline import inline_program
 from repro.logic.formula import Exists, PredAtom, conj, eq, neg

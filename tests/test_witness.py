@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.certifier.fds import FdsSolver, certify_fds
+from repro.certifier.fds import certify_fds
 from repro.certifier.transform import ClientTransformer
 from repro.lang import parse_program
 from repro.suite import by_name
