@@ -1,0 +1,98 @@
+"""Salvage under resource budgets: how much of a verdict survives a breach?
+
+Run with ``PYTHONPATH=src python examples/salvage_rate.py``.
+
+The resource governor (``repro.runtime.guard``) stops a runaway fixpoint
+at a step/structure/deadline budget, and the engine surrenders a sound
+*partial* result instead of nothing: alarms raised so far plus the sites
+it never resolved.  With the degradation ladder enabled
+(``CertifyOptions(ladder=True)``) the session re-runs just the unresolved
+residue at cheaper tiers (tvla-relational -> tvla-independent -> fds),
+merging verdicts per call site; whatever is still unknown at the bottom
+rung is folded into conservative "unresolved" alarms so nothing is ever
+silently passed.
+
+This script certifies the whole 29-program suite with the heaviest
+engine (tvla-relational) at three step budgets and reports the **salvage
+rate**: the fraction of call sites that still end with a *resolved*
+verdict (certified, or a real alarm) despite the breach.  It also checks
+the ground-truth error lines stay covered at every budget — budgets cost
+precision, never soundness.
+
+The same knobs are available on every CLI::
+
+    repro batch jobs.json --max-steps 200 --ladder
+    repro bench --max-structures 4 --ladder --check
+    repro fuzz --seed-range 0:200 --governor-steps 200 --ladder
+"""
+
+from __future__ import annotations
+
+from repro.api import CertifyOptions, CertifySession
+from repro.easl.library import cmp_spec
+from repro.lang.types import parse_program
+from repro.runtime.guard import UNRESOLVED_INSTANCE
+from repro.suite import all_programs
+
+#: max_steps budgets, most generous first.  None = ungoverned baseline.
+BUDGETS = (None, 100, 40, 15)
+
+ENGINE = "tvla-relational"
+
+
+def main() -> None:
+    spec = cmp_spec()
+    programs = [
+        (bench, parse_program(bench.source, spec))
+        for bench in all_programs()
+    ]
+
+    print(f"engine: {ENGINE} with degradation ladder, 29-program suite")
+    print()
+    header = (
+        f"{'budget':>10} {'breached':>9} {'sites':>6} "
+        f"{'resolved':>9} {'salvage':>8} {'sound':>6}"
+    )
+    print(header)
+    print("-" * len(header))
+
+    for budget in BUDGETS:
+        options = CertifyOptions(max_steps=budget, ladder=True)
+        session = CertifySession(spec, options=options)
+        breached = 0
+        total_sites = 0
+        resolved_sites = 0
+        sound = True
+        for bench, program in programs:
+            report = session.certify_program(program, ENGINE)
+            if report.stats.get("breach"):
+                breached += 1
+            unresolved = {
+                alarm.site_id
+                for alarm in report.alarms
+                if alarm.instance == UNRESOLVED_INSTANCE
+            }
+            total_sites += len(program.call_sites)
+            resolved_sites += len(program.call_sites) - len(unresolved)
+            # budgets trade precision, never soundness: every
+            # ground-truth error line is alarmed at every budget
+            if not bench.expected_error_lines <= report.alarm_lines():
+                sound = False
+        label = "unlimited" if budget is None else str(budget)
+        print(
+            f"{label:>10} {breached:>6}/29 {total_sites:>6} "
+            f"{resolved_sites:>9} {resolved_sites / total_sites:>7.0%} "
+            f"{'yes' if sound else 'NO':>6}"
+        )
+
+    print()
+    print(
+        "Tighter budgets breach more programs and leave more sites\n"
+        "conservatively unresolved, but the ground-truth errors stay\n"
+        "alarmed at every level: the governor degrades precision, not\n"
+        "soundness."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -39,13 +39,21 @@ from __future__ import annotations
 
 import contextlib
 from dataclasses import dataclass
-from typing import Iterable, Iterator, List, Optional, Sequence
+from typing import (
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.certifier.fds import certify_fds
 from repro.certifier.interproc import InterproceduralCertifier
 from repro.certifier.relational import certify_relational
 from repro.certifier.report import CertificationReport
-from repro.certifier.transform import ClientTransformer
+from repro.certifier.transform import ClientTransformer, TransformError
 from repro.derivation import DerivedAbstraction, derive
 from repro.easl.spec import ComponentSpec
 from repro.generic_analysis import (
@@ -57,7 +65,19 @@ from repro.lang.inline import InlinedProgram, inline_program
 from repro.lang.types import Program, parse_program
 from repro.logic import compile as formula_compile
 from repro.runtime.cache import CacheStats, LRUCache, stable_key
-from repro.runtime.trace import Tracer, current_tracer, phase, use_tracer
+from repro.runtime.guard import (
+    DegradationLadder,
+    ResourceExhausted,
+    ResourceGovernor,
+    SiteLedger,
+)
+from repro.runtime.trace import (
+    Tracer,
+    current_tracer,
+    note,
+    phase,
+    use_tracer,
+)
 from repro.tvla.engine import TvlaEngine
 from repro.tvp.specialize import specialized_translation
 
@@ -155,6 +175,20 @@ class CertifyOptions:
     ``memoize_transfers``
         cache TVLA transfer results per (action, canonical-key) so
         revisited structures skip focus/update/coerce.
+
+    Resource governance (see :mod:`repro.runtime.guard`):
+
+    ``deadline``
+        wall-clock seconds for one certification (the whole ladder);
+    ``max_steps``
+        fixpoint-iteration budget per engine run;
+    ``max_structures``
+        abstract-structure/state-count budget per engine run;
+    ``ladder``
+        what to do when a budget breaches: ``None``/``False`` re-raise
+        :class:`~repro.runtime.guard.ResourceExhausted`; ``True`` retries
+        the unknown residue down the engine's default degradation tail;
+        a tuple of engine names is an explicit ladder.
     """
 
     entry: Optional[str] = None
@@ -163,6 +197,10 @@ class CertifyOptions:
     worklist: str = "rpo"
     compiled_eval: bool = True
     memoize_transfers: bool = True
+    deadline: Optional[float] = None
+    max_steps: Optional[int] = None
+    max_structures: Optional[int] = None
+    ladder: Union[None, bool, Tuple[str, ...]] = None
 
 
 class CertifySession:
@@ -298,14 +336,20 @@ class CertifySession:
     # -- certification ---------------------------------------------------------
 
     def certify(
-        self, source: str, engine: Optional[str] = None
+        self,
+        source: str,
+        engine: Optional[str] = None,
+        *,
+        governor: Optional[ResourceGovernor] = None,
     ) -> CertificationReport:
         """Parse a Jlite client and certify it against the session spec."""
         with self._activated():
             with phase("parse", spec=self.spec.name) as meta:
                 program = parse_program(source, self.spec)
                 meta["methods"] = len(program.methods)
-            return self._dispatch(program, engine, source_key=source)
+            return self._dispatch(
+                program, engine, source_key=source, governor=governor
+            )
 
     def certify_many(
         self, sources: Iterable[str], engine: Optional[str] = None
@@ -318,7 +362,11 @@ class CertifySession:
         return [self.certify(source, engine) for source in sources]
 
     def certify_program(
-        self, program: Program, engine: Optional[str] = None
+        self,
+        program: Program,
+        engine: Optional[str] = None,
+        *,
+        governor: Optional[ResourceGovernor] = None,
     ) -> CertificationReport:
         """Certify an already-parsed client."""
         if program.spec is not self.spec and program.spec.name != self.spec.name:
@@ -327,15 +375,33 @@ class CertifySession:
                 f"session is for {self.spec.name!r}"
             )
         with self._activated():
-            return self._dispatch(program, engine, source_key=None)
+            return self._dispatch(
+                program, engine, source_key=None, governor=governor
+            )
 
     # -- engine dispatch -------------------------------------------------------
+
+    def _make_governor(self) -> Optional[ResourceGovernor]:
+        """A governor from the session options (None if no budget set)."""
+        options = self.options
+        if (
+            options.deadline is None
+            and options.max_steps is None
+            and options.max_structures is None
+        ):
+            return None
+        return ResourceGovernor(
+            deadline=options.deadline,
+            max_steps=options.max_steps,
+            max_structures=options.max_structures,
+        )
 
     def _dispatch(
         self,
         program: Program,
         engine: Optional[str],
         source_key,
+        governor: Optional[ResourceGovernor] = None,
     ) -> CertificationReport:
         engine = engine or self.engine
         if engine == "auto":
@@ -344,6 +410,131 @@ class CertifySession:
             raise ValueError(
                 f"unknown engine {engine!r}; pick one of {ENGINES}"
             )
+        if governor is None:
+            governor = self._make_governor()
+        ladder = DegradationLadder.from_option(self.options.ladder, engine)
+        if ladder is not None:
+            for rung in ladder.rungs_from(engine):
+                if rung not in ENGINES or rung == "auto":
+                    raise ValueError(
+                        f"unknown ladder rung {rung!r}; "
+                        f"pick concrete engines from {ENGINES}"
+                    )
+        try:
+            return self._run_engine(program, engine, source_key, governor)
+        except ResourceExhausted as error:
+            note(
+                "breach",
+                engine=engine,
+                subject=(
+                    error.partial.subject
+                    if error.partial is not None
+                    else self.spec.name
+                ),
+                breach=error.breach,
+                message=str(error),
+            )
+            if ladder is None or error.partial is None:
+                raise
+            return self._degrade(
+                program, engine, source_key, governor, ladder, error
+            )
+
+    def _degrade(
+        self,
+        program: Program,
+        engine: str,
+        source_key,
+        governor: Optional[ResourceGovernor],
+        ladder: DegradationLadder,
+        error: ResourceExhausted,
+    ) -> CertificationReport:
+        """Re-run the unknown residue down the ladder, merging per site."""
+        partial = error.partial
+        assert partial is not None
+        ledger = SiteLedger(partial.unknown_sites)
+        salvaged = ledger.absorb_partial(partial)
+        note(
+            "salvage",
+            engine=engine,
+            subject=partial.subject,
+            sites=salvaged,
+            breach=error.breach,
+        )
+        attempted: List[str] = []
+        completed: Optional[str] = None
+        for rung in ladder.rungs_from(engine)[1:]:
+            if not ledger.unresolved():
+                break  # every site already resolved by salvaged alarms
+            attempted.append(rung)
+            note(
+                "degrade",
+                engine=engine,
+                subject=partial.subject,
+                to=rung,
+                open_sites=len(ledger.unresolved()),
+            )
+            rung_governor = (
+                governor.descend() if governor is not None else None
+            )
+            try:
+                report = self._run_engine(
+                    program, rung, source_key, rung_governor
+                )
+            except TransformError as skip:
+                # the rung cannot express this program (e.g. an SCMP
+                # solver on a heap client): skip it rather than lose
+                # the salvage already banked — the residue continues
+                # down the ladder or folds into conservative alarms
+                attempted.pop()
+                note(
+                    "warning",
+                    engine=engine,
+                    subject=partial.subject,
+                    rung=rung,
+                    reason=str(skip),
+                )
+                continue
+            except ResourceExhausted as rung_error:
+                if rung_error.partial is not None:
+                    fresh = ledger.absorb_partial(rung_error.partial)
+                    note(
+                        "salvage",
+                        engine=rung,
+                        subject=partial.subject,
+                        sites=fresh,
+                        breach=rung_error.breach,
+                    )
+                continue
+            ledger.absorb_report(report)
+            completed = rung
+            break
+        stats = {
+            "partial": bool(ledger.unresolved()),
+            "breach": error.breach,
+            "ladder": list(ladder.rungs_from(engine)),
+            "degraded_to": attempted[-1] if attempted else None,
+            "completed_rung": completed,
+            "salvaged": len(ledger.salvaged),
+            "sites_resolved": len(ledger.resolved_sites()),
+            "sites_unresolved": len(ledger.unresolved()),
+            "nodes_analyzed": partial.nodes_analyzed,
+            "nodes_total": partial.nodes_total,
+        }
+        return CertificationReport(
+            subject=partial.subject,
+            engine=engine,
+            alarms=ledger.final_alarms(),
+            stats=stats,
+        )
+
+    def _run_engine(
+        self,
+        program: Program,
+        engine: str,
+        source_key,
+        governor: Optional[ResourceGovernor] = None,
+    ) -> CertificationReport:
         options = self.options
 
         if engine == "interproc":
@@ -353,6 +544,7 @@ class CertifySession:
                 abstraction,
                 prune_requires=options.prune_requires,
                 worklist=options.worklist,
+                governor=governor,
             )
             return certifier.certify(options.entry)
 
@@ -368,11 +560,13 @@ class CertifySession:
                     boolprog,
                     prune_requires=options.prune_requires,
                     worklist=options.worklist,
+                    governor=governor,
                 )
             return certify_relational(
                 boolprog,
                 prune_requires=options.prune_requires,
                 worklist=options.worklist,
+                governor=governor,
             )
 
         if engine.startswith("tvla-"):
@@ -397,26 +591,26 @@ class CertifySession:
                 ),
             )
             if options.compiled_eval:
-                result = engine_obj.run()
+                result = engine_obj.run(governor)
             else:
                 with formula_compile.interpreted():
-                    result = engine_obj.run()
+                    result = engine_obj.run(governor)
             return result.report
 
         if engine == "allocsite":
             return analyze_generic(
                 inlined, AllocSiteDomain(), engine,
-                worklist=options.worklist,
+                worklist=options.worklist, governor=governor,
             ).report
         if engine == "allocsite-recency":
             return analyze_generic(
                 inlined, AllocSiteDomain(recency=True), engine,
-                worklist=options.worklist,
+                worklist=options.worklist, governor=governor,
             ).report
         if engine == "shapegraph":
             return analyze_generic(
                 inlined, ShapeGraphDomain(), engine,
-                worklist=options.worklist,
+                worklist=options.worklist, governor=governor,
             ).report
         raise AssertionError("unreachable")
 

@@ -17,7 +17,7 @@ on this suite.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.api import CertifyOptions, CertifySession
@@ -132,15 +132,18 @@ def run_precision_table(
     engines: Optional[Sequence[str]] = None,
     programs: Optional[Sequence[BenchmarkProgram]] = None,
     budget: Optional[ExplorationBudget] = None,
+    options: Optional[CertifyOptions] = None,
 ) -> List[ProgramResult]:
     """Run the full E1/E2 experiment (or a filtered slice of it).
 
     One :class:`CertifySession` serves the whole table, so the derived
     abstraction is computed once and every engine row reuses it — the
     same amortization the batch runtime applies across worker jobs.
+    ``options`` may carry a resource-governor budget (deadline / step /
+    structure limits, degradation ladder) to benchmark salvage quality.
     """
     spec = spec or cmp_spec()
-    session = CertifySession(spec)
+    session = CertifySession(spec, options=options)
     results: List[ProgramResult] = []
     for bench in programs if programs is not None else all_programs():
         program = parse_program(bench.source, spec)
@@ -339,6 +342,7 @@ def run_comparison(
     engine: str = "tvla-relational",
     programs: Optional[Sequence[BenchmarkProgram]] = None,
     reps: int = 5,
+    options: Optional[CertifyOptions] = None,
 ) -> ComparisonResult:
     """Time every suite program under the optimized and the interpreted
     path **in the same run** and check their alarm sets coincide.
@@ -351,13 +355,13 @@ def run_comparison(
     the following ``reps`` certifications as the steady-state time.
     """
     spec = spec or cmp_spec()
-    optimized = CertifySession(
-        spec, engine=engine, options=CertifyOptions()
-    )
+    base = options or CertifyOptions()
+    optimized = CertifySession(spec, engine=engine, options=base)
     interpreted = CertifySession(
         spec,
         engine=engine,
-        options=CertifyOptions(
+        options=replace(
+            base,
             worklist="fifo",
             compiled_eval=False,
             memoize_transfers=False,

@@ -30,6 +30,8 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from repro.certifier.boolprog import BoolEdge, BoolProgram
 from repro.certifier.report import Alarm, CertificationReport
+from repro.runtime import guard as _guard
+from repro.runtime.guard import ResourceExhausted, ResourceGovernor
 from repro.runtime.trace import phase as trace_phase
 from repro.util.worklist import make_worklist
 
@@ -57,7 +59,11 @@ class FdsSolver:
     """Worklist solver for the independent-attribute (FDS) analysis."""
 
     def __init__(
-        self, *, prune_requires: bool = True, worklist: str = "rpo"
+        self,
+        *,
+        prune_requires: bool = True,
+        worklist: str = "rpo",
+        governor: Optional[ResourceGovernor] = None,
     ) -> None:
         #: assume a checked predicate is 0 after a passing check — the
         #: component throws on violation, so later states only arise from
@@ -66,8 +72,11 @@ class FdsSolver:
         #: node-scheduling strategy: "rpo" (reverse postorder, fewer
         #: iterations) or "fifo" (the seed behaviour)
         self.worklist_order = worklist
+        #: cooperative resource budgets, polled once per iteration
+        self.governor = governor
 
     def solve(self, program: BoolProgram) -> FdsResult:
+        governor = self.governor
         init_one = program.initial_mask()
         all_vars = (1 << program.num_vars) - 1
         init_zero = all_vars & ~init_one
@@ -81,29 +90,47 @@ class FdsSolver:
         )
         worklist.push(program.entry)
         iterations = 0
-        while worklist:
-            node = worklist.pop()
-            iterations += 1
-            one = may_one.get(node, 0)
-            zero = may_zero.get(node, 0)
-            for edge in program.out_edges(node):
-                transferred = self._transfer(edge, one, zero)
-                if transferred is None:
-                    continue  # definite failure: the edge kills all executions
-                new_one, new_zero = transferred
-                old_one = may_one.get(edge.dst, 0)
-                old_zero = may_zero.get(edge.dst, 0)
-                merged_one = old_one | new_one
-                merged_zero = old_zero | new_zero
-                fresh = merged_one & ~old_one
-                if fresh:
-                    self._record_provenance(
-                        provenance, edge, one, fresh
-                    )
-                if merged_one != old_one or merged_zero != old_zero:
-                    may_one[edge.dst] = merged_one
-                    may_zero[edge.dst] = merged_zero
-                    worklist.push(edge.dst)
+        try:
+            while worklist:
+                if governor is not None:
+                    governor.tick()
+                node = worklist.pop()
+                iterations += 1
+                one = may_one.get(node, 0)
+                zero = may_zero.get(node, 0)
+                for edge in program.out_edges(node):
+                    transferred = self._transfer(edge, one, zero)
+                    if transferred is None:
+                        continue  # definite failure: the edge kills all executions
+                    new_one, new_zero = transferred
+                    old_one = may_one.get(edge.dst, 0)
+                    old_zero = may_zero.get(edge.dst, 0)
+                    merged_one = old_one | new_one
+                    merged_zero = old_zero | new_zero
+                    fresh = merged_one & ~old_one
+                    if fresh:
+                        self._record_provenance(
+                            provenance, edge, one, fresh
+                        )
+                    if merged_one != old_one or merged_zero != old_zero:
+                        may_one[edge.dst] = merged_one
+                        may_zero[edge.dst] = merged_zero
+                        worklist.push(edge.dst)
+        except (ResourceExhausted, MemoryError) as error:
+            # salvage: mid-run may-1 sets are a subset of the fixpoint's,
+            # so alarms collected now persist into the completed run
+            raise _guard.exhausted_from(
+                error,
+                engine="fds",
+                subject=program.name,
+                alarms=self._collect_alarms(
+                    program, may_one, may_zero, provenance
+                ),
+                site_universe=_guard.boolprog_sites(program),
+                nodes_analyzed=len(may_one),
+                nodes_total=_node_count(program),
+                stats={"iterations": iterations},
+            )
         alarms = self._collect_alarms(
             program, may_one, may_zero, provenance
         )
@@ -224,16 +251,27 @@ class FdsSolver:
         return alarms
 
 
+def _node_count(program: BoolProgram) -> int:
+    nodes = {program.entry}
+    for edge in program.edges:
+        nodes.add(edge.src)
+        nodes.add(edge.dst)
+    return len(nodes)
+
+
 def certify_fds(
     program: BoolProgram,
     *,
     prune_requires: bool = True,
     worklist: str = "rpo",
+    governor: Optional[ResourceGovernor] = None,
 ) -> CertificationReport:
     """Convenience wrapper returning a report for one boolean program."""
     with trace_phase("fixpoint", engine="fds") as trace_meta:
         result = FdsSolver(
-            prune_requires=prune_requires, worklist=worklist
+            prune_requires=prune_requires,
+            worklist=worklist,
+            governor=governor,
         ).solve(program)
         trace_meta.update(
             iterations=result.iterations, variables=program.num_vars

@@ -56,6 +56,8 @@ from repro.lang.cfg import CFG, SCallClient, SCopy, SReturn
 from repro.lang.types import MethodInfo, Program
 from repro.logic.formula import And, EqAtom, Not
 from repro.logic.terms import Base, Field
+from repro.runtime import guard as _guard
+from repro.runtime.guard import ResourceExhausted, ResourceGovernor
 from repro.runtime.trace import phase as trace_phase
 from repro.util.worklist import (
     FifoWorklist,
@@ -169,6 +171,7 @@ class InterproceduralCertifier:
         *,
         prune_requires: bool = True,
         worklist: str = "rpo",
+        governor: Optional[ResourceGovernor] = None,
     ) -> None:
         if not program.is_shallow():
             raise TransformError(
@@ -191,6 +194,8 @@ class InterproceduralCertifier:
         }
         self.spaces: Dict[str, ProcSpace] = {}
         self.worklist_order = worklist
+        #: cooperative resource budgets, polled in both worklist loops
+        self.governor = governor
         #: per-space reverse-postorder priorities for the local fixpoints
         self._rpo: Dict[str, Dict[int, int]] = {}
         self._formal_visible: Dict[str, str] = {}
@@ -795,15 +800,35 @@ class InterproceduralCertifier:
             entry_space.boolprog.entry: all_vars & ~entry_space.default_mask
         }
         schedule(root)
-        while worklist:
-            key = worklist.popleft()
-            queued.discard(key)
-            if self._analyze_context(
-                key, memo, node_states, node_zeros, dependents, schedule,
-                alarms,
-            ):
-                for dependent in dependents.get(key, ()):
-                    schedule(dependent)
+        governor = self.governor
+        try:
+            while worklist:
+                if governor is not None:
+                    governor.tick()
+                    governor.check_structures(self.stats["contexts"])
+                key = worklist.popleft()
+                queued.discard(key)
+                if self._analyze_context(
+                    key, memo, node_states, node_zeros, dependents, schedule,
+                    alarms,
+                ):
+                    for dependent in dependents.get(key, ()):
+                        schedule(dependent)
+        except (ResourceExhausted, MemoryError) as error:
+            # the alarms dict grows monotonically with the tabulation, so
+            # everything recorded before the breach is a fixpoint alarm too
+            raise _guard.exhausted_from(
+                error,
+                engine="interproc",
+                subject=entry_method.qualified,
+                alarms=sorted(
+                    alarms.values(), key=lambda a: (a.site_id, a.instance)
+                ),
+                site_universe=_guard.program_sites(self.program),
+                nodes_analyzed=self.stats["contexts"] - len(worklist),
+                nodes_total=self.stats["contexts"],
+                stats=dict(self.stats),
+            )
         alarm_list = sorted(
             alarms.values(), key=lambda a: (a.site_id, a.instance)
         )
@@ -838,7 +863,10 @@ class InterproceduralCertifier:
         local_work = self._local_worklist(qualified, boolprog)
         for seed in seeds:
             local_work.push(seed)
+        governor = self.governor
         while local_work:
+            if governor is not None:
+                governor.tick()
             node = local_work.pop()
             mask = states.get(node, 0)
             zmask = zeros.get(node, all_vars)

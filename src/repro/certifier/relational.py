@@ -17,16 +17,30 @@ forgoes (and which Rule 2 renders irrelevant for the alarm question).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.certifier.boolprog import BoolEdge, BoolProgram
 from repro.certifier.report import Alarm, CertificationReport
+from repro.runtime import guard as _guard
+from repro.runtime.guard import ResourceExhausted, ResourceGovernor
 from repro.runtime.trace import phase as trace_phase
 from repro.util.worklist import make_worklist
 
 
-class StateExplosion(Exception):
-    """The relational state set exceeded the configured budget."""
+class StateExplosion(ResourceExhausted):
+    """The relational state set exceeded the configured budget.
+
+    A :class:`~repro.runtime.guard.ResourceExhausted` with
+    ``breach="structures"``; the solver attaches a
+    :class:`~repro.runtime.guard.PartialResult` carrying the alarms
+    confirmed before the explosion, so a blown-up run still reports the
+    sites it did resolve.
+    """
+
+    def __init__(
+        self, message: str, *, breach: str = "structures", partial=None
+    ) -> None:
+        super().__init__(message, breach=breach, partial=partial)
 
 
 @dataclass
@@ -46,13 +60,16 @@ class RelationalSolver:
         apply_filters: bool = True,
         state_budget: int = 200_000,
         worklist: str = "rpo",
+        governor: Optional[ResourceGovernor] = None,
     ) -> None:
         self.prune_requires = prune_requires
         self.apply_filters = apply_filters
         self.state_budget = state_budget
         self.worklist_order = worklist
+        self.governor = governor
 
     def solve(self, program: BoolProgram) -> RelationalResult:
+        governor = self.governor
         init = frozenset([program.initial_mask()])
         states: Dict[int, Set[int]] = {program.entry: set(init)}
         worklist = make_worklist(
@@ -67,29 +84,47 @@ class RelationalSolver:
         max_states = 1
         iterations = 0
         alarm_hits: Dict[Tuple[int, int], List[bool]] = {}
-        while worklist:
-            iterations += 1
-            node = worklist.pop()
-            current = states.get(node, set())
-            for edge in program.out_edges(node):
-                outgoing = self._transfer(edge, current, alarm_hits)
-                target = states.setdefault(edge.dst, set())
-                before = len(target)
-                # budget check *before* merging, so StateExplosion always
-                # reports the consistent pre-overflow count
-                grown = len(target | outgoing)
-                if grown > self.state_budget:
-                    raise StateExplosion(
-                        f"{program.name}: relational state set would grow "
-                        f"to {grown} (> budget {self.state_budget}) at "
-                        f"node {edge.dst} "
-                        f"(in-degree {in_degree.get(edge.dst, 0)}); "
-                        f"pre-overflow count {before}"
-                    )
-                target |= outgoing
-                max_states = max(max_states, len(target))
-                if len(target) != before:
-                    worklist.push(edge.dst)
+        try:
+            while worklist:
+                if governor is not None:
+                    governor.tick()
+                iterations += 1
+                node = worklist.pop()
+                current = states.get(node, set())
+                for edge in program.out_edges(node):
+                    outgoing = self._transfer(edge, current, alarm_hits)
+                    target = states.setdefault(edge.dst, set())
+                    before = len(target)
+                    # budget check *before* merging, so StateExplosion always
+                    # reports the consistent pre-overflow count
+                    grown = len(target | outgoing)
+                    if grown > self.state_budget:
+                        raise StateExplosion(
+                            f"{program.name}: relational state set would grow "
+                            f"to {grown} (> budget {self.state_budget}) at "
+                            f"node {edge.dst} "
+                            f"(in-degree {in_degree.get(edge.dst, 0)}); "
+                            f"pre-overflow count {before}"
+                        )
+                    if governor is not None:
+                        governor.check_structures(grown)
+                    target |= outgoing
+                    max_states = max(max_states, len(target))
+                    if len(target) != before:
+                        worklist.push(edge.dst)
+        except (ResourceExhausted, MemoryError) as error:
+            # mid-run alarm_hits only ever gain entries as states grow,
+            # so the alarms confirmed so far survive into the fixpoint
+            raise _guard.exhausted_from(
+                error,
+                engine="relational",
+                subject=program.name,
+                alarms=self._collect_alarms(program, alarm_hits),
+                site_universe=_guard.boolprog_sites(program),
+                nodes_analyzed=len(states),
+                nodes_total=_node_count(program),
+                stats={"iterations": iterations, "max_states": max_states},
+            )
         alarms = self._collect_alarms(program, alarm_hits)
         return RelationalResult(
             program,
@@ -162,6 +197,14 @@ class RelationalSolver:
                 )
             )
         return alarms
+
+
+def _node_count(program: BoolProgram) -> int:
+    nodes = {program.entry}
+    for edge in program.edges:
+        nodes.add(edge.src)
+        nodes.add(edge.dst)
+    return len(nodes)
 
 
 def certify_relational(

@@ -136,7 +136,64 @@ def build_batch_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--quiet", action="store_true", help="suppress the summary table"
     )
+    _add_governor_arguments(parser)
     return parser
+
+
+def _add_governor_arguments(
+    parser: argparse.ArgumentParser, steps_flag: str = "--max-steps"
+) -> None:
+    """Resource-governor knobs shared by batch / bench / fuzz."""
+    group = parser.add_argument_group(
+        "resource governor",
+        "in-engine budgets; breached runs surrender a sound partial "
+        "result instead of dying (see repro.runtime.guard)",
+    )
+    group.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="cooperative wall-clock deadline per certification",
+    )
+    group.add_argument(
+        steps_flag,
+        dest="governor_steps",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fixpoint step budget per certification",
+    )
+    group.add_argument(
+        "--max-structures",
+        type=int,
+        default=None,
+        metavar="N",
+        help="abstract-structure budget per certification",
+    )
+    group.add_argument(
+        "--ladder",
+        action="store_true",
+        help="on breach, re-run the unresolved residue at cheaper "
+        "engine tiers (the default degradation ladder)",
+    )
+
+
+def _governor_options(args: argparse.Namespace):
+    """A CertifyOptions carrying the governor flags, or None if unset."""
+    if (
+        args.deadline is None
+        and args.governor_steps is None
+        and args.max_structures is None
+        and not args.ladder
+    ):
+        return None
+    return CertifyOptions(
+        deadline=args.deadline,
+        max_steps=args.governor_steps,
+        max_structures=args.max_structures,
+        ladder=True if args.ladder else None,
+    )
 
 
 def build_bench_parser() -> argparse.ArgumentParser:
@@ -209,6 +266,7 @@ def build_bench_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--quiet", action="store_true", help="suppress the text table"
     )
+    _add_governor_arguments(parser)
     return parser
 
 
@@ -302,6 +360,9 @@ def build_fuzz_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--quiet", action="store_true", help="suppress the summary table"
     )
+    # --max-steps is taken by the oracle budget above, so the governor's
+    # step budget gets a distinct spelling here
+    _add_governor_arguments(parser, steps_flag="--governor-steps")
     return parser
 
 
@@ -360,12 +421,14 @@ def fuzz_main(argv: Optional[List[str]] = None) -> int:
             max_paths=args.max_paths, max_steps_per_path=args.max_steps
         )
     )
+    options = _governor_options(args)
     result = run_campaign(
         seeds,
         engines=engines,
         config=config,
         oracle=oracle,
         time_budget=args.time_budget,
+        options=options,
     )
 
     shrunk: List[str] = []
@@ -380,7 +443,7 @@ def fuzz_main(argv: Optional[List[str]] = None) -> int:
 
             def still_fails(source: str, _sig=signature) -> bool:
                 candidate = run_case(
-                    source, spec, engines, oracle=oracle
+                    source, spec, engines, oracle=oracle, options=options
                 )
                 return bool(candidate.failure_signature() & _sig)
 
@@ -454,12 +517,14 @@ def bench_main(argv: Optional[List[str]] = None) -> int:
             return 2
         programs = [by_name[name] for name in sorted(wanted)]
 
+    options = _governor_options(args)
     if args.compare:
         comparison = run_comparison(
             spec=spec,
             engine=args.engine,
             programs=programs,
             reps=args.reps,
+            options=options,
         )
         payload = comparison.to_json()
         ok = comparison.alarms_equal and (
@@ -480,7 +545,7 @@ def bench_main(argv: Optional[List[str]] = None) -> int:
                 print(f"error: unknown engine(s): {bad}", file=sys.stderr)
                 return 2
         results = run_precision_table(
-            spec=spec, engines=engines, programs=programs
+            spec=spec, engines=engines, programs=programs, options=options
         )
         payload = results_to_json(results)
         ok = all(
@@ -518,6 +583,10 @@ def batch_main(argv: Optional[List[str]] = None) -> int:
         default_timeout=args.timeout,
         default_fallback=args.fallback,
         max_retries=args.retries,
+        default_deadline=args.deadline,
+        default_max_steps=args.governor_steps,
+        default_max_structures=args.max_structures,
+        default_ladder=True if args.ladder else None,
     )
     result = runner.run()
     if args.trace:

@@ -12,6 +12,14 @@ same program) are legal — the paper's Section 7 tables are exactly such
 differences — but they are the most informative fuzzing output, so the
 campaign aggregates them into a pairwise table and keeps exemplar seeds
 for shrinking.
+
+With a resource budget (``options`` carrying ``deadline`` /
+``max_steps`` / ``max_structures``) the harness additionally checks
+**soundness under budget**: a breached engine must surrender a
+:class:`~repro.runtime.guard.PartialResult` whose covered sites
+(alarmed ∪ unknown) include every oracle failing site — a budget breach
+may lose precision, never an error.  Violations fail the gate with the
+``budget-miss`` kind and shrink like any other finding.
 """
 
 from __future__ import annotations
@@ -20,7 +28,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
-from repro.api import CertifySession
+from repro.api import CertifyOptions, CertifySession
 from repro.easl.library import cmp_spec
 from repro.easl.spec import ComponentSpec
 from repro.fuzz.generator import FuzzConfig, generate_client
@@ -32,6 +40,7 @@ from repro.fuzz.oracle import (
     validate_witnesses,
 )
 from repro.lang.types import parse_program
+from repro.runtime.guard import ResourceExhausted
 
 #: one engine per fixpoint family: boolean FDS, relational, summary-based
 #: interprocedural, TVLA, and the generic baseline
@@ -56,14 +65,30 @@ class EngineOutcome:
     error: Optional[str] = None
     missed_sites: Tuple[int, ...] = ()
     false_alarm_sites: Tuple[int, ...] = ()
+    #: budget-breach kind when the run was cut short (or its ladder
+    #: merge stayed partial); ``None`` for a complete run
+    breach: Optional[str] = None
+    #: sites a breached run left unresolved (from the partial result)
+    unknown_sites: frozenset = frozenset()
+    #: oracle failing sites the breached run neither alarmed nor
+    #: flagged unknown — a soundness-under-budget violation
+    budget_missed_sites: Tuple[int, ...] = ()
 
     @property
     def crashed(self) -> bool:
         return self.error is not None
 
     @property
+    def breached(self) -> bool:
+        return self.breach is not None
+
+    @property
     def sound(self) -> bool:
-        return self.error is None and not self.missed_sites
+        return (
+            self.error is None
+            and not self.missed_sites
+            and not self.budget_missed_sites
+        )
 
     def to_json(self) -> Dict[str, object]:
         return {
@@ -73,6 +98,9 @@ class EngineOutcome:
             "error": self.error,
             "missed_sites": list(self.missed_sites),
             "false_alarm_sites": list(self.false_alarm_sites),
+            "breach": self.breach,
+            "unknown_sites": sorted(self.unknown_sites),
+            "budget_missed_sites": list(self.budget_missed_sites),
             "sound": self.sound,
         }
 
@@ -89,7 +117,11 @@ class CaseResult:
 
     @property
     def soundness_violations(self) -> List[EngineOutcome]:
-        return [o for o in self.outcomes.values() if o.missed_sites]
+        return [
+            o
+            for o in self.outcomes.values()
+            if o.missed_sites or o.budget_missed_sites
+        ]
 
     @property
     def crashes(self) -> List[EngineOutcome]:
@@ -106,11 +138,13 @@ class CaseResult:
 
     @property
     def disagreement(self) -> bool:
-        """Do two non-crashed engines report different alarm sets?"""
+        """Do two complete (non-crashed, non-breached) engines report
+        different alarm sets?  Breached runs hold partial alarm sets, so
+        comparing them would manufacture spurious disagreements."""
         sets = {
             o.alarm_sites
             for o in self.outcomes.values()
-            if not o.crashed
+            if not o.crashed and not o.breached
         }
         return len(sets) > 1
 
@@ -119,7 +153,10 @@ class CaseResult:
         the shrinker preserves a non-empty intersection with this."""
         pairs = set()
         for outcome in self.soundness_violations:
-            pairs.add((outcome.engine, "miss"))
+            if outcome.missed_sites:
+                pairs.add((outcome.engine, "miss"))
+            if outcome.budget_missed_sites:
+                pairs.add((outcome.engine, "budget-miss"))
         for outcome in self.crashes:
             pairs.add((outcome.engine, "crash"))
         for issue in self.witness_issues:
@@ -127,10 +164,11 @@ class CaseResult:
         return frozenset(pairs)
 
     def partition(self) -> Dict[frozenset, List[str]]:
-        """Engines grouped by identical alarm-site sets."""
+        """Engines grouped by identical alarm-site sets (complete runs
+        only — a breached run's alarm set is partial by construction)."""
         groups: Dict[frozenset, List[str]] = {}
         for name, outcome in self.outcomes.items():
-            if outcome.crashed:
+            if outcome.crashed or outcome.breached:
                 continue
             groups.setdefault(outcome.alarm_sites, []).append(name)
         return groups
@@ -174,12 +212,20 @@ def run_case(
     oracle: Optional[Oracle] = None,
     seed: int = -1,
     stats: Optional[OracleStats] = None,
+    options: Optional[CertifyOptions] = None,
 ) -> CaseResult:
-    """Certify one program with every engine and diff against the oracle."""
+    """Certify one program with every engine and diff against the oracle.
+
+    Pass ``options`` with a budget (``deadline`` / ``max_steps`` /
+    ``max_structures``, optionally ``ladder``) to fuzz the governor: the
+    session builds a fresh :class:`ResourceGovernor` per certification,
+    and breached runs are judged by the soundness-under-budget gate
+    instead of the exact-alarm one.
+    """
     spec = spec if spec is not None else (
         session.spec if session is not None else cmp_spec()
     )
-    session = session or CertifySession(spec)
+    session = session or CertifySession(spec, options=options)
     oracle = oracle or Oracle()
     program = parse_program(source, spec)
     truth = oracle.ground_truth(program)
@@ -193,6 +239,36 @@ def run_case(
         start = time.perf_counter()
         try:
             report = session.certify_program(program, engine)
+        except ResourceExhausted as error:  # breach without a ladder
+            partial = error.partial
+            alarm_sites = (
+                frozenset(partial.alarm_site_ids())
+                if partial is not None
+                else frozenset()
+            )
+            unknown = (
+                frozenset(partial.unknown_sites)
+                if partial is not None
+                else frozenset()
+            )
+            outcomes[engine] = EngineOutcome(
+                engine=engine,
+                alarm_sites=alarm_sites,
+                alarm_lines=tuple(
+                    sorted({a.line for a in partial.alarms})
+                )
+                if partial is not None
+                else (),
+                seconds=time.perf_counter() - start,
+                breach=error.breach,
+                unknown_sites=unknown,
+                budget_missed_sites=tuple(
+                    sorted(
+                        verdict.failing_sites - (alarm_sites | unknown)
+                    )
+                ),
+            )
+            continue
         except Exception as error:  # engine crash: a finding, not a halt
             outcomes[engine] = EngineOutcome(
                 engine=engine,
@@ -201,10 +277,13 @@ def run_case(
             )
             continue
         elapsed = time.perf_counter() - start
+        report_stats = report.stats if isinstance(report.stats, dict) else {}
+        breach = report_stats.get("breach")
+        breach = breach if isinstance(breach, str) else None
         alarm_sites = frozenset(report.alarm_sites())
-        missed = tuple(sorted(verdict.failing_sites - alarm_sites))
+        uncovered = tuple(sorted(verdict.failing_sites - alarm_sites))
         false_alarms: Tuple[int, ...] = ()
-        if not verdict.truncated:
+        if not verdict.truncated and breach is None:
             false_alarms = tuple(
                 sorted(alarm_sites - verdict.failing_sites)
             )
@@ -216,10 +295,16 @@ def run_case(
                 a.site_id for a in report.alarms if a.definite
             ),
             seconds=elapsed,
-            missed_sites=missed,
+            # a ladder-merged report folds unresolved sites into
+            # conservative alarms, so every uncovered oracle site is a
+            # salvage-logic soundness bug, not a precision gap
+            missed_sites=() if breach is not None else uncovered,
+            budget_missed_sites=uncovered if breach is not None else (),
             false_alarm_sites=false_alarms,
+            breach=breach,
         )
-        witness_issues.extend(validate_witnesses(report, verdict))
+        if breach is None:
+            witness_issues.extend(validate_witnesses(report, verdict))
     return CaseResult(seed, source, verdict, outcomes, witness_issues)
 
 
@@ -236,6 +321,7 @@ class CampaignResult:
     engine_seconds: Dict[str, float] = field(default_factory=dict)
     engine_alarms: Dict[str, int] = field(default_factory=dict)
     engine_false_alarms: Dict[str, int] = field(default_factory=dict)
+    engine_breaches: Dict[str, int] = field(default_factory=dict)
     wall_seconds: float = 0.0
     budget_exhausted: bool = False
     max_kept_disagreements: int = 50
@@ -261,6 +347,10 @@ class CampaignResult:
                 self.engine_false_alarms.get(name, 0)
                 + len(outcome.false_alarm_sites)
             )
+            if outcome.breached:
+                self.engine_breaches[name] = (
+                    self.engine_breaches.get(name, 0) + 1
+                )
         if not case.ok:
             self.failures.append(case)
         elif case.disagreement and (
@@ -293,6 +383,17 @@ class CampaignResult:
                 f"{self.engine_false_alarms.get(name, 0):>7} "
                 f"{self.engine_seconds.get(name, 0.0):>9.2f}"
             )
+        if self.engine_breaches:
+            lines.append("")
+            lines.append(
+                "budget breaches: "
+                + ", ".join(
+                    f"{name}={count}"
+                    for name, count in sorted(
+                        self.engine_breaches.items()
+                    )
+                )
+            )
         lines.append("")
         lines.append("precision partitions (most precise group first):")
         for signature, count in sorted(
@@ -313,12 +414,21 @@ class CampaignResult:
             lines.append(f"SOUNDNESS GATE FAILED: {len(self.failures)} case(s)")
             for case in self.failures:
                 for outcome in case.soundness_violations:
-                    lines.append(
-                        f"  seed {case.seed}: {outcome.engine} missed "
-                        f"sites {list(outcome.missed_sites)} "
-                        f"(oracle lines "
-                        f"{sorted(case.verdict.failing_lines())})"
-                    )
+                    if outcome.missed_sites:
+                        lines.append(
+                            f"  seed {case.seed}: {outcome.engine} missed "
+                            f"sites {list(outcome.missed_sites)} "
+                            f"(oracle lines "
+                            f"{sorted(case.verdict.failing_lines())})"
+                        )
+                    if outcome.budget_missed_sites:
+                        lines.append(
+                            f"  seed {case.seed}: {outcome.engine} "
+                            f"budget-missed sites "
+                            f"{list(outcome.budget_missed_sites)} "
+                            f"(breach={outcome.breach}; a partial "
+                            f"result dropped an oracle error site)"
+                        )
                 for outcome in case.crashes:
                     lines.append(
                         f"  seed {case.seed}: {outcome.engine} crashed: "
@@ -349,6 +459,9 @@ class CampaignResult:
             "engine_false_alarms": dict(
                 sorted(self.engine_false_alarms.items())
             ),
+            "engine_breaches": dict(
+                sorted(self.engine_breaches.items())
+            ),
             "engine_seconds": {
                 k: round(v, 2)
                 for k, v in sorted(self.engine_seconds.items())
@@ -375,18 +488,22 @@ def run_campaign(
     oracle: Optional[Oracle] = None,
     time_budget: Optional[float] = None,
     on_case: Optional[Callable[[CaseResult], None]] = None,
+    options: Optional[CertifyOptions] = None,
 ) -> CampaignResult:
     """Run the differential harness over a seed range.
 
     ``time_budget`` (seconds of wall clock) stops the campaign early —
     the nightly CI job uses it so a slow runner degrades coverage rather
-    than failing the build.
+    than failing the build.  ``options`` flow into the shared session —
+    pass a governor budget there to fuzz soundness under resource
+    exhaustion (every breached certification is gated on its partial
+    result covering the oracle's failing sites).
     """
     spec = spec or cmp_spec()
     engines = tuple(engines)
     config = config or FuzzConfig()
     oracle = oracle or Oracle()
-    session = CertifySession(spec)
+    session = CertifySession(spec, options=options)
     result = CampaignResult(engines=engines)
     start = time.perf_counter()
     for seed in seeds:
@@ -405,6 +522,7 @@ def run_campaign(
             oracle=oracle,
             seed=seed,
             stats=result.oracle_stats,
+            options=options,
         )
         result.record(case)
         if on_case is not None:

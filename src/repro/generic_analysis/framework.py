@@ -44,6 +44,8 @@ from repro.lang.inline import InlinedProgram
 from repro.logic.compile import compile_condition
 from repro.logic.formula import EqAtom, Formula
 from repro.logic.terms import Base, Field, Fresh, Term
+from repro.runtime import guard as _guard
+from repro.runtime.guard import ResourceExhausted, ResourceGovernor
 from repro.runtime.trace import phase as trace_phase
 from repro.util.worklist import make_worklist
 
@@ -308,52 +310,20 @@ def analyze_generic(
     engine_name: str,
     max_iterations: int = 200_000,
     worklist: str = "rpo",
+    governor: Optional[ResourceGovernor] = None,
 ) -> GenericResult:
     """Run a generic heap analysis over the composite program."""
     with trace_phase("fixpoint", engine=engine_name) as trace_meta:
         result = _analyze_generic(
-            inlined, domain, engine_name, max_iterations, worklist
+            inlined, domain, engine_name, max_iterations, worklist,
+            governor,
         )
         trace_meta["iterations"] = result.iterations
     return result
 
 
-def _analyze_generic(
-    inlined: InlinedProgram,
-    domain: HeapDomain,
-    engine_name: str,
-    max_iterations: int,
-    worklist_order: str = "rpo",
-) -> GenericResult:
-    spec = inlined.program.spec
-    runner = _SpecRunner(spec, domain)
-    cfg = inlined.cfg
-    states: Dict[int, object] = {cfg.entry: domain.initial()}
-    worklist = make_worklist(
-        worklist_order,
-        cfg.entry,
-        lambda n: [e.dst for e in cfg.out_edges(n)],
-    )
-    worklist.push(cfg.entry)
-    iterations = 0
-    while worklist:
-        iterations += 1
-        if iterations > max_iterations:
-            raise RuntimeError(
-                f"{engine_name}: fixpoint exceeded {max_iterations} steps"
-            )
-        node = worklist.pop()
-        state = states[node]
-        for edge in cfg.out_edges(node):
-            for successor in _transfer(edge.stm, state, domain, runner, None):
-                old = states.get(edge.dst)
-                merged = (
-                    successor if old is None else domain.join(old, successor)
-                )
-                if old is None or merged != old:
-                    states[edge.dst] = merged
-                    worklist.push(edge.dst)
-    # final pass: evaluate the requires clauses in the settled states
+def _collect_alarms(cfg, states, domain, runner) -> List[Alarm]:
+    """Evaluate the requires clauses over the given node states."""
     checks: List[Tuple[int, int, str, bool]] = []
     for edge in cfg.edges:
         state = states.get(edge.src)
@@ -375,6 +345,80 @@ def _analyze_generic(
             )
         )
     alarms.sort(key=lambda a: a.site_id)
+    return alarms
+
+
+def _node_count(cfg) -> int:
+    nodes = {cfg.entry}
+    for edge in cfg.edges:
+        nodes.add(edge.src)
+        nodes.add(edge.dst)
+    return len(nodes)
+
+
+def _analyze_generic(
+    inlined: InlinedProgram,
+    domain: HeapDomain,
+    engine_name: str,
+    max_iterations: int,
+    worklist_order: str = "rpo",
+    governor: Optional[ResourceGovernor] = None,
+) -> GenericResult:
+    spec = inlined.program.spec
+    runner = _SpecRunner(spec, domain)
+    cfg = inlined.cfg
+    states: Dict[int, object] = {cfg.entry: domain.initial()}
+    worklist = make_worklist(
+        worklist_order,
+        cfg.entry,
+        lambda n: [e.dst for e in cfg.out_edges(n)],
+    )
+    worklist.push(cfg.entry)
+    iterations = 0
+    try:
+        while worklist:
+            if governor is not None:
+                governor.tick()
+            iterations += 1
+            if iterations > max_iterations:
+                raise RuntimeError(
+                    f"{engine_name}: fixpoint exceeded "
+                    f"{max_iterations} steps"
+                )
+            node = worklist.pop()
+            state = states[node]
+            for edge in cfg.out_edges(node):
+                for successor in _transfer(
+                    edge.stm, state, domain, runner, None
+                ):
+                    old = states.get(edge.dst)
+                    merged = (
+                        successor
+                        if old is None
+                        else domain.join(old, successor)
+                    )
+                    if old is None or merged != old:
+                        states[edge.dst] = merged
+                        if governor is not None:
+                            governor.check_structures(len(states))
+                        worklist.push(edge.dst)
+    except (ResourceExhausted, MemoryError) as error:
+        # salvage: sites that *already* fail their must-alias check in
+        # the mid-run states are alarmed; everything else stays unknown
+        # (must-info can still weaken as states grow, so a mid-run pass
+        # is never treated as certifying)
+        raise _guard.exhausted_from(
+            error,
+            engine=engine_name,
+            subject=cfg.method,
+            alarms=_collect_alarms(cfg, states, domain, runner),
+            site_universe=_guard.cfg_sites(cfg, spec),
+            nodes_analyzed=len(states),
+            nodes_total=_node_count(cfg),
+            stats={"iterations": iterations},
+        )
+    # final pass: evaluate the requires clauses in the settled states
+    alarms = _collect_alarms(cfg, states, domain, runner)
     report = CertificationReport(
         subject=cfg.method,
         engine=engine_name,

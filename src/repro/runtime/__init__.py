@@ -33,6 +33,13 @@ Production services for running certification at scale:
 """
 
 from repro.runtime.cache import CacheStats, LRUCache, stable_key
+from repro.runtime.guard import (
+    DegradationLadder,
+    PartialResult,
+    ResourceExhausted,
+    ResourceGovernor,
+    SiteLedger,
+)
 from repro.runtime.interp import ExplorationBudget, GroundTruth, explore
 from repro.runtime.jcf import ComponentHeap, ConformanceViolation
 from repro.runtime.trace import (
@@ -60,11 +67,16 @@ __all__ = [
     "CollectingTracer",
     "ComponentHeap",
     "ConformanceViolation",
+    "DegradationLadder",
     "ExplorationBudget",
     "GroundTruth",
     "JsonlTracer",
     "LRUCache",
     "NULL_TRACER",
+    "PartialResult",
+    "ResourceExhausted",
+    "ResourceGovernor",
+    "SiteLedger",
     "TraceEvent",
     "Tracer",
     "current_tracer",

@@ -7,10 +7,13 @@ a *manifest* of (client, spec, engine) jobs on a
 :mod:`concurrent.futures` process pool:
 
 * **timeouts & fallback** — every job gets a wall-clock budget, enforced
-  inside the worker with a POSIX interval timer; a job that blows its
-  budget is re-run on its configured fallback engine (e.g. a
-  ``tvla-relational`` job falls back to ``fds``) and marked
-  ``fallback`` rather than failing the batch;
+  *cooperatively* by a :class:`~repro.runtime.guard.ResourceGovernor`
+  polled inside the engine fixpoint (so timed-out jobs surface the
+  partial result they had proved); a POSIX interval timer at roughly
+  twice the budget remains as a backstop against non-cooperative hangs.
+  A job that blows its budget is re-run on its configured fallback
+  engine (e.g. a ``tvla-relational`` job falls back to ``fds``) and
+  marked ``fallback`` rather than failing the batch;
 * **crash retry** — a worker that dies (OOM-killed, segfault) breaks the
   pool; affected jobs are retried with exponential backoff on a fresh
   pool, up to a per-job retry budget, and exhausted jobs degrade to
@@ -62,10 +65,12 @@ import multiprocessing
 
 from repro.certifier.report import CertificationReport
 from repro.runtime.cache import CacheStats
+from repro.runtime.guard import ResourceExhausted
 from repro.runtime.trace import (
     CollectingTracer,
     JsonlTracer,
     TraceEvent,
+    note,
     use_tracer,
 )
 
@@ -131,6 +136,15 @@ class _JobOutcome:
     error: Optional[str] = None
     events: List[TraceEvent] = field(default_factory=list)
     pid: int = 0
+    #: which budget tripped, when the attempt breached (see
+    #: :data:`repro.runtime.guard.BREACH_KINDS`)
+    breach: Optional[str] = None
+    #: alarm sites salvaged from the partial result / ladder
+    salvaged: Optional[int] = None
+    #: check sites the breached run never settled
+    unknown_sites: Optional[int] = None
+    #: cheapest ladder rung the session degraded to (None = no ladder)
+    degraded_to: Optional[str] = None
 
 
 @dataclass
@@ -148,6 +162,10 @@ class JobResult:
     seconds: float = 0.0  # summed over every attempt
     error: Optional[str] = None
     events: List[TraceEvent] = field(default_factory=list)
+    breach: Optional[str] = None
+    salvaged: Optional[int] = None
+    unknown_sites: Optional[int] = None
+    degraded_to: Optional[str] = None
 
     @property
     def ok(self) -> bool:
@@ -174,6 +192,9 @@ class JobResult:
                 "certified": self.certified,
                 "alarms": self.alarms,
                 "error": self.error,
+                "breach": self.breach,
+                "salvaged": self.salvaged,
+                "degraded_to": self.degraded_to,
             },
         }
 
@@ -225,6 +246,10 @@ class BatchResult:
                     "alarm_lines": r.alarm_lines,
                     "seconds": round(r.seconds, 4),
                     "error": r.error,
+                    "breach": r.breach,
+                    "salvaged": r.salvaged,
+                    "unknown_sites": r.unknown_sites,
+                    "degraded_to": r.degraded_to,
                     "phases": {
                         k: round(v, 4)
                         for k, v in sorted(r.phase_seconds().items())
@@ -245,8 +270,13 @@ class BatchResult:
             engine = r.job.engine
             if r.fallback:
                 engine = f"{engine}->{r.engine_used}"
+            if r.degraded_to:
+                engine = f"{engine}~{r.degraded_to}"
             if r.certified is None:
-                verdict = "—"
+                if r.salvaged is not None:
+                    verdict = f"salvaged {r.salvaged}"
+                else:
+                    verdict = "—"
             elif r.certified:
                 verdict = "CERTIFIED"
             else:
@@ -282,7 +312,15 @@ _JOB_KEYS = {
     "fallback_timeout",
     "options",
 }
-_OPTION_KEYS = {"entry", "prune_requires", "inline_depth"}
+_OPTION_KEYS = {
+    "entry",
+    "prune_requires",
+    "inline_depth",
+    "deadline",
+    "max_steps",
+    "max_structures",
+    "ladder",
+}
 
 
 def load_manifest(path: str) -> List[JobSpec]:
@@ -341,6 +379,12 @@ def parse_manifest(data: object, base_dir: str = ".") -> List[JobSpec]:
             raise ManifestError(
                 f"job #{index} has unknown option(s): {sorted(unknown)}"
             )
+        if isinstance(option_values.get("ladder"), list):
+            # JSON has no tuples; CertifyOptions wants a hashable ladder
+            option_values = {
+                **option_values,
+                "ladder": tuple(option_values["ladder"]),
+            }
 
         name = str(merged.get("name", default_name))
         if name in names:
@@ -395,26 +439,49 @@ def _resolve_source(
 # -- worker side ---------------------------------------------------------------
 
 
+def _backstop_seconds(timeout: Optional[float]) -> Optional[float]:
+    """The SIGALRM backstop for a cooperative budget: ~2x + slack.
+
+    The governor's cooperative deadline is the primary enforcement; the
+    interval timer only catches non-cooperative hangs (a stuck parse, a
+    pathological transform), so it fires well after the budget.
+    """
+    if timeout is None or timeout <= 0:
+        return None
+    return timeout * 2.0 + 1.0
+
+
 @contextmanager
 def _deadline(seconds: Optional[float]) -> Iterator[None]:
-    """Enforce a wall-clock budget with SIGALRM (POSIX main thread only).
+    """Backstop a wall-clock budget with SIGALRM (POSIX main thread only).
 
-    On platforms without ``SIGALRM`` — or off the main thread — the
-    budget is not enforced; the parent still observes elapsed time in
-    the job result.
+    On platforms without ``SIGALRM`` — or off the main thread, where
+    ``signal.setitimer`` would raise — the timer is skipped and a
+    ``warning`` trace event records that only the cooperative governor
+    is enforcing the budget (previously this was a silent no-op).
     """
+    if seconds is None or seconds <= 0:
+        yield
+        return
     usable = (
-        seconds is not None
-        and seconds > 0
-        and hasattr(signal, "SIGALRM")
+        hasattr(signal, "SIGALRM")
         and threading.current_thread() is threading.main_thread()
     )
     if not usable:
+        note(
+            "warning",
+            reason="sigalrm-unavailable",
+            detail=(
+                "no SIGALRM on this platform/thread; relying on the "
+                "cooperative governor deadline only"
+            ),
+            seconds_requested=float(seconds),
+        )
         yield
         return
 
     def on_alarm(signum, frame):
-        raise JobTimedOut(f"job exceeded {seconds}s wall-clock budget")
+        raise JobTimedOut(f"job exceeded {seconds}s wall-clock backstop")
 
     previous = signal.signal(signal.SIGALRM, on_alarm)
     signal.setitimer(signal.ITIMER_REAL, float(seconds))
@@ -439,6 +506,14 @@ def _init_worker(warm_blob: Optional[bytes]) -> None:
         api._ABSTRACTION_CACHE.put(key, abstraction)
 
 
+def _effective_options(item: _WorkItem):
+    """The job options with the attempt's timeout as governor deadline."""
+    options = item.job.options
+    if item.timeout is not None and options.deadline is None:
+        options = replace(options, deadline=float(item.timeout))
+    return options
+
+
 def _execute_certification(item: _WorkItem) -> CertificationReport:
     """Run one certification attempt (kept separate for fault injection
     in tests — crash/hang simulations monkeypatch this symbol)."""
@@ -450,7 +525,7 @@ def _execute_certification(item: _WorkItem) -> CertificationReport:
     session = CertifySession(
         spec,
         item.engine,
-        item.job.options,
+        _effective_options(item),
         cache=api._ABSTRACTION_CACHE,
     )
     return session.certify(item.job.source)
@@ -462,18 +537,45 @@ def _worker_run(item: _WorkItem) -> _JobOutcome:
     started = time.perf_counter()
     try:
         with use_tracer(tracer):
-            with _deadline(item.timeout):
+            with _deadline(_backstop_seconds(item.timeout)):
                 report = _execute_certification(item)
+        stats = report.stats or {}
         outcome = _JobOutcome(
             status="ok",
             engine=item.engine,
             certified=report.certified,
             alarms=len(report.alarms),
             alarm_lines=sorted(report.alarm_lines()),
+            # present when the session breached and ran its ladder
+            breach=stats.get("breach"),
+            salvaged=stats.get("salvaged"),
+            unknown_sites=stats.get("sites_unresolved"),
+            degraded_to=stats.get("degraded_to"),
         )
     except JobTimedOut as error:
         outcome = _JobOutcome(
-            status="timeout", engine=item.engine, error=str(error)
+            status="timeout",
+            engine=item.engine,
+            error=str(error),
+            breach="deadline",
+        )
+    except ResourceExhausted as error:
+        partial = error.partial
+        outcome = _JobOutcome(
+            status="timeout",
+            engine=item.engine,
+            error=f"{type(error).__name__}: {error}",
+            breach=error.breach,
+            salvaged=len(partial.alarms) if partial is not None else None,
+            unknown_sites=(
+                len(partial.unknown_sites) if partial is not None else None
+            ),
+            alarms=len(partial.alarms) if partial is not None else 0,
+            alarm_lines=(
+                sorted({a.line for a in partial.alarms})
+                if partial is not None
+                else []
+            ),
         )
     except Exception as error:
         outcome = _JobOutcome(
@@ -513,11 +615,23 @@ class BatchRunner:
         default_fallback: Optional[str] = None,
         max_retries: int = DEFAULT_MAX_RETRIES,
         retry_backoff: float = DEFAULT_RETRY_BACKOFF,
+        default_deadline: Optional[float] = None,
+        default_max_steps: Optional[int] = None,
+        default_max_structures: Optional[int] = None,
+        default_ladder=None,
     ) -> None:
         if not jobs:
             raise ValueError("no jobs to run")
         self.jobs = [
-            self._apply_defaults(job, default_timeout, default_fallback)
+            self._apply_defaults(
+                job,
+                default_timeout,
+                default_fallback,
+                default_deadline,
+                default_max_steps,
+                default_max_structures,
+                default_ladder,
+            )
             for job in jobs
         ]
         self.max_workers = max(1, int(max_workers))
@@ -531,6 +645,10 @@ class BatchRunner:
         job: JobSpec,
         default_timeout: Optional[float],
         default_fallback: Optional[str],
+        default_deadline: Optional[float] = None,
+        default_max_steps: Optional[int] = None,
+        default_max_structures: Optional[int] = None,
+        default_ladder=None,
     ) -> JobSpec:
         updates = {}
         if job.timeout is None and default_timeout is not None:
@@ -538,6 +656,24 @@ class BatchRunner:
         if job.fallback is None and default_fallback is not None:
             if default_fallback != job.engine:
                 updates["fallback"] = default_fallback
+        option_updates = {}
+        if job.options.deadline is None and default_deadline is not None:
+            option_updates["deadline"] = default_deadline
+        if job.options.max_steps is None and default_max_steps is not None:
+            option_updates["max_steps"] = default_max_steps
+        if (
+            job.options.max_structures is None
+            and default_max_structures is not None
+        ):
+            option_updates["max_structures"] = default_max_structures
+        if job.options.ladder is None and default_ladder is not None:
+            option_updates["ladder"] = (
+                tuple(default_ladder)
+                if isinstance(default_ladder, (list, tuple))
+                else default_ladder
+            )
+        if option_updates:
+            updates["options"] = replace(job.options, **option_updates)
         return replace(job, **updates) if updates else job
 
     # -- shared caching --------------------------------------------------------
@@ -602,6 +738,19 @@ class BatchRunner:
             seconds=float(accum["seconds"]) + outcome.seconds,
             error=outcome.error,
             events=list(accum["events"]) + outcome.events,
+            # a fallback attempt inherits the original breach/salvage
+            breach=(
+                outcome.breach
+                if outcome.breach is not None
+                else accum.get("breach")
+            ),
+            salvaged=(
+                outcome.salvaged
+                if outcome.salvaged is not None
+                else accum.get("salvaged")
+            ),
+            unknown_sites=outcome.unknown_sites,
+            degraded_to=outcome.degraded_to,
         )
 
     def _absorb(
@@ -622,6 +771,11 @@ class BatchRunner:
         ):
             self._bump(item.index, "events", outcome.events)
             self._bump(item.index, "seconds", outcome.seconds)
+            accum = self._accum[item.index]
+            if outcome.breach is not None:
+                accum.setdefault("breach", outcome.breach)
+            if outcome.salvaged is not None:
+                accum.setdefault("salvaged", outcome.salvaged)
             return _WorkItem(
                 index=item.index,
                 job=job,

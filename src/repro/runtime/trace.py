@@ -34,6 +34,11 @@ from typing import Dict, Iterator, List, Optional, TextIO
 #: phase more than once, e.g. a fallback re-run).
 PHASES = ("parse", "derive", "inline", "transform", "fixpoint")
 
+#: point events emitted by the resource governor / degradation ladder
+#: (see :mod:`repro.runtime.guard`): a budget breach, a ladder descent,
+#: a salvage merge, and the batch runtime's SIGALRM-unavailable warning.
+GOVERNOR_EVENTS = ("breach", "degrade", "salvage", "warning")
+
 
 @dataclass
 class TraceEvent:
@@ -158,6 +163,20 @@ def phase(name: str, **meta: object) -> Iterator[Dict[str, object]]:
                 ts=started_wall,
             )
         )
+
+
+def note(name: str, **meta: object) -> None:
+    """Emit a zero-duration point event to the active tracer.
+
+    Used for the governor's :data:`GOVERNOR_EVENTS` — a breach, a ladder
+    descent, a salvage merge — which mark an instant, not a region.
+    """
+    tracer = _ACTIVE.get()
+    if tracer is NULL_TRACER:
+        return
+    tracer.emit(
+        TraceEvent(phase=name, seconds=0.0, meta=dict(meta), ts=time.time())
+    )
 
 
 def write_events(

@@ -1,0 +1,9 @@
+"""Test-support utilities shipped with the package.
+
+Currently: :mod:`repro.testing.faults`, the deterministic fault
+injection layer the robustness tests drive the engines with.
+"""
+
+from repro.testing.faults import FaultInjector, FaultPlan, InjectedCrash
+
+__all__ = ["FaultInjector", "FaultPlan", "InjectedCrash"]

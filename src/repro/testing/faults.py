@@ -1,0 +1,141 @@
+"""Deterministic fault injection at governor poll points.
+
+A :class:`FaultInjector` hooks the :class:`~repro.runtime.guard.
+ResourceGovernor` poll (``faults.on_poll``) and fires a planned fault at
+the Nth poll of the run.  Because every engine polls once per fixpoint
+iteration, this exercises *every* injection point of every engine family
+with a deterministic, seed-reproducible schedule — the robustness tests
+(``tests/test_faults.py``) prove each engine survives each fault with a
+sound :class:`~repro.runtime.guard.PartialResult`.
+
+Fault kinds:
+
+``breach``
+    raise :class:`ResourceExhausted` with ``breach="injected"`` — a
+    synthetic budget blow-up;
+``memory``
+    raise ``MemoryError`` — the engines convert it to a ``"memory"``
+    breach with a partial result;
+``cancel``
+    call :meth:`governor.cancel() <repro.runtime.guard.ResourceGovernor.
+    cancel>` — the *next* poll raises a ``"cancelled"`` breach, testing
+    spurious cooperative cancellation;
+``crash``
+    raise :class:`InjectedCrash` (a plain ``RuntimeError``) — engines
+    must *not* convert arbitrary crashes into partial results, so this
+    propagates to the caller (the batch runtime's retry path owns it).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.runtime.guard import FaultHook, ResourceExhausted, ResourceGovernor
+
+#: every supported fault kind
+FAULT_KINDS = ("breach", "memory", "cancel", "crash")
+
+
+class InjectedCrash(RuntimeError):
+    """A simulated engine crash (not a budget breach)."""
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Fire ``kind`` at the ``at_poll``-th governor poll (1-based).
+
+    ``repeat=False`` (the default) makes the plan one-shot: it fires
+    once and disarms, so a ladder rung re-running under the same
+    injector is not re-faulted.
+    """
+
+    kind: str
+    at_poll: int
+    repeat: bool = False
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; pick one of {FAULT_KINDS}"
+            )
+        if self.at_poll < 1:
+            raise ValueError("at_poll is 1-based and must be >= 1")
+
+
+class FaultInjector(FaultHook):
+    """Deterministic fault schedule over governor polls.
+
+    The injector counts polls *across* governors (a ladder descent keeps
+    the same injector), so ``at_poll`` indexes the run's global poll
+    sequence.
+    """
+
+    def __init__(self, plans: List[FaultPlan]) -> None:
+        self.plans = list(plans)
+        self.polls = 0
+        self.fired: List[Tuple[int, str]] = []
+        self._spent: set = set()
+
+    @classmethod
+    def seeded(
+        cls,
+        seed: int,
+        *,
+        kinds: Tuple[str, ...] = FAULT_KINDS,
+        max_poll: int = 50,
+        plans: int = 1,
+    ) -> "FaultInjector":
+        """A reproducible injector: same seed, same schedule."""
+        rng = random.Random(seed)
+        return cls(
+            [
+                FaultPlan(
+                    kind=rng.choice(list(kinds)),
+                    at_poll=rng.randint(1, max_poll),
+                )
+                for _ in range(plans)
+            ]
+        )
+
+    def on_poll(self, governor: ResourceGovernor) -> None:
+        self.polls += 1
+        for index, plan in enumerate(self.plans):
+            if index in self._spent or plan.at_poll != self.polls:
+                continue
+            if not plan.repeat:
+                self._spent.add(index)
+            self.fired.append((self.polls, plan.kind))
+            self._fire(plan, governor)
+
+    def _fire(self, plan: FaultPlan, governor: ResourceGovernor) -> None:
+        if plan.kind == "breach":
+            raise ResourceExhausted(
+                f"injected budget breach at poll {self.polls}",
+                breach="injected",
+            )
+        if plan.kind == "memory":
+            raise MemoryError(f"injected MemoryError at poll {self.polls}")
+        if plan.kind == "cancel":
+            governor.cancel(f"injected cancellation at poll {self.polls}")
+            return
+        raise InjectedCrash(f"injected crash at poll {self.polls}")
+
+
+def injector_for(
+    kind: str, at_poll: int, *, repeat: bool = False
+) -> FaultInjector:
+    """Convenience: an injector with a single plan."""
+    return FaultInjector([FaultPlan(kind=kind, at_poll=at_poll, repeat=repeat)])
+
+
+def governed(
+    kind: str,
+    at_poll: int,
+    **governor_kwargs,
+) -> Tuple[ResourceGovernor, FaultInjector]:
+    """A (governor, injector) pair wired together, for tests."""
+    injector = injector_for(kind, at_poll)
+    governor = ResourceGovernor(faults=injector, **governor_kwargs)
+    return governor, injector

@@ -24,14 +24,21 @@ from repro.certifier.report import Alarm, CertificationReport
 from repro.logic import compile as formula_compile
 from repro.logic.formula import Not, PredAtom
 from repro.logic.kleene import FALSE3, HALF, TRUE3
+from repro.runtime import guard as _guard
+from repro.runtime.guard import ResourceExhausted, ResourceGovernor
 from repro.runtime.trace import phase as trace_phase
 from repro.tvla.three_valued import ThreeValuedStructure
 from repro.tvp.program import Action, TvpProgram
 from repro.util.worklist import make_worklist
 
 
-class TvlaBudgetExceeded(Exception):
-    pass
+class TvlaBudgetExceeded(ResourceExhausted):
+    """An engine-internal TVLA budget tripped (iterations/structures)."""
+
+    def __init__(
+        self, message: str, *, breach: str = "steps", partial=None
+    ) -> None:
+        super().__init__(message, breach=breach, partial=partial)
 
 
 @dataclass
@@ -270,11 +277,13 @@ class TvlaEngine:
 
     # -- the fixpoint ----------------------------------------------------------------------
 
-    def run(self) -> TvlaResult:
+    def run(
+        self, governor: Optional[ResourceGovernor] = None
+    ) -> TvlaResult:
         with trace_phase(
             "fixpoint", engine=f"tvla-{self.mode}"
         ) as trace_meta:
-            result = self._run()
+            result = self._run(governor)
             trace_meta.update(
                 iterations=result.iterations,
                 max_structures=result.max_structures,
@@ -284,7 +293,9 @@ class TvlaEngine:
     def _successors(self, node: int) -> List[int]:
         return [edge.dst for edge in self.tvp.out_edges(node)]
 
-    def _run(self) -> TvlaResult:
+    def _run(
+        self, governor: Optional[ResourceGovernor] = None
+    ) -> TvlaResult:
         started = time.perf_counter()
         alarms: Dict[Tuple[int, str], _CheckContribution] = {}
         preds = self.abstraction_preds
@@ -297,126 +308,150 @@ class TvlaEngine:
             self.worklist_order, self.tvp.entry, self._successors
         )
         worklist.push(self.tvp.entry)
-        if self.mode == "relational":
-            states: Dict[int, Dict[object, ThreeValuedStructure]] = {
-                self.tvp.entry: {initial.canonical_key(preds): initial}
-            }
-            # isomorphic structures share a canonical key, so a
-            # revisited (action, structure) pair — within this run or a
-            # later one — skips focus / checks / update / coerce and
-            # replays its recorded alarm contributions instead
-            transfers = self._transfers
-            while worklist:
-                iterations += 1
-                if iterations > self.iteration_budget:
-                    raise TvlaBudgetExceeded("iteration budget exceeded")
-                node = worklist.pop()
-                here = list(states.get(node, {}).items())
-                for edge in self.tvp.out_edges(node):
-                    action_id = id(edge.action)
-                    for skey, structure in here:
-                        cached = (
-                            transfers.get((action_id, skey))
-                            if self.memoize_transfers
-                            else None
+        states: Dict[int, Dict[object, ThreeValuedStructure]] = {}
+        single: Dict[int, ThreeValuedStructure] = {}
+        try:
+            if self.mode == "relational":
+                states = {
+                    self.tvp.entry: {
+                        initial.canonical_key(preds): initial
+                    }
+                }
+                # isomorphic structures share a canonical key, so a
+                # revisited (action, structure) pair — within this run
+                # or a later one — skips focus / checks / update /
+                # coerce and replays its recorded alarm contributions
+                # instead
+                transfers = self._transfers
+                while worklist:
+                    if governor is not None:
+                        governor.tick()
+                    iterations += 1
+                    if iterations > self.iteration_budget:
+                        raise TvlaBudgetExceeded(
+                            "iteration budget exceeded"
                         )
-                        if cached is None:
-                            transfer_misses += 1
-                            local: Dict[
-                                Tuple[int, str], _CheckContribution
-                            ] = {}
+                    node = worklist.pop()
+                    here = list(states.get(node, {}).items())
+                    for edge in self.tvp.out_edges(node):
+                        action_id = id(edge.action)
+                        for skey, structure in here:
                             cached = (
-                                [
-                                    (out.canonical_key(preds), out)
-                                    for out in self.apply(
-                                        structure, edge.action, local
-                                    )
-                                ],
-                                local,
+                                transfers.get((action_id, skey))
+                                if self.memoize_transfers
+                                else None
                             )
-                            if self.memoize_transfers:
-                                transfers[(action_id, skey)] = cached
-                        else:
-                            transfer_hits += 1
-                        outs, contribs = cached
-                        # merge recorded contributions: `alarmed` ORs
-                        # and `all_fail` ANDs over every contribution at
-                        # a site, so the replay is idempotent and
-                        # order-independent
-                        for akey, contrib in contribs.items():
-                            existing = alarms.get(akey)
-                            if existing is None:
-                                alarms[akey] = _CheckContribution(
-                                    line=contrib.line,
-                                    op_key=contrib.op_key,
-                                    instance=contrib.instance,
-                                    alarmed=contrib.alarmed,
-                                    all_fail=contrib.all_fail,
+                            if cached is None:
+                                transfer_misses += 1
+                                local: Dict[
+                                    Tuple[int, str], _CheckContribution
+                                ] = {}
+                                cached = (
+                                    [
+                                        (out.canonical_key(preds), out)
+                                        for out in self.apply(
+                                            structure, edge.action, local
+                                        )
+                                    ],
+                                    local,
                                 )
+                                if self.memoize_transfers:
+                                    transfers[(action_id, skey)] = cached
                             else:
-                                existing.merge(
-                                    contrib.alarmed, contrib.all_fail
+                                transfer_hits += 1
+                            outs, contribs = cached
+                            # merge recorded contributions: `alarmed` ORs
+                            # and `all_fail` ANDs over every contribution
+                            # at a site, so the replay is idempotent and
+                            # order-independent
+                            for akey, contrib in contribs.items():
+                                existing = alarms.get(akey)
+                                if existing is None:
+                                    alarms[akey] = _CheckContribution(
+                                        line=contrib.line,
+                                        op_key=contrib.op_key,
+                                        instance=contrib.instance,
+                                        alarmed=contrib.alarmed,
+                                        all_fail=contrib.all_fail,
+                                    )
+                                else:
+                                    existing.merge(
+                                        contrib.alarmed, contrib.all_fail
+                                    )
+                            bucket = states.setdefault(edge.dst, {})
+                            changed = False
+                            for okey, out in outs:
+                                if okey in bucket:
+                                    continue
+                                bucket[okey] = out
+                                changed = True
+                                max_structures = max(
+                                    max_structures, len(bucket)
                                 )
-                        bucket = states.setdefault(edge.dst, {})
-                        changed = False
-                        for okey, out in outs:
-                            if okey in bucket:
-                                continue
-                            bucket[okey] = out
-                            changed = True
-                            max_structures = max(
-                                max_structures, len(bucket)
-                            )
-                            if len(bucket) > self.structure_budget:
-                                raise TvlaBudgetExceeded(
-                                    f"more than {self.structure_budget} "
-                                    f"structures at node {edge.dst}"
-                                )
-                        if changed:
-                            worklist.push(edge.dst)
-        else:
-            single: Dict[int, ThreeValuedStructure] = {
-                self.tvp.entry: initial
-            }
-            while worklist:
-                iterations += 1
-                if iterations > self.iteration_budget:
-                    raise TvlaBudgetExceeded("iteration budget exceeded")
-                node = worklist.pop()
-                current = single.get(node)
-                if current is None:
-                    continue
-                for edge in self.tvp.out_edges(node):
-                    for out in self.apply(current, edge.action, alarms):
-                        old = single.get(edge.dst)
-                        if old is None:
-                            merged = out
-                        else:
-                            merged = ThreeValuedStructure.join(
-                                old, out, preds
-                            ).canonicalize(preds)
-                        old_key = (
-                            None
-                            if old is None
-                            else old.canonical_key(preds)
+                                if len(bucket) > self.structure_budget:
+                                    raise TvlaBudgetExceeded(
+                                        f"more than "
+                                        f"{self.structure_budget} "
+                                        f"structures at node {edge.dst}",
+                                        breach="structures",
+                                    )
+                                if governor is not None:
+                                    governor.check_structures(
+                                        len(bucket)
+                                    )
+                            if changed:
+                                worklist.push(edge.dst)
+            else:
+                single = {self.tvp.entry: initial}
+                while worklist:
+                    if governor is not None:
+                        governor.tick()
+                    iterations += 1
+                    if iterations > self.iteration_budget:
+                        raise TvlaBudgetExceeded(
+                            "iteration budget exceeded"
                         )
-                        if old_key != merged.canonical_key(preds):
-                            single[edge.dst] = merged
-                            worklist.push(edge.dst)
-        alarm_list = sorted(
-            (
-                Alarm(
-                    site_id=site_id,
-                    line=contrib.line,
-                    op_key=contrib.op_key,
-                    instance=contrib.instance,
-                    definite=contrib.all_fail,
-                )
-                for (site_id, _cond), contrib in alarms.items()
-                if contrib.alarmed
-            ),
-            key=lambda a: (a.site_id, a.instance),
-        )
+                    node = worklist.pop()
+                    current = single.get(node)
+                    if current is None:
+                        continue
+                    for edge in self.tvp.out_edges(node):
+                        for out in self.apply(
+                            current, edge.action, alarms
+                        ):
+                            old = single.get(edge.dst)
+                            if old is None:
+                                merged = out
+                            else:
+                                merged = ThreeValuedStructure.join(
+                                    old, out, preds
+                                ).canonicalize(preds)
+                            old_key = (
+                                None
+                                if old is None
+                                else old.canonical_key(preds)
+                            )
+                            if old_key != merged.canonical_key(preds):
+                                single[edge.dst] = merged
+                                worklist.push(edge.dst)
+        except (ResourceExhausted, MemoryError) as error:
+            # salvage: alarm contributions only accumulate (`alarmed`
+            # ORs upward), so sites alarmed mid-run stay alarmed in the
+            # completed run
+            raise _guard.exhausted_from(
+                error,
+                engine=f"tvla-{self.mode}",
+                subject=self.tvp.name,
+                alarms=_alarm_list(alarms),
+                site_universe=_guard.tvp_sites(self.tvp),
+                nodes_analyzed=len(states) or len(single),
+                nodes_total=len(self.tvp.nodes()),
+                stats={
+                    "iterations": iterations,
+                    "max_structures": max_structures,
+                },
+            )
+        alarm_list = _alarm_list(alarms)
         report = CertificationReport(
             subject=self.tvp.name,
             engine=f"tvla-{self.mode}",
@@ -437,6 +472,25 @@ class TvlaEngine:
             transfer_hits,
             transfer_misses,
         )
+
+
+def _alarm_list(
+    alarms: Dict[Tuple[int, str], _CheckContribution],
+) -> List[Alarm]:
+    return sorted(
+        (
+            Alarm(
+                site_id=site_id,
+                line=contrib.line,
+                op_key=contrib.op_key,
+                instance=contrib.instance,
+                definite=contrib.all_fail,
+            )
+            for (site_id, _cond), contrib in alarms.items()
+            if contrib.alarmed
+        ),
+        key=lambda a: (a.site_id, a.instance),
+    )
 
 
 def _duplicate_node(

@@ -164,9 +164,13 @@ class TestPoolExecution:
         assert fell_back.fallback is True
         assert fell_back.engine_used == "fds"
         assert fell_back.alarm_lines == [10, 13]
-        # the surviving events come from the fallback attempt and say so
+        # events from both attempts survive: the cooperative breach keeps
+        # the timed-out attempt's phases, and the fallback attempt's
+        # events are tagged as such
         assert fell_back.events
-        assert all(e.meta.get("fallback") for e in fell_back.events)
+        assert any(e.meta.get("fallback") for e in fell_back.events)
+        # the original attempt's breach kind is preserved on the result
+        assert fell_back.breach == "deadline"
 
     def test_timeout_without_fallback_marks_job_timeout(self):
         jobs = parse_manifest(
@@ -229,6 +233,32 @@ class TestPoolExecution:
         assert fig3.status == "error"
         assert "worker died" in fig3.error
         assert fig3.retries >= 1
+
+    def test_retry_backoff_doubles_and_caps_at_two_seconds(
+        self, monkeypatch
+    ):
+        if "fork" not in __import__("multiprocessing").get_all_start_methods():
+            pytest.skip("crash injection relies on fork inheritance")
+
+        def always_crash(item):
+            os._exit(17)
+
+        slept = []
+        monkeypatch.setattr(
+            batch_mod, "_execute_certification", always_crash
+        )
+        monkeypatch.setattr(
+            batch_mod.time, "sleep", lambda s: slept.append(s)
+        )
+        result = BatchRunner(
+            fds_jobs()[:1],
+            max_workers=2,
+            max_retries=3,
+            retry_backoff=1.0,
+        ).run()
+        assert not result.ok
+        # exponential from the base, hard-capped at 2s per round
+        assert slept == [1.0, 2.0, 2.0]
 
 
 class TestParallelSpeedup:
@@ -300,6 +330,96 @@ class TestTraceOutput:
         assert all("phases" in r for r in data["results"])
 
 
+class TestGovernorIntegration:
+    def test_backstop_is_twice_the_budget_plus_slack(self):
+        assert batch_mod._backstop_seconds(None) is None
+        assert batch_mod._backstop_seconds(0) is None
+        assert batch_mod._backstop_seconds(2.0) == 5.0
+
+    def test_job_timeout_becomes_cooperative_deadline(self):
+        jobs = parse_manifest(
+            {"jobs": [{"suite": "fig3", "engine": "fds", "timeout": 30}]}
+        )
+        item = batch_mod._WorkItem(
+            index=0, job=jobs[0], engine="fds", timeout=30.0
+        )
+        options = batch_mod._effective_options(item)
+        assert options.deadline == 30.0
+        # an explicit per-job deadline is not overridden
+        explicit = parse_manifest(
+            {
+                "jobs": [
+                    {
+                        "suite": "fig3",
+                        "engine": "fds",
+                        "timeout": 30,
+                        "options": {"deadline": 5.0},
+                    }
+                ]
+            }
+        )
+        item = batch_mod._WorkItem(
+            index=0, job=explicit[0], engine="fds", timeout=30.0
+        )
+        assert batch_mod._effective_options(item).deadline == 5.0
+
+    def test_sigalrm_unavailable_off_main_thread_warns(self):
+        import threading
+
+        from repro.runtime.trace import CollectingTracer, use_tracer
+
+        events = []
+
+        def run():
+            tracer = CollectingTracer()
+            with use_tracer(tracer):
+                with batch_mod._deadline(5.0):
+                    pass
+            events.extend(tracer.events)
+
+        thread = threading.Thread(target=run)
+        thread.start()
+        thread.join()
+        warnings = [e for e in events if e.phase == "warning"]
+        assert len(warnings) == 1
+        assert warnings[0].meta["reason"] == "sigalrm-unavailable"
+        assert warnings[0].meta["seconds_requested"] == 5.0
+
+    def test_governor_defaults_flow_into_jobs(self):
+        runner = BatchRunner(
+            fds_jobs()[:1],
+            default_max_steps=7,
+            default_ladder=True,
+        )
+        options = runner.jobs[0].options
+        assert options.max_steps == 7
+        assert options.ladder is True
+
+    def test_budget_breach_with_ladder_salvages_in_json(self):
+        jobs = parse_manifest(
+            {
+                "jobs": [
+                    {
+                        "suite": "fig3",
+                        "engine": "tvla-relational",
+                        "options": {"max_steps": 5, "ladder": True},
+                    }
+                ]
+            }
+        )
+        result = BatchRunner(jobs, max_workers=1).run()
+        assert result.ok
+        record = result.to_json()["results"][0]
+        assert record["status"] == "ok"
+        assert record["breach"] == "steps"
+        assert record["degraded_to"] == "fds"
+        assert record["salvaged"] is not None
+        assert record["unknown_sites"] is not None
+        # the merged (conservative) report still alarms the real
+        # error lines, alongside any unresolved-site alarms
+        assert {10, 13} <= set(result.results[0].alarm_lines)
+
+
 class TestBatchCli:
     def _write_manifest(self, tmp_path):
         manifest = tmp_path / "m.json"
@@ -331,6 +451,32 @@ class TestBatchCli:
         )
         data = json.loads(capsys.readouterr().out)
         assert data["ok"] is True and len(data["results"]) == 4
+
+    def test_batch_governor_flags_end_to_end(self, tmp_path, capsys):
+        manifest = tmp_path / "m.json"
+        manifest.write_text(
+            json.dumps(
+                {"jobs": [{"suite": "fig3", "engine": "tvla-relational"}]}
+            )
+        )
+        code = main(
+            [
+                "batch",
+                str(manifest),
+                "--max-steps",
+                "5",
+                "--ladder",
+                "--json",
+                "-",
+                "--quiet",
+            ]
+        )
+        assert code == 0
+        record = json.loads(capsys.readouterr().out)["results"][0]
+        assert record["status"] == "ok"
+        assert record["breach"] == "steps"
+        assert record["degraded_to"] == "fds"
+        assert record["salvaged"] is not None
 
     def test_batch_bad_manifest_exit_2(self, tmp_path, capsys):
         manifest = tmp_path / "bad.json"

@@ -120,6 +120,30 @@ class TestFuzzCli:
         assert "signatures" in payload and "oracle" in payload
         assert payload["failures"] == []
 
+    def test_governor_flags_gate_breached_runs(self, capsys):
+        exit_code, payload = _run_json(
+            capsys,
+            [
+                "fuzz",
+                "--seed-range",
+                "0:3",
+                "--engines",
+                "fds",
+                "--size",
+                "8",
+                "--max-paths",
+                "2000",
+                "--governor-steps",
+                "2",
+                "--json",
+                "-",
+                "--quiet",
+            ],
+        )
+        assert exit_code == 0
+        assert payload["ok"] is True  # breached, but sound under budget
+        assert payload["engine_breaches"] == {"fds": 3}
+
     @pytest.mark.parametrize(
         "bad", ["nope", "1", "3:1", "-2:5", "a:b", "1:2:3"]
     )
@@ -131,6 +155,29 @@ class TestFuzzCli:
     def test_unknown_engine_exits_2(self, capsys):
         assert main(["fuzz", "--seed-range", "0:1", "--engines", "zzz"]) == 2
         assert "unknown engine" in capsys.readouterr().err
+
+    def test_bench_governor_budget_with_ladder_stays_sound(self, capsys):
+        exit_code, payload = _run_json(
+            capsys,
+            [
+                "bench",
+                "--programs",
+                "loop_invalidate",
+                "--engines",
+                "tvla-relational",
+                "--max-structures",
+                "1",
+                "--ladder",
+                "--check",
+                "--json",
+                "-",
+                "--quiet",
+            ],
+        )
+        assert exit_code == 0  # --check holds: sound despite the breach
+        run = payload["programs"][0]["engines"]["tvla-relational"]
+        assert run["sound"] is True
+        assert run["missed"] == 0
 
     def test_auto_engine_rejected(self, capsys):
         # "auto" resolves per-program and would make the differential

@@ -1,0 +1,190 @@
+"""Fault-injection robustness: every engine x every fault kind.
+
+The :class:`FaultInjector` fires a planned fault at the Nth governor
+poll, which every engine family hits once per fixpoint iteration.  The
+matrix below proves the PR's robustness claim: under any injected
+breach, MemoryError, or cooperative cancellation, every engine
+terminates with a typed :class:`ResourceExhausted` carrying a sound
+:class:`PartialResult` — and an injected *crash* propagates unconverted
+(arbitrary bugs must not masquerade as partial results).
+"""
+
+import pytest
+
+from repro.api import CertifyOptions, CertifySession
+from repro.lang.types import parse_program
+from repro.runtime import explore
+from repro.runtime.guard import ResourceExhausted, ResourceGovernor
+from repro.suite import by_name
+from repro.testing import FaultInjector, FaultPlan, InjectedCrash
+from repro.testing.faults import FAULT_KINDS, governed, injector_for
+
+ALL_ENGINES = (
+    "fds",
+    "relational",
+    "interproc",
+    "tvla-relational",
+    "tvla-independent",
+    "allocsite",
+    "allocsite-recency",
+    "shapegraph",
+)
+
+#: what breach each injected fault must surface as
+EXPECTED_BREACH = {
+    "breach": "injected",
+    "memory": "memory",
+    "cancel": "cancelled",
+}
+
+
+@pytest.fixture(scope="module")
+def fig3(cmp_specification):
+    return parse_program(by_name("fig3").source, cmp_specification)
+
+
+@pytest.fixture(scope="module")
+def fig3_failing_lines(fig3):
+    return set(explore(fig3).failing_lines())
+
+
+def covered_lines(partial):
+    return {a.line for a in partial.alarms} | {
+        line for line, _op in partial.unknown_sites.values()
+    }
+
+
+class TestPlans:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultPlan(kind="zap", at_poll=1)
+
+    def test_poll_index_is_one_based(self):
+        with pytest.raises(ValueError, match="1-based"):
+            FaultPlan(kind="crash", at_poll=0)
+
+    def test_seeded_schedule_is_deterministic(self):
+        first = FaultInjector.seeded(42, plans=3)
+        second = FaultInjector.seeded(42, plans=3)
+        assert first.plans == second.plans
+        assert FaultInjector.seeded(43, plans=3).plans != first.plans
+
+    def test_one_shot_plan_disarms_after_firing(self):
+        governor, injector = governed("breach", 2)
+        governor.tick()
+        with pytest.raises(ResourceExhausted):
+            governor.tick()
+        # a ladder rung reusing the injector is not re-faulted: the
+        # poll counter keeps rising and the plan is spent
+        successor = governor.descend()
+        for _ in range(10):
+            successor.tick()
+        assert injector.fired == [(2, "breach")]
+
+    def test_repeating_plan_possible(self):
+        injector = FaultInjector(
+            [FaultPlan(kind="cancel", at_poll=3, repeat=True)]
+        )
+        governor = ResourceGovernor(faults=injector)
+        governor.tick()
+        governor.tick()
+        with pytest.raises(ResourceExhausted) as exc:
+            governor.tick()  # cancel fires, same poll observes it
+        assert exc.value.breach == "cancelled"
+
+
+class TestEngineMatrix:
+    """engines x fault kinds x injection points, all on fig3."""
+
+    @pytest.mark.parametrize("engine", ALL_ENGINES)
+    @pytest.mark.parametrize(
+        "kind", [k for k in FAULT_KINDS if k != "crash"]
+    )
+    @pytest.mark.parametrize("at_poll", [1, 3])
+    def test_fault_surfaces_as_sound_partial(
+        self,
+        engine,
+        kind,
+        at_poll,
+        cmp_specification,
+        fig3,
+        fig3_failing_lines,
+    ):
+        session = CertifySession(cmp_specification)
+        governor, injector = governed(kind, at_poll)
+        with pytest.raises(ResourceExhausted) as exc:
+            session.certify_program(fig3, engine, governor=governor)
+        error = exc.value
+        assert error.breach == EXPECTED_BREACH[kind]
+        assert error.partial is not None
+        assert error.partial.engine.startswith(engine.split("-")[0])
+        # soundness: the ground-truth error lines are alarmed or unknown
+        assert fig3_failing_lines <= covered_lines(error.partial)
+        assert injector.fired and injector.fired[0][1] == kind
+
+    @pytest.mark.parametrize("engine", ALL_ENGINES)
+    @pytest.mark.parametrize("at_poll", [1, 3])
+    def test_crash_propagates_unconverted(
+        self, engine, at_poll, cmp_specification, fig3
+    ):
+        session = CertifySession(cmp_specification)
+        governor, _ = governed("crash", at_poll)
+        with pytest.raises(InjectedCrash):
+            session.certify_program(fig3, engine, governor=governor)
+
+
+class TestLadderUnderFaults:
+    def test_injected_breach_recovers_down_the_ladder(
+        self, cmp_specification, fig3, fig3_failing_lines
+    ):
+        """A one-shot injected breach fells the first rung; the next
+        rung runs fault-free (the plan is spent) and completes."""
+        session = CertifySession(
+            cmp_specification, options=CertifyOptions(ladder=True)
+        )
+        injector = injector_for("breach", 2)
+        report = session.certify_program(
+            fig3,
+            "relational",
+            governor=ResourceGovernor(faults=injector),
+        )
+        assert injector.fired == [(2, "breach")]
+        assert report.stats["breach"] == "injected"
+        assert report.stats["completed_rung"] == "fds"
+        assert fig3_failing_lines <= set(report.alarm_lines())
+
+    def test_crash_mid_ladder_still_propagates(
+        self, cmp_specification, fig3
+    ):
+        session = CertifySession(
+            cmp_specification, options=CertifyOptions(ladder=True)
+        )
+        # poll 2 is inside the first rung's fixpoint
+        injector = injector_for("crash", 2)
+        with pytest.raises(InjectedCrash):
+            session.certify_program(
+                fig3,
+                "relational",
+                governor=ResourceGovernor(faults=injector),
+            )
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_seeded_campaign_terminates_soundly(
+        self, seed, cmp_specification, fig3, fig3_failing_lines
+    ):
+        """Property sweep: random (kind, poll) schedules always end in
+        a complete report, a sound partial, or an injected crash."""
+        session = CertifySession(cmp_specification)
+        injector = FaultInjector.seeded(seed, max_poll=10)
+        governor = ResourceGovernor(faults=injector)
+        try:
+            report = session.certify_program(
+                fig3, "tvla-relational", governor=governor
+            )
+        except ResourceExhausted as error:
+            assert error.partial is not None
+            assert fig3_failing_lines <= covered_lines(error.partial)
+        except InjectedCrash:
+            pass
+        else:
+            assert fig3_failing_lines <= set(report.alarm_lines())

@@ -178,6 +178,78 @@ class TestCampaign:
         }
 
 
+class TestBudgetGate:
+    """Soundness-under-budget: breached runs must cover oracle sites."""
+
+    def test_breached_case_is_gated_not_crashed(self, cmp_specification):
+        from repro.api import CertifyOptions
+
+        case = run_case(
+            generate_client(3),
+            cmp_specification,
+            engines=("fds", "tvla-relational"),
+            options=CertifyOptions(max_steps=2),
+        )
+        assert case.ok  # partials covered the oracle sites
+        for outcome in case.outcomes.values():
+            assert outcome.breached
+            assert outcome.breach == "steps"
+            assert not outcome.crashed
+            assert outcome.budget_missed_sites == ()
+            # breached alarm sets are partial: excluded from precision
+            assert not case.partition()
+        assert not case.disagreement
+
+    def test_budget_miss_fails_the_gate(self):
+        """A partial that drops an oracle failing site is a violation
+        with its own shrink signature."""
+        from repro.fuzz.diff import EngineOutcome
+
+        outcome = EngineOutcome(
+            engine="fds",
+            breach="steps",
+            budget_missed_sites=(4,),
+        )
+        assert not outcome.sound
+        case_fields = dict(
+            seed=0,
+            source="",
+            verdict=None,
+            outcomes={"fds": outcome},
+        )
+        from repro.fuzz.diff import CaseResult
+
+        case = CaseResult(**case_fields)
+        assert not case.ok
+        assert case.failure_signature() == frozenset(
+            {("fds", "budget-miss")}
+        )
+
+    def test_ladder_campaign_stays_sound(self, cmp_specification):
+        from repro.api import CertifyOptions
+
+        result = run_campaign(
+            range(4),
+            spec=cmp_specification,
+            engines=("fds", "tvla-relational"),
+            options=CertifyOptions(max_steps=3, ladder=True),
+        )
+        assert result.ok
+        assert result.engine_breaches  # the budget really bit
+        payload = result.to_json()
+        assert payload["engine_breaches"] == dict(result.engine_breaches)
+        assert "budget breaches:" in result.format_summary()
+
+    def test_campaign_without_budget_reports_no_breaches(
+        self, cmp_specification
+    ):
+        result = run_campaign(
+            range(2), spec=cmp_specification, engines=("fds",)
+        )
+        assert result.engine_breaches == {}
+        assert "budget breaches:" not in result.format_summary()
+
+
 class TestShrink:
     def test_shrinks_while_preserving_predicate(self, cmp_specification):
         session = CertifySession(cmp_specification)

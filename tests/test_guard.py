@@ -1,0 +1,485 @@
+"""Tests for the resource governor, partial salvage, and the ladder.
+
+Covers the guard primitives with a fake clock, the per-engine breach
+path (every engine family surrenders a sound :class:`PartialResult`),
+the :class:`StateExplosion` compatibility contract, the degradation
+ladder's merge semantics, and the acceptance criterion: a budget-starved
+``tvla-relational`` run with the default ladder certifies at least as
+many sites as ``fds`` alone.
+"""
+
+import pytest
+
+from repro.api import CertifyOptions, CertifySession
+from repro.certifier.relational import StateExplosion
+from repro.lang.types import parse_program
+from repro.runtime import CollectingTracer, explore, use_tracer
+from repro.runtime.guard import (
+    DEFAULT_LADDER,
+    UNRESOLVED_INSTANCE,
+    DegradationLadder,
+    PartialResult,
+    ResourceExhausted,
+    ResourceGovernor,
+    SiteLedger,
+    make_partial,
+    program_sites,
+)
+from repro.suite import by_name
+from repro.tvla.engine import TvlaBudgetExceeded
+
+#: every engine family the governor is wired into
+ALL_ENGINES = (
+    "fds",
+    "relational",
+    "interproc",
+    "tvla-relational",
+    "tvla-independent",
+    "allocsite",
+    "allocsite-recency",
+    "shapegraph",
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def advance(self, seconds):
+        self.now += seconds
+
+    def __call__(self):
+        return self.now
+
+
+@pytest.fixture(scope="module")
+def fig3(cmp_specification):
+    return parse_program(by_name("fig3").source, cmp_specification)
+
+
+@pytest.fixture(scope="module")
+def fig3_failing_lines(fig3):
+    return set(explore(fig3).failing_lines())
+
+
+#: a looping client whose relational state set and TVLA structure
+#: buckets both reach 2, so ``max_structures=1`` breaches either engine
+#: while the single-structure tiers (tvla-independent, fds) complete
+@pytest.fixture(scope="module")
+def loop_invalidate(cmp_specification):
+    return parse_program(
+        by_name("loop_invalidate").source, cmp_specification
+    )
+
+
+@pytest.fixture(scope="module")
+def loop_invalidate_failing_lines(loop_invalidate):
+    return set(explore(loop_invalidate).failing_lines())
+
+
+def covered_lines(partial):
+    return {a.line for a in partial.alarms} | {
+        line for line, _op in partial.unknown_sites.values()
+    }
+
+
+class TestGovernorUnits:
+    def test_unbudgeted_governor_never_trips(self):
+        governor = ResourceGovernor()
+        for _ in range(1000):
+            governor.tick()
+        governor.check_structures(10**9)
+        assert governor.steps == 1000
+        assert governor.remaining_seconds() is None
+
+    def test_step_budget_is_strict_upper_bound(self):
+        governor = ResourceGovernor(max_steps=3)
+        for _ in range(3):
+            governor.tick()
+        with pytest.raises(ResourceExhausted) as exc:
+            governor.tick()
+        assert exc.value.breach == "steps"
+        assert exc.value.partial is None  # engines attach the partial
+
+    def test_deadline_checked_every_tick(self):
+        clock = FakeClock()
+        governor = ResourceGovernor(deadline=5.0, clock=clock)
+        governor.tick()
+        clock.advance(4.9)
+        governor.tick()
+        assert governor.remaining_seconds() == pytest.approx(0.1)
+        clock.advance(0.2)
+        with pytest.raises(ResourceExhausted) as exc:
+            governor.tick()
+        assert exc.value.breach == "deadline"
+        assert governor.remaining_seconds() == 0.0
+
+    def test_structure_budget(self):
+        governor = ResourceGovernor(max_structures=5)
+        governor.check_structures(5)
+        with pytest.raises(ResourceExhausted) as exc:
+            governor.check_structures(6)
+        assert exc.value.breach == "structures"
+
+    def test_cancel_honoured_at_next_poll(self):
+        governor = ResourceGovernor()
+        governor.tick()
+        governor.cancel("user hit ^C")
+        assert governor.cancelled
+        with pytest.raises(ResourceExhausted, match="user hit"):
+            governor.tick()
+        assert pytest.raises(ResourceExhausted, governor.tick).value.breach == (
+            "cancelled"
+        )
+
+    def test_descend_resets_steps_keeps_deadline_and_cancel(self):
+        clock = FakeClock()
+        governor = ResourceGovernor(
+            deadline=10.0, max_steps=2, max_structures=7, clock=clock
+        )
+        governor.tick()
+        governor.tick()
+        clock.advance(4.0)
+        successor = governor.descend()
+        # fresh step allowance at the same limit
+        assert successor.steps == 0
+        successor.tick()
+        successor.tick()
+        with pytest.raises(ResourceExhausted):
+            successor.tick()
+        # but the absolute wall clock carries over
+        assert successor.remaining_seconds() == pytest.approx(6.0)
+        assert successor.max_structures == 7
+        governor.cancel("stop the ladder")
+        assert governor.descend().cancelled
+
+
+class TestPartialResult:
+    def test_make_partial_unknown_is_universe_minus_alarmed(self):
+        from repro.certifier.report import Alarm
+
+        universe = {1: (10, "Set.add"), 2: (11, "Iter.next"), 3: (12, "Iter.next")}
+        alarm = Alarm(site_id=2, line=11, op_key="Iter.next", instance="i")
+        partial = make_partial(
+            engine="fds",
+            subject="t",
+            breach="steps",
+            alarms=[alarm],
+            site_universe=universe,
+        )
+        assert set(partial.unknown_sites) == {1, 3}
+        assert partial.alarm_site_ids() == {2}
+        assert partial.covered_sites() == {1, 2, 3}
+
+    def test_to_report_is_conservative_never_silent(self):
+        partial = PartialResult(
+            engine="fds",
+            subject="t",
+            breach="deadline",
+            alarms=[],
+            unknown_sites={4: (20, "Iter.next")},
+            nodes_analyzed=3,
+            nodes_total=9,
+        )
+        report = partial.to_report()
+        assert not report.certified
+        assert [a.instance for a in report.alarms] == [UNRESOLVED_INSTANCE]
+        assert report.stats["partial"] is True
+        assert report.stats["breach"] == "deadline"
+        assert report.stats["nodes_analyzed"] == 3
+
+
+class TestEngineBreachSalvage:
+    """Every engine family breaches cooperatively with a sound partial."""
+
+    @pytest.mark.parametrize("engine", ALL_ENGINES)
+    def test_step_breach_yields_sound_partial(
+        self, engine, cmp_specification, fig3, fig3_failing_lines
+    ):
+        session = CertifySession(cmp_specification)
+        with pytest.raises(ResourceExhausted) as exc:
+            session.certify_program(
+                fig3, engine, governor=ResourceGovernor(max_steps=1)
+            )
+        error = exc.value
+        assert error.breach == "steps"
+        partial = error.partial
+        assert partial is not None
+        # soundness under budget: every ground-truth error line is
+        # alarmed or still unknown — never silently passed
+        assert fig3_failing_lines <= covered_lines(partial)
+        assert 0 <= partial.nodes_analyzed <= partial.nodes_total
+
+    # tvla-independent joins to one structure per node, so only the
+    # state-splitting engines can trip the structure budget
+    @pytest.mark.parametrize("engine", ["relational", "tvla-relational"])
+    def test_structure_breach_yields_sound_partial(
+        self,
+        engine,
+        cmp_specification,
+        loop_invalidate,
+        loop_invalidate_failing_lines,
+    ):
+        session = CertifySession(cmp_specification)
+        with pytest.raises(ResourceExhausted) as exc:
+            session.certify_program(
+                loop_invalidate,
+                engine,
+                governor=ResourceGovernor(max_structures=1),
+            )
+        assert exc.value.breach == "structures"
+        assert loop_invalidate_failing_lines <= covered_lines(
+            exc.value.partial
+        )
+
+    @pytest.mark.parametrize("engine", ALL_ENGINES)
+    def test_tiny_deadline_breaches_cooperatively(
+        self, engine, cmp_specification, fig3, fig3_failing_lines
+    ):
+        session = CertifySession(cmp_specification)
+        with pytest.raises(ResourceExhausted) as exc:
+            session.certify_program(
+                fig3, engine, governor=ResourceGovernor(deadline=0.0)
+            )
+        assert exc.value.breach == "deadline"
+        assert fig3_failing_lines <= covered_lines(exc.value.partial)
+
+    def test_unbudgeted_run_matches_baseline(self, cmp_specification, fig3):
+        session = CertifySession(cmp_specification)
+        baseline = session.certify_program(fig3, "fds")
+        governed = session.certify_program(
+            fig3, "fds", governor=ResourceGovernor()
+        )
+        assert governed.alarm_lines() == baseline.alarm_lines()
+
+
+class TestInternalBudgetCompat:
+    def test_state_explosion_is_resource_exhausted(self):
+        error = StateExplosion("relational state explosion: boom")
+        assert isinstance(error, ResourceExhausted)
+        assert error.breach == "structures"
+        assert error.partial is None
+        assert "relational state explosion" in str(error)
+
+    def test_tvla_budget_is_resource_exhausted(self):
+        error = TvlaBudgetExceeded("structure budget exceeded")
+        assert isinstance(error, ResourceExhausted)
+        assert error.breach == "steps"
+
+
+class TestDegradationLadder:
+    def test_from_option_resolution(self):
+        assert DegradationLadder.from_option(None, "fds") is None
+        assert DegradationLadder.from_option(False, "fds") is None
+        assert DegradationLadder.from_option((), "fds") is None
+        default = DegradationLadder.from_option(True, "tvla-relational")
+        assert default.rungs == ("tvla-relational", "tvla-independent", "fds")
+        explicit = DegradationLadder.from_option(("relational", "fds"), "x")
+        assert explicit.rungs == ("relational", "fds")
+
+    def test_every_default_tail_ends_in_a_cheap_engine(self):
+        for engine, tail in DEFAULT_LADDER.items():
+            assert tail, engine
+            assert tail[-1] in ("fds", "allocsite")
+
+    def test_rungs_from(self):
+        ladder = DegradationLadder(("a", "b", "c"))
+        assert ladder.rungs_from("b") == ("b", "c")
+        assert ladder.rungs_from("z") == ("z", "a", "b", "c")
+
+
+class TestSiteLedger:
+    UNIVERSE = {1: (10, "Set.add"), 2: (11, "Iter.next"), 3: (12, "Iter.next")}
+
+    def _alarm(self, site_id, line, instance="i"):
+        from repro.certifier.report import Alarm
+
+        return Alarm(
+            site_id=site_id, line=line, op_key="Iter.next", instance=instance
+        )
+
+    def test_breached_rung_resolves_only_alarmed_sites(self):
+        ledger = SiteLedger(self.UNIVERSE)
+        partial = make_partial(
+            engine="tvla-relational",
+            subject="t",
+            breach="steps",
+            alarms=[self._alarm(2, 11)],
+            site_universe=self.UNIVERSE,
+        )
+        assert ledger.absorb_partial(partial) == 1
+        assert ledger.resolved_sites() == {2}
+        assert set(ledger.unresolved()) == {1, 3}
+        # absorbing the same alarm again salvages nothing new
+        assert ledger.absorb_partial(partial) == 0
+
+    def test_completed_rung_settles_all_open_sites(self):
+        from repro.certifier.report import CertificationReport
+
+        ledger = SiteLedger(self.UNIVERSE)
+        ledger.absorb_partial(
+            make_partial(
+                engine="x",
+                subject="t",
+                breach="steps",
+                alarms=[self._alarm(2, 11)],
+                site_universe=self.UNIVERSE,
+            )
+        )
+        ledger.absorb_report(
+            CertificationReport(
+                subject="t", engine="fds", alarms=[self._alarm(3, 12)]
+            )
+        )
+        assert ledger.unresolved() == {}
+        assert 1 in ledger.certified
+        alarms = ledger.final_alarms()
+        assert {a.site_id for a in alarms} == {2, 3}
+        assert all(a.instance != UNRESOLVED_INSTANCE for a in alarms)
+
+    def test_leftover_sites_become_conservative_alarms(self):
+        ledger = SiteLedger(self.UNIVERSE)
+        alarms = ledger.final_alarms()
+        assert {a.site_id for a in alarms} == {1, 2, 3}
+        assert all(a.instance == UNRESOLVED_INSTANCE for a in alarms)
+        assert all(not a.definite for a in alarms)
+
+
+class TestLadderEndToEnd:
+    def test_breached_tvla_with_ladder_beats_fds_alone(
+        self,
+        cmp_specification,
+        loop_invalidate,
+        loop_invalidate_failing_lines,
+    ):
+        """The PR's acceptance criterion: starve tvla-relational of
+        structures so it breaches, and the default ladder must still
+        certify at least as many sites as fds alone (the cheaper rungs
+        never split structures, so one of them completes)."""
+        universe = set(program_sites(loop_invalidate))
+        fds_report = CertifySession(cmp_specification).certify_program(
+            loop_invalidate, "fds"
+        )
+        fds_certified = universe - set(fds_report.alarm_sites())
+
+        session = CertifySession(
+            cmp_specification,
+            options=CertifyOptions(max_structures=1, ladder=True),
+        )
+        report = session.certify_program(loop_invalidate, "tvla-relational")
+        ladder_certified = universe - set(report.alarm_sites())
+
+        assert report.stats["breach"] == "structures"
+        assert report.stats["completed_rung"] in (
+            "tvla-independent",
+            "fds",
+        )
+        assert len(ladder_certified) >= len(fds_certified)
+        # a rung completed, so nothing is left conservatively flagged
+        assert all(
+            a.instance != UNRESOLVED_INSTANCE for a in report.alarms
+        )
+        # and the merge stays sound against the concrete oracle
+        assert loop_invalidate_failing_lines <= set(report.alarm_lines())
+
+    def test_exhausted_ladder_stays_conservative(
+        self, cmp_specification, fig3, fig3_failing_lines
+    ):
+        # max_steps=1 starves every rung, fds included
+        session = CertifySession(
+            cmp_specification,
+            options=CertifyOptions(max_steps=1, ladder=True),
+        )
+        report = session.certify_program(fig3, "relational")
+        assert report.stats["partial"] is True
+        assert report.stats["completed_rung"] is None
+        assert report.stats["degraded_to"] == "fds"
+        unresolved = [
+            a for a in report.alarms if a.instance == UNRESOLVED_INSTANCE
+        ]
+        assert unresolved
+        # still sound: every real error line is alarmed
+        assert fig3_failing_lines <= set(report.alarm_lines())
+
+    def test_inapplicable_rung_skipped_not_fatal(self, cmp_specification):
+        """A heap client cannot run on the fds rung (TransformError);
+        the ladder must skip it and keep the banked salvage instead of
+        crashing the certification."""
+        from repro.lang.types import parse_program
+        from repro.runtime import explore
+        from repro.suite import by_name
+
+        program = parse_program(
+            by_name("fig1_heap").source, cmp_specification
+        )
+        failing = set(explore(program).failing_lines())
+        session = CertifySession(
+            cmp_specification,
+            options=CertifyOptions(max_steps=5, ladder=True),
+        )
+        tracer = CollectingTracer()
+        with use_tracer(tracer):
+            report = session.certify_program(program, "tvla-relational")
+        assert report.stats["breach"] == "steps"
+        # both tvla rungs breached and fds was skipped, never attempted
+        assert report.stats["degraded_to"] == "tvla-independent"
+        assert report.stats["completed_rung"] is None
+        warning = next(
+            e for e in tracer.events if e.phase == "warning"
+        )
+        assert warning.meta["rung"] == "fds"
+        # residue folded conservatively; soundness holds regardless
+        assert any(
+            a.instance == UNRESOLVED_INSTANCE for a in report.alarms
+        )
+        assert failing <= set(report.alarm_lines())
+
+    def test_governor_events_traced(self, cmp_specification, fig3):
+        # max_steps=1 starves every rung, so the full tail is walked
+        session = CertifySession(
+            cmp_specification,
+            options=CertifyOptions(max_steps=1, ladder=True),
+        )
+        tracer = CollectingTracer()
+        with use_tracer(tracer):
+            session.certify_program(fig3, "tvla-relational")
+        names = [e.phase for e in tracer.events]
+        assert "breach" in names
+        assert "degrade" in names
+        assert "salvage" in names
+        assert names.index("breach") < names.index("degrade")
+        breach = next(e for e in tracer.events if e.phase == "breach")
+        assert breach.meta["breach"] == "steps"
+        degrades = [e for e in tracer.events if e.phase == "degrade"]
+        assert [e.meta["to"] for e in degrades] == [
+            "tvla-independent",
+            "fds",
+        ]
+
+    def test_breach_without_ladder_propagates(
+        self, cmp_specification, loop_invalidate
+    ):
+        session = CertifySession(
+            cmp_specification, options=CertifyOptions(max_structures=1)
+        )
+        with pytest.raises(ResourceExhausted):
+            session.certify_program(loop_invalidate, "tvla-relational")
+
+    def test_options_governor_is_fresh_per_certification(
+        self, cmp_specification, fig3
+    ):
+        session = CertifySession(
+            cmp_specification, options=CertifyOptions(max_steps=1)
+        )
+        for _ in range(2):  # no budget state leaks across calls
+            with pytest.raises(ResourceExhausted) as exc:
+                session.certify_program(fig3, "fds")
+            assert exc.value.breach == "steps"
+
+    def test_bad_ladder_rung_rejected(self, cmp_specification, fig3):
+        session = CertifySession(
+            cmp_specification,
+            options=CertifyOptions(max_steps=1, ladder=("fds", "zap")),
+        )
+        with pytest.raises(ValueError, match="zap"):
+            session.certify_program(fig3, "fds")
