@@ -189,6 +189,15 @@ class CertifyOptions:
         :class:`~repro.runtime.guard.ResourceExhausted`; ``True`` retries
         the unknown residue down the engine's default degradation tail;
         a tuple of engine names is an explicit ladder.
+
+    Certificates (see :mod:`repro.cert`):
+
+    ``emit_certificate``
+        record the post-fixpoint per-node abstract states into a
+        :class:`~repro.cert.ConformanceCertificate` attached to
+        ``report.certificate``.  Requires certifying from source text
+        (:meth:`CertifySession.certify`), since the certificate embeds
+        the client source it proves something about.
     """
 
     entry: Optional[str] = None
@@ -201,6 +210,7 @@ class CertifyOptions:
     max_steps: Optional[int] = None
     max_structures: Optional[int] = None
     ladder: Union[None, bool, Tuple[str, ...]] = None
+    emit_certificate: bool = False
 
 
 class CertifySession:
@@ -521,54 +531,55 @@ class CertifySession:
             "nodes_analyzed": partial.nodes_analyzed,
             "nodes_total": partial.nodes_total,
         }
-        return CertificationReport(
+        report = CertificationReport(
             subject=partial.subject,
             engine=engine,
             alarms=ledger.final_alarms(),
             stats=stats,
         )
+        if self.options.emit_certificate:
+            # a breached-and-salvaged run has no fixpoint annotation to
+            # carry; emit a partial certificate (annotation: null, salvage
+            # metadata in the verdict) that the checker rejects as
+            # unverifiable rather than silently passing
+            from repro.cert.emit import build_partial_certificate
 
-    def _run_engine(
-        self,
-        program: Program,
-        engine: str,
-        source_key,
-        governor: Optional[ResourceGovernor] = None,
-    ) -> CertificationReport:
+            if not isinstance(source_key, str):
+                raise ValueError(
+                    "emit_certificate requires certifying from source text "
+                    "(CertifySession.certify), since the certificate embeds "
+                    "the client source"
+                )
+            with phase("emit", engine=engine) as meta:
+                report.certificate = build_partial_certificate(
+                    spec=self.spec,
+                    engine=engine,
+                    options=self.options,
+                    source=source_key,
+                    report=report,
+                )
+                meta["bytes"] = len(report.certificate.text())
+        return report
+
+    def artifacts(self, program: Program, engine: str, source_key=None) -> dict:
+        """Build the engine-specific analysis artifacts — abstraction,
+        transformed boolean program, specialized TVP + engine object, or
+        inlined program + heap domain.
+
+        Shared by the fixpoint path (:meth:`_run_engine`) and the
+        certificate checker (:class:`repro.cert.CertificateChecker`), so
+        both interpret the client through exactly the same construction.
+        """
         options = self.options
-
         if engine == "interproc":
-            abstraction = self.abstraction(identity_families=True)
-            certifier = InterproceduralCertifier(
-                program,
-                abstraction,
-                prune_requires=options.prune_requires,
-                worklist=options.worklist,
-                governor=governor,
-            )
-            return certifier.certify(options.entry)
-
+            return {"abstraction": self.abstraction(identity_families=True)}
         inlined = self._inline(program, source_key)
-
         if engine in ("fds", "relational"):
             abstraction = self.abstraction()
-            boolprog = ClientTransformer(program, abstraction).transform_inlined(
-                inlined
-            )
-            if engine == "fds":
-                return certify_fds(
-                    boolprog,
-                    prune_requires=options.prune_requires,
-                    worklist=options.worklist,
-                    governor=governor,
-                )
-            return certify_relational(
-                boolprog,
-                prune_requires=options.prune_requires,
-                worklist=options.worklist,
-                governor=governor,
-            )
-
+            boolprog = ClientTransformer(
+                program, abstraction
+            ).transform_inlined(inlined)
+            return {"abstraction": abstraction, "boolprog": boolprog}
         if engine.startswith("tvla-"):
             abstraction = self.abstraction()
             tvp = self._specialize_tvp(inlined, abstraction)
@@ -590,29 +601,114 @@ class CertifySession:
                     memoize_transfers=options.memoize_transfers,
                 ),
             )
+            return {
+                "abstraction": abstraction,
+                "tvp": tvp,
+                "engine_obj": engine_obj,
+                "mode": mode,
+            }
+        if engine == "allocsite":
+            domain = AllocSiteDomain()
+        elif engine == "allocsite-recency":
+            domain = AllocSiteDomain(recency=True)
+        elif engine == "shapegraph":
+            domain = ShapeGraphDomain()
+        else:
+            raise AssertionError("unreachable")
+        return {"abstraction": None, "inlined": inlined, "domain": domain}
+
+    def _attach_certificate(
+        self, report: CertificationReport, engine: str, source_key, arts, capture
+    ) -> None:
+        from repro.cert.emit import build_certificate
+
+        if not isinstance(source_key, str):
+            raise ValueError(
+                "emit_certificate requires certifying from source text "
+                "(CertifySession.certify), since the certificate embeds "
+                "the client source"
+            )
+        with phase("emit", engine=engine) as meta:
+            certificate = build_certificate(
+                spec=self.spec,
+                engine=engine,
+                options=self.options,
+                abstraction=arts.get("abstraction"),
+                source=source_key,
+                report=report,
+                arts=arts,
+                capture=capture,
+            )
+            meta["bytes"] = len(certificate.text())
+        report.certificate = certificate
+
+    def _run_engine(
+        self,
+        program: Program,
+        engine: str,
+        source_key,
+        governor: Optional[ResourceGovernor] = None,
+    ) -> CertificationReport:
+        options = self.options
+        emit = options.emit_certificate
+        arts = self.artifacts(program, engine, source_key)
+
+        if engine == "interproc":
+            certifier = InterproceduralCertifier(
+                program,
+                arts["abstraction"],
+                prune_requires=options.prune_requires,
+                worklist=options.worklist,
+                governor=governor,
+            )
+            report = certifier.certify(options.entry)
+            if emit:
+                self._attach_certificate(
+                    report, engine, source_key, arts,
+                    {"certifier": certifier},
+                )
+            return report
+
+        if engine in ("fds", "relational"):
+            sink: Optional[list] = [] if emit else None
+            certify = certify_fds if engine == "fds" else certify_relational
+            report = certify(
+                arts["boolprog"],
+                prune_requires=options.prune_requires,
+                worklist=options.worklist,
+                governor=governor,
+                result_sink=sink,
+            )
+            if emit:
+                self._attach_certificate(
+                    report, engine, source_key, arts, {"result": sink[0]}
+                )
+            return report
+
+        if engine.startswith("tvla-"):
+            engine_obj = arts["engine_obj"]
             if options.compiled_eval:
                 result = engine_obj.run(governor)
             else:
                 with formula_compile.interpreted():
                     result = engine_obj.run(governor)
-            return result.report
+            report = result.report
+            if emit:
+                self._attach_certificate(
+                    report, engine, source_key, arts, {"result": result}
+                )
+            return report
 
-        if engine == "allocsite":
-            return analyze_generic(
-                inlined, AllocSiteDomain(), engine,
-                worklist=options.worklist, governor=governor,
-            ).report
-        if engine == "allocsite-recency":
-            return analyze_generic(
-                inlined, AllocSiteDomain(recency=True), engine,
-                worklist=options.worklist, governor=governor,
-            ).report
-        if engine == "shapegraph":
-            return analyze_generic(
-                inlined, ShapeGraphDomain(), engine,
-                worklist=options.worklist, governor=governor,
-            ).report
-        raise AssertionError("unreachable")
+        generic = analyze_generic(
+            arts["inlined"], arts["domain"], engine,
+            worklist=options.worklist, governor=governor,
+        )
+        report = generic.report
+        if emit:
+            self._attach_certificate(
+                report, engine, source_key, arts, {"result": generic}
+            )
+        return report
 
     # -- observability ---------------------------------------------------------
 

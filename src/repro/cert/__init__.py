@@ -1,0 +1,35 @@
+"""Proof-carrying conformance certificates.
+
+The analyzer runs an (expensive) abstract fixpoint; the *certificate* it
+emits is the fixpoint annotation itself — the post-fixpoint abstract state
+at every reachable CFG node — together with enough fingerprinting (spec
+hash, derived-abstraction hash, engine/options fingerprint, source hash)
+to pin down exactly which analysis instance it witnesses.  A third party
+re-validates the verdict with :class:`CertificateChecker` in one linear
+pass over the edges, *without* running any fixpoint: at a fixpoint every
+edge's transfer is already subsumed by the successor's recorded state, so
+inductiveness + entry coverage + alarm entailment are each a single sweep.
+
+This is the abstraction-carrying-code split (Albert et al.; Seghir 2018)
+applied to the paper's conformance certifiers: certify once, check
+everywhere.
+"""
+
+from repro.cert.model import (
+    CERT_FORMAT,
+    CERT_VERSION,
+    CertificateError,
+    ConformanceCertificate,
+)
+from repro.cert.check import CertificateChecker, CheckResult
+from repro.cert.mutate import mutate_certificate
+
+__all__ = [
+    "CERT_FORMAT",
+    "CERT_VERSION",
+    "CertificateError",
+    "CertificateChecker",
+    "CheckResult",
+    "ConformanceCertificate",
+    "mutate_certificate",
+]

@@ -1,0 +1,414 @@
+"""Certificate data model: canonical JSON, hashing, and delta codecs.
+
+Everything that touches certificate *bytes* lives here so that emission
+and checking share one definition of canonical form.  A certificate is a
+plain JSON document (``sort_keys`` everywhere, node lists sorted, pools
+sorted by serialized text) so that two emission runs over the same
+program produce byte-identical artifacts — the CI gate diffs them.
+
+Abstract states are stored per CFG node, hash-consed into a shared pool
+where states repeat (TVLA structures, heap-domain states), and
+delta-encoded against an already-encoded CFG predecessor where that is
+smaller (bit masks XOR, sets as add/drop lists).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
+
+from repro.certifier.report import Alarm
+from repro.logic.kleene import Kleene
+from repro.tvla.three_valued import ThreeValuedStructure
+
+CERT_FORMAT = "repro-cert"
+CERT_VERSION = 1
+
+#: Engine stats that are deterministic functions of (spec, program,
+#: options) and therefore safe to embed in a byte-stable artifact.
+#: Wall-clock ("seconds") and session-memo counters (transfer_hits /
+#: transfer_misses depend on what else the session analyzed first) are
+#: deliberately excluded.
+DETERMINISTIC_STATS = (
+    "abstraction_preds",
+    "breach",
+    "completed_rung",
+    "contexts",
+    "degraded_to",
+    "edge_visits",
+    "edges",
+    "iterations",
+    "ladder",
+    "max_structures",
+    "nodes_analyzed",
+    "nodes_total",
+    "partial",
+    "salvaged",
+    "sites_resolved",
+    "sites_unresolved",
+    "summary_updates",
+    "variables",
+)
+
+
+class CertificateError(Exception):
+    """Raised for structurally malformed certificates."""
+
+
+# -- canonical JSON and hashing ---------------------------------------------
+
+
+def canonical_text(payload: object) -> str:
+    """The canonical serialization used for hashing and byte-stable pools."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def sha256_text(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def spec_hash(spec) -> str:
+    """Hash of a canonical rendering of the component specification.
+
+    ``ComponentSpec`` has no serializer of its own, so the rendering is
+    built here from the stable pieces the analysis actually consumes:
+    class fields and the operation signatures.
+    """
+    classes = []
+    for name in sorted(spec.classes):
+        decl = spec.classes[name]
+        classes.append([name, sorted(decl.fields.items())])
+    operations = sorted([op.key, str(op)] for op in spec.operations())
+    return sha256_text(
+        canonical_text({"name": spec.name, "classes": classes, "operations": operations})
+    )
+
+
+def abstraction_hash(abstraction) -> Optional[str]:
+    """Hash of the derived abstraction's textual description.
+
+    ``None`` for the generic heap engines, which run directly on the
+    client program without a derived abstraction.
+    """
+    if abstraction is None:
+        return None
+    return sha256_text(abstraction.describe())
+
+
+def options_fingerprint(engine: str, options: Mapping[str, object]) -> str:
+    return sha256_text(canonical_text({"engine": engine, "options": dict(options)}))
+
+
+# -- alarms -----------------------------------------------------------------
+
+
+def alarm_to_json(alarm: Alarm) -> Dict[str, object]:
+    return {
+        "site_id": alarm.site_id,
+        "line": alarm.line,
+        "op_key": alarm.op_key,
+        "instance": alarm.instance,
+        "definite": bool(alarm.definite),
+        "context": alarm.context,
+    }
+
+
+def alarm_sort_key(entry: Mapping[str, object]) -> Tuple:
+    return (
+        entry["site_id"],
+        entry["instance"],
+        entry["context"] or "",
+        entry["line"],
+        entry["op_key"],
+        entry["definite"],
+    )
+
+
+def alarms_to_json(alarms: Iterable[Alarm]) -> List[Dict[str, object]]:
+    return sorted((alarm_to_json(a) for a in alarms), key=alarm_sort_key)
+
+
+# -- bit-mask codec (fds / interproc) ---------------------------------------
+#
+# Node entry is either absolute {"one": hex, "zero": hex} or a delta
+# {"ref": pred, "one_x": hex, "zero_x": hex} XORed against the first
+# already-encoded CFG predecessor, whichever serializes shorter.
+
+
+def encode_masks(
+    masks: Mapping[int, Tuple[int, int]],
+    preds: Mapping[int, List[int]],
+    *,
+    delta: bool = True,
+) -> List[List[object]]:
+    out: List[List[object]] = []
+    encoded: set = set()
+    for node in sorted(masks):
+        one, zero = masks[node]
+        entry: Dict[str, object] = {"one": format(one, "x"), "zero": format(zero, "x")}
+        if delta:
+            for pred in preds.get(node, ()):
+                if pred in encoded:
+                    pone, pzero = masks[pred]
+                    candidate = {
+                        "ref": pred,
+                        "one_x": format(one ^ pone, "x"),
+                        "zero_x": format(zero ^ pzero, "x"),
+                    }
+                    # compare full serialized cost, not just hex digits:
+                    # the delta form carries an extra key and longer key
+                    # names, which narrow masks never amortize
+                    if len(json.dumps(candidate)) < len(json.dumps(entry)):
+                        entry = candidate
+                    break
+        out.append([node, entry])
+        encoded.add(node)
+    return out
+
+
+def decode_masks(payload: List[List[object]]) -> Dict[int, Tuple[int, int]]:
+    masks: Dict[int, Tuple[int, int]] = {}
+    try:
+        for node, entry in payload:
+            if "ref" in entry:
+                ref = entry["ref"]
+                if ref not in masks:
+                    raise CertificateError(
+                        f"mask delta at node {node} references undecoded node {ref}"
+                    )
+                pone, pzero = masks[ref]
+                masks[node] = (pone ^ int(entry["one_x"], 16), pzero ^ int(entry["zero_x"], 16))
+            else:
+                masks[node] = (int(entry["one"], 16), int(entry["zero"], 16))
+    except (TypeError, ValueError, KeyError) as exc:
+        raise CertificateError(f"malformed mask annotation: {exc}") from exc
+    return masks
+
+
+# -- integer-set codec (relational valuations, tvla structure ids) ----------
+#
+# Node entry is either absolute {"vals": [...]} or {"ref": pred,
+# "add": [...], "drop": [...]} relative to the first already-encoded
+# predecessor, whichever holds fewer integers.
+
+
+def encode_int_sets(
+    sets: Mapping[int, FrozenSet[int]],
+    preds: Mapping[int, List[int]],
+    *,
+    delta: bool = True,
+) -> List[List[object]]:
+    out: List[List[object]] = []
+    encoded: set = set()
+    for node in sorted(sets):
+        values = sets[node]
+        entry: Dict[str, object] = {"vals": sorted(values)}
+        if delta:
+            for pred in preds.get(node, ()):
+                if pred in encoded:
+                    base = sets[pred]
+                    add = sorted(values - base)
+                    drop = sorted(base - values)
+                    candidate = {"ref": pred, "add": add, "drop": drop}
+                    if len(json.dumps(candidate)) < len(json.dumps(entry)):
+                        entry = candidate
+                    break
+        out.append([node, entry])
+        encoded.add(node)
+    return out
+
+
+def decode_int_sets(payload: List[List[object]]) -> Dict[int, FrozenSet[int]]:
+    sets: Dict[int, FrozenSet[int]] = {}
+    try:
+        for node, entry in payload:
+            if "ref" in entry:
+                ref = entry["ref"]
+                if ref not in sets:
+                    raise CertificateError(
+                        f"set delta at node {node} references undecoded node {ref}"
+                    )
+                sets[node] = (sets[ref] | frozenset(entry["add"])) - frozenset(entry["drop"])
+            else:
+                sets[node] = frozenset(entry["vals"])
+    except (TypeError, KeyError) as exc:
+        raise CertificateError(f"malformed set annotation: {exc}") from exc
+    return sets
+
+
+def absolute_annotation(annotation: Mapping[str, object]) -> Dict[str, object]:
+    """Re-encode an annotation with delta encoding *and* structure
+    sharing disabled (for size comparisons in EXPERIMENTS.md E11).
+
+    Pooled annotations (tvla, generic) get each node's structures
+    inlined in place of pool indices; delta-encoded node entries are
+    flattened to absolute form.  The result is a size baseline, not a
+    checkable certificate.
+    """
+    result = dict(annotation)
+    kind = annotation.get("kind")
+    if kind in ("tvla", "generic"):
+        pool = annotation.get("pool", [])
+        if kind == "tvla" and annotation.get("mode") == "relational":
+            sets = decode_int_sets(annotation["nodes"])
+            result["nodes"] = [
+                [node, [pool[i] for i in sorted(sets[node])]]
+                for node in sorted(sets)
+            ]
+        else:
+            result["nodes"] = [
+                [node, pool[i]] for node, i in annotation["nodes"]
+            ]
+        result.pop("pool", None)
+    elif kind in ("fds", "relational"):
+        if kind == "fds":
+            masks = decode_masks(annotation["nodes"])
+            result["nodes"] = encode_masks(masks, {}, delta=False)
+        else:
+            sets = decode_int_sets(annotation["nodes"])
+            result["nodes"] = encode_int_sets(sets, {}, delta=False)
+    elif kind == "interproc":
+        contexts = []
+        for ctx in annotation["contexts"]:
+            ctx = dict(ctx)
+            ctx["nodes"] = encode_masks(decode_masks(ctx["nodes"]), {}, delta=False)
+            contexts.append(ctx)
+        result["contexts"] = contexts
+    return result
+
+
+# -- three-valued structure codec -------------------------------------------
+#
+# Nodes are renumbered 0..k-1 in the canonical-key sort order (vector of
+# Kleene values, then summary bit), which is total on canonicalized
+# structures: canonicalization leaves at most one node per canonical
+# vector.  Kleene values serialize as their enum ints (FALSE=0, TRUE=1,
+# HALF=2).
+
+
+def structure_to_json(structure: ThreeValuedStructure, preds) -> Dict[str, object]:
+    order = sorted(
+        structure.nodes,
+        key=lambda n: (
+            tuple(v._value_ for v in structure.canonical_vector(n, preds)),
+            structure.summary[n],
+        ),
+    )
+    index = {node: i for i, node in enumerate(order)}
+    # skip explicit FALSE entries: absent means 0, so the serialization
+    # is a normal form regardless of how tables were mutated
+    nullary = sorted(
+        [pred, value._value_]
+        for pred, value in structure.nullary.items()
+        if value._value_ != 0
+    )
+    unary = sorted(
+        [pred, index[node], value._value_]
+        for pred, table in structure.unary.items()
+        for node, value in table.items()
+        if value._value_ != 0
+    )
+    binary = sorted(
+        [pred, index[a], index[b], value._value_]
+        for pred, table in structure.binary.items()
+        for (a, b), value in table.items()
+        if value._value_ != 0
+    )
+    return {
+        "nodes": len(order),
+        "summary": [1 if structure.summary[n] else 0 for n in order],
+        "nullary": nullary,
+        "unary": unary,
+        "binary": binary,
+    }
+
+
+def structure_from_json(payload: Mapping[str, object]) -> ThreeValuedStructure:
+    try:
+        structure = ThreeValuedStructure()
+        nodes = [
+            structure.new_node(summary=bool(bit)) for bit in payload["summary"]
+        ]
+        if len(nodes) != payload["nodes"]:
+            raise CertificateError("structure node count disagrees with summary bits")
+        for pred, value in payload["nullary"]:
+            structure.set(pred, (), Kleene(value))
+        for pred, i, value in payload["unary"]:
+            structure.set(pred, (nodes[i],), Kleene(value))
+        for pred, i, j, value in payload["binary"]:
+            structure.set(pred, (nodes[i], nodes[j]), Kleene(value))
+        return structure
+    except CertificateError:
+        raise
+    except (TypeError, ValueError, KeyError, IndexError) as exc:
+        raise CertificateError(f"malformed structure: {exc}") from exc
+
+
+# -- hash-consed pools ------------------------------------------------------
+
+
+class Pool:
+    """Hash-consed pool of serialized states, sorted by canonical text so
+    pool indices are deterministic."""
+
+    def __init__(self) -> None:
+        self._entries: List[object] = []
+        self._texts: List[str] = []
+        self._index: Dict[str, int] = {}
+
+    def add(self, payload: object) -> int:
+        text = canonical_text(payload)
+        if text not in self._index:
+            self._index[text] = len(self._entries)
+            self._entries.append(payload)
+            self._texts.append(text)
+        return self._index[text]
+
+    def finish(self) -> Tuple[List[object], Dict[int, int]]:
+        """Sort entries by text; returns (entries, old index -> new index)."""
+        order = sorted(range(len(self._entries)), key=lambda i: self._texts[i])
+        remap = {old: new for new, old in enumerate(order)}
+        return [self._entries[i] for i in order], remap
+
+
+# -- certificate wrapper ----------------------------------------------------
+
+
+@dataclass
+class ConformanceCertificate:
+    """A versioned, deterministic, JSON-serializable fixpoint certificate."""
+
+    payload: Dict[str, object]
+
+    @property
+    def engine(self) -> str:
+        return self.payload.get("engine", "?")
+
+    @property
+    def subject(self) -> str:
+        return self.payload.get("subject", "?")
+
+    @property
+    def partial(self) -> bool:
+        return bool(self.payload.get("verdict", {}).get("partial"))
+
+    def to_json(self) -> Dict[str, object]:
+        return self.payload
+
+    def text(self) -> str:
+        """Byte-stable pretty serialization (what `--emit-cert` writes)."""
+        return json.dumps(self.payload, sort_keys=True, indent=2) + "\n"
+
+    def write(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.text())
+
+    @staticmethod
+    def load(path: str) -> "ConformanceCertificate":
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        if not isinstance(payload, dict):
+            raise CertificateError(f"{path}: certificate is not a JSON object")
+        return ConformanceCertificate(payload)

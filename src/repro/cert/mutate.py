@@ -1,0 +1,267 @@
+"""Certificate mutation for negative testing.
+
+The fuzz oracle and the property tests need *guaranteed-reject*
+mutations: tamper with a certificate such that a sound checker must
+refuse it.  Arbitrary bit flips do not qualify — weakening a sink node's
+annotation can produce another perfectly valid fixpoint.  The mutations
+here are chosen so rejection is provable:
+
+``strengthen``
+    Remove one *may*-fact from one node's annotation (a may-1/may-0
+    bit, a relational valuation, a pooled structure membership, a
+    points-to/heap target...).  Either the entry's initial state or some
+    predecessor transfer re-demands the removed fact, so the
+    inductiveness or entry check fails.  Must-facts (e.g. a shape
+    graph's ``definite`` edges) are never touched: removing those is a
+    weakening.
+
+``verdict``
+    Tamper with the claimed alarm list; the replayed alarms no longer
+    match.
+
+``version``
+    Bump the format version; the checker refuses to interpret it.
+
+For pooled annotations the mutated structure is appended as a *new*
+pool entry and only the chosen node is repointed, so other nodes
+sharing the original entry are unaffected.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Dict, List, Tuple
+
+from repro.cert import model
+
+KINDS = ("strengthen", "verdict", "version")
+
+
+def mutate_certificate(payload: Dict, rng, kind: str = "auto") -> Tuple[Dict, str]:
+    """Return a (mutated deep copy, kind actually applied) pair.
+
+    ``rng`` is a :class:`random.Random`; ``kind`` is one of
+    :data:`KINDS` or ``"auto"`` to pick one at random.  Falls back to
+    ``verdict`` when a ``strengthen`` target cannot be found (e.g. an
+    annotation with no removable may-facts).
+    """
+    mutated = copy.deepcopy(payload)
+    if kind == "auto":
+        kind = rng.choice(KINDS)
+    if kind == "version":
+        mutated["version"] = int(mutated.get("version", 0)) + 1
+        return mutated, "version"
+    if kind == "verdict":
+        _mutate_verdict(mutated, rng)
+        return mutated, "verdict"
+    if kind != "strengthen":
+        raise ValueError(f"unknown mutation kind {kind!r}")
+    if _mutate_strengthen(mutated, rng):
+        return mutated, "strengthen"
+    _mutate_verdict(mutated, rng)
+    return mutated, "verdict"
+
+
+def _mutate_verdict(payload: Dict, rng) -> None:
+    verdict = payload.setdefault("verdict", {})
+    alarms = verdict.get("alarms") or []
+    if alarms:
+        alarms = list(alarms)
+        del alarms[rng.randrange(len(alarms))]
+    else:
+        alarms = [
+            {
+                "site_id": 0,
+                "line": 0,
+                "op_key": "forged.op",
+                "instance": "forged",
+                "definite": False,
+                "context": None,
+            }
+        ]
+    verdict["alarms"] = alarms
+    verdict["certified"] = not alarms
+
+
+# -- strengthening ------------------------------------------------------------
+
+
+def _mutate_strengthen(payload: Dict, rng) -> bool:
+    annotation = payload.get("annotation")
+    if not isinstance(annotation, dict):
+        return False
+    kind = annotation.get("kind")
+    if kind in ("fds", "relational"):
+        return _strengthen_boolprog(annotation, rng)
+    if kind == "interproc":
+        contexts = annotation.get("contexts") or []
+        order = list(range(len(contexts)))
+        rng.shuffle(order)
+        for index in order:
+            if _strengthen_boolprog(contexts[index], rng, kind="fds"):
+                return True
+        return False
+    if kind == "tvla":
+        if annotation.get("mode") == "relational":
+            return _strengthen_id_sets(annotation, rng)
+        return _strengthen_pooled_structure(annotation, rng)
+    if kind == "generic":
+        return _strengthen_pooled_heap(annotation, rng)
+    return False
+
+
+def _strengthen_boolprog(annotation: Dict, rng, kind: str = None) -> bool:
+    """Drop one set may-bit (fds/interproc masks) or one valuation
+    (relational sets)."""
+    kind = kind or annotation.get("kind")
+    if kind == "relational":
+        states = model.decode_int_sets(annotation["nodes"])
+        coords = [
+            (node, value)
+            for node, values in states.items()
+            for value in sorted(values)
+        ]
+        if not coords:
+            return False
+        node, value = rng.choice(sorted(coords))
+        states[node] = frozenset(states[node]) - {value}
+        annotation["nodes"] = model.encode_int_sets(
+            {n: frozenset(v) for n, v in states.items()}, {}
+        )
+        return True
+    masks = model.decode_masks(annotation["nodes"])
+    coords: List[Tuple[int, int, int]] = []  # (node, which, bit)
+    for node, (one, zero) in masks.items():
+        for bit in range(max(one, zero).bit_length()):
+            if one >> bit & 1:
+                coords.append((node, 0, bit))
+            if zero >> bit & 1:
+                coords.append((node, 1, bit))
+    if not coords:
+        return False
+    node, which, bit = rng.choice(sorted(coords))
+    one, zero = masks[node]
+    if which == 0:
+        one &= ~(1 << bit)
+    else:
+        zero &= ~(1 << bit)
+    masks[node] = (one, zero)
+    annotation["nodes"] = model.encode_masks(masks, {})
+    return True
+
+
+def _strengthen_id_sets(annotation: Dict, rng) -> bool:
+    """tvla-relational: drop one structure id from one node's bucket."""
+    id_sets = model.decode_int_sets(annotation["nodes"])
+    coords = [
+        (node, i) for node, ids in id_sets.items() for i in sorted(ids)
+    ]
+    if not coords:
+        return False
+    node, i = rng.choice(sorted(coords))
+    id_sets[node] = frozenset(id_sets[node]) - {i}
+    annotation["nodes"] = model.encode_int_sets(
+        {n: frozenset(v) for n, v in id_sets.items()}, {}
+    )
+    return True
+
+
+def _repoint_node(annotation: Dict, rng, mutate_entry) -> bool:
+    """Pooled single-structure annotations (tvla-independent, generic):
+    pick a node, mutate a *copy* of its pool entry with ``mutate_entry``,
+    append the copy as a new pool entry and repoint only that node."""
+    nodes = annotation.get("nodes") or []
+    pool = annotation.get("pool") or []
+    order = list(range(len(nodes)))
+    rng.shuffle(order)
+    for index in order:
+        node, pool_id = nodes[index]
+        entry = copy.deepcopy(pool[pool_id])
+        if not mutate_entry(entry, rng):
+            continue
+        pool.append(entry)
+        nodes[index] = [node, len(pool) - 1]
+        return True
+    return False
+
+
+def _strengthen_pooled_structure(annotation: Dict, rng) -> bool:
+    return _repoint_node(annotation, rng, _drop_structure_fact)
+
+
+def _drop_structure_fact(entry: Dict, rng) -> bool:
+    """Remove one HALF/TRUE fact from a serialized three-valued
+    structure (set it to FALSE by dropping the tuple — absent means 0).
+    Any recorded fact is may-information in the join order, so removing
+    one makes the join-subsumption check at some edge fail."""
+    coords = []
+    for table in ("nullary", "unary", "binary"):
+        rows = entry.get(table) or []
+        for i, row in enumerate(rows):
+            if row[-1] != 0:
+                coords.append((table, i))
+    if not coords:
+        return False
+    table, i = rng.choice(sorted(coords))
+    del entry[table][i]
+    return True
+
+
+def _strengthen_pooled_heap(annotation: Dict, rng) -> bool:
+    domain = annotation.get("domain", "")
+    if domain == "shapegraph":
+        return _repoint_node(annotation, rng, _drop_shape_fact)
+    return _repoint_node(annotation, rng, _drop_pt_fact)
+
+
+def _drop_pt_fact(entry: Dict, rng) -> bool:
+    """allocsite domains: drop one points-to target, heap target, or
+    multiplicity entry — all may-facts."""
+    coords = []
+    for i, (_var, targets) in enumerate(entry.get("pts") or []):
+        for j in range(len(targets)):
+            coords.append(("pts", i, j))
+    for i, (_site, _field, targets) in enumerate(entry.get("heap") or []):
+        for j in range(len(targets)):
+            coords.append(("heap", i, j))
+    for i in range(len(entry.get("mult") or [])):
+        coords.append(("mult", i, -1))
+    if not coords:
+        return False
+    table, i, j = rng.choice(sorted(coords))
+    if table == "mult":
+        del entry["mult"][i]
+        return True
+    row = entry[table][i]
+    targets = row[-1]
+    del targets[j]
+    if not targets and table == "heap":
+        del entry[table][i]
+    return True
+
+
+def _drop_shape_fact(entry: Dict, rng) -> bool:
+    """shapegraph: drop only may-facts — a summary node, a field-edge
+    target.  ``definite`` entries are must-information; removing one
+    would *weaken* the annotation, which a sound checker may accept."""
+    coords = []
+    # only flag-1 summary rows: a flag-0 row can be re-derived from the
+    # edge tables by ShapeState normalization, making the drop a no-op
+    for i, row in enumerate(entry.get("summary") or []):
+        if row[-1]:
+            coords.append(("summary", i, -1))
+    for i, (_node, _field, targets) in enumerate(entry.get("edges") or []):
+        for j in range(len(targets)):
+            coords.append(("edges", i, j))
+    if not coords:
+        return False
+    table, i, j = rng.choice(sorted(coords))
+    if table == "summary":
+        del entry["summary"][i]
+        return True
+    row = entry["edges"][i]
+    targets = row[-1]
+    del targets[j]
+    if not targets:
+        del entry["edges"][i]
+    return True

@@ -265,8 +265,14 @@ def certify_fds(
     prune_requires: bool = True,
     worklist: str = "rpo",
     governor: Optional[ResourceGovernor] = None,
+    result_sink: Optional[List[FdsResult]] = None,
 ) -> CertificationReport:
-    """Convenience wrapper returning a report for one boolean program."""
+    """Convenience wrapper returning a report for one boolean program.
+
+    ``result_sink``, when given, receives the full :class:`FdsResult` so
+    that certificate emission can read the fixpoint annotation without
+    widening the report type.
+    """
     with trace_phase("fixpoint", engine="fds") as trace_meta:
         result = FdsSolver(
             prune_requires=prune_requires,
@@ -276,6 +282,8 @@ def certify_fds(
         trace_meta.update(
             iterations=result.iterations, variables=program.num_vars
         )
+    if result_sink is not None:
+        result_sink.append(result)
     return CertificationReport(
         subject=program.name,
         engine="fds",

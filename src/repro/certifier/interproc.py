@@ -199,6 +199,9 @@ class InterproceduralCertifier:
         #: per-space reverse-postorder priorities for the local fixpoints
         self._rpo: Dict[str, Dict[int, int]] = {}
         self._formal_visible: Dict[str, str] = {}
+        #: set by a completed ``certify``: the tabulation fixpoint
+        #: (per-context node masks + summary table) for certificate emission
+        self.fixpoint: Optional[Dict[str, object]] = None
         self.stats: Dict[str, int] = {
             "contexts": 0,
             "summary_updates": 0,
@@ -832,6 +835,15 @@ class InterproceduralCertifier:
         alarm_list = sorted(
             alarms.values(), key=lambda a: (a.site_id, a.instance)
         )
+        # the full tabulation fixpoint, kept for certificate emission:
+        # per-context node masks plus the summary table
+        self.fixpoint = {
+            "entry": entry_method.qualified,
+            "root": root,
+            "memo": dict(memo),
+            "node_states": node_states,
+            "node_zeros": node_zeros,
+        }
         return CertificationReport(
             subject=entry_method.qualified,
             engine="interproc",
@@ -882,51 +894,12 @@ class InterproceduralCertifier:
                         continue  # callee summary not yet available
                     zout = all_vars  # callee effects: nothing stays definite
                 else:
-                    out = mask
-                    zout = zmask
-                    killed = False
-                    for check in edge.checks:
-                        if out >> check.var & 1:
-                            alarm_key = (
-                                check.site_id,
-                                str(boolprog.instance(check.var)),
-                            )
-                            alarms[alarm_key] = Alarm(
-                                site_id=check.site_id,
-                                line=check.line,
-                                op_key=check.op_key,
-                                instance=str(boolprog.instance(check.var)),
-                                context=qualified,
-                            )
-                        if self.prune_requires:
-                            if not zout >> check.var & 1:
-                                # the checked predicate is definitely 1:
-                                # every execution throws here, so nothing
-                                # flows past this edge (mirrors the FDS
-                                # and relational solvers)
-                                killed = True
-                            out &= ~(1 << check.var)
-                            zout |= 1 << check.var
-                    if killed:
+                    transferred = self.edge_transfer(
+                        boolprog, qualified, edge, mask, zmask, alarms
+                    )
+                    if transferred is None:
                         continue
-                    updated = out
-                    zupdated = zout
-                    for assign in edge.assigns:
-                        bit = 1 << assign.target
-                        value = assign.const_true or any(
-                            out >> s & 1 for s in assign.sources
-                        )
-                        zvalue = not assign.const_true and all(
-                            zout >> s & 1 for s in assign.sources
-                        )
-                        updated = (
-                            updated | bit if value else updated & ~bit
-                        )
-                        zupdated = (
-                            zupdated | bit if zvalue else zupdated & ~bit
-                        )
-                    out = updated
-                    zout = zupdated
+                    out, zout = transferred
                 old = states.get(edge.dst, 0)
                 old_zero = zeros.get(edge.dst, 0)
                 merged = old | out
@@ -944,10 +917,62 @@ class InterproceduralCertifier:
             return True
         return False
 
-    def _call_transfer(
-        self, caller_key, caller_space, caller_mask, stm, memo, dependents,
-        schedule,
-    ) -> Optional[int]:
+    def edge_transfer(
+        self, boolprog, qualified, edge, mask, zmask, alarms
+    ) -> Optional[Tuple[int, int]]:
+        """The non-call boolean edge transfer: check alarms, prune, assign.
+
+        Returns the (may-1, may-0) masks after the edge, or ``None`` when
+        the edge definitely throws and kills every execution.  Shared by
+        the tabulation and the certificate checker so both replay exactly
+        the same semantics.
+        """
+        out = mask
+        zout = zmask
+        killed = False
+        for check in edge.checks:
+            if out >> check.var & 1:
+                alarm_key = (
+                    check.site_id,
+                    str(boolprog.instance(check.var)),
+                )
+                alarms[alarm_key] = Alarm(
+                    site_id=check.site_id,
+                    line=check.line,
+                    op_key=check.op_key,
+                    instance=str(boolprog.instance(check.var)),
+                    context=qualified,
+                )
+            if self.prune_requires:
+                if not zout >> check.var & 1:
+                    # the checked predicate is definitely 1: every
+                    # execution throws here, so nothing flows past this
+                    # edge (mirrors the FDS and relational solvers)
+                    killed = True
+                out &= ~(1 << check.var)
+                zout |= 1 << check.var
+        if killed:
+            return None
+        updated = out
+        zupdated = zout
+        for assign in edge.assigns:
+            bit = 1 << assign.target
+            value = assign.const_true or any(
+                out >> s & 1 for s in assign.sources
+            )
+            zvalue = not assign.const_true and all(
+                zout >> s & 1 for s in assign.sources
+            )
+            updated = updated | bit if value else updated & ~bit
+            zupdated = zupdated | bit if zvalue else zupdated & ~bit
+        return updated, zupdated
+
+    def call_entry_vector(
+        self, caller_space, caller_mask, stm
+    ) -> Tuple[int, "ProcSpace"]:
+        """Map the caller's mask through a call statement to the callee's
+        entry vector (binding formal->actual visibility on the way).
+        Leaves ``_formal_visible`` set for a following ``map_return``."""
         callee_space = self.space(stm.callee)
         minfo = callee_space.method
         self._formal_visible = {}
@@ -957,6 +982,15 @@ class InterproceduralCertifier:
             self._formal_visible[pname] = actual
         entry_vector = self.map_entry(
             caller_space, caller_mask, stm, callee_space
+        )
+        return entry_vector, callee_space
+
+    def _call_transfer(
+        self, caller_key, caller_space, caller_mask, stm, memo, dependents,
+        schedule,
+    ) -> Optional[int]:
+        entry_vector, callee_space = self.call_entry_vector(
+            caller_space, caller_mask, stm
         )
         callee_key = (stm.callee, entry_vector)
         if callee_key not in memo:

@@ -208,7 +208,10 @@ def _node_count(program: BoolProgram) -> int:
 
 
 def certify_relational(
-    program: BoolProgram, **kwargs
+    program: BoolProgram,
+    *,
+    result_sink: Optional[List[RelationalResult]] = None,
+    **kwargs,
 ) -> CertificationReport:
     solver = RelationalSolver(**kwargs)
     with trace_phase("fixpoint", engine="relational") as trace_meta:
@@ -216,6 +219,8 @@ def certify_relational(
         trace_meta.update(
             max_states=result.max_states, variables=program.num_vars
         )
+    if result_sink is not None:
+        result_sink.append(result)
     return CertificationReport(
         subject=program.name,
         engine="relational",

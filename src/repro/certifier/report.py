@@ -45,6 +45,10 @@ class CertificationReport:
     engine: str
     alarms: List[Alarm] = field(default_factory=list)
     stats: Dict[str, object] = field(default_factory=dict)
+    #: the proof-carrying fixpoint certificate, populated when the session
+    #: ran with ``CertifyOptions(emit_certificate=True)``
+    #: (a :class:`repro.cert.ConformanceCertificate`)
+    certificate: Optional[object] = None
 
     @property
     def certified(self) -> bool:

@@ -25,6 +25,12 @@ Differential fuzzing with the soundness gate (see :mod:`repro.fuzz`)::
     repro fuzz --seed-range 0:25 --engines fds,tvla-relational
     repro fuzz --seed-range 0:5000 --time-budget 1200 --json out.json
     repro fuzz --seed-range 0:200 --shrink --corpus tests/corpus
+
+Proof-carrying certificates (see :mod:`repro.cert`)::
+
+    repro certify client.jl --emit-cert client.cert.json
+    repro certify --all-suite --emit-cert-dir certs/   # one per program x engine
+    repro check certs/*.cert.json --json report.json   # no fixpoint re-run
 """
 
 from __future__ import annotations
@@ -132,6 +138,13 @@ def build_batch_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PATH",
         help="write the aggregated batch summary as JSON ('-' for stdout)",
+    )
+    parser.add_argument(
+        "--emit-certs",
+        default=None,
+        metavar="DIR",
+        help="emit a proof-carrying certificate per job into DIR "
+        "(<job>.cert.json; path recorded in the job's JSON record)",
     )
     parser.add_argument(
         "--quiet", action="store_true", help="suppress the summary table"
@@ -352,6 +365,19 @@ def build_fuzz_parser() -> argparse.ArgumentParser:
         "disagreements are reported, only soundness fails the run)",
     )
     parser.add_argument(
+        "--emit-cert",
+        action="store_true",
+        help="certificate round-trip gate: every fuzzed program is also "
+        "certified with --emit-cert and the certificate must pass the "
+        "independent checker",
+    )
+    parser.add_argument(
+        "--mutate-certs",
+        action="store_true",
+        help="with --emit-cert, additionally apply one guaranteed-reject "
+        "mutation per certificate and fail if the checker accepts it",
+    )
+    parser.add_argument(
         "--json",
         default=None,
         metavar="PATH",
@@ -364,6 +390,255 @@ def build_fuzz_parser() -> argparse.ArgumentParser:
     # step budget gets a distinct spelling here
     _add_governor_arguments(parser, steps_flag="--governor-steps")
     return parser
+
+
+def build_certify_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro certify",
+        description=(
+            "Certify clients and emit proof-carrying conformance "
+            "certificates: the post-fixpoint per-node abstract states, "
+            "independently re-checkable without re-running any fixpoint "
+            "(repro check)."
+        ),
+    )
+    parser.add_argument(
+        "client", nargs="?", help="path to the Jlite client source"
+    )
+    parser.add_argument(
+        "--suite",
+        default=None,
+        metavar="P1,P2,...",
+        help="certify these benchmark-suite programs instead of a client",
+    )
+    parser.add_argument(
+        "--all-suite",
+        action="store_true",
+        help="certify the full benchmark suite",
+    )
+    parser.add_argument(
+        "--spec",
+        default="cmp",
+        choices=sorted(name.lower() for name in ALL_SPECS),
+        help="which shipped specification to certify against",
+    )
+    parser.add_argument(
+        "--engines",
+        default=None,
+        metavar="E1,E2,...",
+        help="comma-separated engines (default: every engine applicable "
+        "to each program; 'auto' for a single client)",
+    )
+    parser.add_argument(
+        "--emit-cert",
+        default=None,
+        metavar="PATH",
+        help="write the (single) certificate to this path",
+    )
+    parser.add_argument(
+        "--emit-cert-dir",
+        default=None,
+        metavar="DIR",
+        help="write one <program>-<engine>.cert.json per certification",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="immediately validate every emitted certificate with the "
+        "independent checker; any reject fails the run",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-run lines"
+    )
+    return parser
+
+
+def certify_main(argv: Optional[List[str]] = None) -> int:
+    from repro.bench.harness import HEAP_ENGINES, SHALLOW_ENGINES
+    from repro.cert import CertificateChecker
+    from repro.suite import all_programs
+
+    args = build_certify_parser().parse_args(argv)
+    spec = ALL_SPECS[args.spec.upper()]()
+    requested = (
+        tuple(e.strip() for e in args.engines.split(","))
+        if args.engines
+        else None
+    )
+    if requested:
+        bad = [e for e in requested if e not in ENGINES]
+        if bad:
+            print(f"error: unknown engine(s): {bad}", file=sys.stderr)
+            return 2
+
+    # (name, source, engines) work items
+    items: List = []
+    if args.all_suite or args.suite:
+        if args.client:
+            print(
+                "error: give either a client path or a suite selection, "
+                "not both",
+                file=sys.stderr,
+            )
+            return 2
+        by_name = {p.name: p for p in all_programs()}
+        if args.all_suite:
+            chosen = list(by_name)
+        else:
+            chosen = [name.strip() for name in args.suite.split(",")]
+            unknown = set(chosen) - set(by_name)
+            if unknown:
+                print(
+                    f"error: unknown suite program(s): {sorted(unknown)}",
+                    file=sys.stderr,
+                )
+                return 2
+        for name in sorted(chosen):
+            bench = by_name[name]
+            applicable = SHALLOW_ENGINES if bench.shallow else HEAP_ENGINES
+            engines = tuple(
+                e
+                for e in (requested or applicable)
+                if e != "auto" and e in applicable
+            )
+            items.append((name, bench.source, engines))
+    else:
+        if not args.client:
+            print("error: no client source given", file=sys.stderr)
+            return 2
+        with open(args.client) as handle:
+            source = handle.read()
+        name = args.client.rsplit("/", 1)[-1].rsplit(".", 1)[0]
+        engines = tuple(e for e in (requested or ("auto",)))
+        items.append((name, source, engines))
+
+    if args.emit_cert and (args.emit_cert_dir or len(items) != 1):
+        print(
+            "error: --emit-cert takes exactly one certification; use "
+            "--emit-cert-dir for suites",
+            file=sys.stderr,
+        )
+        return 2
+    if args.emit_cert_dir:
+        import os
+
+        os.makedirs(args.emit_cert_dir, exist_ok=True)
+
+    session = CertifySession(
+        spec, options=CertifyOptions(emit_certificate=True)
+    )
+    checker = CertificateChecker() if args.check else None
+    rejects = 0
+    for name, source, engines in items:
+        for engine in engines:
+            report = session.certify(source, engine=engine)
+            cert = report.certificate
+            line = (
+                f"{name:24s} {report.engine:18s} "
+                + ("CERTIFIED" if report.certified else
+                   f"{len(report.alarms)} alarm(s)")
+            )
+            if cert is not None:
+                if args.emit_cert:
+                    cert.write(args.emit_cert)
+                if args.emit_cert_dir:
+                    cert.write(
+                        f"{args.emit_cert_dir}/{name}-{report.engine}"
+                        ".cert.json"
+                    )
+                line += f"  [{len(cert.text())} cert bytes]"
+                if checker is not None:
+                    result = checker.check(cert)
+                    if not result.ok:
+                        rejects += 1
+                        line += f"  CHECK-{result.kind.upper()}"
+            if not args.quiet:
+                print(line)
+    if rejects:
+        print(f"{rejects} certificate(s) failed the check", file=sys.stderr)
+        return 1
+    return 0
+
+
+def build_check_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro check",
+        description=(
+            "Independently validate proof-carrying conformance "
+            "certificates in one linear pass (no fixpoint is re-run): "
+            "inductiveness of the annotation, coverage of every "
+            "reachable node, and entailment of the claimed alarm set."
+        ),
+    )
+    parser.add_argument(
+        "certs", nargs="+", metavar="CERT", help="certificate files"
+    )
+    parser.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="write per-certificate results as JSON ('-' for stdout)",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-certificate lines"
+    )
+    return parser
+
+
+def check_main(argv: Optional[List[str]] = None) -> int:
+    from repro.cert import (
+        CertificateChecker,
+        CertificateError,
+        ConformanceCertificate,
+    )
+
+    args = build_check_parser().parse_args(argv)
+    checker = CertificateChecker()
+    records = []
+    accepted = rejected = 0
+    for path in args.certs:
+        try:
+            cert = ConformanceCertificate.load(path)
+            result = checker.check(cert)
+        except (OSError, json.JSONDecodeError, CertificateError) as error:
+            from repro.cert.check import CheckResult
+
+            result = CheckResult(
+                ok=False, kind="malformed", detail=str(error)
+            )
+        if result.ok:
+            accepted += 1
+        else:
+            rejected += 1
+        records.append(
+            {
+                "path": path,
+                "ok": result.ok,
+                "kind": result.kind,
+                "detail": result.detail,
+                "engine": result.engine,
+                "subject": result.subject,
+                "edge": list(result.edge) if result.edge else None,
+                "nodes": result.nodes,
+                "edges": result.edges,
+            }
+        )
+        if not args.quiet:
+            print(f"{path}: {result.describe()}")
+    payload = {
+        "accepted": accepted,
+        "rejected": rejected,
+        "certificates": records,
+    }
+    if args.json == "-":
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    elif args.json:
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    if not args.quiet:
+        print(f"{accepted} accepted, {rejected} rejected")
+    return 0 if rejected == 0 else 1
 
 
 def _parse_seed_range(text: str) -> Optional[range]:
@@ -422,6 +697,18 @@ def fuzz_main(argv: Optional[List[str]] = None) -> int:
         )
     )
     options = _governor_options(args)
+    gate = None
+    if args.emit_cert or args.mutate_certs:
+        from repro.easl.library import cmp_spec
+        from repro.fuzz import CertGate
+
+        gate = CertGate(
+            cmp_spec(),
+            engines,
+            options=options,
+            mutate=args.mutate_certs,
+            mutation_seed=seeds.start,
+        )
     result = run_campaign(
         seeds,
         engines=engines,
@@ -429,6 +716,7 @@ def fuzz_main(argv: Optional[List[str]] = None) -> int:
         oracle=oracle,
         time_budget=args.time_budget,
         options=options,
+        on_case=gate,
     )
 
     shrunk: List[str] = []
@@ -477,19 +765,32 @@ def fuzz_main(argv: Optional[List[str]] = None) -> int:
 
     payload = result.to_json()
     payload["shrunk_reproducers"] = shrunk
+    if gate is not None:
+        payload["certificates"] = gate.result.to_json()
     if args.json == "-":
-        print(json.dumps(payload, indent=2))
+        print(json.dumps(payload, indent=2, sort_keys=True))
     elif args.json:
         with open(args.json, "w") as handle:
-            json.dump(payload, handle, indent=2)
+            json.dump(payload, handle, indent=2, sort_keys=True)
             handle.write("\n")
     if not args.quiet:
         print(result.format_summary())
+        if gate is not None:
+            g = gate.result
+            print(
+                f"certificates: {g.emitted} emitted, {g.accepted} accepted, "
+                f"{g.rejected} rejected, {g.skipped} skipped; "
+                f"{g.mutants_rejected}/{g.mutants} mutants rejected"
+            )
+            for failure in g.failures:
+                print(f"  certificate gate: {failure}")
         for source in shrunk:
             print("\nshrunk reproducer:\n" + source)
     ok = result.ok and not (
         args.fail_on_disagreement and result.disagreements
     )
+    if gate is not None and not gate.result.ok:
+        ok = False
     return 0 if ok else 1
 
 
@@ -557,10 +858,10 @@ def bench_main(argv: Optional[List[str]] = None) -> int:
             print(format_table(results))
 
     if args.json == "-":
-        print(json.dumps(payload, indent=2))
+        print(json.dumps(payload, indent=2, sort_keys=True))
     elif args.json:
         with open(args.json, "w") as handle:
-            json.dump(payload, handle, indent=2)
+            json.dump(payload, handle, indent=2, sort_keys=True)
             handle.write("\n")
     if args.check and not ok:
         print("bench check FAILED", file=sys.stderr)
@@ -587,15 +888,17 @@ def batch_main(argv: Optional[List[str]] = None) -> int:
         default_max_steps=args.governor_steps,
         default_max_structures=args.max_structures,
         default_ladder=True if args.ladder else None,
+        emit_certs_dir=args.emit_certs,
     )
     result = runner.run()
     if args.trace:
         result.write_trace(args.trace)
     if args.json == "-":
-        print(json.dumps(result.to_json(), indent=2))
+        print(json.dumps(result.to_json(), indent=2, sort_keys=True))
     elif args.json:
         with open(args.json, "w") as handle:
-            json.dump(result.to_json(), handle, indent=2)
+            json.dump(result.to_json(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
     if not args.quiet:
         print(result.format_summary())
         if args.trace:
@@ -611,6 +914,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return bench_main(argv[1:])
     if argv and argv[0] == "fuzz":
         return fuzz_main(argv[1:])
+    if argv and argv[0] == "certify":
+        return certify_main(argv[1:])
+    if argv and argv[0] == "check":
+        return check_main(argv[1:])
 
     args = build_parser().parse_args(argv)
     spec = ALL_SPECS[args.spec.upper()]()

@@ -22,6 +22,7 @@ hand-picked.
 CLI: ``repro fuzz --seed-range A:B --engines ... --shrink --corpus DIR``.
 """
 
+from repro.fuzz.certgate import CertGate, CertGateResult, GateFailure
 from repro.fuzz.diff import (
     CampaignResult,
     CaseResult,
@@ -37,6 +38,9 @@ from repro.fuzz.shrink import shrink_source, write_corpus_entry
 __all__ = [
     "CampaignResult",
     "CaseResult",
+    "CertGate",
+    "CertGateResult",
+    "GateFailure",
     "DEFAULT_FUZZ_ENGINES",
     "EngineOutcome",
     "FuzzConfig",

@@ -1,0 +1,162 @@
+"""The certificate round-trip gate for fuzz campaigns.
+
+Every fuzzed program is a free test vector for the proof-carrying
+certificate pipeline (:mod:`repro.cert`): for each generated client and
+each engine under test,
+
+* *round-trip* — certify with ``emit_certificate=True`` and run the
+  independent checker on the result; the certificate of a completed
+  fixpoint must always be accepted;
+* *mutation* — apply one guaranteed-reject mutation
+  (:func:`repro.cert.mutate_certificate`) and assert the checker refuses
+  it; a mutant slipping through means the checker has a soundness hole.
+
+Any violation is a gate failure, same severity as a soundness miss in
+the differential harness.  Budget-breached runs are skipped: a partial
+result carries no fixpoint annotation to round-trip.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from dataclasses import replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.api import CertifyOptions, CertifySession
+from repro.easl.spec import ComponentSpec
+from repro.runtime.guard import ResourceExhausted
+
+
+@dataclass
+class GateFailure:
+    """One certificate-gate violation on one fuzzed case."""
+
+    seed: int
+    engine: str
+    kind: str  # "round-trip" | "mutant-accepted"
+    detail: str
+
+    def __str__(self) -> str:
+        return (
+            f"seed {self.seed} / {self.engine}: {self.kind} — {self.detail}"
+        )
+
+
+@dataclass
+class CertGateResult:
+    """Aggregated accept/reject counts for one campaign."""
+
+    emitted: int = 0
+    accepted: int = 0
+    rejected: int = 0
+    skipped: int = 0
+    mutants: int = 0
+    mutants_rejected: int = 0
+    failures: List[GateFailure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "emitted": self.emitted,
+            "accepted": self.accepted,
+            "rejected": self.rejected,
+            "skipped": self.skipped,
+            "mutants": self.mutants,
+            "mutants_rejected": self.mutants_rejected,
+            "ok": self.ok,
+            "failures": [str(f) for f in self.failures],
+        }
+
+
+class CertGate:
+    """Per-case certificate round-trip (and optional mutation) oracle.
+
+    Wire it into :func:`repro.fuzz.run_campaign` via ``on_case``::
+
+        gate = CertGate(spec, engines, options=options, mutate=True)
+        run_campaign(seeds, engines=engines, on_case=gate)
+        assert gate.result.ok
+
+    The gate keeps its own emission session: certificates embed the
+    client source, and the fuzz harness's session may run under a
+    degradation ladder whose partial results carry no annotation — the
+    gate strips ``ladder`` so a breach surfaces as a skip, not a bogus
+    failure.
+    """
+
+    def __init__(
+        self,
+        spec: ComponentSpec,
+        engines: Tuple[str, ...],
+        *,
+        options: Optional[CertifyOptions] = None,
+        mutate: bool = False,
+        mutation_seed: int = 0,
+    ) -> None:
+        base = options if options is not None else CertifyOptions()
+        self.session = CertifySession(
+            spec, options=replace(base, emit_certificate=True, ladder=None)
+        )
+        self.engines = tuple(e for e in engines if e != "auto")
+        self.mutate = mutate
+        self.rng = random.Random(mutation_seed)
+        self.result = CertGateResult()
+        # lazy: repro.cert pulls in the checker machinery
+        from repro.cert import CertificateChecker
+
+        self.checker = CertificateChecker()
+
+    def __call__(self, case) -> None:
+        from repro.cert import mutate_certificate
+
+        for engine in self.engines:
+            try:
+                report = self.session.certify(case.source, engine=engine)
+            except ResourceExhausted:
+                self.result.skipped += 1
+                continue
+            except Exception:
+                # the differential harness reports engine crashes itself
+                self.result.skipped += 1
+                continue
+            certificate = report.certificate
+            if certificate is None or certificate.partial:
+                self.result.skipped += 1
+                continue
+            self.result.emitted += 1
+            verdict = self.checker.check(certificate)
+            if verdict.ok:
+                self.result.accepted += 1
+            else:
+                self.result.rejected += 1
+                self.result.failures.append(
+                    GateFailure(
+                        seed=case.seed,
+                        engine=engine,
+                        kind="round-trip",
+                        detail=f"{verdict.kind}: {verdict.detail}",
+                    )
+                )
+                continue
+            if not self.mutate:
+                continue
+            mutant, applied = mutate_certificate(
+                certificate.payload, self.rng, "auto"
+            )
+            self.result.mutants += 1
+            mutant_verdict = self.checker.check(mutant)
+            if mutant_verdict.ok:
+                self.result.failures.append(
+                    GateFailure(
+                        seed=case.seed,
+                        engine=engine,
+                        kind="mutant-accepted",
+                        detail=f"{applied} mutation passed the checker",
+                    )
+                )
+            else:
+                self.result.mutants_rejected += 1

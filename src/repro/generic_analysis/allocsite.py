@@ -87,6 +87,41 @@ class AllocSiteDomain(HeapDomain):
             return obj[1] == "new"
         return state.mult.get(obj[0], 0) <= 1
 
+    # -- certificate serialization ---------------------------------------------
+
+    def state_to_json(self, state: PtState) -> object:
+        return {
+            "pts": sorted(
+                [var, sorted([site, flavor] for site, flavor in objs)]
+                for var, objs in state.pts.items()
+            ),
+            "heap": sorted(
+                [
+                    [obj[0], obj[1]],
+                    fieldname,
+                    sorted([site, flavor] for site, flavor in targets),
+                ]
+                for (obj, fieldname), targets in state.heap.items()
+            ),
+            "mult": sorted(
+                [site, count] for site, count in state.mult.items()
+            ),
+        }
+
+    def state_from_json(self, payload) -> PtState:
+        pts = {
+            var: frozenset((site, flavor) for site, flavor in objs)
+            for var, objs in payload["pts"]
+        }
+        heap = {
+            ((obj[0], obj[1]), fieldname): frozenset(
+                (site, flavor) for site, flavor in targets
+            )
+            for obj, fieldname, targets in payload["heap"]
+        }
+        mult = {site: count for site, count in payload["mult"]}
+        return PtState(pts, heap, mult)
+
     # -- lattice -------------------------------------------------------------------
 
     def initial(self) -> PtState:

@@ -108,6 +108,20 @@ class HeapDomain(ABC):
             result = self.set_null(result, var)
         return result
 
+    def state_to_json(self, state: object) -> object:
+        """Serialize a state to a canonical JSON value (sorted lists, no
+        sets) for certificate emission.  Round-trips exactly through
+        :meth:`state_from_json` so the checker's equality tests see the
+        same states the fixpoint saw."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not serialize states"
+        )
+
+    def state_from_json(self, payload: object) -> object:
+        raise NotImplementedError(
+            f"{type(self).__name__} does not deserialize states"
+        )
+
 
 @dataclass
 class GenericResult:

@@ -132,6 +132,41 @@ class ShapeGraphDomain(HeapDomain):
     def initial(self) -> ShapeState:
         return ShapeState({}, {}, frozenset())
 
+    # -- certificate serialization ---------------------------------------------
+
+    def state_to_json(self, state: ShapeState) -> object:
+        return {
+            "summary": sorted(
+                [sorted(node), 1 if is_summary else 0]
+                for node, is_summary in state.summary.items()
+            ),
+            "edges": sorted(
+                [sorted(node), fieldname, sorted(sorted(t) for t in targets)]
+                for (node, fieldname), targets in state.edges.items()
+            ),
+            "definite": sorted(
+                [sorted(node), fieldname]
+                for node, fieldname in state.definite
+            ),
+        }
+
+    def state_from_json(self, payload) -> ShapeState:
+        summary = {
+            frozenset(node): bool(is_summary)
+            for node, is_summary in payload["summary"]
+        }
+        edges = {
+            (frozenset(node), fieldname): frozenset(
+                frozenset(t) for t in targets
+            )
+            for node, fieldname, targets in payload["edges"]
+        }
+        definite = frozenset(
+            (frozenset(node), fieldname)
+            for node, fieldname in payload["definite"]
+        )
+        return ShapeState(summary, edges, definite)
+
     def join(self, a: ShapeState, b: ShapeState) -> ShapeState:
         summary: Dict[VarSet, bool] = dict(a.summary)
         for node, is_summary in b.summary.items():

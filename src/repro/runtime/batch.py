@@ -145,6 +145,10 @@ class _JobOutcome:
     unknown_sites: Optional[int] = None
     #: cheapest ladder rung the session degraded to (None = no ladder)
     degraded_to: Optional[str] = None
+    #: serialized proof-carrying certificate (the byte-stable text of
+    #: :class:`repro.cert.ConformanceCertificate`), when the job ran
+    #: with ``emit_certificate=True``
+    certificate: Optional[str] = None
 
 
 @dataclass
@@ -166,6 +170,8 @@ class JobResult:
     salvaged: Optional[int] = None
     unknown_sites: Optional[int] = None
     degraded_to: Optional[str] = None
+    #: where the runner wrote this job's certificate (``--emit-certs``)
+    certificate_path: Optional[str] = None
 
     @property
     def ok(self) -> bool:
@@ -250,6 +256,7 @@ class BatchResult:
                     "salvaged": r.salvaged,
                     "unknown_sites": r.unknown_sites,
                     "degraded_to": r.degraded_to,
+                    "certificate": r.certificate_path,
                     "phases": {
                         k: round(v, 4)
                         for k, v in sorted(r.phase_seconds().items())
@@ -551,6 +558,11 @@ def _worker_run(item: _WorkItem) -> _JobOutcome:
             salvaged=stats.get("salvaged"),
             unknown_sites=stats.get("sites_unresolved"),
             degraded_to=stats.get("degraded_to"),
+            certificate=(
+                report.certificate.text()
+                if report.certificate is not None
+                else None
+            ),
         )
     except JobTimedOut as error:
         outcome = _JobOutcome(
@@ -619,9 +631,11 @@ class BatchRunner:
         default_max_steps: Optional[int] = None,
         default_max_structures: Optional[int] = None,
         default_ladder=None,
+        emit_certs_dir: Optional[str] = None,
     ) -> None:
         if not jobs:
             raise ValueError("no jobs to run")
+        self.emit_certs_dir = emit_certs_dir
         self.jobs = [
             self._apply_defaults(
                 job,
@@ -631,6 +645,7 @@ class BatchRunner:
                 default_max_steps,
                 default_max_structures,
                 default_ladder,
+                emit_certificates=emit_certs_dir is not None,
             )
             for job in jobs
         ]
@@ -649,6 +664,7 @@ class BatchRunner:
         default_max_steps: Optional[int] = None,
         default_max_structures: Optional[int] = None,
         default_ladder=None,
+        emit_certificates: bool = False,
     ) -> JobSpec:
         updates = {}
         if job.timeout is None and default_timeout is not None:
@@ -672,6 +688,8 @@ class BatchRunner:
                 if isinstance(default_ladder, (list, tuple))
                 else default_ladder
             )
+        if emit_certificates and not job.options.emit_certificate:
+            option_updates["emit_certificate"] = True
         if option_updates:
             updates["options"] = replace(job.options, **option_updates)
         return replace(job, **updates) if updates else job
@@ -722,6 +740,19 @@ class BatchRunner:
         else:
             accum[key] = accum[key] + amount
 
+    def _write_certificate(
+        self, job: JobSpec, outcome: _JobOutcome
+    ) -> Optional[str]:
+        """Persist a job's certificate text; returns the path written."""
+        if self.emit_certs_dir is None or outcome.certificate is None:
+            return None
+        os.makedirs(self.emit_certs_dir, exist_ok=True)
+        safe = job.name.replace(os.sep, "_")
+        path = os.path.join(self.emit_certs_dir, f"{safe}.cert.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(outcome.certificate)
+        return path
+
     def _finalize(self, item: _WorkItem, outcome: _JobOutcome, status: str):
         accum = self._accum.setdefault(
             item.index, {"events": [], "seconds": 0.0, "retries": 0}
@@ -751,6 +782,7 @@ class BatchRunner:
             ),
             unknown_sites=outcome.unknown_sites,
             degraded_to=outcome.degraded_to,
+            certificate_path=self._write_certificate(item.job, outcome),
         )
 
     def _absorb(

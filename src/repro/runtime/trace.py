@@ -31,8 +31,9 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, TextIO
 
 #: the canonical pipeline phases, in pipeline order (engines may emit a
-#: phase more than once, e.g. a fallback re-run).
-PHASES = ("parse", "derive", "inline", "transform", "fixpoint")
+#: phase more than once, e.g. a fallback re-run).  ``emit`` and ``check``
+#: bracket certificate emission and independent certificate checking.
+PHASES = ("parse", "derive", "inline", "transform", "fixpoint", "emit", "check")
 
 #: point events emitted by the resource governor / degradation ladder
 #: (see :mod:`repro.runtime.guard`): a budget breach, a ladder descent,

@@ -70,6 +70,11 @@ class TvlaResult:
     #: per-(action, canonical-key) transfer memoization counters
     transfer_hits: int = 0
     transfer_misses: int = 0
+    #: the fixpoint annotation for certificate emission: relational mode
+    #: records the per-node structure sets (keyed canonically),
+    #: independent mode the single per-node structure
+    node_states: Optional[Dict[int, Dict[object, ThreeValuedStructure]]] = None
+    node_single: Optional[Dict[int, ThreeValuedStructure]] = None
 
 
 class TvlaEngine:
@@ -471,6 +476,8 @@ class TvlaEngine:
             max_structures,
             transfer_hits,
             transfer_misses,
+            node_states=states if self.mode == "relational" else None,
+            node_single=single if self.mode == "independent" else None,
         )
 
 
