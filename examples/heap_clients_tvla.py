@@ -12,7 +12,7 @@ modes agreeing (the Section 7 finding).
 Run:  python examples/heap_clients_tvla.py
 """
 
-from repro import derive_abstraction
+from repro import CertifySession
 from repro.easl.library import cmp_spec
 from repro.lang import parse_program
 from repro.lang.inline import inline_program
@@ -42,7 +42,7 @@ class Main {
 
 def main() -> None:
     spec = cmp_spec()
-    abstraction = derive_abstraction(spec)
+    abstraction = CertifySession(spec).abstraction()
     program = parse_program(CLIENT, spec)
     inlined = inline_program(program)
 

@@ -11,7 +11,7 @@ Two variants are certified:
 Run:  python examples/make_worklist.py
 """
 
-from repro import certify_source
+from repro import CertifySession
 from repro.easl.library import cmp_spec
 from repro.lang import parse_program
 from repro.runtime import explore
@@ -64,17 +64,18 @@ class Make {
 
 def main() -> None:
     spec = cmp_spec()
+    session = CertifySession(spec)
 
     shallow = SHALLOW.replace("work.addItem2()", 'work.add("item")')
     print("== SCMP variant (interprocedural certifier, Section 8) ==")
-    report = certify_source(shallow, spec, engine="interproc")
+    report = session.certify(shallow, "interproc")
     print(report.describe())
     truth = explore(parse_program(shallow, spec))
     print(f"ground truth CME lines: {sorted(truth.failing_lines())}")
     assert truth.compare(report.alarm_sites()).exact
 
     print("\n== Fig. 1 heap variant (TVLA pipeline, Section 5) ==")
-    report = certify_source(HEAP, spec, engine="tvla-relational")
+    report = session.certify(HEAP, "tvla-relational")
     print(report.describe())
     truth = explore(parse_program(HEAP, spec))
     print(f"ground truth CME lines: {sorted(truth.failing_lines())}")

@@ -11,7 +11,7 @@ Walks the paper's pipeline end to end on Fig. 3's client:
 Run:  python examples/quickstart.py
 """
 
-from repro import certify_source, derive_abstraction
+from repro import CertifySession
 from repro.easl.library import cmp_spec
 from repro.lang import parse_program
 from repro.runtime import explore
@@ -36,9 +36,10 @@ class Main {
 
 def main() -> None:
     spec = cmp_spec()
+    session = CertifySession(spec, engine="fds")
 
     print("== Stage 1: derive the specialized abstraction ==")
-    abstraction = derive_abstraction(spec)
+    abstraction = session.abstraction()
     print(abstraction.describe())
     stats = abstraction.stats
     print(
@@ -48,7 +49,7 @@ def main() -> None:
     )
 
     print("== Stage 2+3: certify the Fig. 3 client ==")
-    report = certify_source(CLIENT, spec, engine="fds")
+    report = session.certify(CLIENT)
     print(report.describe())
 
     print("\n== Ground truth (exhaustive concrete execution) ==")

@@ -1,0 +1,98 @@
+"""Daemon round trip: certify over HTTP, then hit the certificate store.
+
+Drives a real :class:`repro.serve.http.ServeDaemon` on an ephemeral
+port the way a deployment would — over TCP, not in-process calls:
+
+1. ``POST /certify`` (cold) — a store miss runs the full fixpoint and
+   stores the emitted certificate;
+2. ``POST /certify`` again (hot) — the store hit is answered by the
+   linear-pass checker; the script asserts the response's trace phases
+   contain **no fixpoint at all** and that the verdict + alarm set are
+   identical to the cold run's;
+3. ``GET /certificates/<hash>`` — the stored payload round-trips;
+4. ``POST /check`` — the stored certificate is revalidated by hash.
+
+Exits non-zero on any violated invariant (CI runs this as the
+serve-smoke gate).  Run:  python examples/serve_roundtrip.py
+"""
+
+import asyncio
+
+from repro.serve.http import ServeDaemon
+from repro.serve.loadgen import _Client, _verdict_signature
+from repro.serve.service import ServeConfig
+from repro.suite import by_name
+
+CLIENT = by_name("fig3").source
+
+
+async def main() -> None:
+    daemon = ServeDaemon(
+        config=ServeConfig(port=0, specs=("cmp",), workers=2, queue_limit=16)
+    )
+    await daemon.start()
+    print(f"daemon listening on 127.0.0.1:{daemon.port}")
+    client = _Client("127.0.0.1", daemon.port)
+    try:
+        status, cold = await client.request(
+            "POST",
+            "/certify",
+            {"source": CLIENT, "engine": "fds", "tenant": "ci"},
+        )
+        assert status == 200, (status, cold)
+        assert cold["served"]["path"] == "certify", cold["served"]
+        assert "fixpoint" in cold["timings"]["phases"], cold["timings"]
+        print(
+            f"cold: {cold['verdict']['status']}, "
+            f"alarms at lines {sorted(a['line'] for a in cold['alarms'])}, "
+            f"{cold['timings']['seconds'] * 1000:.1f} ms (full fixpoint)"
+        )
+
+        status, hot = await client.request(
+            "POST",
+            "/certify",
+            {"source": CLIENT, "engine": "fds", "tenant": "ci"},
+        )
+        assert status == 200, (status, hot)
+        assert hot["served"]["path"] == "check", hot["served"]
+        assert hot["served"]["cached"] is True, hot["served"]
+        # the store hit must skip analysis entirely: a linear pass over
+        # the stored proof, no fixpoint phase in its trace
+        assert "fixpoint" not in hot["timings"]["phases"], hot["timings"]
+        assert _verdict_signature(hot) == _verdict_signature(cold)
+        print(
+            f"hot:  {hot['verdict']['status']} from store hit, "
+            f"{hot['timings']['seconds'] * 1000:.1f} ms "
+            "(linear check, fixpoint skipped, verdict identical)"
+        )
+
+        cert_hash = cold["certificate"]["hash"]
+        status, payload = await client.request(
+            "GET", f"/certificates/{cert_hash}"
+        )
+        assert status == 200, status
+        assert payload["verdict"]["alarms"] == cold["alarms"]
+        print(f"fetched stored certificate {cert_hash[:12]}…")
+
+        status, checked = await client.request(
+            "POST", "/check", {"hash": cert_hash, "tenant": "ci"}
+        )
+        assert status == 200 and checked["verdict"]["ok"] is True, checked
+        print("independent re-check of the stored certificate: accepted")
+
+        status, stats = await client.request("GET", "/stats")
+        assert status == 200
+        assert stats["store"]["hits"] >= 1, stats["store"]
+        assert stats["requests"]["certifications"] == 1, stats["requests"]
+        print(
+            f"stats: {stats['requests']['completed']} completed, "
+            f"store hit rate {stats['store']['hit_rate']}"
+        )
+    finally:
+        await client.close()
+        await daemon.stop()
+    print("serve round trip OK")
+
+
+if __name__ == "__main__":
+    asyncio.run(main())

@@ -9,7 +9,7 @@ written for the new component.
 Run:  python examples/spec_authoring_grp.py
 """
 
-from repro import certify_source, derive_abstraction
+from repro import CertifySession
 from repro.derivation.mutation import termination_certificate
 from repro.easl.parser import parse_spec
 
@@ -69,17 +69,18 @@ def main() -> None:
     )
     print("Section 6: derivation is guaranteed to terminate.\n")
 
+    session = CertifySession(spec, engine="fds")
     print("== Derived abstraction ==")
-    abstraction = derive_abstraction(spec)
+    abstraction = session.abstraction()
     print(abstraction.describe())
 
     print("\n== Certify a preempting client ==")
-    report = certify_source(PREEMPTED, spec, engine="fds")
+    report = session.certify(PREEMPTED)
     print(report.describe())
     assert not report.certified
 
     print("\n== Certify an independent-graphs client ==")
-    report = certify_source(INDEPENDENT, spec, engine="fds")
+    report = session.certify(INDEPENDENT)
     print(report.describe())
     assert report.certified
 

@@ -13,7 +13,7 @@ The staged certifier is exact on both.
 Run:  python examples/staged_vs_generic.py
 """
 
-from repro import certify_source
+from repro import CertifySession
 from repro.easl.library import cmp_spec
 from repro.lang import parse_program
 from repro.runtime import explore
@@ -22,12 +22,12 @@ from repro.suite import by_name
 ENGINES = ["fds", "allocsite", "allocsite-recency", "shapegraph"]
 
 
-def show(title: str, source: str, spec) -> None:
+def show(title: str, source: str, session) -> None:
     print(f"== {title} ==")
-    truth = explore(parse_program(source, spec))
+    truth = explore(parse_program(source, session.spec))
     print(f"ground truth CME lines: {sorted(truth.failing_lines())}")
     for engine in ENGINES:
-        report = certify_source(source, spec, engine=engine)
+        report = session.certify(source, engine)
         summary = truth.compare(report.alarm_sites())
         verdict = "exact" if summary.exact else (
             f"{summary.false_alarms} false alarm(s) at lines "
@@ -38,9 +38,9 @@ def show(title: str, source: str, spec) -> None:
 
 
 def main() -> None:
-    spec = cmp_spec()
-    show("Section 3 loop (safe)", by_name("sec3_loop").source, spec)
-    show("Fig. 3 (errors at 10 and 13 only)", by_name("fig3").source, spec)
+    session = CertifySession(cmp_spec())
+    show("Section 3 loop (safe)", by_name("sec3_loop").source, session)
+    show("Fig. 3 (errors at 10 and 13 only)", by_name("fig3").source, session)
     print("The staged certifier needs no heap reasoning at all for these")
     print("clients: the derived nullary predicates carry exactly the")
     print("component facts the requires-clauses depend on.")

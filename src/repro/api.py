@@ -38,6 +38,7 @@ engine                    what runs
 from __future__ import annotations
 
 import contextlib
+import warnings
 from dataclasses import dataclass
 from typing import (
     Iterable,
@@ -723,6 +724,20 @@ class CertifySession:
 
 
 # -- the legacy path -----------------------------------------------------------
+#
+# These module-level wrappers predate CertifySession and share one
+# process-wide abstraction cache.  They now warn: new code should hold a
+# session (warm derivations, explicit cache scope, governor options) and
+# call .abstraction()/.certify()/.certify_program() on it instead.
+
+
+def _warn_legacy(name: str, replacement: str) -> None:
+    warnings.warn(
+        f"repro.api.{name} is deprecated; use {replacement} "
+        "(see the 'Sessions' section of the README)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 def derive_abstraction(
@@ -730,9 +745,10 @@ def derive_abstraction(
 ) -> DerivedAbstraction:
     """Derive (and cache) the specialized abstraction of a specification.
 
-    Legacy path: uses the shared module-level LRU.  Prefer
-    :meth:`CertifySession.abstraction`.
+    .. deprecated::
+       Use :meth:`CertifySession.abstraction`.
     """
+    _warn_legacy("derive_abstraction", "CertifySession(spec).abstraction()")
     return _cached_abstraction(
         _ABSTRACTION_CACHE, spec, identity_families, kwargs
     )
@@ -746,9 +762,11 @@ def certify_source(
 ) -> CertificationReport:
     """Parse a Jlite client and certify it against ``spec``.
 
-    Legacy path: delegates to a throwaway :class:`CertifySession` backed
-    by the shared abstraction cache.
+    .. deprecated::
+       Use :meth:`CertifySession.certify` — a held session keeps the
+       derived abstraction and transform caches warm across clients.
     """
+    _warn_legacy("certify_source", "CertifySession(spec).certify(source)")
     session = CertifySession(
         spec, engine, CertifyOptions(**kwargs), cache=_ABSTRACTION_CACHE
     )
@@ -763,7 +781,14 @@ def certify_program(
     prune_requires: bool = True,
     inline_depth: int = 12,
 ) -> CertificationReport:
-    """Certify a parsed client with the chosen engine (legacy path)."""
+    """Certify a parsed client with the chosen engine.
+
+    .. deprecated::
+       Use :meth:`CertifySession.certify_program`.
+    """
+    _warn_legacy(
+        "certify_program", "CertifySession(spec).certify_program(program)"
+    )
     session = CertifySession(
         program.spec,
         engine,

@@ -36,7 +36,7 @@ from repro.certifier.fds import FdsSolver
 from repro.certifier.interproc import InterproceduralCertifier
 from repro.certifier.relational import RelationalSolver
 from repro.certifier.report import Alarm
-from repro.easl.library import ALL_SPECS
+from repro.easl.library import UnknownSpecError, get_spec
 from repro.easl.spec import ComponentSpec
 from repro.generic_analysis.framework import (
     _SpecRunner,
@@ -110,13 +110,13 @@ class CertificateChecker:
         if spec is not None:
             return spec
         if name not in self._specs:
-            factory = ALL_SPECS.get(name)
-            if factory is None:
+            try:
+                self._specs[name] = get_spec(name)
+            except UnknownSpecError:
                 raise _Reject(
                     "malformed",
                     f"unknown spec {name!r} (not in the library; pass spec=)",
-                )
-            self._specs[name] = factory()
+                ) from None
         return self._specs[name]
 
     def _session(self, spec: ComponentSpec, opts: Dict[str, object]):

@@ -31,6 +31,12 @@ Proof-carrying certificates (see :mod:`repro.cert`)::
     repro certify client.jl --emit-cert client.cert.json
     repro certify --all-suite --emit-cert-dir certs/   # one per program x engine
     repro check certs/*.cert.json --json report.json   # no fixpoint re-run
+
+The certification service (see :mod:`repro.serve`)::
+
+    repro serve --port 8091 --specs cmp,grp --workers 4 --store certs.cas
+    repro serve --tenants tenants.json --max-steps 200000 --prewarm
+    repro bench serve --check --json BENCH_serve.json  # load generator
 """
 
 from __future__ import annotations
@@ -44,9 +50,8 @@ from repro.api import (
     ENGINES,
     CertifyOptions,
     CertifySession,
-    derive_abstraction,
 )
-from repro.easl.library import ALL_SPECS
+from repro.easl.library import available_specs, get_spec
 from repro.lang.types import parse_program
 from repro.runtime import explore
 
@@ -65,7 +70,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--spec",
         default="cmp",
-        choices=sorted(name.lower() for name in ALL_SPECS),
+        choices=available_specs(),
         help="which shipped specification to certify against",
     )
     parser.add_argument(
@@ -221,7 +226,7 @@ def build_bench_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--spec",
         default="cmp",
-        choices=sorted(name.lower() for name in ALL_SPECS),
+        choices=available_specs(),
         help="which shipped specification to benchmark against",
     )
     parser.add_argument(
@@ -298,6 +303,14 @@ def build_fuzz_parser() -> argparse.ArgumentParser:
         default="0:100",
         metavar="A:B",
         help="half-open seed interval to fuzz (default 0:100)",
+    )
+    parser.add_argument(
+        "--spec",
+        default="cmp",
+        choices=available_specs(),
+        help="specification to certify against (note: the generator "
+        "emits Set/Iterator clients shaped for CMP; other specs mostly "
+        "exercise the not-applicable paths)",
     )
     parser.add_argument(
         "--engines",
@@ -419,7 +432,7 @@ def build_certify_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--spec",
         default="cmp",
-        choices=sorted(name.lower() for name in ALL_SPECS),
+        choices=available_specs(),
         help="which shipped specification to certify against",
     )
     parser.add_argument(
@@ -448,6 +461,13 @@ def build_certify_parser() -> argparse.ArgumentParser:
         "independent checker; any reject fails the run",
     )
     parser.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="write one result envelope per certification as JSON "
+        "('-' for stdout)",
+    )
+    parser.add_argument(
         "--quiet", action="store_true", help="suppress per-run lines"
     )
     return parser
@@ -459,7 +479,7 @@ def certify_main(argv: Optional[List[str]] = None) -> int:
     from repro.suite import all_programs
 
     args = build_certify_parser().parse_args(argv)
-    spec = ALL_SPECS[args.spec.upper()]()
+    spec = get_spec(args.spec)
     requested = (
         tuple(e.strip() for e in args.engines.split(","))
         if args.engines
@@ -524,15 +544,26 @@ def certify_main(argv: Optional[List[str]] = None) -> int:
 
         os.makedirs(args.emit_cert_dir, exist_ok=True)
 
+    import time as _time
+
+    from repro import envelope as _envelope
+    from repro.runtime.trace import CollectingTracer, use_tracer
+
     session = CertifySession(
         spec, options=CertifyOptions(emit_certificate=True)
     )
     checker = CertificateChecker() if args.check else None
     rejects = 0
+    records: List[dict] = []
     for name, source, engines in items:
         for engine in engines:
-            report = session.certify(source, engine=engine)
+            tracer = CollectingTracer()
+            started = _time.monotonic()
+            with use_tracer(tracer):
+                report = session.certify(source, engine=engine)
+            seconds = _time.monotonic() - started
             cert = report.certificate
+            cert_path = None
             line = (
                 f"{name:24s} {report.engine:18s} "
                 + ("CERTIFIED" if report.certified else
@@ -541,19 +572,40 @@ def certify_main(argv: Optional[List[str]] = None) -> int:
             if cert is not None:
                 if args.emit_cert:
                     cert.write(args.emit_cert)
+                    cert_path = args.emit_cert
                 if args.emit_cert_dir:
-                    cert.write(
+                    cert_path = (
                         f"{args.emit_cert_dir}/{name}-{report.engine}"
                         ".cert.json"
                     )
+                    cert.write(cert_path)
                 line += f"  [{len(cert.text())} cert bytes]"
                 if checker is not None:
                     result = checker.check(cert)
                     if not result.ok:
                         rejects += 1
                         line += f"  CHECK-{result.kind.upper()}"
+            records.append(
+                {
+                    "name": name,
+                    **_envelope.report_envelope(
+                        report,
+                        seconds=seconds,
+                        events=tracer.events,
+                        certificate_path=cert_path,
+                    ),
+                }
+            )
             if not args.quiet:
                 print(line)
+    if args.json:
+        payload = {"spec": args.spec, "certifications": records}
+        if args.json == "-":
+            print(json.dumps(payload, indent=2, sort_keys=True))
+        else:
+            with open(args.json, "w") as handle:
+                json.dump(payload, handle, indent=2, sort_keys=True)
+                handle.write("\n")
     if rejects:
         print(f"{rejects} certificate(s) failed the check", file=sys.stderr)
         return 1
@@ -592,11 +644,17 @@ def check_main(argv: Optional[List[str]] = None) -> int:
         ConformanceCertificate,
     )
 
+    import time as _time
+
+    from repro import envelope as _envelope
+
     args = build_check_parser().parse_args(argv)
     checker = CertificateChecker()
     records = []
     accepted = rejected = 0
     for path in args.certs:
+        cert = None
+        started = _time.monotonic()
         try:
             cert = ConformanceCertificate.load(path)
             result = checker.check(cert)
@@ -606,21 +664,20 @@ def check_main(argv: Optional[List[str]] = None) -> int:
             result = CheckResult(
                 ok=False, kind="malformed", detail=str(error)
             )
+        seconds = _time.monotonic() - started
         if result.ok:
             accepted += 1
         else:
             rejected += 1
+        # record = the shared envelope plus the per-file bookkeeping the
+        # summary (and CI) reads without digging into sections
         records.append(
             {
                 "path": path,
                 "ok": result.ok,
-                "kind": result.kind,
-                "detail": result.detail,
-                "engine": result.engine,
-                "subject": result.subject,
-                "edge": list(result.edge) if result.edge else None,
-                "nodes": result.nodes,
-                "edges": result.edges,
+                **_envelope.check_envelope(
+                    result, certificate=cert, path=path, seconds=seconds
+                ),
             }
         )
         if not args.quiet:
@@ -697,13 +754,13 @@ def fuzz_main(argv: Optional[List[str]] = None) -> int:
         )
     )
     options = _governor_options(args)
+    spec = get_spec(args.spec)
     gate = None
     if args.emit_cert or args.mutate_certs:
-        from repro.easl.library import cmp_spec
         from repro.fuzz import CertGate
 
         gate = CertGate(
-            cmp_spec(),
+            spec,
             engines,
             options=options,
             mutate=args.mutate_certs,
@@ -711,6 +768,7 @@ def fuzz_main(argv: Optional[List[str]] = None) -> int:
         )
     result = run_campaign(
         seeds,
+        spec,
         engines=engines,
         config=config,
         oracle=oracle,
@@ -721,10 +779,7 @@ def fuzz_main(argv: Optional[List[str]] = None) -> int:
 
     shrunk: List[str] = []
     if args.shrink or args.corpus:
-        from repro.easl.library import cmp_spec
         from repro.fuzz import run_case
-
-        spec = cmp_spec()
         existing: List[str] = []
         for case in result.failures:
             signature = case.failure_signature()
@@ -751,7 +806,7 @@ def fuzz_main(argv: Optional[List[str]] = None) -> int:
                     reduced,
                     {
                         "kind": kind,
-                        "spec": "cmp",
+                        "spec": args.spec,
                         "seed": case.seed,
                         "engines": list(engines),
                         "failure": sorted(
@@ -804,7 +859,7 @@ def bench_main(argv: Optional[List[str]] = None) -> int:
     from repro.suite import all_programs
 
     args = build_bench_parser().parse_args(argv)
-    spec = ALL_SPECS[args.spec.upper()]()
+    spec = get_spec(args.spec)
     programs = None
     if args.programs:
         wanted = {name.strip() for name in args.programs.split(",")}
@@ -906,11 +961,289 @@ def batch_main(argv: Optional[List[str]] = None) -> int:
     return 0 if result.ok else 1
 
 
+def build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description=(
+            "Run the long-lived certification service: warm analysis "
+            "sessions per spec, a bounded request queue with 429 "
+            "backpressure, per-tenant resource budgets, and a "
+            "content-addressed certificate store (hit = linear check, "
+            "miss = certify + store).  HTTP/JSON on POST /certify, "
+            "POST /check, GET /certificates/<hash>, /healthz, /stats."
+        ),
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=8091,
+        help="bind port (0 picks an ephemeral one)",
+    )
+    parser.add_argument(
+        "--specs",
+        default=None,
+        metavar="S1,S2,...",
+        help="comma-separated specs to serve (default: every registered "
+        f"spec: {','.join(available_specs())})",
+    )
+    parser.add_argument(
+        "--engine",
+        default="auto",
+        choices=ENGINES,
+        help="default engine for requests that name none",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=2, metavar="N", help="worker threads"
+    )
+    parser.add_argument(
+        "--queue-limit",
+        type=int,
+        default=64,
+        metavar="N",
+        help="queued requests beyond which new ones get 429",
+    )
+    parser.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="persist the certificate store under DIR (default: in-memory)",
+    )
+    parser.add_argument(
+        "--tenants",
+        default=None,
+        metavar="PATH",
+        help="JSON file mapping tenant name to a budget object with any "
+        "of deadline, max_steps, max_structures, quota_steps",
+    )
+    parser.add_argument(
+        "--retry-after",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="Retry-After hint on 429 refusals",
+    )
+    parser.add_argument(
+        "--prewarm",
+        action="store_true",
+        help="derive every served spec's abstraction before accepting "
+        "traffic (otherwise sessions warm on first request)",
+    )
+    group = parser.add_argument_group(
+        "default tenant budget",
+        "per-request governor caps for tenants without a --tenants entry",
+    )
+    group.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS"
+    )
+    group.add_argument("--max-steps", type=int, default=None, metavar="N")
+    group.add_argument(
+        "--max-structures", type=int, default=None, metavar="N"
+    )
+    group.add_argument(
+        "--quota-steps",
+        type=int,
+        default=None,
+        metavar="N",
+        help="cumulative fixpoint-step quota per tenant (429 once spent)",
+    )
+    return parser
+
+
+def serve_main(argv: Optional[List[str]] = None) -> int:
+    import asyncio
+
+    from repro.serve import ServeConfig, ServeDaemon, TenantBudget
+
+    args = build_serve_parser().parse_args(argv)
+    specs = (
+        tuple(s.strip().lower() for s in args.specs.split(","))
+        if args.specs
+        else ()
+    )
+    unknown = [s for s in specs if s not in available_specs()]
+    if unknown:
+        print(
+            f"error: unknown spec(s) {unknown}; "
+            f"registered: {available_specs()}",
+            file=sys.stderr,
+        )
+        return 2
+    tenants = {}
+    if args.tenants:
+        try:
+            with open(args.tenants) as handle:
+                raw = json.load(handle)
+            tenants = {
+                str(name): TenantBudget.from_json(budget)
+                for name, budget in raw.items()
+            }
+        except (OSError, json.JSONDecodeError, ValueError, TypeError) as error:
+            print(f"error: bad --tenants file: {error}", file=sys.stderr)
+            return 2
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        specs=specs,
+        default_engine=args.engine,
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+        store_path=args.store,
+        retry_after=args.retry_after,
+        default_budget=TenantBudget(
+            deadline=args.deadline,
+            max_steps=args.max_steps,
+            max_structures=args.max_structures,
+            quota_steps=args.quota_steps,
+        ),
+        tenants=tenants,
+    )
+
+    async def run() -> None:
+        daemon = ServeDaemon(config=config)
+        await daemon.start()
+        if args.prewarm:
+            daemon.service.prewarm()
+        print(
+            f"repro serve: listening on {config.host}:{daemon.port} "
+            f"(specs: {', '.join(sorted(daemon.service.healthz()['specs']))}; "
+            f"{config.workers} worker(s), queue {config.queue_limit})",
+            flush=True,
+        )
+        try:
+            await daemon.serve_forever()
+        finally:
+            await daemon.stop()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def build_bench_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro bench serve",
+        description=(
+            "Load-generate against an in-process certification service: "
+            "a cold phase (distinct clients, all store misses), a hot "
+            "concurrent phase (repeats, all store hits answered by the "
+            "linear-pass checker), and a queue-overflow backpressure "
+            "probe.  Reports p50/p99 latency, throughput, hit rate and "
+            "the check-on-hit vs certify-on-miss speedup."
+        ),
+    )
+    parser.add_argument(
+        "--spec", default="cmp", choices=available_specs()
+    )
+    parser.add_argument(
+        "--engine",
+        default="tvla-relational",
+        choices=[e for e in ENGINES if e != "auto"],
+        help="engine driven by every request",
+    )
+    parser.add_argument(
+        "--clients",
+        type=int,
+        default=8,
+        metavar="N",
+        help="distinct synthetic clients (cold-phase size)",
+    )
+    parser.add_argument(
+        "--requests",
+        type=int,
+        default=32,
+        metavar="N",
+        help="hot-phase request count over the same clients",
+    )
+    parser.add_argument(
+        "--concurrency",
+        type=int,
+        default=8,
+        metavar="N",
+        help="concurrent connections in both measured phases",
+    )
+    parser.add_argument(
+        "--ops",
+        type=int,
+        default=96,
+        metavar="N",
+        help="operations per synthetic client (fixpoint weight)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=2, metavar="N", help="service workers"
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=5.0,
+        metavar="X",
+        help="with --check, fail unless hit-check p50 beats cold-certify "
+        "p50 by at least this factor",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="gate for CI: fail unless verdicts are identical on hits, "
+        "hits skip the fixpoint, the speedup floor holds, and the "
+        "backpressure probe drops no accepted work",
+    )
+    parser.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="write results as JSON ('-' for stdout)",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress the text summary"
+    )
+    return parser
+
+
+def bench_serve_main(argv: Optional[List[str]] = None) -> int:
+    from repro.serve.loadgen import (
+        ServeBenchConfig,
+        format_serve_bench,
+        run_serve_bench,
+        serve_bench_ok,
+    )
+
+    args = build_bench_serve_parser().parse_args(argv)
+    results = run_serve_bench(
+        ServeBenchConfig(
+            spec=args.spec,
+            engine=args.engine,
+            clients=args.clients,
+            num_ops=args.ops,
+            hit_requests=args.requests,
+            concurrency=args.concurrency,
+            workers=args.workers,
+        )
+    )
+    if args.json == "-":
+        print(json.dumps(results, indent=2, sort_keys=True))
+    elif args.json:
+        with open(args.json, "w") as handle:
+            json.dump(results, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    if not args.quiet:
+        print(format_serve_bench(results))
+    if args.check and not serve_bench_ok(
+        results, min_speedup=args.min_speedup
+    ):
+        print("bench serve check FAILED", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if argv and argv[0] == "batch":
         return batch_main(argv[1:])
     if argv and argv[0] == "bench":
+        if len(argv) > 1 and argv[1] == "serve":
+            return bench_serve_main(argv[2:])
         return bench_main(argv[1:])
     if argv and argv[0] == "fuzz":
         return fuzz_main(argv[1:])
@@ -918,12 +1251,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         return certify_main(argv[1:])
     if argv and argv[0] == "check":
         return check_main(argv[1:])
+    if argv and argv[0] == "serve":
+        return serve_main(argv[1:])
 
     args = build_parser().parse_args(argv)
-    spec = ALL_SPECS[args.spec.upper()]()
+    spec = get_spec(args.spec)
 
     if args.show_abstraction:
-        abstraction = derive_abstraction(spec)
+        abstraction = CertifySession(spec).abstraction()
         print(abstraction.describe())
         stats = abstraction.stats
         print(

@@ -20,6 +20,8 @@ into the mutable field ``defVer`` — yet its derivation still converges
 
 from __future__ import annotations
 
+from typing import Callable, Dict, Iterator, List
+
 from repro.easl.parser import parse_spec
 from repro.easl.spec import ComponentSpec
 
@@ -129,3 +131,68 @@ ALL_SPECS = {
     "IMP": imp_spec,
     "AOP": aop_spec,
 }
+
+
+class UnknownSpecError(KeyError):
+    """Raised by :meth:`SpecRegistry.get` for names not in the registry."""
+
+
+class SpecRegistry:
+    """Name → specification registry with parse-once instance caching.
+
+    Every entry point (CLI subcommands, the batch manifest loader, the
+    certificate checker, the certification service) resolves spec names
+    through one shared registry instead of each indexing
+    :data:`ALL_SPECS` and re-parsing the Easl source per call.  Names are
+    case-insensitive; the parsed :class:`ComponentSpec` is cached, so
+    callers that resolve the same name share one instance (and therefore
+    one derivation-cache key space in session-level LRUs).
+    """
+
+    def __init__(self) -> None:
+        self._factories: Dict[str, Callable[[], ComponentSpec]] = {}
+        self._instances: Dict[str, ComponentSpec] = {}
+
+    def register(
+        self, name: str, factory: Callable[[], ComponentSpec]
+    ) -> None:
+        key = name.lower()
+        self._factories[key] = factory
+        self._instances.pop(key, None)
+
+    def get(self, name: str) -> ComponentSpec:
+        """The (cached) specification for ``name``, case-insensitively."""
+        key = name.lower()
+        if key not in self._factories:
+            raise UnknownSpecError(
+                f"unknown spec {name!r}; available: {self.names()}"
+            )
+        if key not in self._instances:
+            self._instances[key] = self._factories[key]()
+        return self._instances[key]
+
+    def names(self) -> List[str]:
+        """Registered spec names, lower-case and sorted."""
+        return sorted(self._factories)
+
+    def __contains__(self, name: object) -> bool:
+        return isinstance(name, str) and name.lower() in self._factories
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+
+#: the process-wide registry of shipped specifications
+REGISTRY = SpecRegistry()
+for _name, _factory in ALL_SPECS.items():
+    REGISTRY.register(_name, _factory)
+
+
+def get_spec(name: str) -> ComponentSpec:
+    """Resolve a library spec by name (case-insensitive, cached)."""
+    return REGISTRY.get(name)
+
+
+def available_specs() -> List[str]:
+    """The spec names :func:`get_spec` accepts (lower-case, sorted)."""
+    return REGISTRY.names()

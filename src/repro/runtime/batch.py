@@ -96,7 +96,7 @@ class JobSpec:
     """One certification job: a client, a spec, an engine, budgets."""
 
     name: str
-    spec: str  # library spec name (``repro.easl.library.ALL_SPECS``)
+    spec: str  # registered spec name (``repro.easl.library.get_spec``)
     source: str  # Jlite client text
     engine: str = "auto"
     timeout: Optional[float] = None  # seconds; None = unlimited
@@ -130,8 +130,11 @@ class _JobOutcome:
     status: str  # "ok" | "timeout" | "error"
     engine: str
     certified: Optional[bool] = None
+    subject: Optional[str] = None
     alarms: int = 0
     alarm_lines: List[int] = field(default_factory=list)
+    #: full alarm payloads (JSON dicts), for the result envelope
+    alarm_json: List[dict] = field(default_factory=list)
     seconds: float = 0.0
     error: Optional[str] = None
     events: List[TraceEvent] = field(default_factory=list)
@@ -161,8 +164,10 @@ class JobResult:
     fallback: bool = False
     retries: int = 0
     certified: Optional[bool] = None
+    subject: Optional[str] = None
     alarms: int = 0
     alarm_lines: List[int] = field(default_factory=list)
+    alarm_json: List[dict] = field(default_factory=list)
     seconds: float = 0.0  # summed over every attempt
     error: Optional[str] = None
     events: List[TraceEvent] = field(default_factory=list)
@@ -233,37 +238,64 @@ class BatchResult:
                 )
 
     def to_json(self) -> Dict[str, object]:
-        return {
-            "seconds": round(self.seconds, 4),
-            "jobs": self.jobs,
-            "ok": self.ok,
-            "cache": self.cache.to_json() if self.cache else None,
-            "results": [
+        """Batch totals plus one shared result envelope per job.
+
+        Each record is the repo-wide envelope (verdict / alarms /
+        certificate / governor / timings — see :mod:`repro.envelope`)
+        with batch bookkeeping alongside: ``name``, ``spec``, ``engine``
+        (requested), ``status`` (batch outcome, incl. ``fallback``),
+        ``retries``, ``alarm_lines``, ``error``.
+        """
+        from repro import envelope as env
+
+        records = []
+        for r in self.results:
+            records.append(
                 {
                     "name": r.job.name,
                     "spec": r.job.spec,
                     "engine": r.job.engine,
                     "engine_used": r.engine_used,
                     "status": r.status,
+                    "ok": r.ok,
                     "fallback": r.fallback,
                     "retries": r.retries,
-                    "certified": r.certified,
-                    "alarms": r.alarms,
                     "alarm_lines": r.alarm_lines,
-                    "seconds": round(r.seconds, 4),
                     "error": r.error,
-                    "breach": r.breach,
-                    "salvaged": r.salvaged,
-                    "unknown_sites": r.unknown_sites,
-                    "degraded_to": r.degraded_to,
-                    "certificate": r.certificate_path,
-                    "phases": {
-                        k: round(v, 4)
-                        for k, v in sorted(r.phase_seconds().items())
-                    },
+                    **env.make_envelope(
+                        verdict=env.verdict_section(
+                            subject=r.subject or r.job.name,
+                            engine=r.engine_used,
+                            certified=r.certified,
+                            status=(
+                                "breached"
+                                if r.breach is not None
+                                else ("ok" if r.ok else r.status)
+                            ),
+                            partial=r.breach is not None,
+                        ),
+                        alarms=r.alarm_json,
+                        certificate=env.certificate_section(
+                            path=r.certificate_path
+                        ),
+                        governor=env.governor_section(
+                            breach=r.breach,
+                            salvaged=r.salvaged,
+                            unknown_sites=r.unknown_sites,
+                            degraded_to=r.degraded_to,
+                        ),
+                        timings=env.timings_section(
+                            seconds=r.seconds, phases=r.phase_seconds()
+                        ),
+                    ),
                 }
-                for r in self.results
-            ],
+            )
+        return {
+            "seconds": round(self.seconds, 4),
+            "jobs": self.jobs,
+            "ok": self.ok,
+            "cache": self.cache.to_json() if self.cache else None,
+            "results": records,
         }
 
     def format_summary(self) -> str:
@@ -340,7 +372,7 @@ def load_manifest(path: str) -> List[JobSpec]:
 
 def parse_manifest(data: object, base_dir: str = ".") -> List[JobSpec]:
     from repro.api import ENGINES, CertifyOptions
-    from repro.easl.library import ALL_SPECS
+    from repro.easl.library import available_specs
 
     if isinstance(data, list):
         data = {"jobs": data}
@@ -365,10 +397,10 @@ def parse_manifest(data: object, base_dir: str = ".") -> List[JobSpec]:
         source, default_name = _resolve_source(merged, index, base_dir)
 
         spec_name = str(merged.get("spec", batch_spec)).lower()
-        if spec_name.upper() not in ALL_SPECS:
+        if spec_name not in available_specs():
             raise ManifestError(
                 f"job #{index}: unknown spec {spec_name!r}; "
-                f"available: {sorted(n.lower() for n in ALL_SPECS)}"
+                f"available: {available_specs()}"
             )
         engine = str(merged.get("engine", "auto"))
         fallback = merged.get("fallback")
@@ -526,9 +558,9 @@ def _execute_certification(item: _WorkItem) -> CertificationReport:
     in tests — crash/hang simulations monkeypatch this symbol)."""
     from repro import api
     from repro.api import CertifySession
-    from repro.easl.library import ALL_SPECS
+    from repro.easl.library import get_spec
 
-    spec = ALL_SPECS[item.job.spec.upper()]()
+    spec = get_spec(item.job.spec)
     session = CertifySession(
         spec,
         item.engine,
@@ -546,13 +578,17 @@ def _worker_run(item: _WorkItem) -> _JobOutcome:
         with use_tracer(tracer):
             with _deadline(_backstop_seconds(item.timeout)):
                 report = _execute_certification(item)
+        from repro.cert import model
+
         stats = report.stats or {}
         outcome = _JobOutcome(
             status="ok",
             engine=item.engine,
             certified=report.certified,
+            subject=report.subject,
             alarms=len(report.alarms),
             alarm_lines=sorted(report.alarm_lines()),
+            alarm_json=model.alarms_to_json(report.alarms),
             # present when the session breached and ran its ladder
             breach=stats.get("breach"),
             salvaged=stats.get("salvaged"),
@@ -572,12 +608,15 @@ def _worker_run(item: _WorkItem) -> _JobOutcome:
             breach="deadline",
         )
     except ResourceExhausted as error:
+        from repro.cert import model
+
         partial = error.partial
         outcome = _JobOutcome(
             status="timeout",
             engine=item.engine,
             error=f"{type(error).__name__}: {error}",
             breach=error.breach,
+            subject=partial.subject if partial is not None else None,
             salvaged=len(partial.alarms) if partial is not None else None,
             unknown_sites=(
                 len(partial.unknown_sites) if partial is not None else None
@@ -585,6 +624,11 @@ def _worker_run(item: _WorkItem) -> _JobOutcome:
             alarms=len(partial.alarms) if partial is not None else 0,
             alarm_lines=(
                 sorted({a.line for a in partial.alarms})
+                if partial is not None
+                else []
+            ),
+            alarm_json=(
+                model.alarms_to_json(partial.alarms)
                 if partial is not None
                 else []
             ),
@@ -700,7 +744,7 @@ class BatchRunner:
         """Derive every needed abstraction once, before workers exist."""
         from repro import api
         from repro.api import CertifySession
-        from repro.easl.library import ALL_SPECS
+        from repro.easl.library import get_spec
 
         engines_by_spec: Dict[str, set] = {}
         for job in self.jobs:
@@ -711,7 +755,7 @@ class BatchRunner:
         tracer = CollectingTracer()
         with use_tracer(tracer):
             for spec_name, engines in sorted(engines_by_spec.items()):
-                spec = ALL_SPECS[spec_name.upper()]()
+                spec = get_spec(spec_name)
                 session = CertifySession(
                     spec, cache=api._ABSTRACTION_CACHE
                 )
@@ -764,8 +808,10 @@ class BatchRunner:
             fallback=item.is_fallback,
             retries=int(accum["retries"]),
             certified=outcome.certified,
+            subject=outcome.subject,
             alarms=outcome.alarms,
             alarm_lines=outcome.alarm_lines,
+            alarm_json=outcome.alarm_json,
             seconds=float(accum["seconds"]) + outcome.seconds,
             error=outcome.error,
             events=list(accum["events"]) + outcome.events,

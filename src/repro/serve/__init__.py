@@ -1,0 +1,34 @@
+"""``repro serve`` — the long-lived certification service.
+
+The paper's deployment model is one component author and many clients:
+derivation happens once, certification many times, and — with PR 5's
+proof-carrying certificates — *re*-certification of an already-seen
+client collapses to a linear-pass check.  This package turns that
+amortization stack into a request/response daemon:
+
+* :class:`~repro.serve.service.CertificationService` — warm
+  :class:`~repro.api.CertifySession` per (spec, options), a bounded
+  asyncio request queue with 429 backpressure, a worker pool, per-tenant
+  :class:`~repro.runtime.guard.ResourceGovernor` budgets, and a
+  content-addressed :class:`~repro.store.CertificateStore` consulted
+  before any fixpoint runs (hit ⇒ check, miss ⇒ certify + store);
+* :class:`~repro.serve.http.ServeDaemon` — a dependency-free asyncio
+  HTTP/1.1 JSON front end (``POST /certify``, ``POST /check``,
+  ``GET /certificates/<hash>``, ``GET /healthz``, ``GET /stats``);
+* :mod:`~repro.serve.loadgen` — the ``repro bench serve`` load
+  generator behind the committed ``BENCH_serve.json``.
+"""
+
+from repro.serve.service import (
+    CertificationService,
+    ServeConfig,
+    TenantBudget,
+)
+from repro.serve.http import ServeDaemon
+
+__all__ = [
+    "CertificationService",
+    "ServeConfig",
+    "ServeDaemon",
+    "TenantBudget",
+]

@@ -1,0 +1,23 @@
+"""Content-addressed certificate store.
+
+The serving model (DCert / abstraction-carrying code): a heavyweight
+analyzer certifies a client *once*, and every later request for the same
+(spec, source, engine, options) instance revalidates the stored
+certificate with the linear-pass checker instead of re-running the
+fixpoint.  The store is the piece that makes "same instance" precise —
+requests are keyed by the hashes the certificate already carries.
+
+See :class:`CertificateStore`.
+"""
+
+from repro.store.cas import (
+    CertificateStore,
+    StoreStats,
+    request_key,
+)
+
+__all__ = [
+    "CertificateStore",
+    "StoreStats",
+    "request_key",
+]

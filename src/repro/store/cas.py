@@ -1,0 +1,304 @@
+"""The content-addressed certificate store.
+
+Two address spaces, both SHA-256 hex:
+
+* **certificate hash** — the hash of the certificate's byte-stable text
+  (:meth:`~repro.cert.ConformanceCertificate.text`).  Objects live under
+  ``objects/<h2>/<hash>.cert.json`` and are immutable: a stored file
+  whose recomputed hash no longer matches its name has been tampered
+  with and is treated (and counted) as corrupt, never returned.
+
+* **request key** — the hash of the canonical request instance
+  ``{spec_hash, source_hash, fingerprint[, abstraction_hash]}`` (the
+  hashes PR 5's certificates already embed).  The index under
+  ``index/<k2>/<key>`` maps a request key to the certificate hash that
+  answered it, so a service can resolve "have we certified exactly this
+  before?" without touching analyzer state.
+
+With ``root=None`` the store is purely in-memory (tests, ephemeral
+services).  On disk, writes go through a same-directory temp file +
+``os.replace`` so concurrent readers never observe a half-written
+object, and concurrent writers of the same content are idempotent.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.cert import model
+from repro.cert.model import ConformanceCertificate
+
+
+def request_key(
+    *,
+    spec_hash: str,
+    source_hash: str,
+    fingerprint: str,
+    abstraction_hash: Optional[str] = None,
+) -> str:
+    """The content address of one certification *request* instance.
+
+    ``fingerprint`` is :func:`repro.cert.model.options_fingerprint` over
+    the requested engine and option payload, so two requests collide
+    exactly when every analysis-relevant input coincides.
+    ``abstraction_hash`` is redundant given (spec_hash, fingerprint) —
+    derivation is deterministic — but callers that have already derived
+    include it so a derivation-rule change invalidates old entries.
+    """
+    return model.sha256_text(
+        model.canonical_text(
+            {
+                "abstraction_hash": abstraction_hash,
+                "fingerprint": fingerprint,
+                "source_hash": source_hash,
+                "spec_hash": spec_hash,
+            }
+        )
+    )
+
+
+def certificate_request_key(cert: ConformanceCertificate) -> str:
+    """The request key a certificate answers, from its own hashes."""
+    payload = cert.payload
+    return request_key(
+        spec_hash=str(payload.get("spec_hash")),
+        source_hash=str(payload.get("source_hash")),
+        fingerprint=str(payload.get("fingerprint")),
+        abstraction_hash=payload.get("abstraction_hash"),
+    )
+
+
+@dataclass
+class StoreStats:
+    """Counters for one store instance (monotone, thread-safe reads)."""
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    corrupt: int = 0
+    lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def to_json(self) -> Dict[str, object]:
+        total = self.hits + self.misses
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "puts": self.puts,
+            "corrupt": self.corrupt,
+            "hit_rate": round(self.hits / total, 4) if total else None,
+        }
+
+
+class CertificateStore:
+    """Content-addressed storage of conformance certificates.
+
+    ``root=None`` keeps everything in process memory; a path persists
+    objects and the request index under ``root`` (created on demand).
+    All methods are safe to call from multiple threads of one process;
+    the on-disk layout is additionally safe across processes because
+    objects are immutable and writes are atomic renames.
+    """
+
+    def __init__(self, root: Optional[str] = None) -> None:
+        self.root = root
+        self.stats = StoreStats()
+        self._lock = threading.RLock()
+        # in-memory layer: always authoritative for root=None, a
+        # read-through cache of verified text when backed by disk
+        self._objects: Dict[str, str] = {}
+        self._index: Dict[str, str] = {}
+        # parsed-object cache: objects are immutable, so a payload parsed
+        # once (or supplied to put()) serves every later hit without a
+        # JSON decode on the hot path; callers must treat it read-only
+        self._parsed: Dict[str, ConformanceCertificate] = {}
+
+    # -- paths ---------------------------------------------------------------
+
+    def _object_path(self, cert_hash: str) -> str:
+        assert self.root is not None
+        return os.path.join(
+            self.root, "objects", cert_hash[:2], f"{cert_hash}.cert.json"
+        )
+
+    def _index_path(self, key: str) -> str:
+        assert self.root is not None
+        return os.path.join(self.root, "index", key[:2], key)
+
+    @staticmethod
+    def _atomic_write(path: str, text: str) -> None:
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=os.path.dirname(path), prefix=".tmp-", suffix="~"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # -- writing -------------------------------------------------------------
+
+    def put(
+        self, cert: ConformanceCertificate, key: Optional[str] = None
+    ) -> str:
+        """Store a certificate; returns its content hash.
+
+        ``key`` is the request key to index it under (defaults to the
+        key derived from the certificate's own embedded hashes).
+        Re-putting identical content is idempotent; re-putting a
+        different certificate under the same key repoints the index
+        (e.g. after a tampered object was evicted and re-certified).
+        """
+        text = cert.text()
+        cert_hash = model.sha256_text(text)
+        key = key if key is not None else certificate_request_key(cert)
+        with self._lock:
+            self._objects[cert_hash] = text
+            self._parsed[cert_hash] = cert
+            self._index[key] = cert_hash
+            if self.root is not None:
+                object_path = self._object_path(cert_hash)
+                if not os.path.exists(object_path):
+                    self._atomic_write(object_path, text)
+                self._atomic_write(self._index_path(key), cert_hash + "\n")
+            self.stats.puts += 1
+        return cert_hash
+
+    # -- reading -------------------------------------------------------------
+
+    def _load_object(self, cert_hash: str) -> Optional[str]:
+        """Verified certificate text by content hash, or None."""
+        with self._lock:
+            text = self._objects.get(cert_hash)
+        if text is None and self.root is not None:
+            try:
+                with open(
+                    self._object_path(cert_hash), "r", encoding="utf-8"
+                ) as handle:
+                    text = handle.read()
+            except OSError:
+                return None
+        if text is None:
+            return None
+        if model.sha256_text(text) != cert_hash:
+            # tampered or truncated object: evict, count, miss
+            with self._lock:
+                self._objects.pop(cert_hash, None)
+                self._parsed.pop(cert_hash, None)
+                self.stats.corrupt += 1
+                if self.root is not None:
+                    try:
+                        os.unlink(self._object_path(cert_hash))
+                    except OSError:
+                        pass
+            return None
+        with self._lock:
+            self._objects.setdefault(cert_hash, text)
+        return text
+
+    def resolve(self, key: str) -> Optional[str]:
+        """The certificate hash indexed under a request key, or None."""
+        with self._lock:
+            cert_hash = self._index.get(key)
+        if cert_hash is None and self.root is not None:
+            try:
+                with open(self._index_path(key), "r", encoding="utf-8") as handle:
+                    cert_hash = handle.read().strip() or None
+            except OSError:
+                return None
+            if cert_hash is not None:
+                with self._lock:
+                    self._index.setdefault(key, cert_hash)
+        return cert_hash
+
+    def get(self, key: str) -> Optional[ConformanceCertificate]:
+        """Look up a request key; integrity-verified hit or None.
+
+        A hit means: the index knows this exact request instance AND the
+        stored object's bytes still hash to their address.  Anything
+        else — unknown key, missing object, tampered object — is a miss
+        (tampering additionally bumps ``stats.corrupt``).
+        """
+        cert_hash = self.resolve(key)
+        text = self._load_object(cert_hash) if cert_hash is not None else None
+        if text is None:
+            with self._lock:
+                self.stats.misses += 1
+                if cert_hash is not None:
+                    # dangling or corrupt: drop the index entry so the
+                    # re-certified replacement can repoint it
+                    self._index.pop(key, None)
+                    if self.root is not None:
+                        try:
+                            os.unlink(self._index_path(key))
+                        except OSError:
+                            pass
+            return None
+        with self._lock:
+            self.stats.hits += 1
+        return self._parse(cert_hash, text)
+
+    def get_by_hash(self, cert_hash: str) -> Optional[ConformanceCertificate]:
+        """Fetch a certificate by content hash (integrity-verified)."""
+        text = self._load_object(cert_hash)
+        if text is None:
+            return None
+        return self._parse(cert_hash, text)
+
+    def _parse(self, cert_hash: str, text: str) -> ConformanceCertificate:
+        """Parsed certificate for already-verified text (cached: the
+        object layer is immutable, so one decode serves every hit)."""
+        with self._lock:
+            cert = self._parsed.get(cert_hash)
+        if cert is None:
+            cert = ConformanceCertificate(_loads(text))
+            with self._lock:
+                self._parsed.setdefault(cert_hash, cert)
+        return cert
+
+    def object_size(self, cert_hash: str) -> Optional[int]:
+        """Byte length of a stored object's text, without parsing it."""
+        with self._lock:
+            text = self._objects.get(cert_hash)
+        if text is None and self.root is not None:
+            try:
+                return os.path.getsize(self._object_path(cert_hash))
+            except OSError:
+                return None
+        return len(text) if text is not None else None
+
+    # -- introspection -------------------------------------------------------
+
+    def __len__(self) -> int:
+        if self.root is None:
+            return len(self._objects)
+        count = 0
+        objects_dir = os.path.join(self.root, "objects")
+        for _dir, _subdirs, files in os.walk(objects_dir):
+            count += sum(1 for f in files if f.endswith(".cert.json"))
+        return count
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "root": self.root,
+            "objects": len(self),
+            **self.stats.to_json(),
+        }
+
+
+def _loads(text: str) -> Dict[str, object]:
+    import json
+
+    payload = json.loads(text)
+    if not isinstance(payload, dict):
+        raise model.CertificateError("stored certificate is not a JSON object")
+    return payload

@@ -327,7 +327,21 @@ class TestTraceOutput:
         assert data["ok"] is True
         assert data["cache"]["maxsize"] > 0
         assert [r["name"] for r in data["results"]] == ["fig3", "scanner"]
-        assert all("phases" in r for r in data["results"])
+        # per-job records carry the repo-wide result envelope
+        for r in data["results"]:
+            assert {
+                "verdict",
+                "alarms",
+                "certificate",
+                "governor",
+                "timings",
+            } <= set(r)
+            assert r["verdict"]["status"] == "ok"
+            assert isinstance(r["verdict"]["certified"], bool)
+            assert r["verdict"]["engine"] == r["engine_used"]
+            assert len(r["alarms"]) == len(r["alarm_lines"])
+            assert "phases" in r["timings"]
+            assert r["governor"] is None
 
 
 class TestGovernorIntegration:
@@ -411,10 +425,11 @@ class TestGovernorIntegration:
         assert result.ok
         record = result.to_json()["results"][0]
         assert record["status"] == "ok"
-        assert record["breach"] == "steps"
-        assert record["degraded_to"] == "fds"
-        assert record["salvaged"] is not None
-        assert record["unknown_sites"] is not None
+        assert record["governor"]["breach"] == "steps"
+        assert record["governor"]["degraded_to"] == "fds"
+        assert record["governor"]["salvaged"] is not None
+        assert record["governor"]["unknown_sites"] is not None
+        assert record["verdict"]["partial"] is True
         # the merged (conservative) report still alarms the real
         # error lines, alongside any unresolved-site alarms
         assert {10, 13} <= set(result.results[0].alarm_lines)
@@ -474,9 +489,9 @@ class TestBatchCli:
         assert code == 0
         record = json.loads(capsys.readouterr().out)["results"][0]
         assert record["status"] == "ok"
-        assert record["breach"] == "steps"
-        assert record["degraded_to"] == "fds"
-        assert record["salvaged"] is not None
+        assert record["governor"]["breach"] == "steps"
+        assert record["governor"]["degraded_to"] == "fds"
+        assert record["governor"]["salvaged"] is not None
 
     def test_batch_bad_manifest_exit_2(self, tmp_path, capsys):
         manifest = tmp_path / "bad.json"

@@ -350,7 +350,9 @@ class TestBatchCertificates:
         assert result.ok
         for record in result.to_json()["results"]:
             assert record["certificate"] is not None
-            loaded = ConformanceCertificate.load(record["certificate"])
+            loaded = ConformanceCertificate.load(
+                record["certificate"]["path"]
+            )
             assert checker.check(loaded).ok
 
 

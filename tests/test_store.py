@@ -1,0 +1,182 @@
+"""The content-addressed certificate store (repro.store.cas)."""
+
+import os
+
+import pytest
+
+from repro.api import CertifyOptions, CertifySession
+from repro.cert import ConformanceCertificate
+from repro.cert.model import sha256_text
+from repro.store import CertificateStore
+from repro.store.cas import certificate_request_key, request_key
+from repro.suite import by_name
+
+
+@pytest.fixture(scope="module")
+def fig3_certificate(cmp_specification):
+    session = CertifySession(
+        cmp_specification, options=CertifyOptions(emit_certificate=True)
+    )
+    report = session.certify(by_name("fig3").source, "fds")
+    assert report.certificate is not None
+    return report.certificate
+
+
+class TestRequestKey:
+    def test_deterministic_and_order_free(self):
+        a = request_key(
+            spec_hash="s", source_hash="c", fingerprint="f",
+            abstraction_hash="a",
+        )
+        b = request_key(
+            abstraction_hash="a", fingerprint="f", source_hash="c",
+            spec_hash="s",
+        )
+        assert a == b and len(a) == 64
+
+    def test_every_component_is_significant(self):
+        base = dict(
+            spec_hash="s", source_hash="c", fingerprint="f",
+            abstraction_hash="a",
+        )
+        keys = {request_key(**base)}
+        for field in base:
+            keys.add(request_key(**{**base, field: "other"}))
+        assert len(keys) == 5
+
+    def test_certificate_request_key_uses_embedded_hashes(
+        self, fig3_certificate
+    ):
+        key = certificate_request_key(fig3_certificate)
+        payload = fig3_certificate.payload
+        assert key == request_key(
+            spec_hash=payload["spec_hash"],
+            source_hash=payload["source_hash"],
+            fingerprint=payload["fingerprint"],
+            abstraction_hash=payload.get("abstraction_hash"),
+        )
+
+
+class TestInMemoryStore:
+    def test_put_get_roundtrip(self, fig3_certificate):
+        store = CertificateStore()
+        cert_hash = store.put(fig3_certificate)
+        key = certificate_request_key(fig3_certificate)
+        assert store.resolve(key) == cert_hash
+        hit = store.get(key)
+        assert hit is not None
+        assert hit.text() == fig3_certificate.text()
+        assert store.stats.hits == 1 and store.stats.misses == 0
+
+    def test_get_returns_cached_parse(self, fig3_certificate):
+        store = CertificateStore()
+        store.put(fig3_certificate)
+        key = certificate_request_key(fig3_certificate)
+        assert store.get(key) is store.get(key)
+
+    def test_unknown_key_is_a_miss(self):
+        store = CertificateStore()
+        assert store.get("0" * 64) is None
+        assert store.stats.misses == 1
+
+    def test_put_is_idempotent(self, fig3_certificate):
+        store = CertificateStore()
+        first = store.put(fig3_certificate)
+        second = store.put(fig3_certificate)
+        assert first == second and len(store) == 1
+
+    def test_object_size_matches_text(self, fig3_certificate):
+        store = CertificateStore()
+        cert_hash = store.put(fig3_certificate)
+        assert store.object_size(cert_hash) == len(fig3_certificate.text())
+        assert store.object_size("f" * 64) is None
+
+    def test_tampered_object_is_evicted_and_counted(self, fig3_certificate):
+        store = CertificateStore()
+        cert_hash = store.put(fig3_certificate)
+        key = certificate_request_key(fig3_certificate)
+        # flip bytes behind the store's back: the object no longer
+        # hashes to its address
+        store._objects[cert_hash] = store._objects[cert_hash].replace(
+            '"certified"', '"certifiedX"', 1
+        )
+        store._parsed.pop(cert_hash, None)
+        assert store.get(key) is None
+        assert store.stats.corrupt == 1
+        assert store.stats.misses == 1
+        # the dangling index entry was dropped, so a re-certified
+        # replacement can repoint it
+        assert store.resolve(key) is None
+        replacement = store.put(fig3_certificate, key)
+        assert store.resolve(key) == replacement
+        assert store.get(key) is not None
+
+
+class TestOnDiskStore:
+    def test_roundtrip_survives_process_restart(
+        self, tmp_path, fig3_certificate
+    ):
+        root = str(tmp_path / "cas")
+        cert_hash = CertificateStore(root).put(fig3_certificate)
+        key = certificate_request_key(fig3_certificate)
+        # a fresh instance sees only the on-disk layout
+        reopened = CertificateStore(root)
+        assert reopened.resolve(key) == cert_hash
+        hit = reopened.get(key)
+        assert hit is not None and hit.text() == fig3_certificate.text()
+        assert len(reopened) == 1
+
+    def test_layout_is_sharded_by_hash_prefix(
+        self, tmp_path, fig3_certificate
+    ):
+        root = str(tmp_path / "cas")
+        cert_hash = CertificateStore(root).put(fig3_certificate)
+        key = certificate_request_key(fig3_certificate)
+        assert os.path.exists(
+            os.path.join(
+                root, "objects", cert_hash[:2], f"{cert_hash}.cert.json"
+            )
+        )
+        assert os.path.exists(os.path.join(root, "index", key[:2], key))
+
+    def test_tampered_file_is_rejected_and_unlinked(
+        self, tmp_path, fig3_certificate
+    ):
+        root = str(tmp_path / "cas")
+        store = CertificateStore(root)
+        cert_hash = store.put(fig3_certificate)
+        key = certificate_request_key(fig3_certificate)
+        path = os.path.join(
+            root, "objects", cert_hash[:2], f"{cert_hash}.cert.json"
+        )
+        text = open(path, encoding="utf-8").read()
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text.replace('"alarms"', '"alarmsX"', 1))
+        fresh = CertificateStore(root)
+        assert fresh.get(key) is None
+        assert fresh.stats.corrupt == 1
+        assert not os.path.exists(path)
+
+    def test_object_size_reads_disk(self, tmp_path, fig3_certificate):
+        root = str(tmp_path / "cas")
+        cert_hash = CertificateStore(root).put(fig3_certificate)
+        assert CertificateStore(root).object_size(cert_hash) == len(
+            fig3_certificate.text()
+        )
+
+
+class TestGetByHash:
+    def test_hit_and_miss(self, fig3_certificate):
+        store = CertificateStore()
+        cert_hash = store.put(fig3_certificate)
+        hit = store.get_by_hash(cert_hash)
+        assert hit is not None
+        assert sha256_text(hit.text()) == cert_hash
+        assert store.get_by_hash("a" * 64) is None
+
+    def test_returns_verified_parse(self, fig3_certificate):
+        store = CertificateStore()
+        cert_hash = store.put(fig3_certificate)
+        cert = store.get_by_hash(cert_hash)
+        assert isinstance(cert, ConformanceCertificate)
+        assert cert.payload == fig3_certificate.payload
