@@ -38,6 +38,7 @@ engine                    what runs
 from __future__ import annotations
 
 import contextlib
+import os
 import warnings
 from dataclasses import dataclass
 from typing import (
@@ -65,6 +66,7 @@ from repro.generic_analysis import (
 from repro.lang.inline import InlinedProgram, inline_program
 from repro.lang.types import Program, parse_program
 from repro.logic import compile as formula_compile
+from repro.logic import packed as packed_kernel
 from repro.runtime.cache import CacheStats, LRUCache, stable_key
 from repro.runtime.guard import (
     DegradationLadder,
@@ -175,7 +177,13 @@ class CertifyOptions:
         interpreter;
     ``memoize_transfers``
         cache TVLA transfer results per (action, canonical-key) so
-        revisited structures skip focus/update/coerce.
+        revisited structures skip focus/update/coerce;
+    ``packed``
+        run the TVLA engines over the packed bitset state kernel
+        (:mod:`repro.logic.packed`) instead of dict-of-tuples
+        structures.  ``None`` (the default) defers to the
+        ``REPRO_PACKED`` environment variable; alarm sets and emitted
+        certificates are byte-identical either way.
 
     Resource governance (see :mod:`repro.runtime.guard`):
 
@@ -212,6 +220,17 @@ class CertifyOptions:
     max_structures: Optional[int] = None
     ladder: Union[None, bool, Tuple[str, ...]] = None
     emit_certificate: bool = False
+    packed: Optional[bool] = None
+
+
+def packed_enabled(options: Optional[CertifyOptions] = None) -> bool:
+    """Whether the packed state kernel is active for these options.
+
+    An explicit ``CertifyOptions(packed=...)`` wins; otherwise the
+    ``REPRO_PACKED`` environment variable decides (default: off)."""
+    if options is not None and options.packed is not None:
+        return bool(options.packed)
+    return os.environ.get("REPRO_PACKED", "") in ("1", "true", "yes")
 
 
 class CertifySession:
@@ -336,12 +355,23 @@ class CertifySession:
         )
 
     def _specialize_tvp(self, inlined: InlinedProgram, abstraction):
-        """Memoized specialized translation (per inlined program)."""
+        """Memoized specialized translation (per inlined program).
+
+        Action formulas are precompiled here, at specialize time, so a
+        first ("cold") certification does not pay formula compilation
+        inside the fixpoint — compiled closures live in process-wide
+        caches keyed by interned formula and are shared by every engine
+        constructed over this TVP.
+        """
+        packed = packed_enabled(self.options)
+
+        def build():
+            tvp = specialized_translation(inlined, abstraction)
+            packed_kernel.precompile_tvp(tvp, packed=packed)
+            return tvp
+
         return _identity_memo(
-            self._tvp_by_obj,
-            inlined,
-            id(abstraction),
-            lambda: specialized_translation(inlined, abstraction),
+            self._tvp_by_obj, inlined, id(abstraction), build
         )
 
     # -- certification ---------------------------------------------------------
@@ -585,6 +615,7 @@ class CertifySession:
             abstraction = self.abstraction()
             tvp = self._specialize_tvp(inlined, abstraction)
             mode = engine.split("-", 1)[1]
+            packed = packed_enabled(options)
             engine_obj = _identity_memo(
                 self._engine_by_obj,
                 tvp,
@@ -593,6 +624,7 @@ class CertifySession:
                     options.prune_requires,
                     options.worklist,
                     options.memoize_transfers,
+                    packed,
                 ),
                 lambda: TvlaEngine(
                     tvp,
@@ -600,6 +632,7 @@ class CertifySession:
                     prune_requires=options.prune_requires,
                     worklist=options.worklist,
                     memoize_transfers=options.memoize_transfers,
+                    packed=packed,
                 ),
             )
             return {

@@ -4,12 +4,16 @@ from repro.bench.harness import (
     ComparisonResult,
     ComparisonRow,
     EngineRun,
+    KernelOpRow,
+    PackedComparisonResult,
+    PackedComparisonRow,
     ProgramResult,
     format_phase_table,
     format_table,
     results_to_json,
     run_comparison,
     run_engine,
+    run_packed_comparison,
     run_precision_table,
 )
 
@@ -17,11 +21,15 @@ __all__ = [
     "ComparisonResult",
     "ComparisonRow",
     "EngineRun",
+    "KernelOpRow",
+    "PackedComparisonResult",
+    "PackedComparisonRow",
     "ProgramResult",
     "format_phase_table",
     "format_table",
     "results_to_json",
     "run_comparison",
     "run_engine",
+    "run_packed_comparison",
     "run_precision_table",
 ]

@@ -70,6 +70,56 @@ def make_client(
     return "\n".join(lines)
 
 
+def make_heap_client(
+    num_sets: int = 3,
+    num_fields: int = 3,
+    num_loops: int = 2,
+    reads: int = 3,
+) -> str:
+    """A loop-heavy heap client sized for the packed-kernel bench (E13).
+
+    Iterators are stored into ``Holder`` fields, so they survive as heap
+    nodes in the specialized TVLA analysis (variable-bound iterators
+    specialize away into nullary instance predicates and exercise only
+    the scalar path).  Each ``while`` loop allocates a fresh holder and
+    re-aims every field at a rotating owner set, which multiplies the
+    relational engine's per-node structure sets — the state-kernel-bound
+    workload the packed representation targets.  The trailing reads race
+    a mutation, so the client carries real (definite and maybe) alarms
+    whose equality the bench checks across representations.
+    """
+    fields = [f"it{k}" for k in range(num_fields)]
+    lines = [
+        "class Holder { "
+        + " ".join(f"Iterator {f};" for f in fields)
+        + " Holder() { } }",
+        "class Main {",
+        "  static void main() {",
+    ]
+    sets = [f"v{i}" for i in range(num_sets)]
+    for name in sets:
+        lines.append(f"    Set {name} = new Set();")
+    lines.append("    Holder last = new Holder();")
+    for loop in range(num_loops):
+        lines.append("    while (?) {")
+        lines.append(f"      Holder h{loop} = new Holder();")
+        for k, field in enumerate(fields):
+            owner = sets[(loop + k) % len(sets)]
+            lines.append(f"      h{loop}.{field} = {owner}.iterator();")
+        lines.append(f"      last = h{loop};")
+        lines.append("    }")
+    for k in range(reads):
+        field = fields[k % len(fields)]
+        lines.append(f"    Iterator j{k} = last.{field};")
+        lines.append(f"    if (?) {{ j{k}.next(); }}")
+    lines.append(f'    {sets[0]}.add("x");')
+    for k in range(reads):
+        lines.append(f"    if (?) {{ j{k}.next(); }}")
+    lines.append("  }")
+    lines.append("}")
+    return "\n".join(lines)
+
+
 def make_call_chain(depth: int, mutate_at_bottom: bool = True) -> str:
     """A chain of ``depth`` procedures ending in a collection mutation —
     sweeps procedure count for the interprocedural experiment (E6)."""

@@ -43,8 +43,8 @@ from repro.generic_analysis.framework import (
     _transfer as generic_transfer,
 )
 from repro.runtime.trace import phase
+from repro.logic import packed as packed_kernel
 from repro.tvla.engine import _alarm_list
-from repro.tvla.three_valued import ThreeValuedStructure
 
 
 @dataclass
@@ -92,7 +92,11 @@ class CertificateChecker:
     so checking a batch of certificates against one spec derives once.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, packed: Optional[bool] = None) -> None:
+        #: structure-representation preference for replaying transfers;
+        #: ``None`` defers to ``REPRO_PACKED``.  The verdict is identical
+        #: either way — packed only changes how fast the replay runs.
+        self.packed = packed
         self._specs: Dict[str, ComponentSpec] = {}
         self._sessions: Dict[Tuple[str, str], CertifySession] = {}
         # parse/transform/derivation results are deterministic functions
@@ -129,6 +133,7 @@ class CertificateChecker:
                     prune_requires=bool(opts.get("prune_requires", True)),
                     inline_depth=int(opts.get("inline_depth", 12)),
                     worklist=str(opts.get("worklist", "rpo")),
+                    packed=self.packed,
                 ),
             )
         return self._sessions[key]
@@ -574,9 +579,18 @@ class CertificateChecker:
         # pool (canonicalizing defensively): internal consistency, never
         # trust recorded keys
         pool = [
-            model.structure_from_json(entry).canonicalize(preds)
+            model.structure_from_json(entry)
             for entry in annotation.get("pool", [])
         ]
+        if engine_obj.packed:
+            # re-encode into the packed representation so replayed
+            # transfers and key comparisons run on the same kernel the
+            # engine uses; keys from mixed representations never meet
+            pool = [
+                packed_kernel.PackedStructure.from_dense(structure)
+                for structure in pool
+            ]
+        pool = [structure.canonicalize(preds) for structure in pool]
         keys = [structure.canonical_key(preds) for structure in pool]
         valid_nodes = set(tvp.nodes())
         alarms: Dict[Tuple[int, str], object] = {}
@@ -633,7 +647,7 @@ class CertificateChecker:
             entry_structure = singles.get(tvp.entry)
             if entry_structure is None:
                 raise _Reject("entry", "entry node is not annotated")
-            joined = ThreeValuedStructure.join(
+            joined = type(entry_structure).join(
                 entry_structure, initial, preds
             ).canonicalize(preds)
             if joined.canonical_key(preds) != single_keys[tvp.entry]:
@@ -655,7 +669,7 @@ class CertificateChecker:
                                 "annotated",
                                 edge=(node, edge.dst),
                             )
-                        merged = ThreeValuedStructure.join(
+                        merged = type(old).join(
                             old, out, preds
                         ).canonicalize(preds)
                         if merged.canonical_key(preds) != single_keys[edge.dst]:

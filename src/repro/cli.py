@@ -43,6 +43,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import List, Optional
 
@@ -240,6 +241,27 @@ def build_bench_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="run the optimized-vs-interpreted comparison (both paths "
         "in the same run) instead of the precision table",
+    )
+    parser.add_argument(
+        "--packed-compare",
+        action="store_true",
+        help="run the packed-kernel-vs-dict comparison (cold / "
+        "fresh-engine steady / warm-replay protocols, kernel-op "
+        "microbenchmarks, checker replay, multiprocess batch scaling) "
+        "on the loop-heavy synthetic clients",
+    )
+    parser.add_argument(
+        "--sizes",
+        default=None,
+        metavar="S:F:L:R,...",
+        help="comma-separated heap-client sizes for --packed-compare "
+        "(sets:fields:loops:reads; default 3:3:2:3,4:4:2:4,4:4:3:4)",
+    )
+    parser.add_argument(
+        "--batch-workers",
+        default="1,4",
+        metavar="N1,N2",
+        help="worker counts for the --packed-compare batch-scaling row",
     )
     parser.add_argument(
         "--engine",
@@ -874,7 +896,52 @@ def bench_main(argv: Optional[List[str]] = None) -> int:
         programs = [by_name[name] for name in sorted(wanted)]
 
     options = _governor_options(args)
-    if args.compare:
+    if args.packed_compare:
+        from repro.bench.harness import run_packed_comparison
+
+        sizes = None
+        if args.sizes:
+            try:
+                sizes = [
+                    tuple(int(part) for part in chunk.split(":"))
+                    for chunk in args.sizes.split(",")
+                ]
+                if any(len(size) != 4 for size in sizes):
+                    raise ValueError("each size needs 4 fields")
+            except ValueError as error:
+                print(f"error: bad --sizes: {error}", file=sys.stderr)
+                return 2
+        try:
+            workers = [
+                int(part) for part in args.batch_workers.split(",")
+            ]
+        except ValueError:
+            print(
+                f"error: bad --batch-workers: {args.batch_workers!r}",
+                file=sys.stderr,
+            )
+            return 2
+        kwargs = {"reps": args.reps, "batch_workers": workers,
+                  "spec_name": args.spec}
+        if sizes:
+            kwargs["sizes"] = sizes
+        comparison = run_packed_comparison(
+            spec=spec, options=options, **kwargs
+        )
+        payload = comparison.to_json()
+        # the CI floor applies to the honest end-to-end steady-state
+        # aggregate; alarm equality and certificate identity always gate
+        ok = (
+            comparison.alarms_equal
+            and comparison.certificates_identical
+            and (
+                args.min_speedup is None
+                or comparison.steady_speedup >= args.min_speedup
+            )
+        )
+        if not args.quiet:
+            print(comparison.format())
+    elif args.compare:
         comparison = run_comparison(
             spec=spec,
             engine=args.engine,
@@ -997,6 +1064,14 @@ def build_serve_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=2, metavar="N", help="worker threads"
     )
     parser.add_argument(
+        "--worker-mode",
+        default="thread",
+        choices=("thread", "process"),
+        help="'process' offloads each certify-on-miss fixpoint to a "
+        "process pool of --workers, scaling the CPU-bound path past "
+        "the GIL's ~2-core ceiling (default: thread)",
+    )
+    parser.add_argument(
         "--queue-limit",
         type=int,
         default=64,
@@ -1087,6 +1162,7 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
         specs=specs,
         default_engine=args.engine,
         workers=args.workers,
+        worker_mode=args.worker_mode,
         queue_limit=args.queue_limit,
         store_path=args.store,
         retry_after=args.retry_after,
@@ -1107,7 +1183,8 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
         print(
             f"repro serve: listening on {config.host}:{daemon.port} "
             f"(specs: {', '.join(sorted(daemon.service.healthz()['specs']))}; "
-            f"{config.workers} worker(s), queue {config.queue_limit})",
+            f"{config.workers} {config.worker_mode} worker(s), "
+            f"queue {config.queue_limit})",
             flush=True,
         )
         try:
@@ -1175,6 +1252,13 @@ def build_bench_serve_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=2, metavar="N", help="service workers"
     )
     parser.add_argument(
+        "--worker-mode",
+        default="thread",
+        choices=("thread", "process"),
+        help="service executor flavour (process = certify-on-miss runs "
+        "on a process pool)",
+    )
+    parser.add_argument(
         "--min-speedup",
         type=float,
         default=5.0,
@@ -1219,6 +1303,7 @@ def bench_serve_main(argv: Optional[List[str]] = None) -> int:
             hit_requests=args.requests,
             concurrency=args.concurrency,
             workers=args.workers,
+            worker_mode=args.worker_mode,
         )
     )
     if args.json == "-":
@@ -1237,10 +1322,85 @@ def bench_serve_main(argv: Optional[List[str]] = None) -> int:
     return 0
 
 
+def build_store_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro store",
+        description=(
+            "Maintain an on-disk certificate store.  'gc' evicts "
+            "least-recently-used objects until the store fits the given "
+            "limits and prunes index entries left dangling by evictions."
+        ),
+    )
+    parser.add_argument(
+        "action", choices=("gc",), help="maintenance action to run"
+    )
+    parser.add_argument(
+        "--store",
+        required=True,
+        metavar="DIR",
+        help="root of the on-disk certificate store",
+    )
+    parser.add_argument(
+        "--max-bytes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="evict oldest objects until total object bytes <= N",
+    )
+    parser.add_argument(
+        "--max-entries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="evict oldest objects until the object count <= N",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print the gc summary as JSON instead of text",
+    )
+    return parser
+
+
+def store_main(argv: Optional[List[str]] = None) -> int:
+    from repro.store import CertificateStore
+
+    args = build_store_parser().parse_args(argv)
+    if not os.path.isdir(args.store):
+        print(
+            f"error: {args.store!r} is not a directory", file=sys.stderr
+        )
+        return 2
+    if args.max_bytes is None and args.max_entries is None:
+        print(
+            "error: gc needs --max-bytes and/or --max-entries",
+            file=sys.stderr,
+        )
+        return 2
+    store = CertificateStore(args.store)
+    summary = store.gc(
+        max_bytes=args.max_bytes, max_entries=args.max_entries
+    )
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        print(
+            f"store gc: {summary['evicted']} object(s) evicted, "
+            f"{summary['index_pruned']} index entr(ies) pruned; "
+            f"{summary['objects_after']} object(s) / "
+            f"{summary['bytes_after']} byte(s) remain "
+            f"(was {summary['objects_before']} / "
+            f"{summary['bytes_before']})"
+        )
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if argv and argv[0] == "batch":
         return batch_main(argv[1:])
+    if argv and argv[0] == "store":
+        return store_main(argv[1:])
     if argv and argv[0] == "bench":
         if len(argv) > 1 and argv[1] == "serve":
             return bench_serve_main(argv[2:])

@@ -72,12 +72,16 @@ class TwoValuedStructure:
         return individual
 
     def remove_individual(self, individual: int) -> None:
-        """Remove an individual and every tuple mentioning it."""
+        """Remove an individual and every tuple mentioning it.
+
+        Tuple sets are filtered in place, and only where the individual
+        actually occurs — most predicates never mention it, and a full
+        rebuild of every set made removal O(P·T) regardless."""
         self.universe.discard(individual)
-        for name, tuples in self._tuples.items():
-            self._tuples[name] = {
-                t for t in tuples if individual not in t
-            }
+        for tuples in self._tuples.values():
+            stale = [t for t in tuples if individual in t]
+            if stale:
+                tuples.difference_update(stale)
 
     # -- interpretation -----------------------------------------------------
 

@@ -46,6 +46,8 @@ class ServeBenchConfig:
     hit_requests: int = 32
     concurrency: int = 8
     workers: int = 2
+    #: ``"thread"`` or ``"process"`` (see :class:`ServeConfig.worker_mode`)
+    worker_mode: str = "thread"
     queue_limit: int = 64
     #: backpressure probe: queue depth and burst size
     probe_queue_limit: int = 2
@@ -175,6 +177,7 @@ async def _drive(config: ServeBenchConfig) -> Dict[str, object]:
             specs=(config.spec,),
             default_engine=config.engine,
             workers=config.workers,
+            worker_mode=config.worker_mode,
             queue_limit=config.queue_limit,
         )
     )
@@ -286,6 +289,7 @@ async def _drive(config: ServeBenchConfig) -> Dict[str, object]:
                     "hit_requests": config.hit_requests,
                     "concurrency": config.concurrency,
                     "workers": config.workers,
+                    "worker_mode": config.worker_mode,
                     "queue_limit": config.queue_limit,
                 },
                 "cold_certify": cold_stats,

@@ -27,9 +27,10 @@ parallel on the worker pool.
 from __future__ import annotations
 
 import asyncio
+import multiprocessing
 import threading
 import time
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -142,6 +143,11 @@ class ServeConfig:
     specs: Tuple[str, ...] = ()  # () = everything in the registry
     default_engine: str = "auto"
     workers: int = 2
+    #: ``"thread"`` runs the fixpoint on the executor threads (GIL-bound:
+    #: BENCH_serve plateaus near 2 cores); ``"process"`` offloads each
+    #: certify-on-miss to a process pool so N workers scale to N cores.
+    #: Validation, the store, and hit-checks stay in the parent either way.
+    worker_mode: str = "thread"
     queue_limit: int = 64
     store_path: Optional[str] = None  # None = in-memory store
     retry_after: float = 1.0
@@ -150,6 +156,57 @@ class ServeConfig:
     tenants: Dict[str, TenantBudget] = field(default_factory=dict)
     #: base certification options shared by every session
     options: CertifyOptions = CertifyOptions(emit_certificate=True)
+
+
+#: per-process session cache for the ``worker_mode="process"`` pool,
+#: keyed like the parent's ``_sessions``.  A forked worker starts with
+#: whatever the parent had derived (module-level abstraction cache
+#: included) and keeps its own engines warm across requests.
+_PROC_SESSIONS: Dict[Tuple[str, str], CertifySession] = {}
+
+
+def _proc_session(spec_name: str, options: CertifyOptions) -> CertifySession:
+    key = (spec_name, model.canonical_text(options_payload(options)))
+    session = _PROC_SESSIONS.get(key)
+    if session is None:
+        session = CertifySession(get_spec(spec_name), options=options)
+        _PROC_SESSIONS[key] = session
+    return session
+
+
+def _pool_certify(
+    spec_name: str,
+    options: CertifyOptions,
+    source: str,
+    engine: str,
+    budget: Tuple[Optional[float], Optional[int], Optional[int]],
+):
+    """Process-pool entry: one certification in a worker process.
+
+    Returns a picklable tagged tuple — ``("ok", report, steps)`` or
+    ``("breached", message, breach, partial, steps)`` — so the parent
+    can account, store, and answer without re-running anything.
+    """
+    session = _proc_session(spec_name, options)
+    deadline, max_steps, max_structures = budget
+    governor = None
+    if deadline is not None or max_steps is not None or max_structures is not None:
+        governor = ResourceGovernor(
+            deadline=deadline,
+            max_steps=max_steps,
+            max_structures=max_structures,
+        )
+    try:
+        report = session.certify(source, engine=engine, governor=governor)
+    except ResourceExhausted as error:
+        return (
+            "breached",
+            str(error),
+            error.breach,
+            error.partial,
+            governor.steps if governor is not None else 0,
+        )
+    return ("ok", report, governor.steps if governor is not None else 0)
 
 
 class _SpecSession:
@@ -220,9 +277,15 @@ class CertificationService:
         self._sessions_lock = threading.Lock()
         self._tenants: Dict[str, _TenantState] = {}
         self._tenants_lock = threading.Lock()
+        if self.config.worker_mode not in ("thread", "process"):
+            raise ValueError(
+                f"unknown worker_mode {self.config.worker_mode!r}; "
+                "pick 'thread' or 'process'"
+            )
         self._queue: Optional[asyncio.Queue] = None
         self._workers: List[asyncio.Task] = []
         self._executor: Optional[ThreadPoolExecutor] = None
+        self._process_pool: Optional[ProcessPoolExecutor] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._counters = {
             "received": 0,
@@ -252,6 +315,16 @@ class CertificationService:
         self._executor = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="repro-serve"
         )
+        if self.config.worker_mode == "process":
+            # fork is preferred: workers inherit every session/abstraction
+            # the parent warmed before start (spawn re-derives per worker)
+            methods = multiprocessing.get_all_start_methods()
+            context = multiprocessing.get_context(
+                "fork" if "fork" in methods else None
+            )
+            self._process_pool = ProcessPoolExecutor(
+                max_workers=workers, mp_context=context
+            )
         self._workers = [
             asyncio.create_task(self._worker(), name=f"serve-worker-{i}")
             for i in range(workers)
@@ -269,6 +342,9 @@ class CertificationService:
         assert self._executor is not None
         self._executor.shutdown(wait=True)
         self._executor = None
+        if self._process_pool is not None:
+            self._process_pool.shutdown(wait=True)
+            self._process_pool = None
         self._queue = None
 
     def prewarm(self) -> None:
@@ -522,6 +598,7 @@ class CertificationService:
             "engines": list(ENGINES),
             "uptime_seconds": round(time.monotonic() - self.started_at, 3),
             "workers": self.config.workers,
+            "worker_mode": self.config.worker_mode,
         }
 
     def stats(self) -> Dict[str, object]:
@@ -545,6 +622,7 @@ class CertificationService:
                 "depth": self._queue.qsize() if self._queue is not None else 0,
                 "limit": self.config.queue_limit,
                 "workers": self.config.workers,
+                "worker_mode": self.config.worker_mode,
             },
             "requests": counters,
             "store": self.store.to_json(),
@@ -606,14 +684,13 @@ class CertificationService:
         state: _TenantState,
         *,
         seconds: float,
-        governor: Optional[ResourceGovernor],
+        steps: int = 0,
         hit: Optional[bool] = None,
         breached: bool = False,
     ) -> None:
         with state.lock:
             state.spent_seconds += seconds
-            if governor is not None:
-                state.spent_steps += governor.steps
+            state.spent_steps += steps
             if hit is True:
                 state.hits += 1
             elif hit is False:
@@ -654,7 +731,6 @@ class CertificationService:
             self._account(
                 job.state,
                 seconds=time.monotonic() - started,
-                governor=None,
             )
             return 500, env.error_envelope(
                 subject="?",
@@ -682,7 +758,7 @@ class CertificationService:
             # overwriting below, and let the miss path answer
             self._bump("recertifications")
             return None
-        self._account(job.state, seconds=seconds, governor=None, hit=True)
+        self._account(job.state, seconds=seconds, hit=True)
         self._bump("checks")
         self._bump("completed")
         # resolve()/object_size() are in-memory lookups; re-serializing
@@ -716,58 +792,108 @@ class CertificationService:
     ) -> Tuple[int, Dict[str, object]]:
         entry = job.entry
         assert entry is not None and job.source is not None
+        if self._process_pool is not None:
+            budget = job.state.budget
+            outcome = self._process_pool.submit(
+                _pool_certify,
+                entry.spec.name,
+                entry.options,
+                job.source,
+                job.engine,
+                (budget.deadline, budget.max_steps, budget.max_structures),
+            ).result()
+            if outcome[0] == "breached":
+                _, message, breach, partial, steps = outcome
+                return self._breach_answer(
+                    job, key, message, breach, partial, steps, started
+                )
+            _, report, steps = outcome
+            return self._certified_answer(
+                job, key, report, steps, tracer, started
+            )
         governor = self._governor(job.state)
+        steps = 0
         try:
             with entry.lock:
                 report = entry.session.certify(
                     job.source, engine=job.engine, governor=governor
                 )
         except ResourceExhausted as error:
-            seconds = time.monotonic() - started
-            self._account(
-                job.state,
-                seconds=seconds,
-                governor=governor,
-                hit=False,
-                breached=True,
+            return self._breach_answer(
+                job,
+                key,
+                str(error),
+                error.breach,
+                error.partial,
+                governor.steps if governor is not None else 0,
+                started,
             )
-            self._bump("completed")
-            partial = error.partial
-            payload = env.error_envelope(
-                subject=partial.subject if partial is not None else "?",
-                engine=job.engine,
-                status="breached",
-                detail=str(error),
-                governor=env.governor_section(
-                    breach=error.breach,
-                    salvaged=(
-                        len(partial.alarms) if partial is not None else None
-                    ),
-                    unknown_sites=(
-                        len(partial.unknown_sites)
-                        if partial is not None
-                        else None
-                    ),
+        if governor is not None:
+            steps = governor.steps
+        return self._certified_answer(job, key, report, steps, tracer, started)
+
+    def _breach_answer(
+        self,
+        job: _Job,
+        key: str,
+        message: str,
+        breach: str,
+        partial,
+        steps: int,
+        started: float,
+    ) -> Tuple[int, Dict[str, object]]:
+        seconds = time.monotonic() - started
+        self._account(
+            job.state,
+            seconds=seconds,
+            steps=steps,
+            hit=False,
+            breached=True,
+        )
+        self._bump("completed")
+        payload = env.error_envelope(
+            subject=partial.subject if partial is not None else "?",
+            engine=job.engine,
+            status="breached",
+            detail=message,
+            governor=env.governor_section(
+                breach=breach,
+                salvaged=(
+                    len(partial.alarms) if partial is not None else None
                 ),
-                alarms=(
-                    model.alarms_to_json(partial.alarms)
+                unknown_sites=(
+                    len(partial.unknown_sites)
                     if partial is not None
-                    else ()
+                    else None
                 ),
-                seconds=seconds,
-            )
-            payload["served"] = self._served_stanza(
-                job, key, None, path="certify", cached=False
-            )
-            return 200, payload
+            ),
+            alarms=(
+                model.alarms_to_json(partial.alarms)
+                if partial is not None
+                else ()
+            ),
+            seconds=seconds,
+        )
+        payload["served"] = self._served_stanza(
+            job, key, None, path="certify", cached=False
+        )
+        return 200, payload
+
+    def _certified_answer(
+        self,
+        job: _Job,
+        key: str,
+        report,
+        steps: int,
+        tracer: CollectingTracer,
+        started: float,
+    ) -> Tuple[int, Dict[str, object]]:
         seconds = time.monotonic() - started
         certificate = report.certificate
         cert_hash = (
             self.store.put(certificate, key) if certificate is not None else None
         )
-        self._account(
-            job.state, seconds=seconds, governor=governor, hit=False
-        )
+        self._account(job.state, seconds=seconds, steps=steps, hit=False)
         self._bump("certifications")
         self._bump("completed")
         payload = env.report_envelope(
@@ -801,7 +927,7 @@ class CertificationService:
                 detail=f"{type(error).__name__}: {error}",
             )
         seconds = time.monotonic() - started
-        self._account(job.state, seconds=seconds, governor=None)
+        self._account(job.state, seconds=seconds)
         self._bump("checks")
         self._bump("completed")
         payload = env.check_envelope(

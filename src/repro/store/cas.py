@@ -26,8 +26,9 @@ from __future__ import annotations
 import os
 import tempfile
 import threading
+import time
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.cert import model
 from repro.cert.model import ConformanceCertificate
@@ -80,6 +81,7 @@ class StoreStats:
     misses: int = 0
     puts: int = 0
     corrupt: int = 0
+    evictions: int = 0
     lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
     def to_json(self) -> Dict[str, object]:
@@ -89,6 +91,7 @@ class StoreStats:
             "misses": self.misses,
             "puts": self.puts,
             "corrupt": self.corrupt,
+            "evictions": self.evictions,
             "hit_rate": round(self.hits / total, 4) if total else None,
         }
 
@@ -115,6 +118,10 @@ class CertificateStore:
         # once (or supplied to put()) serves every later hit without a
         # JSON decode on the hot path; callers must treat it read-only
         self._parsed: Dict[str, ConformanceCertificate] = {}
+        # LRU bookkeeping for gc(): last access per object hash.  On disk
+        # the file mtime is additionally bumped on every verified read so
+        # recency survives restarts and is shared across processes.
+        self._last_used: Dict[str, float] = {}
 
     # -- paths ---------------------------------------------------------------
 
@@ -170,6 +177,7 @@ class CertificateStore:
                 if not os.path.exists(object_path):
                     self._atomic_write(object_path, text)
                 self._atomic_write(self._index_path(key), cert_hash + "\n")
+            self._last_used[cert_hash] = time.time()
             self.stats.puts += 1
         return cert_hash
 
@@ -203,7 +211,19 @@ class CertificateStore:
             return None
         with self._lock:
             self._objects.setdefault(cert_hash, text)
+        self._touch(cert_hash)
         return text
+
+    def _touch(self, cert_hash: str) -> None:
+        """Record an access for the LRU eviction policy."""
+        now = time.time()
+        with self._lock:
+            self._last_used[cert_hash] = now
+        if self.root is not None:
+            try:
+                os.utime(self._object_path(cert_hash), (now, now))
+            except OSError:
+                pass  # best effort; in-memory recency still applies
 
     def resolve(self, key: str) -> Optional[str]:
         """The certificate hash indexed under a request key, or None."""
@@ -275,6 +295,135 @@ class CertificateStore:
             except OSError:
                 return None
         return len(text) if text is not None else None
+
+    # -- eviction ------------------------------------------------------------
+
+    def _object_entries(self) -> List[Tuple[str, int, float]]:
+        """Every stored object as ``(hash, bytes, last_used)``.
+
+        Recency is the max of the in-memory access record and (on disk)
+        the object file's mtime, so a cold-started store still orders
+        objects by their cross-process access history.
+        """
+        with self._lock:
+            last_used = dict(self._last_used)
+            memory = {h: len(text) for h, text in self._objects.items()}
+        if self.root is None:
+            return [
+                (h, size, last_used.get(h, 0.0))
+                for h, size in memory.items()
+            ]
+        entries: Dict[str, Tuple[int, float]] = {}
+        objects_dir = os.path.join(self.root, "objects")
+        for directory, _subdirs, files in os.walk(objects_dir):
+            for name in files:
+                if not name.endswith(".cert.json"):
+                    continue
+                cert_hash = name[: -len(".cert.json")]
+                try:
+                    st = os.stat(os.path.join(directory, name))
+                except OSError:
+                    continue
+                entries[cert_hash] = (
+                    st.st_size,
+                    max(st.st_mtime, last_used.get(cert_hash, 0.0)),
+                )
+        for h, size in memory.items():  # put() raced the walk, or no file
+            entries.setdefault(h, (size, last_used.get(h, 0.0)))
+        return [(h, size, used) for h, (size, used) in entries.items()]
+
+    def _evict_object(self, cert_hash: str) -> None:
+        with self._lock:
+            self._objects.pop(cert_hash, None)
+            self._parsed.pop(cert_hash, None)
+            self._last_used.pop(cert_hash, None)
+            self.stats.evictions += 1
+        if self.root is not None:
+            try:
+                os.unlink(self._object_path(cert_hash))
+            except OSError:
+                pass
+
+    def _prune_index(self, surviving: set) -> int:
+        """Drop index entries pointing at objects that no longer exist
+        (evicted now, or dangling from earlier corruption evictions)."""
+        removed = 0
+        with self._lock:
+            stale = [
+                key
+                for key, cert_hash in self._index.items()
+                if cert_hash not in surviving
+            ]
+            for key in stale:
+                del self._index[key]
+        removed += len(stale)
+        if self.root is not None:
+            index_dir = os.path.join(self.root, "index")
+            for directory, _subdirs, files in os.walk(index_dir):
+                for name in files:
+                    path = os.path.join(directory, name)
+                    try:
+                        with open(path, "r", encoding="utf-8") as handle:
+                            cert_hash = handle.read().strip()
+                    except OSError:
+                        continue
+                    if cert_hash in surviving:
+                        continue
+                    try:
+                        os.unlink(path)
+                        removed += 1
+                    except OSError:
+                        pass
+        return removed
+
+    def gc(
+        self,
+        *,
+        max_bytes: Optional[int] = None,
+        max_entries: Optional[int] = None,
+    ) -> Dict[str, object]:
+        """Evict least-recently-used objects until the store fits.
+
+        Both limits are optional and enforced together: after gc the
+        store holds at most ``max_entries`` objects totalling at most
+        ``max_bytes``.  Index entries for evicted (or already-dangling)
+        objects are pruned so later lookups miss cleanly instead of
+        resolving to a missing object.  Returns a summary dict.
+        """
+        entries = self._object_entries()
+        bytes_before = sum(size for _h, size, _u in entries)
+        objects_before = len(entries)
+        # oldest first; hash tiebreak keeps eviction order deterministic
+        entries.sort(key=lambda entry: (entry[2], entry[0]))
+        keep_bytes = bytes_before
+        keep_count = objects_before
+        evicted: List[str] = []
+        for cert_hash, size, _used in entries:
+            over_entries = (
+                max_entries is not None and keep_count > max_entries
+            )
+            over_bytes = max_bytes is not None and keep_bytes > max_bytes
+            if not (over_entries or over_bytes):
+                break
+            evicted.append(cert_hash)
+            keep_count -= 1
+            keep_bytes -= size
+        for cert_hash in evicted:
+            self._evict_object(cert_hash)
+        surviving = {
+            h for h, _size, _used in entries if h not in set(evicted)
+        }
+        index_pruned = self._prune_index(surviving)
+        return {
+            "objects_before": objects_before,
+            "objects_after": keep_count,
+            "bytes_before": bytes_before,
+            "bytes_after": keep_bytes,
+            "evicted": len(evicted),
+            "index_pruned": index_pruned,
+            "max_bytes": max_bytes,
+            "max_entries": max_entries,
+        }
 
     # -- introspection -------------------------------------------------------
 

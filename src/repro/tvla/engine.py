@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.certifier.report import Alarm, CertificationReport
 from repro.logic import compile as formula_compile
+from repro.logic import packed as packed_kernel
 from repro.logic.formula import Not, PredAtom
 from repro.logic.kleene import FALSE3, HALF, TRUE3
 from repro.runtime import guard as _guard
@@ -89,6 +90,7 @@ class TvlaEngine:
         iteration_budget: int = 200_000,
         worklist: str = "rpo",
         memoize_transfers: bool = True,
+        packed: bool = False,
     ) -> None:
         if mode not in ("relational", "independent"):
             raise ValueError(f"unknown mode {mode!r}")
@@ -100,6 +102,7 @@ class TvlaEngine:
         self.iteration_budget = iteration_budget
         self.worklist_order = worklist
         self.memoize_transfers = memoize_transfers
+        self.packed = packed
         self.abstraction_preds = tvp.abstraction_predicates()
         #: (action identity, input canonical key) ->
         #: ([(output key, output structure)], alarm contributions).
@@ -114,13 +117,20 @@ class TvlaEngine:
                 Dict[Tuple[int, str], _CheckContribution],
             ],
         ] = {}
+        #: update-stmt identity -> (compiled plane or None, outer slot
+        #: bindings); update objects live as long as the tvp, so id()
+        #: keys stay valid for the engine's lifetime
+        self._packed_update_plane: Dict[int, tuple] = {}
 
     # -- initial state -------------------------------------------------------------------
 
     def initial_structure(self) -> ThreeValuedStructure:
-        structure = ThreeValuedStructure()
+        if self.packed:
+            structure: ThreeValuedStructure = packed_kernel.PackedStructure()
+        else:
+            structure = ThreeValuedStructure()
         for pred in getattr(self.tvp, "initially_true_nullary", []):
-            structure.nullary[pred] = TRUE3
+            structure.set(pred, (), TRUE3)
         return structure
 
     # -- focus ----------------------------------------------------------------------------
@@ -156,7 +166,7 @@ class TvlaEngine:
             pending.extend([positive, negative])
             if current.summary.get(half_node, False):
                 split = current.copy()
-                clone = _duplicate_node(split, half_node)
+                clone = split.duplicate_node(half_node)
                 split.set(pred, (half_node,), TRUE3)
                 split.set(pred, (clone,), FALSE3)
                 pending.append(split)
@@ -248,12 +258,43 @@ class TvlaEngine:
             if not update.vars:
                 post.set(update.pred, (), pre.eval(update.rhs, env))
                 continue
+            if not formula_compile.compilation_enabled():
+                compiled = None
+            elif pre.packed:
+                entry = self._packed_update_plane.get(id(update))
+                if entry is None:
+                    plane = packed_kernel.compile_update_plane(
+                        update.rhs, tuple(update.vars)
+                    )
+                    if plane is None:
+                        entry = (None, ())
+                    else:
+                        var_set = set(update.vars)
+                        entry = (
+                            plane,
+                            tuple(
+                                (slot, name)
+                                for slot, name in enumerate(plane.free_vars)
+                                if name not in var_set
+                            ),
+                        )
+                    self._packed_update_plane[id(update)] = entry
+                plane, outer = entry
+                if plane is not None:
+                    # bulk bitwise transfer: one plane evaluation
+                    # replaces len(nodes) ** arity per-tuple closures
+                    slots = [0] * plane.num_slots
+                    for slot, name in outer:
+                        slots[slot] = env[name]
+                    t, h = packed_kernel.evaluate_update_plane(
+                        pre, plane, slots
+                    )
+                    post.set_plane(update.pred, len(update.vars), t, h)
+                    continue
+                compiled = packed_kernel.compile_packed_formula(update.rhs)
+            else:
+                compiled = formula_compile.compile_formula(update.rhs)
             assignments = _tuples(pre.nodes, len(update.vars))
-            compiled = (
-                formula_compile.compile_formula(update.rhs)
-                if formula_compile.compilation_enabled()
-                else None
-            )
             values = []
             if compiled is None:
                 for combo in assignments:
@@ -428,7 +469,7 @@ class TvlaEngine:
                             if old is None:
                                 merged = out
                             else:
-                                merged = ThreeValuedStructure.join(
+                                merged = type(old).join(
                                     old, out, preds
                                 ).canonicalize(preds)
                             old_key = (
@@ -498,29 +539,6 @@ def _alarm_list(
         ),
         key=lambda a: (a.site_id, a.instance),
     )
-
-
-def _duplicate_node(
-    structure: ThreeValuedStructure, node: int
-) -> int:
-    """Bifurcate a summary node: the clone inherits every predicate value
-    (including pairs with the original and itself)."""
-    clone = structure.new_node(summary=True)
-    structure.dirty()  # tables are mutated directly below
-    for table in structure.unary.values():
-        if node in table:
-            table[clone] = table[node]
-    for table2 in structure.binary.values():
-        for (n1, n2), value in list(table2.items()):
-            if n1 == node and n2 == node:
-                table2[(clone, clone)] = value
-                table2[(clone, node)] = value
-                table2[(node, clone)] = value
-            elif n1 == node:
-                table2[(clone, n2)] = value
-            elif n2 == node:
-                table2[(n1, clone)] = value
-    return clone
 
 
 def _tuples(nodes: List[int], arity: int):

@@ -36,6 +36,11 @@ _EMPTY_TABLE: Dict = {}
 class ThreeValuedStructure:
     """A mutable 3-valued structure; sparse (absent tuples are 0)."""
 
+    #: representation marker: the packed kernel
+    #: (:class:`repro.logic.packed.PackedStructure`) overrides this so the
+    #: engine and compiled-formula layer can dispatch without isinstance
+    packed = False
+
     def __init__(self) -> None:
         self.nodes: List[int] = []
         self.summary: Dict[int, bool] = {}
@@ -164,6 +169,28 @@ class ThreeValuedStructure:
             "3-valued equality supports logical variables only; got "
             f"{term!r}"
         )
+
+    # -- node bifurcation (focus) -------------------------------------------------------
+
+    def duplicate_node(self, node: int) -> int:
+        """Bifurcate a summary node: the clone inherits every predicate
+        value (including pairs with the original and itself)."""
+        clone = self.new_node(summary=True)
+        self.dirty()  # tables are mutated directly below
+        for table in self.unary.values():
+            if node in table:
+                table[clone] = table[node]
+        for table2 in self.binary.values():
+            for (n1, n2), value in list(table2.items()):
+                if n1 == node and n2 == node:
+                    table2[(clone, clone)] = value
+                    table2[(clone, node)] = value
+                    table2[(node, clone)] = value
+                elif n1 == node:
+                    table2[(clone, n2)] = value
+                elif n2 == node:
+                    table2[(n1, clone)] = value
+        return clone
 
     # -- canonical abstraction ----------------------------------------------------------
 

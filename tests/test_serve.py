@@ -377,7 +377,10 @@ class TestHealthAndStats:
         assert health["ok"] is True
         assert health["specs"] == ["cmp"]
         assert "fds" in health["engines"]
-        assert stats["queue"] == {"depth": 0, "limit": 8, "workers": 2}
+        assert stats["queue"] == {
+            "depth": 0, "limit": 8, "workers": 2,
+            "worker_mode": "thread",
+        }
         assert set(stats["requests"]) == {
             "received",
             "completed",

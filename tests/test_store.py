@@ -180,3 +180,79 @@ class TestGetByHash:
         cert = store.get_by_hash(cert_hash)
         assert isinstance(cert, ConformanceCertificate)
         assert cert.payload == fig3_certificate.payload
+
+
+def _synthetic_certificate(tag: str) -> ConformanceCertificate:
+    """A minimal distinct certificate; gc cares only about bytes/recency."""
+    return ConformanceCertificate(
+        payload={"format": "test", "tag": tag, "body": "x" * 64}
+    )
+
+
+class TestGc:
+    def _filled_store(self, root, count=5):
+        store = CertificateStore(root)
+        hashes = []
+        for index in range(count):
+            cert = _synthetic_certificate(f"cert-{index}")
+            cert_hash = store.put(cert, key=f"{index:02d}" + "k" * 62)
+            # give each object a distinct, increasing recency
+            store._last_used[cert_hash] = 1000.0 + index
+            if root is not None:
+                path = store._object_path(cert_hash)
+                os.utime(path, (1000.0 + index, 1000.0 + index))
+            hashes.append(cert_hash)
+        return store, hashes
+
+    def test_max_entries_evicts_oldest_first(self, tmp_path):
+        store, hashes = self._filled_store(str(tmp_path / "cas"))
+        summary = store.gc(max_entries=2)
+        assert summary["evicted"] == 3
+        assert summary["objects_after"] == 2
+        for old in hashes[:3]:
+            assert store.get_by_hash(old) is None
+        for recent in hashes[3:]:
+            assert store.get_by_hash(recent) is not None
+
+    def test_max_bytes_enforced(self, tmp_path):
+        store, hashes = self._filled_store(str(tmp_path / "cas"))
+        size = store.object_size(hashes[0])
+        summary = store.gc(max_bytes=2 * size)
+        assert summary["bytes_after"] <= 2 * size
+        assert summary["evicted"] == 3
+
+    def test_gc_prunes_index_of_evicted_objects(self, tmp_path):
+        store, hashes = self._filled_store(str(tmp_path / "cas"))
+        store.gc(max_entries=1)
+        # a fresh store over the same root must miss cleanly
+        fresh = CertificateStore(store.root)
+        assert fresh.get("00" + "k" * 62) is None
+        assert fresh.get("04" + "k" * 62) is not None
+
+    def test_gc_noop_under_limits(self, tmp_path):
+        store, hashes = self._filled_store(str(tmp_path / "cas"))
+        summary = store.gc(max_entries=10, max_bytes=10**9)
+        assert summary["evicted"] == 0
+        assert all(store.get_by_hash(h) is not None for h in hashes)
+
+    def test_gc_in_memory_store(self):
+        store, hashes = self._filled_store(None)
+        summary = store.gc(max_entries=2)
+        assert summary["evicted"] == 3
+        assert store.get_by_hash(hashes[-1]) is not None
+
+
+class TestGcCli:
+    def test_store_gc_command(self, tmp_path, fig3_certificate):
+        from repro.cli import main
+
+        root = str(tmp_path / "cas")
+        store = CertificateStore(root)
+        for index in range(3):
+            cert = _synthetic_certificate(f"cli-{index}")
+            store.put(cert, key=f"{index:02d}" + "c" * 62)
+        code = main(
+            ["store", "gc", "--store", root, "--max-entries", "1"]
+        )
+        assert code == 0
+        assert len(CertificateStore(root)) == 1
