@@ -81,7 +81,7 @@ def main() -> None:
     with tempfile.NamedTemporaryFile(
         "w", suffix=".json", delete=False
     ) as handle:
-        json.dump(acceptance_manifest(), handle)
+        json.dump(acceptance_manifest(), handle, sort_keys=True)
         manifest_path = handle.name
 
     sequential = timed_run(manifest_path, jobs=1)

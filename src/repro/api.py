@@ -221,6 +221,12 @@ class CertifyOptions:
     ladder: Union[None, bool, Tuple[str, ...]] = None
     emit_certificate: bool = False
     packed: Optional[bool] = None
+    #: parent :class:`~repro.cert.ConformanceCertificate` to recertify
+    #: incrementally from (see :mod:`repro.incr`).  Deliberately *not*
+    #: part of the recorded options payload or the fingerprint: an
+    #: incremental run's certificate is byte-identical to the cold one,
+    #: so the parent is an execution strategy, not a semantic option.
+    incremental_from: Optional[object] = None
 
 
 def packed_enabled(options: Optional[CertifyOptions] = None) -> bool:
@@ -382,12 +388,34 @@ class CertifySession:
         engine: Optional[str] = None,
         *,
         governor: Optional[ResourceGovernor] = None,
+        incremental_from: Optional[object] = None,
     ) -> CertificationReport:
-        """Parse a Jlite client and certify it against the session spec."""
+        """Parse a Jlite client and certify it against the session spec.
+
+        ``incremental_from`` (or ``options.incremental_from``) names a
+        parent certificate to seed the fixpoint from (:mod:`repro.incr`);
+        when the parent is unusable — different engine or options, a
+        changed variable universe, a tampered payload — the session
+        silently falls back to full certification, so the result is the
+        same either way (byte-identically so, when emitting).
+        """
+        parent = (
+            incremental_from
+            if incremental_from is not None
+            else self.options.incremental_from
+        )
         with self._activated():
             with phase("parse", spec=self.spec.name) as meta:
                 program = parse_program(source, self.spec)
                 meta["methods"] = len(program.methods)
+            if parent is not None:
+                from repro.incr import recertify
+
+                report = recertify(
+                    self, program, source, engine, parent, governor=governor
+                )
+                if report is not None:
+                    return report
             return self._dispatch(
                 program, engine, source_key=source, governor=governor
             )

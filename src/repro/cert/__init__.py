@@ -22,14 +22,34 @@ from repro.cert.model import (
     ConformanceCertificate,
 )
 from repro.cert.check import CertificateChecker, CheckResult
+from repro.cert.delta import (
+    DELTA_FORMAT,
+    DELTA_VERSION,
+    certificate_hash,
+    check_delta,
+    delta_text,
+    encode_delta,
+    load_delta,
+    materialize_delta,
+    write_delta,
+)
 from repro.cert.mutate import mutate_certificate
 
 __all__ = [
     "CERT_FORMAT",
     "CERT_VERSION",
+    "DELTA_FORMAT",
+    "DELTA_VERSION",
     "CertificateError",
     "CertificateChecker",
     "CheckResult",
     "ConformanceCertificate",
+    "certificate_hash",
+    "check_delta",
+    "delta_text",
+    "encode_delta",
+    "load_delta",
+    "materialize_delta",
     "mutate_certificate",
+    "write_delta",
 ]

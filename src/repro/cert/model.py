@@ -30,16 +30,20 @@ CERT_VERSION = 1
 #: options) and therefore safe to embed in a byte-stable artifact.
 #: Wall-clock ("seconds") and session-memo counters (transfer_hits /
 #: transfer_misses depend on what else the session analyzed first) are
-#: deliberately excluded.
+#: deliberately excluded, and so are *schedule-dependent* counters
+#: ("iterations", "edge_visits", "summary_updates"): an incremental
+#: re-certification (:mod:`repro.incr`) reaches the same fixpoint in
+#: fewer steps, and its certificate must still be byte-identical to the
+#: from-scratch one.  "max_structures" stays: per-node structure sets
+#: only grow, so the running maximum equals the final maximum and is a
+#: function of the fixpoint itself.
 DETERMINISTIC_STATS = (
     "abstraction_preds",
     "breach",
     "completed_rung",
     "contexts",
     "degraded_to",
-    "edge_visits",
     "edges",
-    "iterations",
     "ladder",
     "max_structures",
     "nodes_analyzed",
@@ -48,7 +52,6 @@ DETERMINISTIC_STATS = (
     "salvaged",
     "sites_resolved",
     "sites_unresolved",
-    "summary_updates",
     "variables",
 )
 

@@ -37,6 +37,21 @@ from repro.util.worklist import make_worklist
 
 
 @dataclass
+class BitmaskSeed:
+    """Warm-start for :meth:`FdsSolver.solve` (incremental
+    recertification): the parent fixpoint's per-node masks on the clean
+    region (mapped to this program's node ids) plus the clean-frontier
+    nodes to schedule first.  Merges are bitwise ORs, so re-iterating
+    from a predecessor-closed slice of the old fixpoint reaches exactly
+    the cold fixpoint, and alarms are collected post-hoc from the final
+    masks either way."""
+
+    may_one: Dict[int, int]
+    may_zero: Dict[int, int]
+    frontier: Tuple[int, ...] = ()
+
+
+@dataclass
 class FdsResult:
     """Per-node may-1 / may-0 bitmasks plus the alarm list."""
 
@@ -75,20 +90,32 @@ class FdsSolver:
         #: cooperative resource budgets, polled once per iteration
         self.governor = governor
 
-    def solve(self, program: BoolProgram) -> FdsResult:
+    def solve(
+        self, program: BoolProgram, seed: Optional[BitmaskSeed] = None
+    ) -> FdsResult:
         governor = self.governor
         init_one = program.initial_mask()
         all_vars = (1 << program.num_vars) - 1
         init_zero = all_vars & ~init_one
-        may_one: Dict[int, int] = {program.entry: init_one}
-        may_zero: Dict[int, int] = {program.entry: init_zero}
         provenance: Dict[Tuple[int, int], tuple] = {}
         worklist = make_worklist(
             self.worklist_order,
             program.entry,
             lambda n: [e.dst for e in program.out_edges(n)],
         )
-        worklist.push(program.entry)
+        if seed is None:
+            may_one: Dict[int, int] = {program.entry: init_one}
+            may_zero: Dict[int, int] = {program.entry: init_zero}
+            worklist.push(program.entry)
+        else:
+            may_one = dict(seed.may_one)
+            may_zero = dict(seed.may_zero)
+            for node in seed.frontier:
+                worklist.push(node)
+            if program.entry not in may_one:
+                may_one[program.entry] = init_one
+                may_zero[program.entry] = init_zero
+                worklist.push(program.entry)
         iterations = 0
         try:
             while worklist:
@@ -266,6 +293,7 @@ def certify_fds(
     worklist: str = "rpo",
     governor: Optional[ResourceGovernor] = None,
     result_sink: Optional[List[FdsResult]] = None,
+    seed: Optional[BitmaskSeed] = None,
 ) -> CertificationReport:
     """Convenience wrapper returning a report for one boolean program.
 
@@ -278,7 +306,7 @@ def certify_fds(
             prune_requires=prune_requires,
             worklist=worklist,
             governor=governor,
-        ).solve(program)
+        ).solve(program, seed)
         trace_meta.update(
             iterations=result.iterations, variables=program.num_vars
         )

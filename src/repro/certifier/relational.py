@@ -44,6 +44,21 @@ class StateExplosion(ResourceExhausted):
 
 
 @dataclass
+class RelationalSeed:
+    """Warm-start for :meth:`RelationalSolver.solve` (incremental
+    recertification): the parent fixpoint's valuation sets on the clean
+    region (mapped to this program's node ids) plus the clean-frontier
+    nodes to schedule first.  A seeded run recovers the cold run's alarm
+    set by replaying the check edges over the final states — equal to
+    cold accumulation because per-site hits are monotone ORs and the
+    cold run's last transfer of each edge saw its source's full final
+    valuation set."""
+
+    states: Dict[int, FrozenSet[int]]
+    frontier: Tuple[int, ...] = ()
+
+
+@dataclass
 class RelationalResult:
     program: BoolProgram
     states: Dict[int, FrozenSet[int]]
@@ -68,16 +83,26 @@ class RelationalSolver:
         self.worklist_order = worklist
         self.governor = governor
 
-    def solve(self, program: BoolProgram) -> RelationalResult:
+    def solve(
+        self, program: BoolProgram, seed: Optional[RelationalSeed] = None
+    ) -> RelationalResult:
         governor = self.governor
         init = frozenset([program.initial_mask()])
-        states: Dict[int, Set[int]] = {program.entry: set(init)}
         worklist = make_worklist(
             self.worklist_order,
             program.entry,
             lambda n: [e.dst for e in program.out_edges(n)],
         )
-        worklist.push(program.entry)
+        if seed is None:
+            states: Dict[int, Set[int]] = {program.entry: set(init)}
+            worklist.push(program.entry)
+        else:
+            states = {node: set(vals) for node, vals in seed.states.items()}
+            for node in seed.frontier:
+                worklist.push(node)
+            if program.entry not in states:
+                states[program.entry] = set(init)
+                worklist.push(program.entry)
         in_degree: Dict[int, int] = {}
         for edge in program.edges:
             in_degree[edge.dst] = in_degree.get(edge.dst, 0) + 1
@@ -124,6 +149,22 @@ class RelationalSolver:
                 nodes_analyzed=len(states),
                 nodes_total=_node_count(program),
                 stats={"iterations": iterations, "max_states": max_states},
+            )
+        if seed is not None:
+            # the seeded run never transferred the clean region's edges,
+            # so its accumulated hits are partial — replay every check
+            # edge over the final states (the cold run's last transfer of
+            # each edge saw exactly this valuation set) and recover the
+            # cold high-water mark from the final sizes (sets only grow)
+            alarm_hits = {}
+            for edge in program.edges:
+                if not edge.checks:
+                    continue
+                source = states.get(edge.src)
+                if source:
+                    self._transfer(edge, source, alarm_hits)
+            max_states = max(
+                1, max((len(vals) for vals in states.values()), default=1)
             )
         alarms = self._collect_alarms(program, alarm_hits)
         return RelationalResult(
@@ -211,11 +252,12 @@ def certify_relational(
     program: BoolProgram,
     *,
     result_sink: Optional[List[RelationalResult]] = None,
+    seed: Optional[RelationalSeed] = None,
     **kwargs,
 ) -> CertificationReport:
     solver = RelationalSolver(**kwargs)
     with trace_phase("fixpoint", engine="relational") as trace_meta:
-        result = solver.solve(program)
+        result = solver.solve(program, seed)
         trace_meta.update(
             max_states=result.max_states, variables=program.num_vars
         )

@@ -264,6 +264,41 @@ def build_bench_parser() -> argparse.ArgumentParser:
         help="worker counts for the --packed-compare batch-scaling row",
     )
     parser.add_argument(
+        "--incremental",
+        action="store_true",
+        help="run the incremental-recertification bench: byte-diff "
+        "warm-started vs from-scratch certificates over fuzzed edit "
+        "chains, and time the speedup-vs-edit-distance curve on a "
+        "loop-heavy heap client",
+    )
+    parser.add_argument(
+        "--seeds",
+        type=int,
+        default=8,
+        metavar="N",
+        help="fuzzed base clients for the --incremental equality corpus",
+    )
+    parser.add_argument(
+        "--edits",
+        type=int,
+        default=5,
+        metavar="N",
+        help="edit-chain length per base client for --incremental",
+    )
+    parser.add_argument(
+        "--edit-seed",
+        type=int,
+        default=0,
+        metavar="S",
+        help="base seed for the --incremental edit chains",
+    )
+    parser.add_argument(
+        "--distances",
+        default="1,2,4,8",
+        metavar="D1,D2,...",
+        help="edit distances for the --incremental speedup curve",
+    )
+    parser.add_argument(
         "--engine",
         default="tvla-relational",
         choices=ENGINES,
@@ -477,6 +512,22 @@ def build_certify_parser() -> argparse.ArgumentParser:
         help="write one <program>-<engine>.cert.json per certification",
     )
     parser.add_argument(
+        "--incremental-from",
+        default=None,
+        metavar="CERT",
+        help="seed the fixpoint from this parent certificate "
+        "(incremental recertification; falls back to a full run when "
+        "the parent is unusable)",
+    )
+    parser.add_argument(
+        "--emit-delta",
+        default=None,
+        metavar="PATH",
+        help="with --incremental-from and a single certification, write "
+        "a delta certificate against the parent instead of requiring a "
+        "full --emit-cert",
+    )
+    parser.add_argument(
         "--check",
         action="store_true",
         help="immediately validate every emitted certificate with the "
@@ -561,6 +612,30 @@ def certify_main(argv: Optional[List[str]] = None) -> int:
             file=sys.stderr,
         )
         return 2
+    parent = None
+    if args.incremental_from:
+        from repro.cert import CertificateError, ConformanceCertificate
+
+        try:
+            parent = ConformanceCertificate.load(args.incremental_from)
+        except (OSError, json.JSONDecodeError, CertificateError) as error:
+            print(
+                f"error: bad parent certificate: {error}", file=sys.stderr
+            )
+            return 2
+    if args.emit_delta:
+        if parent is None:
+            print(
+                "error: --emit-delta needs --incremental-from",
+                file=sys.stderr,
+            )
+            return 2
+        if len(items) != 1 or len(items[0][2]) != 1:
+            print(
+                "error: --emit-delta takes exactly one certification",
+                file=sys.stderr,
+            )
+            return 2
     if args.emit_cert_dir:
         import os
 
@@ -582,7 +657,9 @@ def certify_main(argv: Optional[List[str]] = None) -> int:
             tracer = CollectingTracer()
             started = _time.monotonic()
             with use_tracer(tracer):
-                report = session.certify(source, engine=engine)
+                report = session.certify(
+                    source, engine=engine, incremental_from=parent
+                )
             seconds = _time.monotonic() - started
             cert = report.certificate
             cert_path = None
@@ -591,6 +668,12 @@ def certify_main(argv: Optional[List[str]] = None) -> int:
                 + ("CERTIFIED" if report.certified else
                    f"{len(report.alarms)} alarm(s)")
             )
+            if parent is not None:
+                line += (
+                    "  [incremental]"
+                    if report.stats.get("incremental")
+                    else "  [full fallback]"
+                )
             if cert is not None:
                 if args.emit_cert:
                     cert.write(args.emit_cert)
@@ -602,11 +685,35 @@ def certify_main(argv: Optional[List[str]] = None) -> int:
                     )
                     cert.write(cert_path)
                 line += f"  [{len(cert.text())} cert bytes]"
+                if args.emit_delta:
+                    from repro.cert import (
+                        delta_text,
+                        encode_delta,
+                        write_delta,
+                    )
+
+                    delta = encode_delta(parent, cert)
+                    write_delta(delta, args.emit_delta)
+                    line += (
+                        f"  [{len(delta_text(delta))} delta bytes "
+                        f"-> {args.emit_delta}]"
+                    )
                 if checker is not None:
                     result = checker.check(cert)
                     if not result.ok:
                         rejects += 1
                         line += f"  CHECK-{result.kind.upper()}"
+                    elif args.emit_delta:
+                        from repro.cert import check_delta
+
+                        delta_result, _ = check_delta(
+                            parent, delta, checker, spec=spec
+                        )
+                        if not delta_result.ok:
+                            rejects += 1
+                            line += (
+                                f"  DELTA-{delta_result.kind.upper()}"
+                            )
             records.append(
                 {
                     "name": name,
@@ -896,7 +1003,32 @@ def bench_main(argv: Optional[List[str]] = None) -> int:
         programs = [by_name[name] for name in sorted(wanted)]
 
     options = _governor_options(args)
-    if args.packed_compare:
+    if args.incremental:
+        from repro.bench.incremental import run_incremental_bench
+
+        try:
+            distances = [
+                int(part) for part in args.distances.split(",") if part
+            ]
+        except ValueError:
+            print(
+                f"error: bad --distances: {args.distances!r}",
+                file=sys.stderr,
+            )
+            return 2
+        result = run_incremental_bench(
+            spec=spec,
+            seeds=args.seeds,
+            edits=args.edits,
+            edit_seed=args.edit_seed,
+            distances=distances,
+            reps=args.reps,
+        )
+        payload = result.to_json()
+        ok = result.ok(args.min_speedup or 0.0)
+        if not args.quiet:
+            print(result.format(args.min_speedup or 0.0))
+    elif args.packed_compare:
         from repro.bench.harness import run_packed_comparison
 
         sizes = None

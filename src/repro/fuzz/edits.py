@@ -1,0 +1,249 @@
+"""Deterministic edit sequences over generated Jlite clients.
+
+The differential fuzzer exercises *programs*; incremental
+recertification needs *edit chains* — a base client plus a sequence of
+small, parseable edits, so equality of incremental and from-scratch
+certification can be gated over realistic CI-shaped traffic (and so the
+speedup-vs-edit-distance curve in ``repro bench --incremental`` has an
+x-axis).
+
+Edits are line-based over the source emitted by
+:mod:`repro.fuzz.generator` and stay within its grammar:
+
+* **insert** — a fresh statement over existing Set/Iterator variables at
+  a random point of ``main``'s body;
+* **delete** — a simple (single-line, non-declaration, non-return)
+  statement;
+* **swap** — two adjacent simple statements;
+* **rename** — a whole-word variable rename across the program;
+* **toggle** — flip an ``if (?)`` header to ``while (?)`` (or back), or
+  an ``==`` comparison to ``!=``.
+
+Every operation is driven by an explicit ``random.Random``, so an edit
+sequence is a pure function of (base source, seed, count).
+"""
+
+from __future__ import annotations
+
+import random
+import re
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+_SET_DECL = re.compile(r"^\s*Set (s\d+) = new Set\(\);$")
+_ITER_DECL = re.compile(r"^\s*Iterator (i\d+) = ")
+_VAR = re.compile(r"\b([si]\d+)\b")
+
+
+@dataclass(frozen=True)
+class Edit:
+    """One applied edit: the operation kind, a human-readable summary,
+    and the edit distance it contributes (always 1 — chains measure
+    distance by length)."""
+
+    kind: str
+    detail: str
+
+
+def _main_body_range(lines: List[str]) -> Tuple[int, int]:
+    """(start, end) line indices of ``main``'s body, end exclusive."""
+    try:
+        start = lines.index("  static void main() {") + 1
+    except ValueError:
+        return (0, 0)
+    # layout: ... body ..., "  }", "}"
+    end = len(lines) - 2
+    return (start, max(start, end))
+
+
+def _is_simple(line: str) -> bool:
+    stripped = line.strip()
+    return (
+        stripped.endswith(";")
+        and "{" not in stripped
+        and "}" not in stripped
+    )
+
+
+def _is_decl(line: str) -> bool:
+    stripped = line.strip()
+    return (
+        stripped.startswith("Set ")
+        or stripped.startswith("Iterator ")
+        or stripped.startswith("return")
+    )
+
+
+def _variables(source: str) -> Tuple[List[str], List[str]]:
+    sets, iters = [], []
+    for line in source.splitlines():
+        match = _SET_DECL.match(line)
+        if match:
+            sets.append(match.group(1))
+        match = _ITER_DECL.match(line)
+        if match:
+            iters.append(match.group(1))
+    if "  static Set g;" in source:
+        sets.append("g")
+    return sets, iters
+
+
+def _insert(lines: List[str], rng: random.Random) -> Optional[Edit]:
+    start, end = _main_body_range(lines)
+    if start >= end:
+        return None
+    sets, iters = _variables("\n".join(lines))
+    candidates: List[str] = []
+    if sets:
+        candidates.append(f'{rng.choice(sets)}.add("x");')
+    if iters:
+        candidates.append(f"{rng.choice(iters)}.next();")
+        candidates.append(f"{rng.choice(iters)}.remove();")
+        it = rng.choice(iters)
+        candidates.append(f"if ({it}.hasNext()) {{ {it}.next(); }}")
+    if sets and iters:
+        candidates.append(
+            f"{rng.choice(iters)} = {rng.choice(sets)}.iterator();"
+        )
+    if not candidates:
+        return None
+    statement = rng.choice(candidates)
+    # insert after the declarations so every used variable is in scope,
+    # and never between a closing brace and its else header
+    positions = [
+        i
+        for i in range(start, end + 1)
+        if i == end
+        or (
+            lines[i].startswith("    ")
+            and not lines[i].strip().startswith("else")
+        )
+    ]
+    decl_floor = start
+    for i in range(start, end):
+        if _is_decl(lines[i]) and not lines[i].strip().startswith("return"):
+            decl_floor = i + 1
+    positions = [i for i in positions if i >= decl_floor]
+    where = rng.choice(positions) if positions else end
+    lines.insert(where, f"    {statement}")
+    return Edit("insert", f"insert {statement!r} at line {where + 1}")
+
+
+def _delete(lines: List[str], rng: random.Random) -> Optional[Edit]:
+    start, end = _main_body_range(lines)
+    victims = [
+        i
+        for i in range(start, end)
+        if _is_simple(lines[i]) and not _is_decl(lines[i])
+    ]
+    if not victims:
+        return None
+    where = rng.choice(victims)
+    removed = lines.pop(where).strip()
+    return Edit("delete", f"delete {removed!r} from line {where + 1}")
+
+
+def _swap(lines: List[str], rng: random.Random) -> Optional[Edit]:
+    start, end = _main_body_range(lines)
+    pairs = [
+        i
+        for i in range(start, end - 1)
+        if _is_simple(lines[i])
+        and _is_simple(lines[i + 1])
+        and not _is_decl(lines[i])
+        and not _is_decl(lines[i + 1])
+        and lines[i] != lines[i + 1]
+    ]
+    if not pairs:
+        return None
+    where = rng.choice(pairs)
+    lines[where], lines[where + 1] = lines[where + 1], lines[where]
+    return Edit("swap", f"swap lines {where + 1} and {where + 2}")
+
+
+def _rename(lines: List[str], rng: random.Random) -> Optional[Edit]:
+    source = "\n".join(lines)
+    names = sorted(set(_VAR.findall(source)))
+    if not names:
+        return None
+    old = rng.choice(names)
+    new = f"{old}r"
+    while re.search(rf"\b{re.escape(new)}\b", source):
+        new += "r"
+    pattern = re.compile(rf"\b{re.escape(old)}\b")
+    for i, line in enumerate(lines):
+        lines[i] = pattern.sub(new, line)
+    return Edit("rename", f"rename {old} -> {new}")
+
+
+def _has_else(lines: List[str], header: int, end: int) -> bool:
+    """True when the block opened at ``header`` is followed by ``else``
+    (an ``if`` with an else branch cannot become a ``while``)."""
+    depth = 0
+    for i in range(header, end):
+        depth += lines[i].count("{") - lines[i].count("}")
+        if depth == 0:
+            return i + 1 < end and lines[i + 1].strip().startswith("else")
+    return False
+
+
+def _toggle(lines: List[str], rng: random.Random) -> Optional[Edit]:
+    start, end = _main_body_range(lines)
+    candidates = []
+    for i in range(start, end):
+        if (
+            "if (?)" in lines[i]
+            and "{ " not in lines[i]
+            and not _has_else(lines, i, end)
+        ):
+            candidates.append((i, "if (?)", "while (?)"))
+        elif "while (?)" in lines[i]:
+            candidates.append((i, "while (?)", "if (?)"))
+        elif " == " in lines[i] and lines[i].lstrip().startswith("if ("):
+            candidates.append((i, " == ", " != "))
+        elif " != " in lines[i] and lines[i].lstrip().startswith("if ("):
+            candidates.append((i, " != ", " == "))
+    if not candidates:
+        return None
+    where, old, new = rng.choice(candidates)
+    lines[where] = lines[where].replace(old, new, 1)
+    return Edit("toggle", f"toggle {old.strip()!r} -> {new.strip()!r} at line {where + 1}")
+
+
+_OPERATIONS = (
+    ("insert", _insert),
+    ("delete", _delete),
+    ("swap", _swap),
+    ("rename", _rename),
+    ("toggle", _toggle),
+)
+
+
+def apply_edit(source: str, rng: random.Random) -> Tuple[str, Edit]:
+    """Apply one random edit; always succeeds (insert is total on any
+    generated client, so the retry loop terminates)."""
+    for _attempt in range(16):
+        kind, operation = _OPERATIONS[rng.randrange(len(_OPERATIONS))]
+        lines = source.split("\n")
+        trailing = ""
+        if lines and lines[-1] == "":
+            lines.pop()
+            trailing = "\n"
+        edit = operation(lines, rng)
+        if edit is not None:
+            return "\n".join(lines) + trailing, edit
+    raise AssertionError("no applicable edit operation")
+
+
+def edit_sequence(
+    source: str, num_edits: int, seed: int
+) -> List[Tuple[str, Edit]]:
+    """The deterministic edit chain for (source, seed): a list of
+    ``(source after edit k, edit k)``, length ``num_edits``."""
+    rng = random.Random(seed)
+    chain: List[Tuple[str, Edit]] = []
+    current = source
+    for _ in range(num_edits):
+        current, edit = apply_edit(current, rng)
+        chain.append((current, edit))
+    return chain

@@ -318,6 +318,20 @@ class _SpecRunner:
 # -- the fixpoint ------------------------------------------------------------------------
 
 
+@dataclass
+class GenericSeed:
+    """Warm-start for :func:`analyze_generic` (incremental
+    recertification): the parent fixpoint's per-node states on the clean
+    region (decoded via ``domain.state_from_json`` and mapped to this
+    CFG's node ids) plus the clean-frontier nodes to schedule first.
+    Joins are idempotent and states only climb, so the seeded run closes
+    on the cold fixpoint; the alarm pass is post-hoc over the final
+    states in both modes."""
+
+    states: Dict[int, object]
+    frontier: Tuple[int, ...] = ()
+
+
 def analyze_generic(
     inlined: InlinedProgram,
     domain: HeapDomain,
@@ -325,12 +339,13 @@ def analyze_generic(
     max_iterations: int = 200_000,
     worklist: str = "rpo",
     governor: Optional[ResourceGovernor] = None,
+    seed: Optional[GenericSeed] = None,
 ) -> GenericResult:
     """Run a generic heap analysis over the composite program."""
     with trace_phase("fixpoint", engine=engine_name) as trace_meta:
         result = _analyze_generic(
             inlined, domain, engine_name, max_iterations, worklist,
-            governor,
+            governor, seed,
         )
         trace_meta["iterations"] = result.iterations
     return result
@@ -377,17 +392,26 @@ def _analyze_generic(
     max_iterations: int,
     worklist_order: str = "rpo",
     governor: Optional[ResourceGovernor] = None,
+    seed: Optional[GenericSeed] = None,
 ) -> GenericResult:
     spec = inlined.program.spec
     runner = _SpecRunner(spec, domain)
     cfg = inlined.cfg
-    states: Dict[int, object] = {cfg.entry: domain.initial()}
     worklist = make_worklist(
         worklist_order,
         cfg.entry,
         lambda n: [e.dst for e in cfg.out_edges(n)],
     )
-    worklist.push(cfg.entry)
+    if seed is None:
+        states: Dict[int, object] = {cfg.entry: domain.initial()}
+        worklist.push(cfg.entry)
+    else:
+        states = dict(seed.states)
+        for node in seed.frontier:
+            worklist.push(node)
+        if cfg.entry not in states:
+            states[cfg.entry] = domain.initial()
+            worklist.push(cfg.entry)
     iterations = 0
     try:
         while worklist:
@@ -400,7 +424,9 @@ def _analyze_generic(
                     f"{max_iterations} steps"
                 )
             node = worklist.pop()
-            state = states[node]
+            state = states.get(node)
+            if state is None:
+                continue
             for edge in cfg.out_edges(node):
                 for successor in _transfer(
                     edge.stm, state, domain, runner, None

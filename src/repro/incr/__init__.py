@@ -1,0 +1,17 @@
+"""Incremental recertification (ROADMAP item 2).
+
+When a certified client comes back with a small edit, the previous
+certificate's per-node fixpoint annotation seeds the new run: only the
+*dirty region* — changed edges plus everything downstream — is
+re-iterated, and the result is byte-identical to from-scratch
+certification (certificates and alarm sets; the CI ``incremental-gate``
+diffs both over fuzzed edit sequences).  This is the program of "Some
+Issues on Incremental Abstraction-Carrying Code" (Albert et al.) applied
+to the paper's conformance certifiers; delta certificates
+(:mod:`repro.cert.delta`) are the corresponding artifact-size half.
+"""
+
+from repro.incr.core import recertify
+from repro.incr.dirty import clean_frontier, match_graphs
+
+__all__ = ["clean_frontier", "match_graphs", "recertify"]

@@ -1,0 +1,204 @@
+"""Dirty-region computation for incremental recertification.
+
+Given the parent program's graph and the edited program's graph (any of
+the engine-level graphs: boolean programs, TVP action graphs, inlined
+CFGs), :func:`match_graphs` aligns the two by forward propagation from
+the entries and returns the *clean* region of the new graph — the nodes
+whose fixpoint values provably coincide with the parent's.
+
+A new node is clean when (a) it is matched, (b) its in-edges are in
+label-preserving bijection with its image's in-edges (with matched
+sources on both sides), and (c) all its predecessors are clean.  Clean
+is therefore predecessor-closed **on both graphs simultaneously**: the
+fixpoint equations restricted to the clean region form isomorphic closed
+subsystems (same labels ⇒ same transfer functions, same initial-state
+contribution at the entry), so the two least fixpoints agree on it —
+*regardless* of whether the matching is the "intended" alignment, which
+is what makes the dst-id-order tie-break below safe.  Everything else is
+dirty and gets re-iterated.
+
+Edge labels are supplied by the caller and must capture exactly the
+transfer semantics of the edge (and nothing more — line numbers, say,
+are excluded wherever they cannot leak into abstract states, so that a
+pure line-shifting edit keeps the region clean).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict, deque
+from typing import Dict, Hashable, Iterable, List, Set, Tuple
+
+#: (src, dst, label) — the caller renders engine edges into this shape.
+LabeledEdge = Tuple[int, int, Hashable]
+
+
+def match_graphs(
+    old_entry: int,
+    old_edges: Iterable[LabeledEdge],
+    new_entry: int,
+    new_edges: Iterable[LabeledEdge],
+) -> Tuple[Dict[int, int], Set[int]]:
+    """Align two labeled graphs; returns ``(new->old mapping, clean)``.
+
+    ``clean`` is a predecessor-closed set of *new* node ids on which the
+    parent's fixpoint annotation can be reused verbatim (via the
+    mapping).  The empty set is always a sound answer; the matching only
+    ever shrinks work, never changes results.
+    """
+    old_out: Dict[int, List[Tuple[Hashable, int]]] = defaultdict(list)
+    new_out: Dict[int, List[Tuple[Hashable, int]]] = defaultdict(list)
+    old_in: Dict[int, List[Tuple[Hashable, int]]] = defaultdict(list)
+    new_in: Dict[int, List[Tuple[Hashable, int]]] = defaultdict(list)
+    for src, dst, label in old_edges:
+        old_out[src].append((label, dst))
+        old_in[dst].append((label, src))
+    for src, dst, label in new_edges:
+        new_out[src].append((label, dst))
+        new_in[dst].append((label, src))
+
+    # -- forward pairing from the entries --------------------------------
+    new2old: Dict[int, int] = {new_entry: old_entry}
+    old2new: Dict[int, int] = {old_entry: new_entry}
+    queue = deque([new_entry])
+    while queue:
+        node = queue.popleft()
+        image = new2old[node]
+        groups_new: Dict[Hashable, List[int]] = defaultdict(list)
+        groups_old: Dict[Hashable, List[int]] = defaultdict(list)
+        for label, dst in new_out.get(node, []):
+            groups_new[label].append(dst)
+        for label, dst in old_out.get(image, []):
+            groups_old[label].append(dst)
+        for label, new_dsts in groups_new.items():
+            old_dsts = groups_old.get(label)
+            if old_dsts is None or len(old_dsts) != len(new_dsts):
+                continue  # ambiguous fan-out: leave unmatched (dirty)
+            for nd, od in zip(sorted(new_dsts), sorted(old_dsts)):
+                if nd in new2old or od in old2new:
+                    continue  # first proposal wins; conflicts stay dirty
+                new2old[nd] = od
+                old2new[od] = nd
+                queue.append(nd)
+
+    # -- local cleanliness: in-edge bijection ----------------------------
+    clean: Set[int] = set()
+    for node, image in new2old.items():
+        new_preds = []
+        good = True
+        for label, src in new_in.get(node, []):
+            mapped = new2old.get(src)
+            if mapped is None:
+                good = False
+                break
+            new_preds.append((label, mapped))
+        if not good:
+            continue
+        old_preds = [(label, src) for label, src in old_in.get(image, [])]
+        if Counter(new_preds) == Counter(old_preds):
+            clean.add(node)
+
+    # -- predecessor closure (greatest fixpoint) -------------------------
+    changed = True
+    while changed:
+        changed = False
+        for node in list(clean):
+            for _label, src in new_in.get(node, []):
+                if src not in clean:
+                    clean.discard(node)
+                    changed = True
+                    break
+
+    return new2old, clean
+
+
+def clean_frontier(
+    clean: Set[int], new_edges: Iterable[LabeledEdge]
+) -> Tuple[int, ...]:
+    """Clean nodes with at least one dirty successor — the only places a
+    seeded worklist run can originate new work; sorted for determinism."""
+    frontier = {
+        src
+        for src, dst, _label in new_edges
+        if src in clean and dst not in clean
+    }
+    return tuple(sorted(frontier))
+
+
+# -- per-family edge labels -------------------------------------------------
+
+
+def bool_edge_label(edge) -> Hashable:
+    """Transfer-relevant content of a :class:`BoolEdge`.
+
+    Checks matter only through the checked variable (both solvers prune
+    / record on the bit; site ids and lines feed the *alarm* pass, which
+    an incremental run recomputes from the new program anyway), assigns
+    through (target, sources, const-1), and filters verbatim (the
+    relational solver applies them; for FDS they are merely stricter).
+    """
+    return (
+        tuple(check.var for check in edge.checks),
+        tuple(
+            (assign.target, assign.sources, assign.const_true)
+            for assign in edge.assigns
+        ),
+        tuple(edge.filters),
+    )
+
+
+def tvp_edge_label(edge) -> Hashable:
+    """Transfer-relevant content of a :class:`TvpEdge` action: focus
+    formulas, fresh-node variable, updates, and check conditions (op_key
+    + condition — the pruning a failed check applies depends on the
+    condition shape, not on the site id or line)."""
+    action = edge.action
+    return (
+        tuple(str(formula) for formula in action.focus),
+        action.new_var,
+        tuple(str(update) for update in action.updates),
+        tuple((check.op_key, str(check.cond)) for check in action.checks),
+    )
+
+
+def cfg_edge_label(edge) -> Hashable:
+    """Transfer-relevant content of a CFG statement edge for the generic
+    heap engines.  Lines are excluded except where they leak into states:
+    client allocation sites are named ``client:{line}:{class}`` and spec
+    allocation sites ``spec:{site_id}:{label}``, so :class:`SNewClient`
+    keeps its line and :class:`SCallComp` its site id."""
+    from repro.lang.cfg import (
+        SAssume,
+        SCallClient,
+        SCallComp,
+        SCopy,
+        SLoad,
+        SNewClient,
+        SNop,
+        SNull,
+        SReturn,
+        SStore,
+    )
+
+    stm = edge.stm
+    kind = type(stm).__name__
+    if isinstance(stm, SNewClient):
+        return (kind, stm.dst, stm.class_name, stm.line)
+    if isinstance(stm, SCallComp):
+        return (kind, stm.op_key, stm.bindings, stm.site_id)
+    if isinstance(stm, SCopy):
+        return (kind, stm.dst, stm.src, stm.type)
+    if isinstance(stm, SNull):
+        return (kind, stm.dst, stm.type)
+    if isinstance(stm, SLoad):
+        return (kind, stm.dst, stm.base, stm.field, stm.type)
+    if isinstance(stm, SStore):
+        return (kind, stm.base, stm.field, stm.src, stm.type)
+    if isinstance(stm, SAssume):
+        return (kind, stm.lhs, stm.rhs, stm.equal)
+    if isinstance(stm, SCallClient):
+        return (kind, stm.callee, stm.receiver, stm.args, stm.result)
+    if isinstance(stm, SReturn):
+        return (kind, stm.var)
+    if isinstance(stm, SNop):
+        return (kind,)
+    return (kind, str(stm))

@@ -42,7 +42,7 @@ from repro.easl.library import UnknownSpecError, available_specs, get_spec
 from repro.runtime.guard import ResourceExhausted, ResourceGovernor
 from repro.runtime.trace import CollectingTracer, use_tracer
 from repro.store import CertificateStore
-from repro.store.cas import request_key
+from repro.store.cas import lineage_key, request_key
 
 #: option keys a request may override (the certificate-relevant subset)
 REQUEST_OPTION_KEYS = ("entry", "prune_requires", "inline_depth", "worklist")
@@ -250,6 +250,9 @@ class _Job:
     source: Optional[str] = None
     engine: str = "auto"
     options: Optional[CertifyOptions] = None
+    #: explicit warm-start parent (certificate hash) for incremental
+    #: recertification; None falls back to the store's lineage index
+    parent: Optional[str] = None
     # check fields
     certificate: Optional[ConformanceCertificate] = None
     cert_hash: Optional[str] = None
@@ -295,6 +298,7 @@ class CertificationService:
             "checks": 0,
             "certifications": 0,
             "recertifications": 0,
+            "incremental": 0,
         }
         self._counters_lock = threading.Lock()
         self._spec_names = tuple(
@@ -436,12 +440,18 @@ class CertificationService:
                 f"unknown option(s) {sorted(unknown)}; "
                 f"allowed: {sorted(REQUEST_OPTION_KEYS)}"
             )
+        parent = body.get("parent")
+        if parent is not None and not isinstance(parent, str):
+            raise BadRequest(
+                "'parent' must be a certificate hash (string)"
+            )
         return {
             "source": source,
             "spec": spec_name,
             "engine": engine,
             "tenant": tenant,
             "options": options,
+            "parent": parent,
         }
 
     async def _admit(self, job: _Job) -> Optional[Tuple[int, Dict[str, object]]]:
@@ -506,6 +516,7 @@ class CertificationService:
             entry=self._entry(fieldsd["spec"], fieldsd["options"]),
             source=fieldsd["source"],
             engine=fieldsd["engine"],
+            parent=fieldsd["parent"],
             queued_at=time.monotonic(),
         )
         refused = await self._admit(job)
@@ -724,8 +735,12 @@ class CertificationService:
                     if payload is not None:
                         return payload
                     # fall through: stored certificate failed its check;
-                    # re-certify and repoint the index
-                return self._certify_on_miss(job, key, tracer, started)
+                    # re-certify from scratch and repoint the index — a
+                    # store that just served a forgery for this key does
+                    # not get to supply the warm-start parent either
+                return self._certify_on_miss(
+                    job, key, tracer, started, warm_start=stored is None
+                )
         except Exception as error:
             self._bump("errors")
             self._account(
@@ -789,6 +804,7 @@ class CertificationService:
         key: str,
         tracer: CollectingTracer,
         started: float,
+        warm_start: bool = True,
     ) -> Tuple[int, Dict[str, object]]:
         entry = job.entry
         assert entry is not None and job.source is not None
@@ -813,10 +829,14 @@ class CertificationService:
             )
         governor = self._governor(job.state)
         steps = 0
+        parent_cert = self._resolve_parent(job) if warm_start else None
         try:
             with entry.lock:
                 report = entry.session.certify(
-                    job.source, engine=job.engine, governor=governor
+                    job.source,
+                    engine=job.engine,
+                    governor=governor,
+                    incremental_from=parent_cert,
                 )
         except ResourceExhausted as error:
             return self._breach_answer(
@@ -831,6 +851,32 @@ class CertificationService:
         if governor is not None:
             steps = governor.steps
         return self._certified_answer(job, key, report, steps, tracer, started)
+
+    def _resolve_parent(self, job: _Job) -> Optional[ConformanceCertificate]:
+        """The warm-start parent for a near-hit request, or None.
+
+        An explicit ``parent`` hash wins; otherwise the store's lineage
+        index supplies the latest certificate built under identical
+        analysis inputs (spec, engine options, abstraction).  Only the
+        in-process (thread) worker mode warm-starts — the process pool
+        re-derives sessions per worker and runs full certifications.
+        ``engine="auto"`` requests only warm-start via an explicit
+        parent: their lineage key fingerprints the unresolved name,
+        while stored certificates fingerprint the engine that ran.
+        """
+        entry = job.entry
+        assert entry is not None
+        if job.parent is not None:
+            return self.store.get_by_hash(job.parent)
+        return self.store.get_lineage(
+            lineage_key(
+                spec_hash=entry.spec_hash,
+                fingerprint=model.options_fingerprint(
+                    job.engine, options_payload(entry.options)
+                ),
+                abstraction_hash=entry.abstraction_hash(job.engine),
+            )
+        )
 
     def _breach_answer(
         self,
@@ -895,6 +941,9 @@ class CertificationService:
         )
         self._account(job.state, seconds=seconds, steps=steps, hit=False)
         self._bump("certifications")
+        incremental = bool(report.stats.get("incremental"))
+        if incremental:
+            self._bump("incremental")
         self._bump("completed")
         payload = env.report_envelope(
             report,
@@ -903,7 +952,11 @@ class CertificationService:
             cached=False,
         )
         payload["served"] = self._served_stanza(
-            job, key, cert_hash, path="certify", cached=False
+            job,
+            key,
+            cert_hash,
+            path="incremental" if incremental else "certify",
+            cached=False,
         )
         return 200, payload
 

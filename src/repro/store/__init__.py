@@ -7,17 +7,24 @@ certificate with the linear-pass checker instead of re-running the
 fixpoint.  The store is the piece that makes "same instance" precise —
 requests are keyed by the hashes the certificate already carries.
 
+A second *lineage* index drops the source hash from the key: a request
+whose exact instance misses can still find the latest certificate built
+under identical analysis inputs and warm-start from it
+(:mod:`repro.incr`).
+
 See :class:`CertificateStore`.
 """
 
 from repro.store.cas import (
     CertificateStore,
     StoreStats,
+    lineage_key,
     request_key,
 )
 
 __all__ = [
     "CertificateStore",
     "StoreStats",
+    "lineage_key",
     "request_key",
 ]

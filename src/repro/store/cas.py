@@ -73,6 +73,38 @@ def certificate_request_key(cert: ConformanceCertificate) -> str:
     )
 
 
+def lineage_key(
+    *,
+    spec_hash: str,
+    fingerprint: str,
+    abstraction_hash: Optional[str] = None,
+) -> str:
+    """The content address of a certification *lineage*: every request
+    that differs only in the client source.  The lineage index maps this
+    to the most recently stored certificate with these hashes — the
+    natural warm-start parent for an edited client whose exact request
+    key misses (:mod:`repro.incr`)."""
+    return model.sha256_text(
+        model.canonical_text(
+            {
+                "abstraction_hash": abstraction_hash,
+                "fingerprint": fingerprint,
+                "spec_hash": spec_hash,
+            }
+        )
+    )
+
+
+def certificate_lineage_key(cert: ConformanceCertificate) -> str:
+    """The lineage a certificate belongs to, from its own hashes."""
+    payload = cert.payload
+    return lineage_key(
+        spec_hash=str(payload.get("spec_hash")),
+        fingerprint=str(payload.get("fingerprint")),
+        abstraction_hash=payload.get("abstraction_hash"),
+    )
+
+
 @dataclass
 class StoreStats:
     """Counters for one store instance (monotone, thread-safe reads)."""
@@ -114,6 +146,10 @@ class CertificateStore:
         # read-through cache of verified text when backed by disk
         self._objects: Dict[str, str] = {}
         self._index: Dict[str, str] = {}
+        # lineage layer: (spec, options, abstraction) -> latest object,
+        # repointed on every put so near-miss requests find a warm-start
+        # parent certified under identical analysis inputs
+        self._lineage: Dict[str, str] = {}
         # parsed-object cache: objects are immutable, so a payload parsed
         # once (or supplied to put()) serves every later hit without a
         # JSON decode on the hot path; callers must treat it read-only
@@ -134,6 +170,10 @@ class CertificateStore:
     def _index_path(self, key: str) -> str:
         assert self.root is not None
         return os.path.join(self.root, "index", key[:2], key)
+
+    def _lineage_path(self, key: str) -> str:
+        assert self.root is not None
+        return os.path.join(self.root, "lineage", key[:2], key)
 
     @staticmethod
     def _atomic_write(path: str, text: str) -> None:
@@ -168,15 +208,20 @@ class CertificateStore:
         text = cert.text()
         cert_hash = model.sha256_text(text)
         key = key if key is not None else certificate_request_key(cert)
+        lineage = certificate_lineage_key(cert)
         with self._lock:
             self._objects[cert_hash] = text
             self._parsed[cert_hash] = cert
             self._index[key] = cert_hash
+            self._lineage[lineage] = cert_hash
             if self.root is not None:
                 object_path = self._object_path(cert_hash)
                 if not os.path.exists(object_path):
                     self._atomic_write(object_path, text)
                 self._atomic_write(self._index_path(key), cert_hash + "\n")
+                self._atomic_write(
+                    self._lineage_path(lineage), cert_hash + "\n"
+                )
             self._last_used[cert_hash] = time.time()
             self.stats.puts += 1
         return cert_hash
@@ -239,6 +284,43 @@ class CertificateStore:
                 with self._lock:
                     self._index.setdefault(key, cert_hash)
         return cert_hash
+
+    def resolve_lineage(self, key: str) -> Optional[str]:
+        """The latest certificate hash in a lineage, or None."""
+        with self._lock:
+            cert_hash = self._lineage.get(key)
+        if cert_hash is None and self.root is not None:
+            try:
+                with open(
+                    self._lineage_path(key), "r", encoding="utf-8"
+                ) as handle:
+                    cert_hash = handle.read().strip() or None
+            except OSError:
+                return None
+            if cert_hash is not None:
+                with self._lock:
+                    self._lineage.setdefault(key, cert_hash)
+        return cert_hash
+
+    def get_lineage(self, key: str) -> Optional[ConformanceCertificate]:
+        """The latest certificate in a lineage (integrity-verified), or
+        None.  A dangling or corrupt latest object drops the lineage
+        entry — a fresh full certification will repoint it."""
+        cert_hash = self.resolve_lineage(key)
+        if cert_hash is None:
+            return None
+        text = self._load_object(cert_hash)
+        if text is None:
+            with self._lock:
+                if self._lineage.get(key) == cert_hash:
+                    self._lineage.pop(key, None)
+            if self.root is not None:
+                try:
+                    os.unlink(self._lineage_path(key))
+                except OSError:
+                    pass
+            return None
+        return self._parse(cert_hash, text)
 
     def get(self, key: str) -> Optional[ConformanceCertificate]:
         """Look up a request key; integrity-verified hit or None.
@@ -349,31 +431,36 @@ class CertificateStore:
         (evicted now, or dangling from earlier corruption evictions)."""
         removed = 0
         with self._lock:
-            stale = [
-                key
-                for key, cert_hash in self._index.items()
-                if cert_hash not in surviving
-            ]
-            for key in stale:
-                del self._index[key]
-        removed += len(stale)
+            for table in (self._index, self._lineage):
+                stale = [
+                    key
+                    for key, cert_hash in table.items()
+                    if cert_hash not in surviving
+                ]
+                for key in stale:
+                    del table[key]
+                removed += len(stale)
         if self.root is not None:
-            index_dir = os.path.join(self.root, "index")
-            for directory, _subdirs, files in os.walk(index_dir):
-                for name in files:
-                    path = os.path.join(directory, name)
-                    try:
-                        with open(path, "r", encoding="utf-8") as handle:
-                            cert_hash = handle.read().strip()
-                    except OSError:
-                        continue
-                    if cert_hash in surviving:
-                        continue
-                    try:
-                        os.unlink(path)
-                        removed += 1
-                    except OSError:
-                        pass
+            for subdir in ("index", "lineage"):
+                for directory, _subdirs, files in os.walk(
+                    os.path.join(self.root, subdir)
+                ):
+                    for name in files:
+                        path = os.path.join(directory, name)
+                        try:
+                            with open(
+                                path, "r", encoding="utf-8"
+                            ) as handle:
+                                cert_hash = handle.read().strip()
+                        except OSError:
+                            continue
+                        if cert_hash in surviving:
+                            continue
+                        try:
+                            os.unlink(path)
+                            removed += 1
+                        except OSError:
+                            pass
         return removed
 
     def gc(

@@ -64,6 +64,28 @@ class _CheckContribution:
 
 
 @dataclass
+class TvlaSeed:
+    """Warm-start for :meth:`TvlaEngine.run` (incremental recertification).
+
+    ``states`` / ``single`` carry the parent fixpoint's annotations on
+    the *clean* nodes (already mapped to this program's node ids);
+    ``frontier`` lists the clean nodes with at least one dirty successor
+    — the only places new work can originate.  The seeded run converges
+    to the same least fixpoint as a cold run (the seed is exactly the
+    cold fixpoint restricted to a predecessor-closed region), and alarms
+    are then recovered by a checker-style replay over the final states,
+    which coincides with cold-run accumulation because per-site
+    contributions are monotone (``alarmed`` ORs, ``all_fail`` ANDs) and
+    every structure the cold run ever applied persists in the final
+    relational buckets.
+    """
+
+    states: Optional[Dict[int, Dict[object, ThreeValuedStructure]]] = None
+    single: Optional[Dict[int, ThreeValuedStructure]] = None
+    frontier: Tuple[int, ...] = ()
+
+
+@dataclass
 class TvlaResult:
     report: CertificationReport
     iterations: int
@@ -324,12 +346,14 @@ class TvlaEngine:
     # -- the fixpoint ----------------------------------------------------------------------
 
     def run(
-        self, governor: Optional[ResourceGovernor] = None
+        self,
+        governor: Optional[ResourceGovernor] = None,
+        seed: Optional[TvlaSeed] = None,
     ) -> TvlaResult:
         with trace_phase(
             "fixpoint", engine=f"tvla-{self.mode}"
         ) as trace_meta:
-            result = self._run(governor)
+            result = self._run(governor, seed)
             trace_meta.update(
                 iterations=result.iterations,
                 max_structures=result.max_structures,
@@ -339,8 +363,32 @@ class TvlaEngine:
     def _successors(self, node: int) -> List[int]:
         return [edge.dst for edge in self.tvp.out_edges(node)]
 
+    def _replay_checks(
+        self,
+        states: Dict[int, Dict[object, ThreeValuedStructure]],
+        single: Dict[int, ThreeValuedStructure],
+    ) -> Dict[Tuple[int, str], _CheckContribution]:
+        """Evaluate every check edge over the final states (focus + check
+        only — updates cannot touch the alarm sink), exactly what the
+        independent checker's alarm-entailment pass does."""
+        alarms: Dict[Tuple[int, str], _CheckContribution] = {}
+        for edge in self.tvp.edges:
+            if not edge.action.checks:
+                continue
+            if self.mode == "relational":
+                for structure in states.get(edge.src, {}).values():
+                    for focused in self._focus(structure, edge.action):
+                        self._check(focused, edge.action, alarms)
+            else:
+                current = single.get(edge.src)
+                if current is not None:
+                    self._check(current, edge.action, alarms)
+        return alarms
+
     def _run(
-        self, governor: Optional[ResourceGovernor] = None
+        self,
+        governor: Optional[ResourceGovernor] = None,
+        seed: Optional[TvlaSeed] = None,
     ) -> TvlaResult:
         started = time.perf_counter()
         alarms: Dict[Tuple[int, str], _CheckContribution] = {}
@@ -353,16 +401,32 @@ class TvlaEngine:
         worklist = make_worklist(
             self.worklist_order, self.tvp.entry, self._successors
         )
-        worklist.push(self.tvp.entry)
+        if seed is None:
+            worklist.push(self.tvp.entry)
+        else:
+            for node in seed.frontier:
+                worklist.push(node)
         states: Dict[int, Dict[object, ThreeValuedStructure]] = {}
         single: Dict[int, ThreeValuedStructure] = {}
         try:
             if self.mode == "relational":
-                states = {
-                    self.tvp.entry: {
-                        initial.canonical_key(preds): initial
+                if seed is None:
+                    states = {
+                        self.tvp.entry: {
+                            initial.canonical_key(preds): initial
+                        }
                     }
-                }
+                else:
+                    states = {
+                        node: dict(bucket)
+                        for node, bucket in (seed.states or {}).items()
+                    }
+                    if self.tvp.entry not in states:
+                        # dirty entry: it contributes the initial state
+                        states[self.tvp.entry] = {
+                            initial.canonical_key(preds): initial
+                        }
+                        worklist.push(self.tvp.entry)
                 # isomorphic structures share a canonical key, so a
                 # revisited (action, structure) pair — within this run
                 # or a later one — skips focus / checks / update /
@@ -448,7 +512,13 @@ class TvlaEngine:
                             if changed:
                                 worklist.push(edge.dst)
             else:
-                single = {self.tvp.entry: initial}
+                if seed is None:
+                    single = {self.tvp.entry: initial}
+                else:
+                    single = dict(seed.single or {})
+                    if self.tvp.entry not in single:
+                        single[self.tvp.entry] = initial
+                        worklist.push(self.tvp.entry)
                 while worklist:
                     if governor is not None:
                         governor.tick()
@@ -497,6 +567,21 @@ class TvlaEngine:
                     "max_structures": max_structures,
                 },
             )
+        if seed is not None:
+            # a seeded run never applied the clean region's transfers, so
+            # its accumulated contributions are partial — recover the
+            # cold-run alarm set by a checker-style replay of every check
+            # edge over the final states (equal to cold accumulation: see
+            # TvlaSeed), and the cold-run structure high-water mark from
+            # the final bucket sizes (buckets only grow, so the cold
+            # running max is the final max)
+            alarms = self._replay_checks(states, single)
+            if self.mode == "relational":
+                max_structures = max(
+                    1, max((len(b) for b in states.values()), default=1)
+                )
+            else:
+                max_structures = 1
         alarm_list = _alarm_list(alarms)
         report = CertificationReport(
             subject=self.tvp.name,

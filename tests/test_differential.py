@@ -50,7 +50,7 @@ def _generate(seed, num_sets, num_iters, num_ops, loop_every, spec):
     num_ops=st.integers(5, 25),
     loop_every=st.sampled_from([0, 8]),
 )
-def test_staged_engines_sound_and_mutually_equal(
+def test_staged_engines_sound_and_ordered(
     seed, num_sets, num_iters, num_ops, loop_every, cmp_specification
 ):
     program = _generate(
@@ -64,15 +64,26 @@ def test_staged_engines_sound_and_mutually_equal(
     for engine, report in reports.items():
         summary = truth.compare(report.alarm_sites())
         assert summary.sound, f"{engine} missed {summary.missed_sites}"
-        assert report.alarm_sites() == baseline, (
-            f"{engine} disagrees with fds"
-        )
+    # the designed precision order, not blanket equality: relational
+    # tracks valuation correlations the independent-attribute solver
+    # cannot (e.g. "this remove only succeeds on valuations where the
+    # later next's iterator is not shared"), so relational may drop
+    # alarms fds keeps — never the reverse.  interproc solves the same
+    # independent-attribute equations as fds and must agree exactly on
+    # these single-procedure clients.
+    assert reports["relational"].alarm_sites() <= baseline, (
+        "relational alarmed where fds did not"
+    )
+    assert reports["interproc"].alarm_sites() == baseline, (
+        "interproc disagrees with fds"
+    )
     if not truth.truncated:
-        summary = truth.compare(baseline)
-        assert summary.false_alarms == 0, (
-            f"staged false alarms at {summary.false_alarm_sites} "
-            f"(seed={seed})"
-        )
+        for engine in ("fds", "relational"):
+            summary = truth.compare(reports[engine].alarm_sites())
+            assert summary.false_alarms == 0, (
+                f"{engine} false alarms at {summary.false_alarm_sites} "
+                f"(seed={seed})"
+            )
 
 
 @settings(

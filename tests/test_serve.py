@@ -388,6 +388,7 @@ class TestHealthAndStats:
             "errors",
             "checks",
             "certifications",
+            "incremental",
             "recertifications",
         }
         assert stats["store"]["objects"] == 0
