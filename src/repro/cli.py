@@ -12,6 +12,8 @@ Batch certification on a process pool (see :mod:`repro.runtime.batch`)::
 
     repro batch manifest.json --jobs 4 --timeout 30 --trace out.jsonl
     repro batch manifest.json --jobs 4 --fallback fds --json summary.json
+    repro batch manifest.json --checkpoint-dir ckpt   # journal progress
+    repro batch manifest.json --checkpoint-dir ckpt --resume
 
 Suite benchmarks (see :mod:`repro.bench.harness`)::
 
@@ -37,6 +39,11 @@ The certification service (see :mod:`repro.serve`)::
     repro serve --port 8091 --specs cmp,grp --workers 4 --store certs.cas
     repro serve --tenants tenants.json --max-steps 200000 --prewarm
     repro bench serve --check --json BENCH_serve.json  # load generator
+
+Fault-injection campaign (see :mod:`repro.testing.chaos`)::
+
+    repro chaos --schedules 100 --seed 0 --json chaos.json
+    repro chaos --schedules 20 --layers store --quiet
 """
 
 from __future__ import annotations
@@ -151,6 +158,28 @@ def build_batch_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="emit a proof-carrying certificate per job into DIR "
         "(<job>.cert.json; path recorded in the job's JSON record)",
+    )
+    parser.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        metavar="DIR",
+        help="journal every finished job (fsynced JSONL) under DIR so a "
+        "killed run can be resumed",
+    )
+    parser.add_argument(
+        "--run-id",
+        default=None,
+        metavar="ID",
+        help="checkpoint journal name (default: a hash of the "
+        "manifest's job identities, so the same manifest resumes "
+        "its own journal)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="restore journaled results instead of re-certifying; "
+        "emitted certificates are re-verified by SHA-256 first "
+        "(requires --checkpoint-dir)",
     )
     parser.add_argument(
         "--quiet", action="store_true", help="suppress the summary table"
@@ -1132,6 +1161,9 @@ def batch_main(argv: Optional[List[str]] = None) -> int:
     except (OSError, json.JSONDecodeError, ManifestError) as error:
         print(f"error: bad manifest: {error}", file=sys.stderr)
         return 2
+    if args.resume and not args.checkpoint_dir:
+        print("error: --resume requires --checkpoint-dir", file=sys.stderr)
+        return 2
     runner = BatchRunner(
         jobs,
         max_workers=args.jobs,
@@ -1143,6 +1175,9 @@ def batch_main(argv: Optional[List[str]] = None) -> int:
         default_max_structures=args.max_structures,
         default_ladder=True if args.ladder else None,
         emit_certs_dir=args.emit_certs,
+        checkpoint_dir=args.checkpoint_dir,
+        run_id=args.run_id,
+        resume=args.resume,
     )
     result = runner.run()
     if args.trace:
@@ -1236,6 +1271,24 @@ def build_serve_parser() -> argparse.ArgumentParser:
         help="derive every served spec's abstraction before accepting "
         "traffic (otherwise sessions warm on first request)",
     )
+    parser.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="on SIGTERM/SIGINT: stop admitting, finish in-flight "
+        "requests for up to this long, flush the store, then exit "
+        "(a second signal aborts the wait)",
+    )
+    parser.add_argument(
+        "--heartbeat",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-request wall-clock bound for process workers; a "
+        "worker exceeding it is killed and the request retried once "
+        "(default: no bound)",
+    )
     group = parser.add_argument_group(
         "default tenant budget",
         "per-request governor caps for tenants without a --tenants entry",
@@ -1298,6 +1351,7 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
         queue_limit=args.queue_limit,
         store_path=args.store,
         retry_after=args.retry_after,
+        heartbeat=args.heartbeat,
         default_budget=TenantBudget(
             deadline=args.deadline,
             max_steps=args.max_steps,
@@ -1310,6 +1364,7 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
     async def run() -> None:
         daemon = ServeDaemon(config=config)
         await daemon.start()
+        daemon.install_signal_handlers(args.drain_timeout)
         if args.prewarm:
             daemon.service.prewarm()
         print(
@@ -1527,10 +1582,100 @@ def store_main(argv: Optional[List[str]] = None) -> int:
     return 0
 
 
+def build_chaos_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro chaos",
+        description=(
+            "Run a seeded fault-injection campaign against the stateful "
+            "layers: torn/ENOSPC/EIO store writes with crash recovery, "
+            "SIGKILLed serve workers with supervised retry, and "
+            "SIGKILLed batch runs with checkpoint/resume.  Exits 1 the "
+            "moment any schedule violates an invariant (a certificate "
+            "failing the linear checker, or a verdict differing from a "
+            "fault-free run)."
+        ),
+    )
+    parser.add_argument(
+        "--schedules",
+        type=int,
+        default=100,
+        metavar="N",
+        help="fault schedules to run (default: 100)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        metavar="S",
+        help="campaign seed; every schedule's fault point derives "
+        "deterministically from it",
+    )
+    parser.add_argument(
+        "--layers",
+        default="store,serve,batch",
+        metavar="L1,L2,...",
+        help="comma-separated layers to attack (default: all three)",
+    )
+    parser.add_argument(
+        "--workdir",
+        default=None,
+        metavar="DIR",
+        help="scratch directory (default: a fresh temp dir)",
+    )
+    parser.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="write the full campaign report as JSON ('-' for stdout)",
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress per-schedule progress lines",
+    )
+    return parser
+
+
+def chaos_main(argv: Optional[List[str]] = None) -> int:
+    from repro.testing.chaos import SCENARIOS, run_campaign
+
+    args = build_chaos_parser().parse_args(argv)
+    layers = tuple(
+        layer.strip().lower()
+        for layer in args.layers.split(",")
+        if layer.strip()
+    )
+    unknown = [layer for layer in layers if layer not in SCENARIOS]
+    if unknown:
+        print(
+            f"error: unknown layer(s) {unknown}; "
+            f"known: {sorted(SCENARIOS)}",
+            file=sys.stderr,
+        )
+        return 2
+    report = run_campaign(
+        args.schedules,
+        seed=args.seed,
+        layers=layers,
+        workdir=args.workdir,
+        progress=None if args.quiet else lambda line: print(line, flush=True),
+    )
+    if args.json == "-":
+        print(json.dumps(report.to_json(), indent=2, sort_keys=True))
+    elif args.json:
+        with open(args.json, "w") as handle:
+            json.dump(report.to_json(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    print(report.format_summary())
+    return 0 if report.ok else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if argv and argv[0] == "batch":
         return batch_main(argv[1:])
+    if argv and argv[0] == "chaos":
+        return chaos_main(argv[1:])
     if argv and argv[0] == "store":
         return store_main(argv[1:])
     if argv and argv[0] == "bench":

@@ -20,6 +20,14 @@ a *manifest* of (client, spec, engine) jobs on a
   error results instead of poisoning the rest of the batch;
 * **deterministic results** — results come back in manifest order no
   matter the completion order;
+* **checkpoint/resume** — with a checkpoint directory every finished
+  job is appended (fsynced) to a per-run JSONL journal as it
+  completes; a re-run with ``resume=True`` (``repro batch --resume``)
+  restores journaled results instead of re-certifying, after
+  re-verifying any emitted certificate file against the journaled
+  SHA-256 — a tampered or torn certificate sends the job back to the
+  pool.  The run id defaults to a hash of the manifest's job
+  identities, so resuming the same manifest finds its own journal;
 * **shared caching** — the parent derives every abstraction the manifest
   needs *once* into the bounded LRU of :mod:`repro.api` before the pool
   starts; forked workers inherit the warm cache for free, spawned ones
@@ -50,6 +58,7 @@ Each job names its client one of three ways: ``suite`` (a program from
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import pickle
@@ -65,6 +74,7 @@ import multiprocessing
 
 from repro.certifier.report import CertificationReport
 from repro.runtime.cache import CacheStats
+from repro.store.io import StoreIO
 from repro.runtime.guard import ResourceExhausted
 from repro.runtime.trace import (
     CollectingTracer,
@@ -152,6 +162,11 @@ class _JobOutcome:
     #: :class:`repro.cert.ConformanceCertificate`), when the job ran
     #: with ``emit_certificate=True``
     certificate: Optional[str] = None
+    #: how the attempt died, when it did not return normally: a worker
+    #: process vanishing is ``"signal"`` (classified by the runner), a
+    #: worker-side Python exception is ``"exception"``, a blown budget
+    #: (cooperative or SIGALRM backstop) is ``"timeout"``
+    crash_kind: Optional[str] = None
 
 
 @dataclass
@@ -177,6 +192,12 @@ class JobResult:
     degraded_to: Optional[str] = None
     #: where the runner wrote this job's certificate (``--emit-certs``)
     certificate_path: Optional[str] = None
+    #: crash classification when the job did not finish cleanly:
+    #: "signal" | "exception" | "timeout" (None for clean finishes)
+    crash_kind: Optional[str] = None
+    #: True when this result was restored from a checkpoint journal
+    #: instead of being re-certified
+    resumed: bool = False
 
     @property
     def ok(self) -> bool:
@@ -206,6 +227,8 @@ class JobResult:
                 "breach": self.breach,
                 "salvaged": self.salvaged,
                 "degraded_to": self.degraded_to,
+                "crash": self.crash_kind,
+                "resumed": self.resumed,
             },
         }
 
@@ -219,6 +242,8 @@ class BatchResult:
     jobs: int  # pool size used
     prewarm_events: List[TraceEvent] = field(default_factory=list)
     cache: Optional[CacheStats] = None
+    #: jobs restored from a checkpoint journal instead of re-run
+    resumed: int = 0
 
     @property
     def ok(self) -> bool:
@@ -262,6 +287,8 @@ class BatchResult:
                     "retries": r.retries,
                     "alarm_lines": r.alarm_lines,
                     "error": r.error,
+                    "crash": r.crash_kind,
+                    "resumed": r.resumed,
                     **env.make_envelope(
                         verdict=env.verdict_section(
                             subject=r.subject or r.job.name,
@@ -294,6 +321,7 @@ class BatchResult:
             "seconds": round(self.seconds, 4),
             "jobs": self.jobs,
             "ok": self.ok,
+            "resumed": self.resumed,
             "cache": self.cache.to_json() if self.cache else None,
             "results": records,
         }
@@ -332,6 +360,10 @@ class BatchResult:
             f"{good}/{len(self.results)} jobs ok in {self.seconds:.2f}s "
             f"on {self.jobs} worker(s)"
         )
+        if self.resumed:
+            lines.append(
+                f"[{self.resumed} job(s) restored from checkpoint]"
+            )
         if self.cache is not None:
             lines.append(f"[{self.cache}]")
         return "\n".join(lines)
@@ -475,6 +507,31 @@ def _resolve_source(
     return str(entry["source"]), f"job-{index}"
 
 
+def job_key(job: JobSpec) -> str:
+    """Stable identity of one job across runs (checkpoint/resume).
+
+    Covers everything that changes the verdict: the client text (by
+    hash), the spec, the engines, and the budgets.  Editing any of
+    those gives the job a new key, so a stale journal entry can never
+    shadow changed work.
+    """
+    material = json.dumps(
+        {
+            "name": job.name,
+            "spec": job.spec,
+            "engine": job.engine,
+            "source": hashlib.sha256(
+                job.source.encode("utf-8")
+            ).hexdigest(),
+            "timeout": job.timeout,
+            "fallback": job.fallback,
+            "fallback_timeout": job.fallback_timeout,
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+
 # -- worker side ---------------------------------------------------------------
 
 
@@ -606,6 +663,7 @@ def _worker_run(item: _WorkItem) -> _JobOutcome:
             engine=item.engine,
             error=str(error),
             breach="deadline",
+            crash_kind="timeout",
         )
     except ResourceExhausted as error:
         from repro.cert import model
@@ -616,6 +674,7 @@ def _worker_run(item: _WorkItem) -> _JobOutcome:
             engine=item.engine,
             error=f"{type(error).__name__}: {error}",
             breach=error.breach,
+            crash_kind="timeout",
             subject=partial.subject if partial is not None else None,
             salvaged=len(partial.alarms) if partial is not None else None,
             unknown_sites=(
@@ -638,6 +697,7 @@ def _worker_run(item: _WorkItem) -> _JobOutcome:
             status="error",
             engine=item.engine,
             error=f"{type(error).__name__}: {error}",
+            crash_kind="exception",
         )
     outcome.seconds = time.perf_counter() - started
     outcome.pid = os.getpid()
@@ -676,6 +736,9 @@ class BatchRunner:
         default_max_structures: Optional[int] = None,
         default_ladder=None,
         emit_certs_dir: Optional[str] = None,
+        checkpoint_dir: Optional[str] = None,
+        run_id: Optional[str] = None,
+        resume: bool = False,
     ) -> None:
         if not jobs:
             raise ValueError("no jobs to run")
@@ -698,6 +761,20 @@ class BatchRunner:
         self.retry_backoff = retry_backoff
         self._results: Dict[int, JobResult] = {}
         self._accum: Dict[int, Dict[str, object]] = {}
+        self.checkpoint_dir = checkpoint_dir
+        self.resume = bool(resume)
+        self._io = StoreIO()
+        self._job_keys = [job_key(job) for job in self.jobs]
+        self.run_id = run_id or hashlib.sha256(
+            "\n".join(self._job_keys).encode("utf-8")
+        ).hexdigest()[:16]
+
+    @property
+    def journal_path(self) -> Optional[str]:
+        """Where this run's checkpoint journal lives (JSONL)."""
+        if self.checkpoint_dir is None:
+            return None
+        return os.path.join(self.checkpoint_dir, f"{self.run_id}.jsonl")
 
     @staticmethod
     def _apply_defaults(
@@ -790,11 +867,12 @@ class BatchRunner:
         """Persist a job's certificate text; returns the path written."""
         if self.emit_certs_dir is None or outcome.certificate is None:
             return None
-        os.makedirs(self.emit_certs_dir, exist_ok=True)
         safe = job.name.replace(os.sep, "_")
         path = os.path.join(self.emit_certs_dir, f"{safe}.cert.json")
-        with open(path, "w", encoding="utf-8") as handle:
-            handle.write(outcome.certificate)
+        # atomic + fsynced: a crash mid-emission leaves the previous
+        # certificate (or nothing), never a torn file a later --resume
+        # would have to reject
+        self._io.atomic_write_text(path, outcome.certificate)
         return path
 
     def _finalize(self, item: _WorkItem, outcome: _JobOutcome, status: str):
@@ -829,7 +907,117 @@ class BatchRunner:
             unknown_sites=outcome.unknown_sites,
             degraded_to=outcome.degraded_to,
             certificate_path=self._write_certificate(item.job, outcome),
+            crash_kind=outcome.crash_kind,
         )
+        self._journal(item.index, outcome)
+
+    # -- checkpoint journal ----------------------------------------------------
+
+    def _journal(self, index: int, outcome: Optional[_JobOutcome]) -> None:
+        """Durably append the finalized result for job ``index``."""
+        path = self.journal_path
+        if path is None:
+            return
+        result = self._results[index]
+        record = {
+            "v": 1,
+            "key": self._job_keys[index],
+            "name": result.job.name,
+            "status": result.status,
+            "engine_used": result.engine_used,
+            "fallback": result.fallback,
+            "retries": result.retries,
+            "certified": result.certified,
+            "subject": result.subject,
+            "alarms": result.alarms,
+            "alarm_lines": list(result.alarm_lines),
+            "alarm_json": list(result.alarm_json),
+            "seconds": result.seconds,
+            "error": result.error,
+            "breach": result.breach,
+            "salvaged": result.salvaged,
+            "unknown_sites": result.unknown_sites,
+            "degraded_to": result.degraded_to,
+            "crash": result.crash_kind,
+            "certificate_path": result.certificate_path,
+            "cert_sha256": (
+                hashlib.sha256(
+                    outcome.certificate.encode("utf-8")
+                ).hexdigest()
+                if outcome is not None and outcome.certificate is not None
+                else None
+            ),
+        }
+        self._io.append_line(path, json.dumps(record, sort_keys=True))
+
+    def _load_checkpoint(self) -> Dict[str, dict]:
+        """Journal records by job key (later attempts win); a torn tail
+        line — the mark of a run killed mid-append — is ignored."""
+        path = self.journal_path
+        text = self._io.read_text(path) if path is not None else None
+        records: Dict[str, dict] = {}
+        if not text:
+            return records
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                break  # appends are ordered+fsynced: only the tail tears
+            if (
+                isinstance(record, dict)
+                and record.get("v") == 1
+                and isinstance(record.get("key"), str)
+            ):
+                records[record["key"]] = record
+        return records
+
+    def _restore(self, index: int, record: dict) -> bool:
+        """Rebuild a journaled result; False = journal not trustworthy.
+
+        A journaled certificate is re-verified byte-for-byte against the
+        recorded SHA-256 before the job is skipped — a missing, torn or
+        tampered certificate file sends the job back to the pool.
+        """
+        digest = record.get("cert_sha256")
+        path = record.get("certificate_path")
+        if digest is not None:
+            if not isinstance(path, str):
+                return False
+            text = self._io.read_text(path)
+            if text is None:
+                return False
+            actual = hashlib.sha256(text.encode("utf-8")).hexdigest()
+            if actual != digest:
+                return False
+        self._results[index] = JobResult(
+            job=self.jobs[index],
+            status=str(record.get("status", "error")),
+            engine_used=str(record.get("engine_used", "")),
+            fallback=bool(record.get("fallback", False)),
+            retries=int(record.get("retries", 0) or 0),
+            certified=record.get("certified"),
+            subject=record.get("subject"),
+            alarms=int(record.get("alarms", 0) or 0),
+            alarm_lines=[int(n) for n in record.get("alarm_lines") or []],
+            alarm_json=[
+                dict(a)
+                for a in record.get("alarm_json") or []
+                if isinstance(a, dict)
+            ],
+            seconds=float(record.get("seconds", 0.0) or 0.0),
+            error=record.get("error"),
+            breach=record.get("breach"),
+            salvaged=record.get("salvaged"),
+            unknown_sites=record.get("unknown_sites"),
+            degraded_to=record.get("degraded_to"),
+            certificate_path=path if isinstance(path, str) else None,
+            crash_kind=record.get("crash"),
+            resumed=True,
+        )
+        return True
 
     def _absorb(
         self, item: _WorkItem, outcome: _JobOutcome
@@ -874,6 +1062,10 @@ class BatchRunner:
                     status="error",
                     engine=item.engine,
                     error=f"worker died ({reason}); retries exhausted",
+                    # the worker process vanished (SIGKILL/OOM/segfault)
+                    # rather than raising — distinct from a worker-side
+                    # Python exception or a blown budget
+                    crash_kind="signal",
                 ),
                 "error",
             )
@@ -889,7 +1081,13 @@ class BatchRunner:
         started = time.perf_counter()
         self._results.clear()
         self._accum.clear()
-        prewarm_events = self._prewarm()
+        restored: set = set()
+        if self.resume and self.checkpoint_dir is not None:
+            records = self._load_checkpoint()
+            for index in range(len(self.jobs)):
+                record = records.get(self._job_keys[index])
+                if record is not None and self._restore(index, record):
+                    restored.add(index)
         items = [
             _WorkItem(
                 index=index,
@@ -898,11 +1096,14 @@ class BatchRunner:
                 timeout=job.timeout,
             )
             for index, job in enumerate(self.jobs)
+            if index not in restored
         ]
-        if self.max_workers == 1:
-            self._run_inline(items)
-        else:
-            self._run_pool(items)
+        prewarm_events = [] if not items else self._prewarm()
+        if items:
+            if self.max_workers == 1:
+                self._run_inline(items)
+            else:
+                self._run_pool(items)
         results = [self._results[index] for index in range(len(self.jobs))]
         return BatchResult(
             results=results,
@@ -910,6 +1111,7 @@ class BatchRunner:
             jobs=self.max_workers,
             prewarm_events=prewarm_events,
             cache=api._ABSTRACTION_CACHE.stats(),
+            resumed=len(restored),
         )
 
     def _run_inline(self, items: List[_WorkItem]) -> None:

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import signal
 from typing import Dict, Optional, Tuple
 
 from repro.serve.service import CertificationService, ServeConfig
@@ -52,6 +53,9 @@ class ServeDaemon:
     ) -> None:
         self.service = service or CertificationService(config)
         self._server: Optional[asyncio.base_events.Server] = None
+        self._drain_task: Optional[asyncio.Task] = None
+        self._drain_started = False
+        self._stopped = asyncio.Event()
 
     @property
     def port(self) -> Optional[int]:
@@ -78,8 +82,59 @@ class ServeDaemon:
         if self._server is None:
             await self.start()
         assert self._server is not None
-        async with self._server:
+        try:
             await self._server.serve_forever()
+        except asyncio.CancelledError:
+            # Server.close() (via drain()/stop()) cancels the inner
+            # serving future; wait for the drain to finish and return
+            # cleanly.  A real task cancellation re-raises.
+            if not self._drain_started:
+                raise
+            await asyncio.shield(self._stopped.wait())
+
+    # -- graceful shutdown ---------------------------------------------------
+
+    def install_signal_handlers(
+        self, drain_timeout: float = 30.0
+    ) -> None:
+        """SIGTERM/SIGINT → graceful drain (finish in-flight, then stop).
+
+        A second signal while draining aborts the wait and stops
+        immediately.
+        """
+        loop = asyncio.get_running_loop()
+
+        def _on_signal() -> None:
+            if self._drain_task is None or self._drain_task.done():
+                self._drain_task = loop.create_task(
+                    self.drain(drain_timeout)
+                )
+            else:  # second signal: stop waiting for in-flight work
+                self._drain_task.cancel()
+                self._drain_task = loop.create_task(self.drain(0.0))
+
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, _on_signal)
+            except (NotImplementedError, RuntimeError):
+                pass  # non-Unix loop; the CLI falls back to KeyboardInterrupt
+
+    async def drain(self, timeout: float = 30.0) -> None:
+        """Stop admitting, wait (bounded) for in-flight work, then stop.
+
+        The service flips ``/healthz`` to ``draining`` immediately;
+        responses written while draining carry ``Connection: close`` so
+        keep-alive clients reconnect elsewhere.
+        """
+        self._drain_started = True
+        self.service.begin_drain()
+        if timeout > 0:
+            try:
+                await asyncio.wait_for(self.service.drained(), timeout)
+            except asyncio.TimeoutError:
+                pass  # in-flight work exceeded the grace window
+        await self.stop()
+        self._stopped.set()
 
     # -- connection handling -------------------------------------------------
 
@@ -97,6 +152,7 @@ class ServeDaemon:
                 )
                 keep_alive = (
                     headers.get("connection", "keep-alive").lower() != "close"
+                    and not self.service.draining
                 )
                 await self._write_response(
                     writer, status, payload, extra_headers, keep_alive

@@ -41,6 +41,11 @@ from repro.cert.emit import options_payload
 from repro.easl.library import UnknownSpecError, available_specs, get_spec
 from repro.runtime.guard import ResourceExhausted, ResourceGovernor
 from repro.runtime.trace import CollectingTracer, use_tracer
+from repro.serve.supervisor import (
+    PoisonedRequest,
+    StoreCircuitBreaker,
+    WorkerSupervisor,
+)
 from repro.store import CertificateStore
 from repro.store.cas import lineage_key, request_key
 
@@ -151,6 +156,16 @@ class ServeConfig:
     queue_limit: int = 64
     store_path: Optional[str] = None  # None = in-memory store
     retry_after: float = 1.0
+    #: per-request wall-clock heartbeat for process workers: a worker
+    #: that neither answers nor dies within this window is SIGKILLed
+    #: and handled like a crash (None = no heartbeat)
+    heartbeat: Optional[float] = None
+    #: consecutive store I/O errors that open the circuit breaker
+    store_failure_threshold: int = 3
+    #: seconds the breaker stays open before probing the store again
+    store_cooldown: float = 5.0
+    #: replay the on-disk store's write-ahead journal at startup
+    recover_on_start: bool = True
     #: budget applied to tenants without an explicit entry
     default_budget: TenantBudget = TenantBudget()
     tenants: Dict[str, TenantBudget] = field(default_factory=dict)
@@ -288,8 +303,13 @@ class CertificationService:
         self._queue: Optional[asyncio.Queue] = None
         self._workers: List[asyncio.Task] = []
         self._executor: Optional[ThreadPoolExecutor] = None
-        self._process_pool: Optional[ProcessPoolExecutor] = None
+        self._supervisor: Optional[WorkerSupervisor] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._draining = False
+        self._breaker = StoreCircuitBreaker(
+            failure_threshold=self.config.store_failure_threshold,
+            cooldown=self.config.store_cooldown,
+        )
         self._counters = {
             "received": 0,
             "completed": 0,
@@ -299,6 +319,8 @@ class CertificationService:
             "certifications": 0,
             "recertifications": 0,
             "incremental": 0,
+            "poisoned": 0,
+            "store_degraded": 0,
         }
         self._counters_lock = threading.Lock()
         self._spec_names = tuple(
@@ -313,26 +335,39 @@ class CertificationService:
         """Create the queue, worker tasks and executor on the running loop."""
         if self._queue is not None:
             return
+        if (
+            self.config.recover_on_start
+            and self.store.root is not None
+        ):
+            # replay the write-ahead journal before serving: torn
+            # objects are quarantined, never handed to a client
+            self.store.recover()
         self._loop = asyncio.get_running_loop()
+        self._draining = False
         self._queue = asyncio.Queue(maxsize=max(1, self.config.queue_limit))
         workers = max(1, self.config.workers)
         self._executor = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="repro-serve"
         )
         if self.config.worker_mode == "process":
-            # fork is preferred: workers inherit every session/abstraction
-            # the parent warmed before start (spawn re-derives per worker)
-            methods = multiprocessing.get_all_start_methods()
-            context = multiprocessing.get_context(
-                "fork" if "fork" in methods else None
-            )
-            self._process_pool = ProcessPoolExecutor(
-                max_workers=workers, mp_context=context
+            self._supervisor = WorkerSupervisor(
+                lambda: self._make_pool(workers),
+                heartbeat=self.config.heartbeat,
             )
         self._workers = [
             asyncio.create_task(self._worker(), name=f"serve-worker-{i}")
             for i in range(workers)
         ]
+
+    @staticmethod
+    def _make_pool(workers: int) -> ProcessPoolExecutor:
+        # fork is preferred: workers inherit every session/abstraction
+        # the parent warmed before start (spawn re-derives per worker)
+        methods = multiprocessing.get_all_start_methods()
+        context = multiprocessing.get_context(
+            "fork" if "fork" in methods else None
+        )
+        return ProcessPoolExecutor(max_workers=workers, mp_context=context)
 
     async def stop(self) -> None:
         """Drain the queue, then tear down workers and the executor."""
@@ -346,10 +381,31 @@ class CertificationService:
         assert self._executor is not None
         self._executor.shutdown(wait=True)
         self._executor = None
-        if self._process_pool is not None:
-            self._process_pool.shutdown(wait=True)
-            self._process_pool = None
+        if self._supervisor is not None:
+            self._supervisor.shutdown()
+            self._supervisor = None
+        self.store.flush()
         self._queue = None
+
+    # -- graceful drain -------------------------------------------------------
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def begin_drain(self) -> None:
+        """Stop admitting new requests; in-flight work keeps running.
+
+        ``/healthz`` flips to ``draining`` so load balancers rotate the
+        instance out; every HTTP response carries ``Connection: close``
+        from here on (the front end checks :attr:`draining`).
+        """
+        self._draining = True
+
+    async def drained(self) -> None:
+        """Resolves once every admitted request has been answered."""
+        if self._queue is not None:
+            await self._queue.join()
 
     def prewarm(self) -> None:
         """Derive every configured spec's abstraction before traffic.
@@ -455,9 +511,17 @@ class CertificationService:
         }
 
     async def _admit(self, job: _Job) -> Optional[Tuple[int, Dict[str, object]]]:
-        """Queue a job; a 429 refusal payload when admission fails."""
+        """Queue a job; a 429/503 refusal payload when admission fails."""
         self._bump("received")
         state = job.state
+        if self._draining:
+            with state.lock:
+                state.rejected += 1
+            self._bump("rejected")
+            return 503, self._refusal(
+                "service is draining; no new work admitted",
+                reason="draining",
+            )
         with state.lock:
             if state.quota_exhausted():
                 state.rejected += 1
@@ -542,7 +606,9 @@ class CertificationService:
             certificate = ConformanceCertificate(body["certificate"])
         elif isinstance(body.get("hash"), str):
             cert_hash = body["hash"]
-            certificate = self.store.get_by_hash(cert_hash)
+            certificate = self._store_op(
+                lambda: self.store.get_by_hash(cert_hash)
+            )
             if certificate is None:
                 self._bump("received")
                 self._bump("errors")
@@ -599,17 +665,20 @@ class CertificationService:
 
     def certificate_json(self, cert_hash: str) -> Optional[Dict[str, object]]:
         """``GET /certificates/<hash>``: the stored payload, or None."""
-        cert = self.store.get_by_hash(cert_hash)
+        cert = self._store_op(lambda: self.store.get_by_hash(cert_hash))
         return cert.payload if cert is not None else None
 
     def healthz(self) -> Dict[str, object]:
+        state = "draining" if self._draining else "ok"
         return {
-            "ok": True,
+            "ok": state == "ok",
+            "state": state,
             "specs": sorted(self._spec_names),
             "engines": list(ENGINES),
             "uptime_seconds": round(time.monotonic() - self.started_at, 3),
             "workers": self.config.workers,
             "worker_mode": self.config.worker_mode,
+            "store_breaker": self._breaker.state,
         }
 
     def stats(self) -> Dict[str, object]:
@@ -629,6 +698,7 @@ class CertificationService:
             ]
         return {
             "uptime_seconds": round(time.monotonic() - self.started_at, 3),
+            "state": "draining" if self._draining else "ok",
             "queue": {
                 "depth": self._queue.qsize() if self._queue is not None else 0,
                 "limit": self.config.queue_limit,
@@ -637,6 +707,12 @@ class CertificationService:
             },
             "requests": counters,
             "store": self.store.to_json(),
+            "store_breaker": self._breaker.to_json(),
+            "supervisor": (
+                self._supervisor.to_json()
+                if self._supervisor is not None
+                else None
+            ),
             "sessions": sessions,
             "tenants": tenants,
         }
@@ -721,6 +797,23 @@ class CertificationService:
             abstraction_hash=entry.abstraction_hash(job.engine),
         )
 
+    def _store_op(self, operation, fallback=None):
+        """One store operation behind the circuit breaker.
+
+        An open breaker (or an ``OSError`` from the operation) yields
+        ``fallback`` — the caller proceeds as if the store missed, so
+        disk failures degrade the cache layer, never the verdicts.
+        """
+        skipped_before = (
+            self._breaker.stats["skipped"] + self._breaker.stats["io_errors"]
+        )
+        result = self._breaker.call(operation, fallback=fallback)
+        if (
+            self._breaker.stats["skipped"] + self._breaker.stats["io_errors"]
+        ) != skipped_before:
+            self._bump("store_degraded")
+        return result
+
     def _process_certify(self, job: _Job) -> Tuple[int, Dict[str, object]]:
         entry = job.entry
         assert entry is not None
@@ -729,7 +822,7 @@ class CertificationService:
         try:
             with use_tracer(tracer):
                 key = self._request_key(job)
-                stored = self.store.get(key)
+                stored = self._store_op(lambda: self.store.get(key))
                 if stored is not None:
                     payload = self._check_on_hit(job, key, stored, tracer, started)
                     if payload is not None:
@@ -741,6 +834,17 @@ class CertificationService:
                 return self._certify_on_miss(
                     job, key, tracer, started, warm_start=stored is None
                 )
+        except PoisonedRequest as error:
+            # this request killed two workers; a clean 500, no retry loop
+            self._bump("poisoned")
+            self._bump("errors")
+            self._account(job.state, seconds=time.monotonic() - started)
+            return 500, env.error_envelope(
+                subject="?",
+                engine=job.engine,
+                status="poisoned",
+                detail=str(error),
+            )
         except Exception as error:
             self._bump("errors")
             self._account(
@@ -808,16 +912,17 @@ class CertificationService:
     ) -> Tuple[int, Dict[str, object]]:
         entry = job.entry
         assert entry is not None and job.source is not None
-        if self._process_pool is not None:
+        if self._supervisor is not None:
             budget = job.state.budget
-            outcome = self._process_pool.submit(
+            outcome = self._supervisor.submit(
                 _pool_certify,
                 entry.spec.name,
                 entry.options,
                 job.source,
                 job.engine,
                 (budget.deadline, budget.max_steps, budget.max_structures),
-            ).result()
+                request_key=key,
+            )
             if outcome[0] == "breached":
                 _, message, breach, partial, steps = outcome
                 return self._breach_answer(
@@ -867,14 +972,18 @@ class CertificationService:
         entry = job.entry
         assert entry is not None
         if job.parent is not None:
-            return self.store.get_by_hash(job.parent)
-        return self.store.get_lineage(
-            lineage_key(
-                spec_hash=entry.spec_hash,
-                fingerprint=model.options_fingerprint(
-                    job.engine, options_payload(entry.options)
-                ),
-                abstraction_hash=entry.abstraction_hash(job.engine),
+            return self._store_op(
+                lambda: self.store.get_by_hash(job.parent)
+            )
+        return self._store_op(
+            lambda: self.store.get_lineage(
+                lineage_key(
+                    spec_hash=entry.spec_hash,
+                    fingerprint=model.options_fingerprint(
+                        job.engine, options_payload(entry.options)
+                    ),
+                    abstraction_hash=entry.abstraction_hash(job.engine),
+                )
             )
         )
 
@@ -937,7 +1046,9 @@ class CertificationService:
         seconds = time.monotonic() - started
         certificate = report.certificate
         cert_hash = (
-            self.store.put(certificate, key) if certificate is not None else None
+            self._store_op(lambda: self.store.put(certificate, key))
+            if certificate is not None
+            else None
         )
         self._account(job.state, seconds=seconds, steps=steps, hit=False)
         self._bump("certifications")

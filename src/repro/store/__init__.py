@@ -21,10 +21,16 @@ from repro.store.cas import (
     lineage_key,
     request_key,
 )
+from repro.store.io import StoreIO, atomic_write_text
+from repro.store.wal import RecoveryReport, WriteAheadLog
 
 __all__ = [
     "CertificateStore",
+    "RecoveryReport",
+    "StoreIO",
     "StoreStats",
+    "WriteAheadLog",
+    "atomic_write_text",
     "lineage_key",
     "request_key",
 ]

@@ -17,21 +17,32 @@ Two address spaces, both SHA-256 hex:
 
 With ``root=None`` the store is purely in-memory (tests, ephemeral
 services).  On disk, writes go through a same-directory temp file +
-``os.replace`` so concurrent readers never observe a half-written
-object, and concurrent writers of the same content are idempotent.
+``fsync`` + ``os.replace`` (see :class:`~repro.store.io.StoreIO`) so
+concurrent readers never observe a half-written object, every
+multi-file mutation is journalled in a write-ahead log
+(:mod:`repro.store.wal`) replayed by :meth:`CertificateStore.recover`,
+and mutations take an advisory ``flock`` so concurrent daemons and
+batch workers can share one on-disk store without index corruption.
 """
 
 from __future__ import annotations
 
 import os
-import tempfile
 import threading
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+try:  # POSIX advisory locking; absent on some platforms
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None  # type: ignore[assignment]
 
 from repro.cert import model
 from repro.cert.model import ConformanceCertificate
+from repro.store.io import StoreIO
+from repro.store.wal import RecoveryReport, WriteAheadLog
 
 
 def request_key(
@@ -138,8 +149,17 @@ class CertificateStore:
     objects are immutable and writes are atomic renames.
     """
 
-    def __init__(self, root: Optional[str] = None) -> None:
+    def __init__(
+        self,
+        root: Optional[str] = None,
+        *,
+        io: Optional[StoreIO] = None,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
         self.root = root
+        self.io = io or StoreIO()
+        self.wal = WriteAheadLog(root, self.io) if root is not None else None
+        self._clock = clock
         self.stats = StoreStats()
         self._lock = threading.RLock()
         # in-memory layer: always authoritative for root=None, a
@@ -175,22 +195,42 @@ class CertificateStore:
         assert self.root is not None
         return os.path.join(self.root, "lineage", key[:2], key)
 
-    @staticmethod
-    def _atomic_write(path: str, text: str) -> None:
-        os.makedirs(os.path.dirname(path), exist_ok=True)
-        fd, tmp = tempfile.mkstemp(
-            dir=os.path.dirname(path), prefix=".tmp-", suffix="~"
+    def _quarantine_path(self, cert_hash: str) -> str:
+        assert self.root is not None
+        return os.path.join(
+            self.root, "quarantine", f"{cert_hash}.cert.json"
+        )
+
+    def _atomic_write(self, path: str, text: str) -> None:
+        self.io.atomic_write_text(path, text)
+
+    # -- cross-process exclusion ---------------------------------------------
+
+    @contextmanager
+    def _disk_lock(self) -> Iterator[None]:
+        """Advisory exclusive lock over the on-disk layout.
+
+        Serializes mutations (put / gc / recover) across *processes*
+        sharing one store root — pointer files are replace-atomic on
+        their own, but gc's read-prune-unlink and recovery's replay are
+        multi-file critical sections.  In-memory stores, and platforms
+        without ``fcntl``, degrade to the thread lock alone.
+        """
+        if self.root is None or fcntl is None:
+            yield
+            return
+        self.io.makedirs(self.root)
+        fd = os.open(
+            os.path.join(self.root, ".lock"), os.O_RDWR | os.O_CREAT, 0o644
         )
         try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                handle.write(text)
-            os.replace(tmp, path)
-        except BaseException:
+            fcntl.flock(fd, fcntl.LOCK_EX)
+            yield
+        finally:
             try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+                fcntl.flock(fd, fcntl.LOCK_UN)
+            finally:
+                os.close(fd)
 
     # -- writing -------------------------------------------------------------
 
@@ -204,27 +244,170 @@ class CertificateStore:
         Re-putting identical content is idempotent; re-putting a
         different certificate under the same key repoints the index
         (e.g. after a tampered object was evicted and re-certified).
+
+        On disk the three writes (object, index pointer, lineage
+        pointer) are bracketed by a write-ahead journal transaction, so
+        a crash at any byte leaves a store :meth:`recover` restores to
+        a consistent state.  Disk errors propagate *before* the
+        in-memory layer is touched — a failed put changes nothing.
         """
         text = cert.text()
         cert_hash = model.sha256_text(text)
         key = key if key is not None else certificate_request_key(cert)
         lineage = certificate_lineage_key(cert)
         with self._lock:
+            if self.root is not None:
+                assert self.wal is not None
+                with self._disk_lock():
+                    txn = self.wal.begin(
+                        object_hash=cert_hash,
+                        object_bytes=len(text.encode("utf-8")),
+                        index_key=key,
+                        lineage_key=lineage,
+                    )
+                    object_path = self._object_path(cert_hash)
+                    if not self.io.exists(object_path):
+                        self._atomic_write(object_path, text)
+                    self._atomic_write(
+                        self._index_path(key), cert_hash + "\n"
+                    )
+                    self._atomic_write(
+                        self._lineage_path(lineage), cert_hash + "\n"
+                    )
+                    self.wal.commit(txn)
             self._objects[cert_hash] = text
             self._parsed[cert_hash] = cert
             self._index[key] = cert_hash
             self._lineage[lineage] = cert_hash
-            if self.root is not None:
-                object_path = self._object_path(cert_hash)
-                if not os.path.exists(object_path):
-                    self._atomic_write(object_path, text)
-                self._atomic_write(self._index_path(key), cert_hash + "\n")
-                self._atomic_write(
-                    self._lineage_path(lineage), cert_hash + "\n"
-                )
-            self._last_used[cert_hash] = time.time()
+            self._last_used[cert_hash] = self._clock()
             self.stats.puts += 1
         return cert_hash
+
+    # -- recovery ------------------------------------------------------------
+
+    def recover(self, *, verify_objects: bool = False) -> RecoveryReport:
+        """Restore on-disk consistency after a crash; returns a report.
+
+        Run at startup (daemons do this automatically).  The pass:
+
+        1. sweeps orphaned ``.tmp-*`` files (writes that died between
+           ``mkstemp`` and ``os.replace``);
+        2. replays the write-ahead journal: a begun-but-uncommitted
+           transaction whose object landed intact is *rolled forward*
+           (its pointers rewritten), anything else is *rolled back*
+           (torn objects quarantined, pointers at them dropped);
+        3. with ``verify_objects=True``, re-hashes **every** stored
+           object, quarantines mismatches, and drops every index or
+           lineage pointer that no longer resolves to an intact object.
+
+        In-memory caches are reset so nothing stale survives the
+        repair.  On an in-memory store this is a no-op.
+        """
+        report = RecoveryReport()
+        if self.root is None:
+            return report
+        assert self.wal is not None
+        with self._lock, self._disk_lock():
+            for orphan in list(self.io.iter_orphans(self.root)):
+                self.io.unlink(orphan)
+                report.orphans_swept += 1
+            pending = self.wal.pending()
+            report.scanned_txns = len(pending)
+            for record in pending:
+                cert_hash = str(record.get("object"))
+                object_path = self._object_path(cert_hash)
+                text = self.io.read_text(object_path)
+                if text is not None and model.sha256_text(text) == cert_hash:
+                    # object landed: the pointers are derivable from
+                    # the begin record — roll the txn forward
+                    for keyed, path_of in (
+                        (record.get("index"), self._index_path),
+                        (record.get("lineage"), self._lineage_path),
+                    ):
+                        if isinstance(keyed, str):
+                            self._atomic_write(
+                                path_of(keyed), cert_hash + "\n"
+                            )
+                    report.rolled_forward.append(cert_hash)
+                    continue
+                # object torn or missing: roll back
+                if text is not None:
+                    self._quarantine(cert_hash, report)
+                for keyed, path_of in (
+                    (record.get("index"), self._index_path),
+                    (record.get("lineage"), self._lineage_path),
+                ):
+                    if isinstance(keyed, str):
+                        pointer = self.io.read_text(path_of(keyed))
+                        if (
+                            pointer is not None
+                            and pointer.strip() == cert_hash
+                        ):
+                            self.io.unlink(path_of(keyed))
+                            report.pointers_dropped += 1
+                report.rolled_back.append(cert_hash)
+            if verify_objects:
+                self._verify_all(report)
+            self.wal.reset()
+            # nothing stale survives the repair
+            self._objects.clear()
+            self._index.clear()
+            self._lineage.clear()
+            self._parsed.clear()
+        return report
+
+    def flush(self) -> None:
+        """Compact the journal before a planned shutdown.
+
+        Every put fsyncs before returning, so there is no buffered data
+        to lose — flushing just drops committed journal records so the
+        next startup's recovery scan is O(pending), not O(history).
+        """
+        if self.root is None:
+            return
+        assert self.wal is not None
+        with self._lock, self._disk_lock():
+            self.wal.checkpoint()
+
+    def _quarantine(self, cert_hash: str, report: RecoveryReport) -> None:
+        """Move a torn/tampered object aside (evidence, not garbage)."""
+        source = self._object_path(cert_hash)
+        target = self._quarantine_path(cert_hash)
+        try:
+            self.io.replace(source, target)
+        except OSError:
+            self.io.unlink(source)
+        with self._lock:
+            self.stats.corrupt += 1
+        report.quarantined.append(
+            os.path.join("quarantine", os.path.basename(target))
+        )
+
+    def _verify_all(self, report: RecoveryReport) -> None:
+        """Deep scan: re-hash every object, drop dangling pointers."""
+        assert self.root is not None
+        intact: set = set()
+        objects_dir = os.path.join(self.root, "objects")
+        for directory, name in list(self.io.iter_files(objects_dir)):
+            if not name.endswith(".cert.json"):
+                continue
+            cert_hash = name[: -len(".cert.json")]
+            text = self.io.read_text(os.path.join(directory, name))
+            report.objects_verified += 1
+            if text is not None and model.sha256_text(text) == cert_hash:
+                intact.add(cert_hash)
+            else:
+                self._quarantine(cert_hash, report)
+        for subdir in ("index", "lineage"):
+            for directory, name in list(
+                self.io.iter_files(os.path.join(self.root, subdir))
+            ):
+                path = os.path.join(directory, name)
+                pointer = self.io.read_text(path)
+                target = pointer.strip() if pointer is not None else ""
+                if target not in intact:
+                    self.io.unlink(path)
+                    report.pointers_dropped += 1
 
     # -- reading -------------------------------------------------------------
 
@@ -243,16 +426,19 @@ class CertificateStore:
         if text is None:
             return None
         if model.sha256_text(text) != cert_hash:
-            # tampered or truncated object: evict, count, miss
+            # tampered or truncated object: quarantine, count, miss
             with self._lock:
                 self._objects.pop(cert_hash, None)
                 self._parsed.pop(cert_hash, None)
                 self.stats.corrupt += 1
                 if self.root is not None:
                     try:
-                        os.unlink(self._object_path(cert_hash))
+                        self.io.replace(
+                            self._object_path(cert_hash),
+                            self._quarantine_path(cert_hash),
+                        )
                     except OSError:
-                        pass
+                        self.io.unlink(self._object_path(cert_hash))
             return None
         with self._lock:
             self._objects.setdefault(cert_hash, text)
@@ -261,7 +447,7 @@ class CertificateStore:
 
     def _touch(self, cert_hash: str) -> None:
         """Record an access for the LRU eviction policy."""
-        now = time.time()
+        now = self._clock()
         with self._lock:
             self._last_used[cert_hash] = now
         if self.root is not None:
@@ -315,10 +501,7 @@ class CertificateStore:
                 if self._lineage.get(key) == cert_hash:
                     self._lineage.pop(key, None)
             if self.root is not None:
-                try:
-                    os.unlink(self._lineage_path(key))
-                except OSError:
-                    pass
+                self.io.unlink(self._lineage_path(key))
             return None
         return self._parse(cert_hash, text)
 
@@ -340,10 +523,7 @@ class CertificateStore:
                     # re-certified replacement can repoint it
                     self._index.pop(key, None)
                     if self.root is not None:
-                        try:
-                            os.unlink(self._index_path(key))
-                        except OSError:
-                            pass
+                        self.io.unlink(self._index_path(key))
             return None
         with self._lock:
             self.stats.hits += 1
@@ -421,10 +601,7 @@ class CertificateStore:
             self._last_used.pop(cert_hash, None)
             self.stats.evictions += 1
         if self.root is not None:
-            try:
-                os.unlink(self._object_path(cert_hash))
-            except OSError:
-                pass
+            self.io.unlink(self._object_path(cert_hash))
 
     def _prune_index(self, surviving: set) -> int:
         """Drop index entries pointing at objects that no longer exist
@@ -456,11 +633,8 @@ class CertificateStore:
                             continue
                         if cert_hash in surviving:
                             continue
-                        try:
-                            os.unlink(path)
-                            removed += 1
-                        except OSError:
-                            pass
+                        self.io.unlink(path)
+                        removed += 1
         return removed
 
     def gc(
@@ -476,7 +650,22 @@ class CertificateStore:
         ``max_bytes``.  Index entries for evicted (or already-dangling)
         objects are pruned so later lookups miss cleanly instead of
         resolving to a missing object.  Returns a summary dict.
+
+        The whole sweep runs under the cross-process advisory lock —
+        gc racing a concurrent put must not prune the pointer the put
+        just journalled.
         """
+        with self._disk_lock():
+            return self._gc_locked(
+                max_bytes=max_bytes, max_entries=max_entries
+            )
+
+    def _gc_locked(
+        self,
+        *,
+        max_bytes: Optional[int] = None,
+        max_entries: Optional[int] = None,
+    ) -> Dict[str, object]:
         entries = self._object_entries()
         bytes_before = sum(size for _h, size, _u in entries)
         objects_before = len(entries)

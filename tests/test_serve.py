@@ -390,6 +390,8 @@ class TestHealthAndStats:
             "certifications",
             "incremental",
             "recertifications",
+            "poisoned",
+            "store_degraded",
         }
         assert stats["store"]["objects"] == 0
 
