@@ -227,6 +227,15 @@ class CertifyOptions:
     #: incremental run's certificate is byte-identical to the cold one,
     #: so the parent is an execution strategy, not a semantic option.
     incremental_from: Optional[object] = None
+    #: path to a persistent interprocedural summary database
+    #: (:class:`repro.store.summary.SummaryStore`): ``interproc``
+    #: certifications load procedure summaries from it (behind a linear
+    #: validity re-check) and persist freshly computed ones.  Like
+    #: ``incremental_from``, deliberately *not* part of the recorded
+    #: options payload or the fingerprint — a warm run's certificate is
+    #: byte-identical to the cold one, so the database is an execution
+    #: strategy, not a semantic option.
+    summary_db: Optional[str] = None
 
 
 def packed_enabled(options: Optional[CertifyOptions] = None) -> bool:
@@ -303,6 +312,31 @@ class CertifySession:
         self._engine_by_obj = LRUCache(
             cache_size, name=f"tvla-engine-by-obj[{spec.name}]"
         )
+        #: lazily opened persistent summary database (options.summary_db)
+        self._summary_db_obj = None
+
+    def _summary_store(self):
+        """The session's persistent summary database, or None.
+
+        Opened lazily from ``options.summary_db`` and shared by every
+        interproc certification in the session.  The write-ahead journal
+        is replayed on first open, so a database torn by a crashed
+        sibling is repaired (torn objects quarantined) before any
+        summary is served from it.
+        """
+        path = self.options.summary_db
+        if path is None:
+            return None
+        if (
+            self._summary_db_obj is None
+            or self._summary_db_obj.root != path
+        ):
+            from repro.store.summary import SummaryStore
+
+            store = SummaryStore(path)
+            store.recover()
+            self._summary_db_obj = store
+        return self._summary_db_obj
 
     # -- traced execution ------------------------------------------------------
 
@@ -722,6 +756,7 @@ class CertifySession:
                 prune_requires=options.prune_requires,
                 worklist=options.worklist,
                 governor=governor,
+                summary_store=self._summary_store(),
             )
             report = certifier.certify(options.entry)
             if emit:

@@ -172,6 +172,7 @@ class InterproceduralCertifier:
         prune_requires: bool = True,
         worklist: str = "rpo",
         governor: Optional[ResourceGovernor] = None,
+        summary_store=None,
     ) -> None:
         if not program.is_shallow():
             raise TransformError(
@@ -207,6 +208,46 @@ class InterproceduralCertifier:
             "summary_updates": 0,
             "edge_visits": 0,
         }
+        #: optional :class:`repro.store.summary.SummaryStore`: completed
+        #: context summaries are persisted after certification and
+        #: loaded (behind a linear validity re-check) instead of
+        #: recomputed on later runs that share library code
+        self.summary_store = summary_store
+        if summary_store is not None:
+            self.stats.update(
+                {
+                    "summaries_loaded": 0,
+                    "summaries_stored": 0,
+                    "summary_rejects": 0,
+                }
+            )
+        #: contexts installed from the store this run (validated final
+        #: fixpoints: re-analysis cannot grow them, so they are skipped)
+        self._loaded: Set[Tuple[str, int]] = set()
+        #: contexts whose load already missed or failed validation
+        self._load_failed: Set[Tuple[str, int]] = set()
+        self._space_keys: Dict[str, str] = {}
+        self._analysis_key_memo: Optional[str] = None
+        #: per-family memos for the two spec queries on the call-mapping
+        #: hot path (family names are unique within an abstraction);
+        #: recomputing the formula scans per call edge dominated
+        #: large-program profiles
+        self._mutable_memo: Dict[str, bool] = {}
+        self._reflexive_memo: Dict[str, bool] = {}
+
+    def _family_mutable(self, family: Family) -> bool:
+        value = self._mutable_memo.get(family.name)
+        if value is None:
+            value = family_mentions_mutable_field(family, self.spec)
+            self._mutable_memo[family.name] = value
+        return value
+
+    def _family_reflexive(self, family: Family) -> bool:
+        value = self._reflexive_memo.get(family.name)
+        if value is None:
+            value = reflexively_true(family)
+            self._reflexive_memo[family.name] = value
+        return value
 
     def _local_worklist(self, qualified: str, boolprog):
         """A fresh per-context worklist over one method's boolean CFG.
@@ -386,7 +427,7 @@ class InterproceduralCertifier:
                 # a callee local (incl. ##ret): null at entry
                 return (
                     len(set(instance.args)) <= 1
-                    and reflexively_true(family)
+                    and self._family_reflexive(family)
                 )
             mapped.append(visible)
         return self._caller_value(
@@ -535,7 +576,7 @@ class InterproceduralCertifier:
                 callee, exit_mask, family.name,
                 tuple(callee_names),  # type: ignore[arg-type]
             )
-        mutable = family_mentions_mutable_field(family, self.spec)
+        mutable = self._family_mutable(family)
         if mutable:
             if family.arity != 1:
                 return True  # outside the CMP class: stay sound
@@ -811,6 +852,32 @@ class InterproceduralCertifier:
                     governor.check_structures(self.stats["contexts"])
                 key = worklist.popleft()
                 queued.discard(key)
+                if key in self._loaded:
+                    # installed at its validated fixpoint; a re-analysis
+                    # cannot grow it (loaded contexts only call other
+                    # loaded contexts, all final), so skip the local
+                    # pass — but callers that queued behind this context
+                    # before a *recursive* validation installed it still
+                    # need their call edges re-executed
+                    for dependent in dependents.get(key, ()):
+                        schedule(dependent)
+                    continue
+                if (
+                    self.summary_store is not None
+                    and key not in self._load_failed
+                    and self._try_load_summary(
+                        key,
+                        self._entry_zeros_seed(key, root),
+                        memo,
+                        node_states,
+                        node_zeros,
+                        alarms,
+                        set(),
+                    )
+                ):
+                    for dependent in dependents.get(key, ()):
+                        schedule(dependent)
+                    continue
                 if self._analyze_context(
                     key, memo, node_states, node_zeros, dependents, schedule,
                     alarms,
@@ -832,6 +899,8 @@ class InterproceduralCertifier:
                 nodes_total=self.stats["contexts"],
                 stats=dict(self.stats),
             )
+        if self.summary_store is not None:
+            self._persist_summaries(root, memo, node_states, node_zeros)
         alarm_list = sorted(
             alarms.values(), key=lambda a: (a.site_id, a.instance)
         )
@@ -850,6 +919,325 @@ class InterproceduralCertifier:
             alarms=alarm_list,
             stats=dict(self.stats),
         )
+
+    # -- persistent summaries ---------------------------------------------------------
+    #
+    # A summary is a pure function of (analysis key, fact-space key,
+    # entry fingerprint): the local least fixpoint is a monotone join
+    # over a finite lattice, so it is schedule-independent, and callee
+    # exits feeding it are themselves keyed summaries.  The consumer
+    # never trusts a stored payload — `_validate_summary` replays one
+    # linear pass over the recorded masks (the certificate checker's
+    # no-fixpoint discipline) and anything non-inductive is discarded
+    # and recomputed.  An honest store therefore reproduces the cold
+    # run's fixpoint bit-for-bit; a tampered-but-inductive payload can
+    # only over-approximate it (sound, extra alarms at worst).
+
+    def _analysis_key(self) -> str:
+        """Hash of everything global to this analysis configuration."""
+        if self._analysis_key_memo is None:
+            # local import: repro.cert pulls in the checker, which
+            # imports this module (certificate replay shares
+            # `edge_transfer`) — a top-level import would cycle
+            from repro.cert import model
+            from repro.store.summary import summary_analysis_key
+
+            self._analysis_key_memo = summary_analysis_key(
+                spec_hash=model.spec_hash(self.spec),
+                abstraction_hash=model.abstraction_hash(self.abstraction),
+                prune_requires=self.prune_requires,
+            )
+        return self._analysis_key_memo
+
+    def _space_key(self, qualified: str) -> str:
+        """Canonical fingerprint of one procedure's derived fact space.
+
+        Covers everything the local fixpoint and the call mappings read:
+        the boolean program (instances, edges, checks, assigns, initial
+        mask), the call sites, and the name environment the entry/return
+        compositions consult.  Two procedures agreeing here are
+        indistinguishable to the tabulation.
+        """
+        cached = self._space_keys.get(qualified)
+        if cached is not None:
+            return cached
+        from repro.cert import model
+
+        space = self.space(qualified)
+        boolprog = space.boolprog
+        payload = {
+            "calls": [
+                [
+                    src,
+                    dst,
+                    stm.callee,
+                    stm.receiver,
+                    list(stm.args),
+                    stm.result,
+                ]
+                for src, dst, stm in space.call_edges
+            ],
+            "edges": [
+                [
+                    edge.src,
+                    edge.dst,
+                    [
+                        [c.site_id, c.line, c.op_key, c.var]
+                        for c in edge.checks
+                    ],
+                    [
+                        [a.target, list(a.sources), a.const_true]
+                        for a in edge.assigns
+                    ],
+                    [[var, bool(value)] for var, value in edge.filters],
+                ]
+                for edge in boolprog.edges
+            ],
+            "entry": boolprog.entry,
+            "exit": boolprog.exit,
+            "formals": sorted(space.formals.items()),
+            "ghosts": sorted(space.ghosts.items()),
+            "initial": format(space.default_mask, "x"),
+            "instances": [
+                [inst.family, list(inst.args)]
+                for inst in boolprog.instances()
+            ],
+            "num_vars": boolprog.num_vars,
+            "phantoms": sorted(space.phantoms.items()),
+            "variables": sorted(space.variables.items()),
+        }
+        key = model.sha256_text(model.canonical_text(payload))
+        self._space_keys[qualified] = key
+        return key
+
+    def _entry_zeros_seed(self, key: Tuple[str, int], root) -> int:
+        """The may-0 mask a context's entry starts from — part of the
+        store key because the root context is seeded exactly while
+        callee contexts start from "everything may be 0"."""
+        space = self.space(key[0])
+        all_vars = (1 << space.boolprog.num_vars) - 1
+        if key == root:
+            return all_vars & ~space.default_mask
+        return all_vars
+
+    def _context_store_key(
+        self, key: Tuple[str, int], entry_zeros: int
+    ) -> str:
+        from repro.store.summary import summary_context_key
+
+        return summary_context_key(
+            self._analysis_key(),
+            self._space_key(key[0]),
+            key[1],
+            entry_zeros,
+        )
+
+    def _try_load_summary(
+        self,
+        key,
+        entry_zeros,
+        memo,
+        node_states,
+        node_zeros,
+        alarms,
+        visiting,
+    ) -> bool:
+        """Load-or-fail one context from the summary store.
+
+        Recursively loads the callee contexts the validation pass needs;
+        a cycle (recursive client) or any missing/invalid link fails the
+        whole chain and the caller computes normally.  Returns True with
+        the context *installed* (memo, node masks, alarms) on success.
+        """
+        if key in self._loaded:
+            return True
+        if (
+            self.summary_store is None
+            or key in self._load_failed
+            or key in visiting
+        ):
+            return False
+        payload = self.summary_store.get(
+            self._context_store_key(key, entry_zeros)
+        )
+        if payload is None:
+            self._load_failed.add(key)
+            return False
+        visiting.add(key)
+        try:
+            installed = self._validate_summary(
+                key,
+                entry_zeros,
+                payload,
+                memo,
+                node_states,
+                node_zeros,
+                alarms,
+                visiting,
+            )
+        finally:
+            visiting.discard(key)
+        if not installed:
+            self.stats["summary_rejects"] += 1
+            self._load_failed.add(key)
+        return installed
+
+    def _validate_summary(
+        self,
+        key,
+        entry_zeros,
+        payload,
+        memo,
+        node_states,
+        node_zeros,
+        alarms,
+        visiting,
+    ) -> bool:
+        """One linear inductiveness pass over a stored context summary.
+
+        Mirrors the certificate checker: no fixpoint is run — every
+        recorded edge transfer must already be subsumed by the recorded
+        successor masks, the entry masks must cover the context's seed,
+        and the recorded exit must equal the summary value.  Alarms are
+        regenerated into a scratch dict and merged only on success, so a
+        rejected payload leaves no trace.
+        """
+        from repro.store.summary import SUMMARY_FORMAT
+
+        qualified, entry_vector = key
+        space = self.space(qualified)
+        boolprog = space.boolprog
+        all_vars = (1 << boolprog.num_vars) - 1
+        try:
+            if payload.get("v") != SUMMARY_FORMAT:
+                return False
+            if payload.get("num_vars") != boolprog.num_vars:
+                return False
+            states = {
+                int(node): int(mask, 16)
+                for node, mask in payload["states"].items()
+            }
+            zeros = {
+                int(node): int(mask, 16)
+                for node, mask in payload["zeros"].items()
+            }
+            exit_mask = int(payload["exit"], 16)
+        except (AttributeError, KeyError, TypeError, ValueError):
+            return False
+        for table in (states, zeros):
+            for mask in table.values():
+                if mask & ~all_vars:
+                    return False
+        if exit_mask & ~all_vars:
+            return False
+        # entry coverage: the recorded entry masks must subsume the seed
+        if states.get(boolprog.entry, 0) & entry_vector != entry_vector:
+            return False
+        if zeros.get(boolprog.entry, 0) & entry_zeros != entry_zeros:
+            return False
+        calls = {(src, dst): stm for src, dst, stm in space.call_edges}
+        scratch: Dict[Tuple[int, str], Alarm] = {}
+        governor = self.governor
+        for node in set(states) | set(zeros):
+            if governor is not None:
+                governor.tick()
+            mask = states.get(node, 0)
+            zmask = zeros.get(node, all_vars)
+            for edge in boolprog.out_edges(node):
+                self.stats["edge_visits"] += 1
+                call_stm = calls.get((edge.src, edge.dst))
+                if call_stm is not None:
+                    centry, callee_space = self.call_entry_vector(
+                        space, mask, call_stm
+                    )
+                    callee_key = (call_stm.callee, centry)
+                    callee_all = (
+                        1 << callee_space.boolprog.num_vars
+                    ) - 1
+                    # only a *validated* callee summary may discharge a
+                    # call edge: computed-in-progress values are partial
+                    # and would make the subsumption check vacuous
+                    if not self._try_load_summary(
+                        callee_key,
+                        callee_all,
+                        memo,
+                        node_states,
+                        node_zeros,
+                        alarms,
+                        visiting,
+                    ):
+                        return False
+                    out = self.map_return(
+                        space, mask, call_stm, callee_space,
+                        memo[callee_key],
+                    )
+                    zout = all_vars
+                else:
+                    transferred = self.edge_transfer(
+                        boolprog, qualified, edge, mask, zmask, scratch
+                    )
+                    if transferred is None:
+                        continue  # the edge definitely throws: no flow
+                    out, zout = transferred
+                if out & ~states.get(edge.dst, 0):
+                    return False
+                if zout & ~zeros.get(edge.dst, 0):
+                    return False
+        if states.get(boolprog.exit, 0) != exit_mask:
+            return False
+        # inductive: install as this context's final fixpoint
+        if key not in memo:
+            self.stats["contexts"] += 1
+        memo[key] = exit_mask
+        node_states[key] = states
+        node_zeros[key] = zeros
+        alarms.update(scratch)
+        self._loaded.add(key)
+        self.stats["summaries_loaded"] += 1
+        self.stats["summary_updates"] += 1
+        return True
+
+    def _persist_summaries(
+        self, root, memo, node_states, node_zeros
+    ) -> None:
+        """Write every freshly *computed* context to the summary store
+        (loaded ones are already there, byte-identical).  Best effort:
+        a full disk must not fail a certification that succeeded."""
+        from repro.store.summary import SUMMARY_FORMAT
+
+        for key in sorted(memo):
+            if key in self._loaded or memo[key] is None:
+                continue
+            qualified, entry_vector = key
+            payload = {
+                "entry": format(entry_vector, "x"),
+                "exit": format(memo[key], "x"),
+                "method": qualified,
+                "num_vars": self.space(qualified).boolprog.num_vars,
+                "states": {
+                    str(node): format(mask, "x")
+                    for node, mask in sorted(
+                        node_states.get(key, {}).items()
+                    )
+                },
+                "v": SUMMARY_FORMAT,
+                "zeros": {
+                    str(node): format(mask, "x")
+                    for node, mask in sorted(
+                        node_zeros.get(key, {}).items()
+                    )
+                },
+            }
+            try:
+                self.summary_store.put(
+                    self._context_store_key(
+                        key, self._entry_zeros_seed(key, root)
+                    ),
+                    payload,
+                )
+            except OSError:
+                return
+            self.stats["summaries_stored"] += 1
 
     def _analyze_context(
         self, key, memo, node_states, node_zeros, dependents, schedule,

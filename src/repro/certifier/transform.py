@@ -143,14 +143,23 @@ class ClientTransformer:
         self.abstraction = abstraction
         self.spec = abstraction.spec
         self.on_client_call = on_client_call
+        #: symbolic transforms depend only on (abstraction, op, binding,
+        #: in-scope variables) — across a large client the same local
+        #: names recur in method after method, so both memos hit heavily
+        self._instances_memo: Dict[tuple, List[Instance]] = {}
+        self._comp_op_memo: Dict[tuple, tuple] = {}
 
     # -- instance universe -----------------------------------------------------
 
     def instances_for(self, variables: Dict[str, str]) -> List[Instance]:
-        found: List[Instance] = []
-        for family in self.abstraction.families:
-            for args in _all_tuples(variables, family.sorts):
-                found.append(Instance(family.name, args))
+        key = tuple(sorted(variables.items()))
+        found = self._instances_memo.get(key)
+        if found is None:
+            found = []
+            for family in self.abstraction.families:
+                for args in _all_tuples(variables, family.sorts):
+                    found.append(Instance(family.name, args))
+            self._instances_memo[key] = found
         return found
 
     # -- the transformation ------------------------------------------------------
@@ -278,36 +287,56 @@ class ClientTransformer:
         checks: List[Check],
         assigns: List[ParallelAssign],
     ) -> None:
-        op = self.spec.operation(op_key)
-        op_abs = self.abstraction.operations[op_key]
-        for check_ref in op_abs.checks:
-            args = tuple(
-                binding[arg.name]  # type: ignore[union-attr]
-                for arg in check_ref.args
-            )
-            var = boolprog.variable(Instance(check_ref.family, args))
-            checks.append(Check(site_id, line, op_key, var))
-        for instance in self.instances_for(variables):
-            pattern, slot_vars = instance_pattern(
-                op, self.spec, binding, instance.args
-            )
-            case = op_abs.case_for(instance.family, pattern)
-            if case is None:
-                raise TransformError(
-                    f"no derived update case for {instance} against "
-                    f"{op_key} (pattern {pattern})"
+        memo_key = (
+            op_key,
+            tuple(sorted(binding.items())),
+            tuple(sorted(variables.items())),
+        )
+        symbolic = self._comp_op_memo.get(memo_key)
+        if symbolic is None:
+            op = self.spec.operation(op_key)
+            op_abs = self.abstraction.operations[op_key]
+            check_instances = tuple(
+                Instance(
+                    check_ref.family,
+                    tuple(
+                        binding[arg.name]  # type: ignore[union-attr]
+                        for arg in check_ref.args
+                    ),
                 )
-            if case.identity:
-                continue
-            sources = tuple(
-                boolprog.variable(
+                for check_ref in op_abs.checks
+            )
+            assign_triples = []
+            for instance in self.instances_for(variables):
+                pattern, slot_vars = instance_pattern(
+                    op, self.spec, binding, instance.args
+                )
+                case = op_abs.case_for(instance.family, pattern)
+                if case is None:
+                    raise TransformError(
+                        f"no derived update case for {instance} against "
+                        f"{op_key} (pattern {pattern})"
+                    )
+                if case.identity:
+                    continue
+                sources = tuple(
                     self._instantiate(ref, binding, slot_vars)
+                    for ref in case.rhs_instances
                 )
-                for ref in case.rhs_instances
+                assign_triples.append((instance, sources, case.rhs_true))
+            symbolic = (check_instances, tuple(assign_triples))
+            self._comp_op_memo[memo_key] = symbolic
+        check_instances, assign_triples = symbolic
+        for instance in check_instances:
+            checks.append(
+                Check(site_id, line, op_key, boolprog.variable(instance))
             )
+        for instance, sources, rhs_true in assign_triples:
             assigns.append(
                 ParallelAssign(
-                    boolprog.variable(instance), sources, case.rhs_true
+                    boolprog.variable(instance),
+                    tuple(boolprog.variable(s) for s in sources),
+                    rhs_true,
                 )
             )
 

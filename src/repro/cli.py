@@ -112,7 +112,13 @@ def build_batch_parser() -> argparse.ArgumentParser:
             "per-phase JSONL tracing."
         ),
     )
-    parser.add_argument("manifest", help="path to the JSON job manifest")
+    parser.add_argument(
+        "manifest",
+        nargs="?",
+        default=None,
+        help="path to the JSON job manifest (not needed with "
+        "--shard-index or --merge-shards)",
+    )
     parser.add_argument(
         "--jobs",
         type=int,
@@ -183,6 +189,47 @@ def build_batch_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--quiet", action="store_true", help="suppress the summary table"
+    )
+    group = parser.add_argument_group(
+        "work-stealing shards",
+        "split the manifest into per-shard work queues served by the "
+        "pool (workers steal from the longest remaining queue), or "
+        "hand shards to other hosts via a shared --shard-dir",
+    )
+    group.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="run the manifest through the work-stealing coordinator "
+        "with N shards (default shards = --jobs when any shard flag "
+        "is given)",
+    )
+    group.add_argument(
+        "--shard-dir",
+        default=None,
+        metavar="DIR",
+        help="shared directory holding the shard plan, per-shard "
+        "manifests, certificate dirs and checkpoint journals",
+    )
+    group.add_argument(
+        "--write-shards",
+        action="store_true",
+        help="only write the shard plan into --shard-dir and exit "
+        "(for multi-host handoff via --shard-index)",
+    )
+    group.add_argument(
+        "--shard-index",
+        type=int,
+        default=None,
+        metavar="K",
+        help="run shard K of the plan in --shard-dir on this host",
+    )
+    group.add_argument(
+        "--merge-shards",
+        action="store_true",
+        help="merge completed per-shard certificates from --shard-dir "
+        "(each re-verified by SHA-256 against its journal) and exit",
     )
     _add_governor_arguments(parser)
     return parser
@@ -328,6 +375,70 @@ def build_bench_parser() -> argparse.ArgumentParser:
         help="edit distances for the --incremental speedup curve",
     )
     parser.add_argument(
+        "--scale",
+        action="store_true",
+        help="run the scale harness: certify/check wall time and peak "
+        "RSS vs program size over the synthetic scale families, plus "
+        "the cold-vs-warm summary-DB protocol on shared-library",
+    )
+    parser.add_argument(
+        "--scale-sizes",
+        default=None,
+        metavar="N1,N2,...",
+        help="target statement counts for --scale (default: "
+        "1000,2000,4000)",
+    )
+    parser.add_argument(
+        "--families",
+        default=None,
+        metavar="F1,F2,...",
+        help="scale families for --scale (default: all; see "
+        "repro.bench.synthetic.SCALE_FAMILIES)",
+    )
+    parser.add_argument(
+        "--scale-engines",
+        default=None,
+        metavar="E1,E2,...",
+        help="engines for --scale (default: interproc)",
+    )
+    parser.add_argument(
+        "--scale-seed",
+        type=int,
+        default=1,
+        metavar="S",
+        help="generator seed for --scale",
+    )
+    parser.add_argument(
+        "--superlinear-factor",
+        type=float,
+        default=3.0,
+        metavar="X",
+        help="with --scale and --check, fail when certify time grows "
+        "more than X times faster than program size between adjacent "
+        "sizes",
+    )
+    parser.add_argument(
+        "--warm-cold-target",
+        type=int,
+        default=None,
+        metavar="N",
+        help="statement count for the --scale cold-vs-warm summary-DB "
+        "protocol (default: the largest --scale-sizes entry)",
+    )
+    parser.add_argument(
+        "--no-warm-cold",
+        action="store_true",
+        help="skip the --scale cold-vs-warm summary-DB protocol",
+    )
+    parser.add_argument(
+        "--min-warm-speedup",
+        type=float,
+        default=None,
+        metavar="X",
+        help="with --check and --scale, fail unless the warm "
+        "(summary-DB hit) run is at least X times faster than cold",
+    )
+    parser.add_argument(
         "--engine",
         default="tvla-relational",
         choices=ENGINES,
@@ -366,6 +477,11 @@ def build_bench_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PATH",
         help="write results as JSON ('-' for stdout)",
+    )
+    parser.add_argument(
+        "--force",
+        action="store_true",
+        help="allow --json to overwrite an existing file",
     )
     parser.add_argument(
         "--quiet", action="store_true", help="suppress the text table"
@@ -1032,7 +1148,78 @@ def bench_main(argv: Optional[List[str]] = None) -> int:
         programs = [by_name[name] for name in sorted(wanted)]
 
     options = _governor_options(args)
-    if args.incremental:
+    if args.scale:
+        from repro.bench.scale import (
+            DEFAULT_ENGINES,
+            DEFAULT_FAMILIES,
+            DEFAULT_SIZES,
+            run_scale,
+        )
+        from repro.bench.synthetic import SCALE_FAMILIES
+
+        sizes = list(DEFAULT_SIZES)
+        if args.scale_sizes:
+            try:
+                sizes = [
+                    int(part) for part in args.scale_sizes.split(",") if part
+                ]
+            except ValueError:
+                print(
+                    f"error: bad --scale-sizes: {args.scale_sizes!r}",
+                    file=sys.stderr,
+                )
+                return 2
+        families = list(DEFAULT_FAMILIES)
+        if args.families:
+            families = [
+                part.strip() for part in args.families.split(",") if part
+            ]
+            bad = [f for f in families if f not in SCALE_FAMILIES]
+            if bad:
+                print(
+                    f"error: unknown scale family(s): {bad}; pick from "
+                    f"{sorted(SCALE_FAMILIES)}",
+                    file=sys.stderr,
+                )
+                return 2
+        engines = list(DEFAULT_ENGINES)
+        if args.scale_engines:
+            engines = [
+                part.strip() for part in args.scale_engines.split(",") if part
+            ]
+            bad = [e for e in engines if e not in ENGINES]
+            if bad:
+                print(f"error: unknown engine(s): {bad}", file=sys.stderr)
+                return 2
+        progress = None if args.quiet else (
+            lambda line: print(f"  {line}", file=sys.stderr)
+        )
+        report = run_scale(
+            families=families,
+            sizes=sizes,
+            engines=engines,
+            seed=args.scale_seed,
+            warm_cold=not args.no_warm_cold,
+            warm_cold_target=args.warm_cold_target,
+            superlinear_factor=args.superlinear_factor,
+            progress=progress,
+        )
+        payload = report.to_json()
+        # the CI gate: no hard errors, no superlinear blowup, and when
+        # the warm/cold protocol ran its certificates must be
+        # byte-identical with alarm parity (plus the speedup floor)
+        ok = not any(r.status == "error" for r in report.rows)
+        ok = ok and not payload["superlinear"]
+        if report.warm_cold is not None:
+            w = report.warm_cold
+            ok = ok and w.certificates_identical and w.alarms_equal
+            if args.min_warm_speedup is not None:
+                ok = ok and w.speedup >= args.min_warm_speedup
+        elif args.min_warm_speedup is not None:
+            ok = False
+        if not args.quiet:
+            print(report.format())
+    elif args.incremental:
         from repro.bench.incremental import run_incremental_bench
 
         try:
@@ -1140,9 +1327,21 @@ def bench_main(argv: Optional[List[str]] = None) -> int:
         if not args.quiet:
             print(format_table(results))
 
+    from repro.bench.scale import host_meta
+
+    # every committed BENCH_*.json row set carries the same host
+    # provenance (cpu count, python version, packed kernel), whichever
+    # bench mode produced it
+    payload.setdefault("meta", host_meta())
     if args.json == "-":
         print(json.dumps(payload, indent=2, sort_keys=True))
     elif args.json:
+        if os.path.exists(args.json) and not args.force:
+            print(
+                f"error: {args.json} exists; pass --force to overwrite",
+                file=sys.stderr,
+            )
+            return 2
         with open(args.json, "w") as handle:
             json.dump(payload, handle, indent=2, sort_keys=True)
             handle.write("\n")
@@ -1156,14 +1355,134 @@ def batch_main(argv: Optional[List[str]] = None) -> int:
     from repro.runtime.batch import BatchRunner, ManifestError, load_manifest
 
     args = build_batch_parser().parse_args(argv)
+
+    if args.merge_shards:
+        from repro.runtime.coordinator import merge_shards
+
+        if not args.shard_dir:
+            print(
+                "error: --merge-shards requires --shard-dir",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            summary = merge_shards(args.shard_dir)
+        except (OSError, json.JSONDecodeError, ValueError) as error:
+            print(f"error: merge failed: {error}", file=sys.stderr)
+            return 2
+        if args.json == "-":
+            print(json.dumps(summary, indent=2, sort_keys=True))
+        elif args.json:
+            with open(args.json, "w") as handle:
+                json.dump(summary, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+        if not args.quiet:
+            print(
+                f"merged {summary['merged']}/{summary['jobs_journaled']} "
+                f"certificates from {summary['shards']} shard(s) into "
+                f"{summary['dest']} "
+                f"({len(summary['mismatched'])} mismatched, "
+                f"{len(summary['missing'])} missing)"
+            )
+        return 0 if summary["ok"] else 1
+
+    if args.shard_index is not None:
+        from repro.runtime.coordinator import run_shard
+
+        if not args.shard_dir:
+            print(
+                "error: --shard-index requires --shard-dir",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            result = run_shard(
+                args.shard_dir,
+                args.shard_index,
+                max_workers=args.jobs,
+                resume=args.resume,
+                default_timeout=args.timeout,
+                default_fallback=args.fallback,
+            )
+        except (OSError, json.JSONDecodeError, ValueError) as error:
+            print(f"error: shard run failed: {error}", file=sys.stderr)
+            return 2
+        if args.json == "-":
+            print(json.dumps(result.to_json(), indent=2, sort_keys=True))
+        elif args.json:
+            with open(args.json, "w") as handle:
+                json.dump(
+                    result.to_json(), handle, indent=2, sort_keys=True
+                )
+                handle.write("\n")
+        if not args.quiet:
+            print(result.format_summary())
+        return 0 if result.ok else 1
+
+    if args.manifest is None:
+        print(
+            "error: a manifest is required unless --shard-index or "
+            "--merge-shards is given",
+            file=sys.stderr,
+        )
+        return 2
     try:
         jobs = load_manifest(args.manifest)
     except (OSError, json.JSONDecodeError, ManifestError) as error:
         print(f"error: bad manifest: {error}", file=sys.stderr)
         return 2
-    if args.resume and not args.checkpoint_dir:
+    if args.resume and not (args.checkpoint_dir or args.shard_dir):
         print("error: --resume requires --checkpoint-dir", file=sys.stderr)
         return 2
+
+    if args.write_shards:
+        from repro.runtime.coordinator import write_shard_plan
+
+        if not args.shard_dir:
+            print(
+                "error: --write-shards requires --shard-dir",
+                file=sys.stderr,
+            )
+            return 2
+        plan = write_shard_plan(
+            jobs, args.shard_dir, shards=args.shards or max(args.jobs, 1)
+        )
+        if not args.quiet:
+            print(
+                f"wrote shard plan {plan['run_id']}: {plan['shards']} "
+                f"shard(s) over {len(jobs)} job(s) in {args.shard_dir}"
+            )
+        return 0
+
+    if args.shards is not None or args.shard_dir:
+        from repro.runtime.coordinator import WorkStealingCoordinator
+
+        coordinator = WorkStealingCoordinator(
+            jobs,
+            shards=args.shards,
+            max_workers=args.jobs,
+            shard_dir=args.shard_dir,
+            resume=args.resume,
+            default_timeout=args.timeout,
+            default_fallback=args.fallback,
+            max_retries=args.retries,
+            emit_certs=args.emit_certs is not None or bool(args.shard_dir),
+        )
+        result = coordinator.run()
+        if args.trace:
+            result.batch.write_trace(args.trace)
+        if args.json == "-":
+            print(json.dumps(result.to_json(), indent=2, sort_keys=True))
+        elif args.json:
+            with open(args.json, "w") as handle:
+                json.dump(
+                    result.to_json(), handle, indent=2, sort_keys=True
+                )
+                handle.write("\n")
+        if not args.quiet:
+            print(result.format_summary())
+        return 0 if result.batch.ok else 1
+
     runner = BatchRunner(
         jobs,
         max_workers=args.jobs,
@@ -1289,6 +1608,14 @@ def build_serve_parser() -> argparse.ArgumentParser:
         "worker exceeding it is killed and the request retried once "
         "(default: no bound)",
     )
+    parser.add_argument(
+        "--summary-db",
+        default=None,
+        metavar="DIR",
+        help="persistent interprocedural summary store: certify-on-miss "
+        "loads procedure summaries by (spec, body, context) hash and "
+        "persists newly computed ones under DIR",
+    )
     group = parser.add_argument_group(
         "default tenant budget",
         "per-request governor caps for tenants without a --tenants entry",
@@ -1345,6 +1672,9 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
         host=args.host,
         port=args.port,
         specs=specs,
+        options=CertifyOptions(
+            emit_certificate=True, summary_db=args.summary_db
+        ),
         default_engine=args.engine,
         workers=args.workers,
         worker_mode=args.worker_mode,
@@ -1493,6 +1823,10 @@ def bench_serve_main(argv: Optional[List[str]] = None) -> int:
             worker_mode=args.worker_mode,
         )
     )
+    if isinstance(results, dict):
+        from repro.bench.scale import host_meta
+
+        results.setdefault("meta", host_meta())
     if args.json == "-":
         print(json.dumps(results, indent=2, sort_keys=True))
     elif args.json:
@@ -1513,9 +1847,10 @@ def build_store_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro store",
         description=(
-            "Maintain an on-disk certificate store.  'gc' evicts "
-            "least-recently-used objects until the store fits the given "
-            "limits and prunes index entries left dangling by evictions."
+            "Maintain an on-disk certificate or summary store.  'gc' "
+            "evicts least-recently-used objects until the store fits the "
+            "given limits and prunes index entries left dangling by "
+            "evictions."
         ),
     )
     parser.add_argument(
@@ -1525,7 +1860,14 @@ def build_store_parser() -> argparse.ArgumentParser:
         "--store",
         required=True,
         metavar="DIR",
-        help="root of the on-disk certificate store",
+        help="root of the on-disk store",
+    )
+    parser.add_argument(
+        "--kind",
+        default="certs",
+        choices=("certs", "summaries"),
+        help="which store lives at --store: certificates (default) or "
+        "interprocedural procedure summaries",
     )
     parser.add_argument(
         "--max-bytes",
@@ -1550,7 +1892,7 @@ def build_store_parser() -> argparse.ArgumentParser:
 
 
 def store_main(argv: Optional[List[str]] = None) -> int:
-    from repro.store import CertificateStore
+    from repro.store import CertificateStore, SummaryStore
 
     args = build_store_parser().parse_args(argv)
     if not os.path.isdir(args.store):
@@ -1564,7 +1906,10 @@ def store_main(argv: Optional[List[str]] = None) -> int:
             file=sys.stderr,
         )
         return 2
-    store = CertificateStore(args.store)
+    # both stores share the gc contract (and summary-dict shape), so
+    # the reporting below is kind-agnostic
+    store_cls = SummaryStore if args.kind == "summaries" else CertificateStore
+    store = store_cls(args.store)
     summary = store.gc(
         max_bytes=args.max_bytes, max_entries=args.max_entries
     )
@@ -1614,7 +1959,10 @@ def build_chaos_parser() -> argparse.ArgumentParser:
         "--layers",
         default="store,serve,batch",
         metavar="L1,L2,...",
-        help="comma-separated layers to attack (default: all three)",
+        help="comma-separated layers to attack (default: store, serve "
+        "and batch; 'coordinator' and 'summarydb' attack the "
+        "work-stealing shards and the persistent summary database and "
+        "run only when named)",
     )
     parser.add_argument(
         "--workdir",

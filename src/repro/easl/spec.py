@@ -272,14 +272,23 @@ class ComponentSpec:
         return current
 
     def mutable_fields(self) -> Set[Tuple[str, str]]:
-        """``(class, field)`` pairs assigned outside their class's ctor."""
-        mutable: Set[Tuple[str, str]] = set()
-        for owner, field_name, _stmt, in_class, in_ctor in (
-            self.field_assignments()
-        ):
-            if not (in_ctor and in_class == owner):
-                mutable.add((owner, field_name))
-        return mutable
+        """``(class, field)`` pairs assigned outside their class's ctor.
+
+        Cached: the class table is fixed at construction, but the query
+        sits on the certifiers' per-edge hot path (mutability decides
+        which families a call invalidates), so recomputing the full
+        spec walk each time dominated large interprocedural runs.
+        """
+        cached = getattr(self, "_mutable_fields_memo", None)
+        if cached is None:
+            cached = set()
+            for owner, field_name, _stmt, in_class, in_ctor in (
+                self.field_assignments()
+            ):
+                if not (in_ctor and in_class == owner):
+                    cached.add((owner, field_name))
+            self._mutable_fields_memo = cached
+        return cached
 
     def is_alias_based(self) -> bool:
         """All preconditions are single alias conditions ``α == β``."""

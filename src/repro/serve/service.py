@@ -448,6 +448,9 @@ class CertificationService:
             prune_requires=bool(fields["prune_requires"]),
             inline_depth=int(fields["inline_depth"]),
             worklist=str(fields["worklist"]),
+            # execution strategy, not a semantic option: shared by every
+            # tenant session so library summaries are paid for once
+            summary_db=base.summary_db,
         )
 
     def _tenant(self, name: str) -> _TenantState:

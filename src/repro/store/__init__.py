@@ -22,6 +22,12 @@ from repro.store.cas import (
     request_key,
 )
 from repro.store.io import StoreIO, atomic_write_text
+from repro.store.summary import (
+    SummaryStore,
+    SummaryStoreStats,
+    summary_analysis_key,
+    summary_context_key,
+)
 from repro.store.wal import RecoveryReport, WriteAheadLog
 
 __all__ = [
@@ -29,8 +35,12 @@ __all__ = [
     "RecoveryReport",
     "StoreIO",
     "StoreStats",
+    "SummaryStore",
+    "SummaryStoreStats",
     "WriteAheadLog",
     "atomic_write_text",
     "lineage_key",
     "request_key",
+    "summary_analysis_key",
+    "summary_context_key",
 ]

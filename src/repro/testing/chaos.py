@@ -580,12 +580,295 @@ def run_batch_scenario(seed: int, workdir: str) -> ScenarioResult:
     return result
 
 
+# -- coordinator scenario ------------------------------------------------------
+
+#: suite programs for the work-stealing scenario — enough jobs that the
+#: inline scheduler actually steals across its three shards
+COORDINATOR_PROGRAMS = (
+    "fig3", "sec3_loop", "alias_chain",
+    "loop_invalidate", "remove_self_ok", "remove_breaks_sibling",
+)
+
+
+def _coordinator_jobs():
+    from repro.runtime.batch import JobSpec
+    from repro.suite import by_name
+
+    return [
+        JobSpec(
+            name=name,
+            spec="cmp",
+            source=by_name(name).source,
+            engine="fds",
+        )
+        for name in COORDINATOR_PROGRAMS
+    ]
+
+
+def _coordinator_child(
+    shard_dir: str, delay: float
+) -> None:  # pragma: no cover - exercised via SIGKILLed child processes
+    import repro.runtime.coordinator as coordinator_module
+
+    if delay > 0:
+        real_worker_run = coordinator_module._worker_run
+
+        def slowed(item):
+            outcome = real_worker_run(item)
+            time.sleep(delay)
+            return outcome
+
+        coordinator_module._worker_run = slowed
+    coordinator_module.WorkStealingCoordinator(
+        _coordinator_jobs(),
+        shards=3,
+        max_workers=1,
+        shard_dir=shard_dir,
+    ).run()
+
+
+def _shard_journal_lines(shard_dir: str) -> int:
+    total = 0
+    try:
+        entries = sorted(os.listdir(shard_dir))
+    except OSError:
+        return 0
+    for entry in entries:
+        checkpoint = os.path.join(shard_dir, entry, "checkpoint")
+        if not entry.startswith("shard-") or not os.path.isdir(checkpoint):
+            continue
+        for journal in os.listdir(checkpoint):
+            if journal.endswith(".jsonl"):
+                total += _journal_lines(os.path.join(checkpoint, journal))
+    return total
+
+
+def run_coordinator_scenario(seed: int, workdir: str) -> ScenarioResult:
+    """SIGKILL a stealing coordinator mid-run, resume, merge, compare.
+
+    The worker dies between steals; the resumed coordinator must restore
+    every journaled job from the per-shard journals, finish the
+    remainder, and end with statuses and certificate bytes identical to
+    an uninterrupted reference run.  The final merge must verify every
+    certificate against its journal hash.
+    """
+    from repro.runtime.coordinator import (
+        WorkStealingCoordinator,
+        merge_shards,
+    )
+
+    rng = random.Random(seed)
+    kill_after = rng.choice((1, 2, 4, len(COORDINATOR_PROGRAMS)))
+    result = ScenarioResult(
+        layer="coordinator", seed=seed, kind=f"sigkill-after-{kill_after}"
+    )
+    base = os.path.join(workdir, f"coordinator-{seed}")
+    ref_dir = os.path.join(base, "ref")
+    chaos_dir = os.path.join(base, "chaos")
+
+    reference = WorkStealingCoordinator(
+        _coordinator_jobs(), shards=3, max_workers=1, shard_dir=ref_dir
+    ).run()
+    ref_status = {
+        r.job.name: r.status for r in reference.batch.results
+    }
+    ref_merge = merge_shards(ref_dir)
+    ref_bytes = {}
+    for entry in sorted(os.listdir(ref_merge["dest"])):
+        if not entry.endswith(".cert.json"):
+            continue  # merged.json carries run metadata, not a cert
+        with open(os.path.join(ref_merge["dest"], entry), "rb") as handle:
+            ref_bytes[entry] = handle.read()
+    if not ref_merge["ok"]:
+        result.violations.append("fault-free merge failed")
+        return result
+
+    context = multiprocessing.get_context(
+        "fork"
+        if "fork" in multiprocessing.get_all_start_methods()
+        else None
+    )
+    child = context.Process(
+        target=_coordinator_child, args=(chaos_dir, 0.05)
+    )
+    child.start()
+    deadline = time.monotonic() + 120.0
+    while (
+        child.is_alive()
+        and _shard_journal_lines(chaos_dir) < kill_after
+        and time.monotonic() < deadline
+    ):
+        time.sleep(0.01)
+    if child.is_alive():
+        assert child.pid is not None
+        os.kill(child.pid, signal.SIGKILL)
+    child.join(30.0)
+    result.notes["journaled_before_kill"] = _shard_journal_lines(chaos_dir)
+
+    resumed = WorkStealingCoordinator(
+        _coordinator_jobs(),
+        shards=3,
+        max_workers=1,
+        shard_dir=chaos_dir,
+        resume=True,
+    ).run()
+    result.notes["resumed_jobs"] = resumed.batch.resumed
+    got_status = {r.job.name: r.status for r in resumed.batch.results}
+    if got_status != ref_status:
+        result.violations.append(
+            f"resumed statuses {got_status} != fault-free {ref_status}"
+        )
+    merge = merge_shards(chaos_dir)
+    result.notes["merge"] = {
+        "merged": merge["merged"],
+        "mismatched": len(merge["mismatched"]),
+        "missing": len(merge["missing"]),
+    }
+    if not merge["ok"]:
+        result.violations.append(
+            f"merge after resume not clean: {merge['mismatched']} "
+            f"mismatched, {merge['missing']} missing"
+        )
+    for entry, expected in ref_bytes.items():
+        path = os.path.join(merge["dest"], entry)
+        try:
+            with open(path, "rb") as handle:
+                actual = handle.read()
+        except OSError:
+            result.violations.append(
+                f"certificate {entry} missing after resume+merge"
+            )
+            continue
+        if actual != expected:
+            result.violations.append(
+                f"certificate {entry} not byte-identical after resume"
+            )
+    return result
+
+
+# -- summary-db scenario -------------------------------------------------------
+
+#: a procedure-rich client small enough to certify in well under a
+#: second yet big enough that populating the summary DB spans many puts
+_SUMMARYDB_TARGET = 240
+
+
+def _summarydb_program() -> str:
+    from repro.bench.synthetic import make_shared_library
+
+    return make_shared_library(_SUMMARYDB_TARGET, seed=7)
+
+
+def _summarydb_certify(db_path: str, *, io: Optional[StoreIO] = None):
+    """One interproc certification against ``db_path``; returns
+    (certificate text, sorted alarm lines)."""
+    from repro.api import CertifyOptions, CertifySession
+    from repro.easl.library import get_spec
+    from repro.store.summary import SummaryStore
+
+    session = CertifySession(
+        get_spec("cmp"),
+        engine="interproc",
+        options=CertifyOptions(emit_certificate=True, summary_db=db_path),
+    )
+    if io is not None:
+        store = SummaryStore(db_path, io=io)
+        store.recover()
+        session._summary_db_obj = store
+    report = session.certify(_summarydb_program())
+    assert report.certificate is not None
+    return (
+        report.certificate.text(),
+        sorted(alarm.line for alarm in report.alarms),
+        report.certificate,
+    )
+
+
+def run_summarydb_scenario(seed: int, workdir: str) -> ScenarioResult:
+    """Kill the summary-DB writer mid-put; recovery must quarantine.
+
+    A cold interproc run populates the database through a
+    :class:`FaultyIO` that dies after a seeded byte budget — a torn
+    summary object, pointer or journal record.  Recovery must repair
+    the root (quarantining any torn object), a second recovery must
+    find nothing left, and a run resumed over the repaired database
+    must produce a certificate byte-identical to a fault-free run —
+    loaded summaries may save time, never change bytes.
+    """
+    from repro.store.summary import SummaryStore
+
+    rng = random.Random(seed)
+    result = ScenarioResult(
+        layer="summarydb", seed=seed, kind="kill-mid-put"
+    )
+    base = os.path.join(workdir, f"summarydb-{seed}")
+
+    # fault-free reference: cold populate + warm reload on a clean DB
+    ref_db = os.path.join(base, "ref-db")
+    ref_text, ref_alarms, _ = _summarydb_certify(ref_db)
+    warm_text, warm_alarms, _ = _summarydb_certify(ref_db)
+    if warm_text != ref_text or warm_alarms != ref_alarms:
+        result.violations.append(
+            "fault-free warm run differs from its own cold run"
+        )
+        return result
+    db_bytes = 0
+    objects_dir = os.path.join(ref_db, "objects")
+    for root, _, files in os.walk(objects_dir):
+        for name in files:
+            db_bytes += os.path.getsize(os.path.join(root, name))
+    result.notes["reference_db_bytes"] = db_bytes
+
+    # chaos: the writer dies after a seeded byte budget
+    chaos_db = os.path.join(base, "chaos-db")
+    budget = rng.randrange(1, max(2, 2 * db_bytes))
+    result.notes["kill_after_bytes"] = budget
+    crashed = False
+    try:
+        _summarydb_certify(
+            chaos_db, io=FaultyIO(kill_after_bytes=budget)
+        )
+    except SimulatedCrash:
+        crashed = True
+    result.notes["crashed"] = crashed
+
+    # "reboot": recovery quarantines torn objects and is idempotent
+    store = SummaryStore(chaos_db)
+    report = store.recover(verify_objects=True)
+    result.notes["recovery"] = report.to_json()
+    again = store.recover(verify_objects=True)
+    if not again.clean:
+        result.violations.append(
+            f"summary-db recovery not idempotent: {again.to_json()}"
+        )
+
+    # resumed run over the repaired database: byte-identical output
+    got_text, got_alarms, got_cert = _summarydb_certify(chaos_db)
+    if got_text != ref_text:
+        result.violations.append(
+            "certificate over recovered summary DB differs from "
+            "fault-free bytes"
+        )
+    if got_alarms != ref_alarms:
+        result.violations.append(
+            f"alarms over recovered summary DB {got_alarms} != "
+            f"fault-free {ref_alarms}"
+        )
+    if not _checker().check(got_cert).ok:
+        result.violations.append(
+            "certificate over recovered summary DB fails the checker"
+        )
+    return result
+
+
 # -- the campaign --------------------------------------------------------------
 
 SCENARIOS: Dict[str, Callable[[int, str], ScenarioResult]] = {
     "store": run_store_scenario,
     "serve": run_serve_scenario,
     "batch": run_batch_scenario,
+    "coordinator": run_coordinator_scenario,
+    "summarydb": run_summarydb_scenario,
 }
 
 
@@ -656,8 +939,16 @@ class CampaignReport:
 
 
 def plan_layers(schedules: int, layers: Sequence[str]) -> List[str]:
-    """The deterministic layer assignment for each schedule index."""
+    """The deterministic layer assignment for each schedule index.
+
+    Layers with a weight in :data:`LAYER_CYCLE` keep their ratio;
+    requested layers outside the cycle (coordinator, summarydb — both
+    expensive, both opt-in) are appended with weight one."""
     enabled = [layer for layer in LAYER_CYCLE if layer in layers]
+    enabled.extend(
+        layer for layer in layers
+        if layer in SCENARIOS and layer not in LAYER_CYCLE
+    )
     if not enabled:
         raise ValueError(f"no known layers in {layers!r}")
     return [enabled[i % len(enabled)] for i in range(schedules)]

@@ -1,0 +1,243 @@
+"""The work-stealing coordinator: sharding, handoff, merge, resume.
+
+The coordinator must be a refinement of the plain batch runner — same
+results in the same manifest order, whatever the sharding — while its
+per-shard journals and certificate directories carry every crash-safety
+property across hosts: a shard run elsewhere merges by hash, a killed
+run resumes from the journals, and tampering is reported, not merged.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.runtime.batch import BatchRunner, JobSpec
+from repro.runtime.coordinator import (
+    WorkStealingCoordinator,
+    load_shard_plan,
+    merge_shards,
+    run_shard,
+    write_shard_plan,
+)
+from repro.suite import all_programs
+
+
+def suite_jobs(count=6, engine="fds"):
+    return [
+        JobSpec(
+            name=program.name,
+            spec="cmp",
+            source=program.source,
+            engine=engine,
+        )
+        for program in all_programs()[:count]
+    ]
+
+
+class TestCoordinatorRun:
+    def test_matches_plain_batch_runner(self):
+        jobs = suite_jobs()
+        plain = BatchRunner(jobs, max_workers=1, emit_certs_dir=None).run()
+        coordinated = WorkStealingCoordinator(
+            jobs, shards=3, max_workers=1, emit_certs=False
+        ).run()
+        assert coordinated.batch.ok
+        assert [r.job.name for r in coordinated.batch.results] == [
+            r.job.name for r in plain.results
+        ]
+        assert [r.status for r in coordinated.batch.results] == [
+            r.status for r in plain.results
+        ]
+        assert [
+            sorted(r.alarm_lines) for r in coordinated.batch.results
+        ] == [sorted(r.alarm_lines) for r in plain.results]
+
+    def test_inline_scheduler_steals(self):
+        result = WorkStealingCoordinator(
+            suite_jobs(), shards=3, max_workers=1, emit_certs=False
+        ).run()
+        # three round-robin queues drained by one worker: the scheduler
+        # crosses shards repeatedly, each crossing is a steal
+        assert result.steals > 0
+        assert result.shards == 3
+        assert sum(s.completed for s in result.shard_stats) == 6
+
+    def test_shards_clamped_to_jobs(self):
+        result = WorkStealingCoordinator(
+            suite_jobs(2), shards=8, max_workers=1, emit_certs=False
+        ).run()
+        assert result.shards == 2
+
+    def test_result_document(self):
+        result = WorkStealingCoordinator(
+            suite_jobs(3), shards=2, max_workers=1, emit_certs=False
+        ).run()
+        doc = result.to_json()
+        assert doc["coordinator"]["shards"] == 2
+        assert len(doc["coordinator"]["per_shard"]) == 2
+        assert "steal" in result.format_summary()
+
+    def test_pool_mode_matches_inline(self):
+        jobs = suite_jobs(4)
+        inline = WorkStealingCoordinator(
+            jobs, shards=2, max_workers=1, emit_certs=False
+        ).run()
+        pooled = WorkStealingCoordinator(
+            jobs, shards=2, max_workers=2, emit_certs=False
+        ).run()
+        assert pooled.batch.ok
+        assert [r.status for r in pooled.batch.results] == [
+            r.status for r in inline.batch.results
+        ]
+
+
+class TestShardDirProtocol:
+    def test_plan_written_and_resume_restores_all(self, tmp_path):
+        shard_dir = str(tmp_path / "shards")
+        jobs = suite_jobs()
+        first = WorkStealingCoordinator(
+            jobs, shards=3, max_workers=1, shard_dir=shard_dir
+        ).run()
+        assert first.batch.ok
+        plan = load_shard_plan(shard_dir)
+        assert plan["jobs"] == 6
+        assert plan["shards"] == 3
+        resumed = WorkStealingCoordinator(
+            jobs, shards=3, max_workers=1, shard_dir=shard_dir,
+            resume=True,
+        ).run()
+        assert resumed.batch.ok
+        assert resumed.batch.resumed == 6
+        assert [r.status for r in resumed.batch.results] == [
+            r.status for r in first.batch.results
+        ]
+
+    def test_multi_host_handoff_and_merge(self, tmp_path):
+        shard_dir = str(tmp_path / "handoff")
+        jobs = suite_jobs()
+        plan = write_shard_plan(jobs, shard_dir, shards=2)
+        assert plan["shards"] == 2
+        # each "host" runs its shard independently off the shared dir
+        for index in range(2):
+            result = run_shard(shard_dir, index, max_workers=1)
+            assert result.ok
+        summary = merge_shards(shard_dir)
+        assert summary["ok"]
+        assert summary["merged"] == 6
+        assert summary["mismatched"] == []
+        merged_names = {
+            entry
+            for entry in os.listdir(summary["dest"])
+            if entry.endswith(".cert.json")
+        }
+        assert len(merged_names) == 6
+
+    def test_merge_reports_tampered_certificate(self, tmp_path):
+        shard_dir = str(tmp_path / "tamper")
+        WorkStealingCoordinator(
+            suite_jobs(3), shards=2, max_workers=1, shard_dir=shard_dir
+        ).run()
+        victim = None
+        for entry in sorted(os.listdir(shard_dir)):
+            certs = os.path.join(shard_dir, entry, "certs")
+            if entry.startswith("shard-") and os.path.isdir(certs):
+                for name in sorted(os.listdir(certs)):
+                    if name.endswith(".cert.json"):
+                        victim = os.path.join(certs, name)
+                        break
+            if victim:
+                break
+        assert victim is not None
+        with open(victim, "a") as handle:
+            handle.write(" ")
+        summary = merge_shards(shard_dir)
+        assert not summary["ok"]
+        assert len(summary["mismatched"]) == 1
+
+    def test_shard_journals_in_batch_format(self, tmp_path):
+        shard_dir = str(tmp_path / "journal")
+        WorkStealingCoordinator(
+            suite_jobs(3), shards=2, max_workers=1, shard_dir=shard_dir
+        ).run()
+        records = 0
+        for entry in sorted(os.listdir(shard_dir)):
+            checkpoint = os.path.join(shard_dir, entry, "checkpoint")
+            if not os.path.isdir(checkpoint):
+                continue
+            for name in os.listdir(checkpoint):
+                if not name.endswith(".jsonl"):
+                    continue
+                with open(os.path.join(checkpoint, name)) as handle:
+                    for line in handle:
+                        record = json.loads(line)
+                        assert record["v"] == 1
+                        assert "cert_sha256" in record
+                        records += 1
+        assert records == 3
+
+
+class TestBatchCliShards:
+    def _manifest(self, tmp_path):
+        path = tmp_path / "manifest.json"
+        path.write_text(json.dumps({
+            "spec": "cmp",
+            "jobs": [
+                {"name": p.name, "source": p.source, "engine": "fds"}
+                for p in all_programs()[:4]
+            ],
+        }))
+        return str(path)
+
+    def test_coordinator_flags(self, tmp_path):
+        from repro.cli import batch_main
+
+        shard_dir = str(tmp_path / "shards")
+        code = batch_main([
+            self._manifest(tmp_path), "--shards", "2",
+            "--shard-dir", shard_dir, "--quiet",
+        ])
+        assert code == 0
+        assert os.path.exists(os.path.join(shard_dir, "plan.json"))
+        code = batch_main([
+            "--merge-shards", "--shard-dir", shard_dir, "--quiet",
+        ])
+        assert code == 0
+
+    def test_write_then_run_then_merge(self, tmp_path):
+        from repro.cli import batch_main
+
+        shard_dir = str(tmp_path / "handoff")
+        assert batch_main([
+            self._manifest(tmp_path), "--write-shards", "--shards", "2",
+            "--shard-dir", shard_dir, "--quiet",
+        ]) == 0
+        for index in range(2):
+            assert batch_main([
+                "--shard-index", str(index), "--shard-dir", shard_dir,
+                "--quiet",
+            ]) == 0
+        assert batch_main([
+            "--merge-shards", "--shard-dir", shard_dir, "--quiet",
+        ]) == 0
+
+    def test_manifest_required_without_shard_flags(self, tmp_path, capsys):
+        from repro.cli import batch_main
+
+        assert batch_main(["--quiet"]) == 2
+        assert "manifest" in capsys.readouterr().err
+
+
+class TestChaosScenarios:
+    def test_coordinator_sigkill_resume(self, tmp_path):
+        from repro.testing.chaos import run_coordinator_scenario
+
+        result = run_coordinator_scenario(3, str(tmp_path))
+        assert result.ok, result.violations
+
+    def test_summarydb_kill_mid_put(self, tmp_path):
+        from repro.testing.chaos import run_summarydb_scenario
+
+        result = run_summarydb_scenario(11, str(tmp_path))
+        assert result.ok, result.violations
+        assert result.notes["crashed"]
